@@ -1,0 +1,365 @@
+// Benchmarks regenerating every experiment row of DESIGN.md §4 (E1–E12)
+// as testing.B targets. cmd/octopus-bench prints the corresponding full
+// tables; these targets provide per-operation numbers with allocation
+// profiles. Sizes are kept moderate so the full suite completes quickly;
+// the table harness runs the larger sweeps.
+package octopus_test
+
+import (
+	"sync"
+	"testing"
+
+	"octopus"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/em"
+	"octopus/internal/graph"
+	"octopus/internal/im"
+	"octopus/internal/mia"
+	"octopus/internal/otim"
+	"octopus/internal/ris"
+	"octopus/internal/rng"
+	"octopus/internal/tags"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+var (
+	benchOnce sync.Once
+	benchDS   *datagen.Dataset
+	benchSys  *core.System
+	benchErr  error
+)
+
+// benchWorld builds one shared 2000-author citation system with topic
+// samples enabled.
+func benchWorld(b *testing.B) (*core.System, *datagen.Dataset) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS, benchErr = datagen.Citation(datagen.CitationConfig{
+			Authors: 2000, Topics: 8, Papers: 3000, Seed: 1,
+		})
+		if benchErr != nil {
+			return
+		}
+		benchSys, benchErr = core.Build(benchDS.Graph, benchDS.Log, core.Config{
+			GroundTruth:      benchDS.Truth,
+			GroundTruthWords: benchDS.TruthWords,
+			TopicNames:       benchDS.TopicNames,
+			OTIM:             otim.BuildOptions{Samples: 16, SampleK: 10},
+			Seed:             2,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSys, benchDS
+}
+
+// E1 — Scenario 1: keyword-based influential user discovery, k=10.
+func BenchmarkE1KeywordIM(b *testing.B) {
+	sys, _ := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.DiscoverInfluencers([]string{"mining", "pattern"},
+			core.DiscoverOptions{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2 — Scenario 2: personalized influential keyword suggestion, k=3.
+func BenchmarkE2KeywordSuggest(b *testing.B) {
+	sys, ds := benchWorld(b)
+	var target graph.NodeID = -1
+	for u := 0; u < ds.Graph.NumNodes(); u++ {
+		if len(sys.UserKeywords(graph.NodeID(u))) >= 4 {
+			target = graph.NodeID(u)
+			break
+		}
+	}
+	if target < 0 {
+		b.Skip("no keyword-rich user")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SuggestKeywords(target, 3, tags.SuggestOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E3 — Scenario 3: influential path exploration at θ=0.01.
+func BenchmarkE3PathExploration(b *testing.B) {
+	sys, ds := benchWorld(b)
+	hub := hubNode(ds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.InfluencePaths(hub, octopus.PathOptions{Theta: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4 — online best-effort vs the naive per-query baselines, k=10.
+func BenchmarkE4OnlineVsNaive(b *testing.B) {
+	sys, _ := benchWorld(b)
+	gamma := topic.Dist(rng.New(7).DirichletSym(0.3, 8))
+	eng := otim.NewEngine(sys.OTIMIndex())
+	m := sys.Propagation()
+
+	b.Run("BestEffort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(gamma, otim.QueryOptions{K: 10, Theta: 0.01}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("BestEffortSamples", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(gamma, otim.QueryOptions{
+				K: 10, Theta: 0.01, UseSamples: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveIMM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := otim.NaiveQuery(m, gamma, 10, otim.NaiveIMM, 0.01, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveDegreeDiscount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := otim.NaiveQuery(m, gamma, 10, otim.NaiveDegreeDiscount, 0.01, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveMIAGreedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := otim.NaiveQuery(m, gamma, 10, otim.NaiveMIAGreedy, 0.01, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E5 — bound configuration ablation, k=10.
+func BenchmarkE5BoundPruning(b *testing.B) {
+	sys, _ := benchWorld(b)
+	gamma := topic.Dist(rng.New(11).DirichletSym(0.3, 8))
+	eng := otim.NewEngine(sys.OTIMIndex())
+	run := func(opt otim.QueryOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(gamma, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("PrecompLocal", run(otim.QueryOptions{K: 10, Theta: 0.01}))
+	b.Run("PrecompOnly", run(otim.QueryOptions{K: 10, Theta: 0.01, SkipLocalBound: true}))
+	b.Run("NeighborhoodOnly", run(otim.QueryOptions{
+		K: 10, Theta: 0.01, FirstBound: otim.BoundNeighborhood, SkipLocalBound: true,
+	}))
+	b.Run("Epsilon01", run(otim.QueryOptions{K: 10, Theta: 0.01, Epsilon: 0.1}))
+}
+
+// E6 — topic-sample index hit vs miss.
+func BenchmarkE6TopicSamples(b *testing.B) {
+	sys, _ := benchWorld(b)
+	eng := otim.NewEngine(sys.OTIMIndex())
+	pure := topic.Pure(0, 8) // exact sample match
+	far := topic.Uniform(8)  // unlikely to be near a sparse sample
+	b.Run("Hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Query(pure, otim.QueryOptions{K: 10, Theta: 0.01, UseSamples: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Stats.SampleHit {
+				b.Fatal("expected sample hit")
+			}
+		}
+	})
+	b.Run("Miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(far, otim.QueryOptions{
+				K: 10, Theta: 0.01, UseSamples: true, SampleTolerance: 0.01,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E7 — suggestion search strategies at equal candidate pools.
+func BenchmarkE7SuggestQuality(b *testing.B) {
+	sys, ds := benchWorld(b)
+	sugg := tags.NewSuggester(sys.TagsIndex(), sys.Keywords(), nil)
+	target := hubNode(ds)
+	b.Run("Greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sugg.Suggest(target, tags.SuggestOptions{K: 2, MaxCandidates: 12}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sugg.Suggest(target, tags.SuggestOptions{
+				K: 2, MaxCandidates: 12, Exhaustive: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E8 — influencer index build and query.
+func BenchmarkE8InfluencerIndex(b *testing.B) {
+	_, ds := benchWorld(b)
+	b.Run("Build1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tags.BuildIndex(ds.Truth, tags.IndexOptions{
+				Polls: 1024, Seed: uint64(i),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ix, err := tags.BuildIndex(ds.Truth, tags.IndexOptions{Polls: 2048, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gamma := topic.Uniform(8)
+	hub := hubNode(ds)
+	b.Run("QueryIndexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.SpreadEstimate(hub, gamma)
+		}
+	})
+	sim := tic.NewSimulator(ds.Truth)
+	b.Run("QueryMCScratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.EstimateSpread([]graph.NodeID{hub}, gamma, 2048, rng.New(uint64(i)))
+		}
+	})
+}
+
+// E9 — MIA tree construction across θ.
+func BenchmarkE9MIATheta(b *testing.B) {
+	_, ds := benchWorld(b)
+	m := ds.Truth
+	gamma := topic.Uniform(8)
+	prob := func(e graph.EdgeID) float64 { return m.EdgeProb(e, gamma) }
+	calc := mia.NewCalc(ds.Graph)
+	hub := hubNode(ds)
+	for _, tc := range []struct {
+		name  string
+		theta float64
+	}{{"Theta0.1", 0.1}, {"Theta0.01", 0.01}, {"Theta0.001", 0.001}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tree := calc.MIOA(prob, hub, tc.theta, 0)
+				_ = tree
+			}
+		})
+	}
+}
+
+// E10 — substrate throughput: cascades, RR sets, IMM.
+func BenchmarkE10Scalability(b *testing.B) {
+	_, ds := benchWorld(b)
+	m := ds.Truth
+	gamma := topic.Uniform(8)
+	sim := tic.NewSimulator(m)
+	r := rng.New(3)
+	b.Run("Cascade", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Cascade([]graph.NodeID{graph.NodeID(i % ds.Graph.NumNodes())}, gamma, r, nil)
+		}
+	})
+	b.Run("RRSet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := ris.Generate(m, gamma, 10, rng.New(uint64(i)))
+			_ = col
+		}
+	})
+	b.Run("IMMk10", func(b *testing.B) {
+		w := m.Weights(gamma)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ris.IMM(ds.Graph, w, ris.IMMOptions{K: 10, Epsilon: 0.3, Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E11 — EM learning on a small world.
+func BenchmarkE11EMRecovery(b *testing.B) {
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors: 300, Topics: 4, Papers: 600, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Learn(ds.Graph, ds.Log, em.Config{
+			Topics: 4, Iterations: 8, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12 — classical IM baselines at k=20.
+func BenchmarkE12Baselines(b *testing.B) {
+	_, ds := benchWorld(b)
+	m := ds.Truth
+	gamma := topic.Uniform(8)
+	w := m.Weights(gamma)
+	g := ds.Graph
+	b.Run("IMM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ris.IMM(g, w, ris.IMMOptions{K: 20, Epsilon: 0.3, Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DegreeDiscount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			im.DegreeDiscount(g, w, 20)
+		}
+	})
+	b.Run("SingleDiscount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			im.SingleDiscount(g, w, 20)
+		}
+	})
+	b.Run("PageRank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			im.PageRank(g, w, 20, 30, 0.85)
+		}
+	})
+}
+
+func hubNode(ds *datagen.Dataset) graph.NodeID {
+	var best graph.NodeID
+	bestDeg := -1
+	for u := 0; u < ds.Graph.NumNodes(); u++ {
+		if d := ds.Graph.OutDegree(graph.NodeID(u)); d > bestDeg {
+			bestDeg, best = d, graph.NodeID(u)
+		}
+	}
+	return best
+}

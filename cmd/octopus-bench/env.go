@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+)
+
+// env lazily builds and caches the shared datasets and systems.
+type env struct {
+	sizes sizes
+	seed  uint64
+	out   io.Writer
+
+	citation  *datagen.Dataset
+	citSystem *core.System
+
+	small       *datagen.Dataset
+	smallSystem *core.System
+
+	social *datagen.Dataset
+}
+
+func (e *env) citationDS() (*datagen.Dataset, error) {
+	if e.citation == nil {
+		ds, err := datagen.Citation(datagen.CitationConfig{
+			Authors: e.sizes.citationAuthors,
+			Papers:  e.sizes.citationPapers,
+			Topics:  8,
+			Seed:    e.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.citation = ds
+		fmt.Fprintf(e.out, "[citation dataset: %d authors, %d edges, %d episodes]\n",
+			ds.Graph.NumNodes(), ds.Graph.NumEdges(), len(ds.Log.Episodes))
+	}
+	return e.citation, nil
+}
+
+func (e *env) citationSystem() (*core.System, *datagen.Dataset, error) {
+	ds, err := e.citationDS()
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.citSystem == nil {
+		sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+			GroundTruth:      ds.Truth,
+			GroundTruthWords: ds.TruthWords,
+			TopicNames:       ds.TopicNames,
+			OTIM:             otim.BuildOptions{Samples: 4 * ds.Truth.NumTopics(), SampleK: 20},
+			Seed:             e.seed ^ 0xbeef,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		e.citSystem = sys
+	}
+	return e.citSystem, ds, nil
+}
+
+func (e *env) smallDS() (*datagen.Dataset, error) {
+	if e.small == nil {
+		ds, err := datagen.Citation(datagen.CitationConfig{
+			Authors: e.sizes.smallAuthors,
+			Topics:  4,
+			Seed:    e.seed ^ 0x5151,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.small = ds
+	}
+	return e.small, nil
+}
+
+func (e *env) smallSys() (*core.System, *datagen.Dataset, error) {
+	ds, err := e.smallDS()
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.smallSystem == nil {
+		sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+			GroundTruth:      ds.Truth,
+			GroundTruthWords: ds.TruthWords,
+			TopicNames:       ds.TopicNames,
+			Seed:             e.seed ^ 0xcafe,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		e.smallSystem = sys
+	}
+	return e.smallSystem, ds, nil
+}
+
+func (e *env) socialDS() (*datagen.Dataset, error) {
+	if e.social == nil {
+		ds, err := datagen.Social(datagen.SocialConfig{
+			Users: e.sizes.socialUsers,
+			Seed:  e.seed ^ 0x7777,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.social = ds
+		fmt.Fprintf(e.out, "[social dataset: %d users, %d edges]\n",
+			ds.Graph.NumNodes(), ds.Graph.NumEdges())
+	}
+	return e.social, nil
+}
+
+// hubOf returns the highest weighted-out-degree node — the canonical
+// "Michael Jordan" query target of the demo scenarios.
+func hubOf(ds *datagen.Dataset) graph.NodeID {
+	g := ds.Graph
+	var best graph.NodeID
+	bestDeg := -1
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.OutDegree(graph.NodeID(u)); d > bestDeg {
+			bestDeg, best = d, graph.NodeID(u)
+		}
+	}
+	return best
+}

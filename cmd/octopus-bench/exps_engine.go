@@ -1,0 +1,249 @@
+package main
+
+import (
+	"fmt"
+
+	"octopus/internal/bench"
+	"octopus/internal/im"
+	"octopus/internal/otim"
+	"octopus/internal/rng"
+	"octopus/internal/topic"
+)
+
+// queryGammas derives a deterministic set of query topic distributions
+// mixing pure topics and sparse Dirichlet draws.
+func queryGammas(z, count int, seed uint64) []topic.Dist {
+	r := rng.New(seed)
+	out := make([]topic.Dist, 0, count)
+	for i := 0; i < count; i++ {
+		if i%3 == 0 {
+			out = append(out, topic.Pure(i%z, z))
+		} else {
+			out = append(out, topic.Dist(r.DirichletSym(0.3, z)))
+		}
+	}
+	return out
+}
+
+// E4 — online best-effort vs naive per-query IM across k.
+func runE4(e *env) error {
+	sys, ds, err := e.citationSystem()
+	if err != nil {
+		return err
+	}
+	m := sys.Propagation()
+	ix := sys.OTIMIndex()
+	eng := otim.NewEngine(ix)
+	gammas := queryGammas(m.NumTopics(), e.sizes.queryReps, e.seed^0xe4)
+
+	tab := bench.NewTable(
+		fmt.Sprintf("E4a: mean query latency, %d-node citation graph (avg over %d queries)",
+			ds.Graph.NumNodes(), len(gammas)),
+		"k", "best-effort", "best-effort+samples", "naive IMM", "naive DegDisc",
+		"spread BE", "spread IMM")
+	for _, k := range []int{1, 5, 10, 20} {
+		var tBE, tBES, tIMM, tDD bench.Timer
+		var sBE, sIMM float64
+		for qi, gamma := range gammas {
+			var res *otim.Result
+			tBE.Time(func() { res, err = eng.Query(gamma, otim.QueryOptions{K: k, Theta: 0.01}) })
+			if err != nil {
+				return err
+			}
+			sBE += res.Spreads[len(res.Spreads)-1]
+			tBES.Time(func() {
+				_, err = eng.Query(gamma, otim.QueryOptions{K: k, Theta: 0.01, UseSamples: true})
+			})
+			if err != nil {
+				return err
+			}
+			var nres *otim.NaiveResult
+			tIMM.Time(func() {
+				nres, err = otim.NaiveQuery(m, gamma, k, otim.NaiveIMM, 0.01, e.seed+uint64(qi))
+			})
+			if err != nil {
+				return err
+			}
+			sIMM += nres.Spreads[len(nres.Spreads)-1]
+			tDD.Time(func() {
+				_, err = otim.NaiveQuery(m, gamma, k, otim.NaiveDegreeDiscount, 0.01, e.seed+uint64(qi))
+			})
+			if err != nil {
+				return err
+			}
+		}
+		n := float64(len(gammas))
+		tab.Row(k, tBE.Mean(), tBES.Mean(), tIMM.Mean(), tDD.Mean(), sBE/n, sIMM/n)
+	}
+	tab.Render(e.out)
+
+	// E4b: exhaustive MIA greedy (identical semantics, no pruning) on the
+	// small graph to isolate the best-effort speedup.
+	smallSys, smallDS, err := e.smallSys()
+	if err != nil {
+		return err
+	}
+	sm := smallSys.Propagation()
+	sEng := otim.NewEngine(smallSys.OTIMIndex())
+	tab2 := bench.NewTable(
+		fmt.Sprintf("E4b: best-effort vs exhaustive MIA greedy, %d nodes (same answer, k=5)",
+			smallDS.Graph.NumNodes()),
+		"engine", "mean latency", "exact evals/query", "spread")
+	gammas2 := queryGammas(sm.NumTopics(), 4, e.seed^0xe4b)
+	var tFast, tSlow bench.Timer
+	var evalsFast, spreadFast, spreadSlow float64
+	for qi, gamma := range gammas2 {
+		var res *otim.Result
+		tFast.Time(func() { res, err = sEng.Query(gamma, otim.QueryOptions{K: 5, Theta: 0.01}) })
+		if err != nil {
+			return err
+		}
+		evalsFast += float64(res.Stats.ExactEvals)
+		spreadFast += res.Spreads[len(res.Spreads)-1]
+		var nres *otim.NaiveResult
+		tSlow.Time(func() {
+			nres, err = otim.NaiveQuery(sm, gamma, 5, otim.NaiveMIAGreedy, 0.01, e.seed+uint64(qi))
+		})
+		if err != nil {
+			return err
+		}
+		spreadSlow += nres.Spreads[len(nres.Spreads)-1]
+	}
+	n2 := float64(len(gammas2))
+	tab2.Row("best-effort", tFast.Mean(), evalsFast/n2, spreadFast/n2)
+	tab2.Row("exhaustive greedy", tSlow.Mean(),
+		float64(5*smallDS.Graph.NumNodes()), spreadSlow/n2)
+
+	// The era's "traditional IM": CELF greedy with Monte-Carlo spread
+	// estimation — what Section I's naive solution would actually run.
+	// One query is enough to place it orders of magnitude away.
+	var tCELF bench.Timer
+	var celfSpread float64
+	tCELF.Time(func() {
+		res, cerr := im.CELFGreedy(sm, gammas2[0], 5, 100, rng.New(e.seed^0xce))
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		celfSpread = res.Spreads[len(res.Spreads)-1]
+	})
+	if err != nil {
+		return err
+	}
+	tab2.Row("CELF + MC (traditional)", tCELF.Mean(),
+		float64(smallDS.Graph.NumNodes()), celfSpread)
+	tab2.Render(e.out)
+	fmt.Fprintln(e.out, "paper claim: traditional per-query IM (MC greedy, exhaustive MIA "+
+		"greedy) is orders of magnitude too slow for online use; the best-effort engine "+
+		"answers the same greedy query online. IMM narrows the latency gap on mid-size "+
+		"graphs but returns lower topic-aware spread")
+	return nil
+}
+
+// E5 — bound pruning effectiveness ablation.
+func runE5(e *env) error {
+	sys, ds, err := e.citationSystem()
+	if err != nil {
+		return err
+	}
+	ix := sys.OTIMIndex()
+	eng := otim.NewEngine(ix)
+	gammas := queryGammas(sys.Propagation().NumTopics(), e.sizes.queryReps, e.seed^0xe5)
+	n := ds.Graph.NumNodes()
+
+	type config struct {
+		name string
+		opt  otim.QueryOptions
+	}
+	configs := []config{
+		{"precomp+local (default)", otim.QueryOptions{K: 10, Theta: 0.01}},
+		{"precomp only", otim.QueryOptions{K: 10, Theta: 0.01, SkipLocalBound: true}},
+		{"neighborhood+local", otim.QueryOptions{K: 10, Theta: 0.01, FirstBound: otim.BoundNeighborhood}},
+		{"neighborhood only", otim.QueryOptions{K: 10, Theta: 0.01, FirstBound: otim.BoundNeighborhood, SkipLocalBound: true}},
+		{"default + eps=0.1", otim.QueryOptions{K: 10, Theta: 0.01, Epsilon: 0.1}},
+	}
+	tab := bench.NewTable(
+		fmt.Sprintf("E5: bound configurations, k=10, n=%d (means over %d queries)", n, len(gammas)),
+		"bounds", "latency", "local bounds", "exact evals", "pruned %")
+	for _, cfg := range configs {
+		var t bench.Timer
+		var locals, exacts, pruned float64
+		for _, gamma := range gammas {
+			var res *otim.Result
+			t.Time(func() { res, err = eng.Query(gamma, cfg.opt) })
+			if err != nil {
+				return err
+			}
+			locals += float64(res.Stats.LocalBounds)
+			exacts += float64(res.Stats.ExactEvals)
+			pruned += float64(res.Stats.Pruned)
+		}
+		q := float64(len(gammas))
+		tab.Row(cfg.name, t.Mean(), locals/q, exacts/q, 100*pruned/q/float64(n))
+	}
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "paper claim: tighter bounds prune more users before exact evaluation; "+
+		"the precomputation bound dominates the neighborhood bound")
+	return nil
+}
+
+// E6 — topic-sample index: hit rate, latency, and answer quality.
+func runE6(e *env) error {
+	ds, err := e.smallDS()
+	if err != nil {
+		return err
+	}
+	m := ds.Truth
+	z := m.NumTopics()
+	gammas := queryGammas(z, 30, e.seed^0xe6)
+
+	tab := bench.NewTable("E6: topic-sample index vs sample count L (tolerance 0.2, k=10)",
+		"L", "build", "hit rate %", "mean latency", "spread ratio vs full")
+	for _, L := range []int{0, z, 4 * z, 16 * z} {
+		var build bench.Timer
+		var ix *otim.Index
+		build.Time(func() {
+			ix, err = otim.BuildIndex(m, otim.BuildOptions{
+				ThetaPre: 0.001, Samples: L, SampleK: 10, Seed: e.seed,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		eng := otim.NewEngine(ix)
+		var t bench.Timer
+		hits := 0
+		ratioSum, ratioN := 0.0, 0
+		for _, gamma := range gammas {
+			var res *otim.Result
+			t.Time(func() {
+				res, err = eng.Query(gamma, otim.QueryOptions{
+					K: 10, Theta: 0.01, UseSamples: true, SampleTolerance: 0.2,
+				})
+			})
+			if err != nil {
+				return err
+			}
+			if res.Stats.SampleHit {
+				hits++
+				full, err := eng.Query(gamma, otim.QueryOptions{K: 10, Theta: 0.01})
+				if err != nil {
+					return err
+				}
+				if f := full.Spreads[len(full.Spreads)-1]; f > 0 {
+					ratioSum += res.Spreads[len(res.Spreads)-1] / f
+					ratioN++
+				}
+			}
+		}
+		ratio := 1.0
+		if ratioN > 0 {
+			ratio = ratioSum / float64(ratioN)
+		}
+		tab.Row(L, build.Mean(), 100*float64(hits)/float64(len(gammas)), t.Mean(), ratio)
+	}
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "paper claim: offline topic samples answer nearby queries directly "+
+		"with near-optimal spread, cutting latency further")
+	return nil
+}

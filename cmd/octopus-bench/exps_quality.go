@@ -1,0 +1,219 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/bench"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/mia"
+	"octopus/internal/rng"
+	"octopus/internal/tags"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// E7 — keyword-suggestion quality: greedy vs exhaustive vs baselines.
+func runE7(e *env) error {
+	ds, err := e.smallDS()
+	if err != nil {
+		return err
+	}
+	ix, err := tags.BuildIndex(ds.Truth, tags.IndexOptions{Polls: 4096, Seed: e.seed ^ 0xe7})
+	if err != nil {
+		return err
+	}
+	sugg := tags.NewSuggester(ix, ds.TruthWords, nil)
+	r := rng.New(e.seed ^ 0x77)
+
+	// Targets: users with nonzero estimated influence.
+	var targets []graph.NodeID
+	for u := 0; u < ds.Graph.NumNodes() && len(targets) < 8; u++ {
+		if ix.MaxSpreadEstimate(graph.NodeID(u)) > 2 {
+			targets = append(targets, graph.NodeID(u))
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("no influential targets")
+	}
+
+	tab := bench.NewTable("E7: suggestion quality, k=2, pool=12 candidates (means over targets)",
+		"method", "mean est. spread", "vs exhaustive %", "mean latency", "sets evaluated")
+	type acc struct {
+		spread float64
+		sets   int
+		timer  bench.Timer
+	}
+	var greedy, exhaustive, random, frequency acc
+	vocab := ds.TruthWords.Vocab()
+	for _, u := range targets {
+		var sg, sx *tags.Suggestion
+		greedy.timer.Time(func() {
+			sg, err = sugg.Suggest(u, tags.SuggestOptions{K: 2, MaxCandidates: 12})
+		})
+		if err != nil {
+			return err
+		}
+		exhaustive.timer.Time(func() {
+			sx, err = sugg.Suggest(u, tags.SuggestOptions{K: 2, MaxCandidates: 12, Exhaustive: true})
+		})
+		if err != nil {
+			return err
+		}
+		greedy.spread += sg.Spread
+		greedy.sets += sg.Stats.SetsEvaluated
+		exhaustive.spread += sx.Spread
+		exhaustive.sets += sx.Stats.SetsEvaluated
+
+		// Random baseline: random 2 keywords from the vocabulary.
+		var rs float64
+		random.timer.Time(func() {
+			kws := []string{vocab[r.Intn(len(vocab))], vocab[r.Intn(len(vocab))]}
+			gamma, _ := ds.TruthWords.InferGamma(kws)
+			rs = ix.SpreadEstimate(u, gamma)
+		})
+		random.spread += rs
+		random.sets += 1
+
+		// Frequency baseline: the 2 globally most frequent keywords in
+		// the log (ignores the target user entirely).
+		var fs float64
+		frequency.timer.Time(func() {
+			kws := topKeywordsByFrequency(ds, 2)
+			gamma, _ := ds.TruthWords.InferGamma(kws)
+			fs = ix.SpreadEstimate(u, gamma)
+		})
+		frequency.spread += fs
+		frequency.sets += 1
+	}
+	n := float64(len(targets))
+	base := exhaustive.spread / n
+	row := func(name string, a acc) {
+		pct := 100.0
+		if base > 0 {
+			pct = 100 * (a.spread / n) / base
+		}
+		tab.Row(name, a.spread/n, pct, a.timer.Mean(), a.sets/len(targets))
+	}
+	row("greedy (ours)", greedy)
+	row("exhaustive (optimal)", exhaustive)
+	row("random keywords", random)
+	row("global frequency", frequency)
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "paper claim: sampling+greedy reaches near-optimal spread at a "+
+		"fraction of exhaustive cost; naive baselines fall far behind")
+	return nil
+}
+
+// E8 — influencer index: lazy sampling effectiveness and query speedup.
+func runE8(e *env) error {
+	ds, err := e.smallDS()
+	if err != nil {
+		return err
+	}
+	m := ds.Truth
+	gamma := topic.Uniform(m.NumTopics())
+	hub := hubOf(ds)
+
+	tab := bench.NewTable("E8: influencer index vs poll count M",
+		"M", "build", "coins flipped", "eager coins", "stored edges",
+		"query latency", "MC-from-scratch", "est vs MC")
+	sim := tic.NewSimulator(m)
+	for _, M := range []int{256, 1024, 4096} {
+		var build bench.Timer
+		var ix *tags.Index
+		build.Time(func() {
+			ix, err = tags.BuildIndex(m, tags.IndexOptions{Polls: M, Seed: e.seed ^ uint64(M)})
+		})
+		if err != nil {
+			return err
+		}
+		var tQ bench.Timer
+		var est float64
+		for i := 0; i < 20; i++ {
+			tQ.Time(func() { est = ix.SpreadEstimate(hub, gamma) })
+		}
+		// MC from scratch with the sample count matched to M.
+		var tMC bench.Timer
+		var mc float64
+		tMC.Time(func() {
+			mc = sim.EstimateSpread([]graph.NodeID{hub}, gamma, M, rng.New(e.seed^0x8))
+		})
+		ratio := 0.0
+		if mc > 0 {
+			ratio = est / mc
+		}
+		eager := M * ds.Graph.NumEdges()
+		tab.Row(M, build.Mean(), ix.CoinsFlipped(), eager, ix.EdgesMaterialized(),
+			tQ.Mean(), tMC.Mean(), ratio)
+	}
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "paper claim: the index avoids online sampling from scratch; lazy "+
+		"propagation materializes a small fraction of eager coins")
+	return nil
+}
+
+// E9 — MIA threshold trade-off: tree size, latency, accuracy vs MC.
+func runE9(e *env) error {
+	ds, err := e.smallDS()
+	if err != nil {
+		return err
+	}
+	m := ds.Truth
+	gamma := topic.Uniform(m.NumTopics())
+	prob := func(ed graph.EdgeID) float64 { return m.EdgeProb(ed, gamma) }
+	calc := mia.NewCalc(ds.Graph)
+	sim := tic.NewSimulator(m)
+	hub := hubOf(ds)
+	mc := sim.EstimateSpread([]graph.NodeID{hub}, gamma, 20000, rng.New(e.seed^0x9))
+
+	tab := bench.NewTable(fmt.Sprintf("E9: MIA threshold θ at the hub (MC reference σ=%.2f)", mc),
+		"theta", "latency", "tree nodes", "MIA spread", "rel. err %")
+	for _, theta := range []float64{0.1, 0.05, 0.01, 0.005, 0.001} {
+		var t bench.Timer
+		var tree *mia.Tree
+		for i := 0; i < 20; i++ {
+			t.Time(func() { tree = calc.MIOA(prob, hub, theta, 0) })
+		}
+		spread := tree.Spread()
+		relErr := 100 * (spread - mc) / mc
+		tab.Row(theta, t.Mean(), tree.Size(), spread, relErr)
+	}
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "paper claim: smaller θ grows the arborescence at higher cost — the "+
+		"interactivity knob. MIA restricts influence to max-probability paths, so it "+
+		"underestimates full IC spread on dense graphs by construction; the trend "+
+		"(monotone growth toward the MIA limit) is the reproduced shape")
+	return nil
+}
+
+// topKeywordsByFrequency returns the k most frequent keywords across the
+// dataset's action-log items.
+func topKeywordsByFrequency(ds *datagen.Dataset, k int) []string {
+	counts := map[string]int{}
+	for _, ep := range ds.Log.Episodes {
+		for _, w := range ep.Item.Keywords {
+			counts[w]++
+		}
+	}
+	type kc struct {
+		w string
+		c int
+	}
+	var all []kc
+	for w, c := range counts {
+		all = append(all, kc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	var out []string
+	for i := 0; i < k && i < len(all); i++ {
+		out = append(out, all[i].w)
+	}
+	return out
+}

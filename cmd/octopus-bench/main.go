@@ -1,0 +1,109 @@
+// Command octopus-bench runs the experiment suite E1–E12 defined in
+// DESIGN.md §4 and prints one table per experiment — the reproduction of
+// every figure/scenario of the OCTOPUS demo paper plus the engine claims
+// it builds on. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	octopus-bench [-quick] [-only E1,E4] [-seed N]
+//
+// -quick shrinks dataset sizes for fast smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+type sizes struct {
+	citationAuthors int
+	citationPapers  int
+	socialUsers     int
+	smallAuthors    int // for exhaustive-baseline experiments
+	scaleNodes      []int
+	emEpisodes      []int
+	queryReps       int
+}
+
+func defaultSizes(quick bool) sizes {
+	if quick {
+		return sizes{
+			citationAuthors: 1500,
+			citationPapers:  2000,
+			socialUsers:     3000,
+			smallAuthors:    400,
+			scaleNodes:      []int{1000, 2000, 4000},
+			emEpisodes:      []int{500, 1500},
+			queryReps:       5,
+		}
+	}
+	return sizes{
+		citationAuthors: 8000,
+		citationPapers:  12000,
+		socialUsers:     20000,
+		smallAuthors:    1200,
+		scaleNodes:      []int{5000, 20000, 60000},
+		emEpisodes:      []int{1000, 4000, 12000},
+		queryReps:       10,
+	}
+}
+
+type experiment struct {
+	id    string
+	title string
+	run   func(*env) error
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "use small datasets for a fast smoke run")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+
+	e := &env{sizes: defaultSizes(*quick), seed: *seed, out: os.Stdout}
+	experiments := []experiment{
+		{"E1", "Keyword-based influential user discovery (Scenario 1 / Fig. 1)", runE1},
+		{"E2", "Personalized influential keyword suggestion (Scenario 2 / Fig. 1)", runE2},
+		{"E3", "Interactive influential path exploration (Scenario 3 / Fig. 1)", runE3},
+		{"E4", "Online best-effort vs naive per-query IM (II-C latency claim)", runE4},
+		{"E5", "Bound pruning effectiveness (OTIM ablation)", runE5},
+		{"E6", "Topic-sample index: hit rate and speedup", runE6},
+		{"E7", "Keyword suggestion quality vs exhaustive and baselines", runE7},
+		{"E8", "Influencer index: lazy sampling and query speedup", runE8},
+		{"E9", "MIA threshold trade-off: size, latency, accuracy", runE9},
+		{"E10", "Substrate scalability: cascades, RR sets, IMM vs n", runE10},
+		{"E11", "EM model learning: parameter recovery vs episodes", runE11},
+		{"E12", "Classical IM baselines at equal k (sanity shape)", runE12},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	fmt.Fprintf(e.out, "octopus-bench: quick=%v seed=%d started %s\n",
+		*quick, *seed, time.Now().Format(time.RFC3339))
+	failed := 0
+	for _, ex := range experiments {
+		if len(want) > 0 && !want[ex.id] {
+			continue
+		}
+		fmt.Fprintf(e.out, "\n######## %s — %s\n", ex.id, ex.title)
+		start := time.Now()
+		if err := ex.run(e); err != nil {
+			failed++
+			fmt.Fprintf(e.out, "%s FAILED: %v\n", ex.id, err)
+			continue
+		}
+		fmt.Fprintf(e.out, "[%s completed in %s]\n", ex.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(e.out, "\n%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

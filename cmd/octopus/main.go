@@ -1,0 +1,337 @@
+// Command octopus is the demo driver for the OCTOPUS reproduction. It
+// generates (or loads) a social network with action logs, builds the
+// analysis system, and either walks through the paper's three demo
+// scenarios in the terminal or serves the JSON HTTP API the d3 front end
+// binds to.
+//
+// Usage:
+//
+//	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em]
+//	octopus serve [-addr :8080] [same dataset flags]
+//	octopus query [-q "data mining"] [-k 10] [same dataset flags]
+//	octopus train [-out models/] [same dataset flags]   # EM + persist models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+	"octopus/internal/server"
+	"octopus/internal/tags"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+type options struct {
+	dataset string
+	n       int
+	topics  int
+	seed    uint64
+	useEM   bool
+	addr    string
+	query   string
+	k       int
+	out     string
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	opt := options{}
+	fs.StringVar(&opt.dataset, "dataset", "citation", "citation or social")
+	fs.IntVar(&opt.n, "n", 3000, "number of users/authors")
+	fs.IntVar(&opt.topics, "topics", 8, "number of topics")
+	fs.Uint64Var(&opt.seed, "seed", 1, "random seed")
+	fs.BoolVar(&opt.useEM, "em", false, "learn the model from logs with EM instead of adopting ground truth")
+	fs.StringVar(&opt.addr, "addr", ":8080", "listen address (serve)")
+	fs.StringVar(&opt.query, "q", "data mining", "keyword query (query)")
+	fs.IntVar(&opt.k, "k", 10, "seed count (query)")
+	fs.StringVar(&opt.out, "out", "models", "output directory (train)")
+	_ = fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "demo":
+		run(opt, demo)
+	case "serve":
+		run(opt, serve)
+	case "query":
+		run(opt, oneShot)
+	case "train":
+		opt.useEM = true
+		run(opt, train)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: octopus <demo|serve|query|train> [flags]")
+}
+
+// train persists the graph, the action log and the EM-learned models so
+// later runs can skip learning.
+func train(opt options, sys *core.System, ds *datagen.Dataset) error {
+	if err := os.MkdirAll(opt.out, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(opt.out, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("graph.txt", func(f *os.File) error { return graph.WriteText(f, ds.Graph) }); err != nil {
+		return err
+	}
+	if err := write("log.txt", func(f *os.File) error { return actionlog.Write(f, ds.Log) }); err != nil {
+		return err
+	}
+	if err := write("propagation.tic", func(f *os.File) error { return tic.Write(f, sys.Propagation()) }); err != nil {
+		return err
+	}
+	if err := write("keywords.topics", func(f *os.File) error { return topic.Write(f, sys.Keywords()) }); err != nil {
+		return err
+	}
+	ll := sys.LearnDiag
+	fmt.Printf("trained on %d episodes (LL %.0f → %.0f); wrote graph, log and models to %s/\n",
+		sys.Stats().Episodes, ll[0], ll[len(ll)-1], opt.out)
+	return nil
+}
+
+func run(opt options, fn func(options, *core.System, *datagen.Dataset) error) {
+	sys, ds, err := buildSystem(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(opt, sys, ds); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
+	var ds *datagen.Dataset
+	var err error
+	fmt.Fprintf(os.Stderr, "generating %s dataset (n=%d, Z=%d, seed=%d)...\n",
+		opt.dataset, opt.n, opt.topics, opt.seed)
+	switch opt.dataset {
+	case "citation":
+		ds, err = datagen.Citation(datagen.CitationConfig{
+			Authors: opt.n, Topics: opt.topics, Seed: opt.seed,
+		})
+	case "social":
+		ds, err = datagen.Social(datagen.SocialConfig{
+			Users: opt.n, Topics: opt.topics, Seed: opt.seed,
+		})
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", opt.dataset)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.Config{
+		TopicNames: ds.TopicNames,
+		OTIM:       otim.BuildOptions{Samples: 2 * opt.topics},
+		Seed:       opt.seed,
+	}
+	if opt.useEM {
+		cfg.Topics = opt.topics
+		fmt.Fprintln(os.Stderr, "learning model from action logs with EM...")
+	} else {
+		cfg.GroundTruth = ds.Truth
+		cfg.GroundTruthWords = ds.TruthWords
+	}
+	fmt.Fprintln(os.Stderr, "building indexes...")
+	sys, err := core.Build(ds.Graph, ds.Log, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := sys.Stats()
+	fmt.Fprintf(os.Stderr, "ready: %d nodes, %d edges, %d topics, %d keywords, %d polls\n",
+		st.Nodes, st.Edges, st.Topics, st.Vocabulary, st.InfluencerPolls)
+	return sys, ds, nil
+}
+
+func serve(opt options, sys *core.System, _ *datagen.Dataset) error {
+	srv := server.New(sys)
+	fmt.Printf("OCTOPUS listening on %s — try /api/im?q=data+mining&k=10\n", opt.addr)
+	return http.ListenAndServe(opt.addr, srv)
+}
+
+func oneShot(opt options, sys *core.System, _ *datagen.Dataset) error {
+	tok := actionlog.Tokenizer{}
+	keywords := tok.Tokenize(opt.query)
+	res, err := sys.DiscoverInfluencers(keywords, core.DiscoverOptions{K: opt.k})
+	if err != nil {
+		return err
+	}
+	printIM(sys, keywords, res)
+	return nil
+}
+
+func printIM(sys *core.System, keywords []string, res *core.DiscoverResult) {
+	fmt.Printf("\nInfluential users for %q (γ top topics: %s)\n",
+		strings.Join(keywords, " "), gammaString(sys, res))
+	for i, s := range res.Seeds {
+		fmt.Printf("  %2d. %-24s σ=%8.2f  aspect: %s\n", i+1, s.Name, s.Spread, s.TopTopicName)
+	}
+	fmt.Printf("  [engine: %d exact evals, %d pruned users, sample hit: %v]\n",
+		res.Stats.ExactEvals, res.Stats.Pruned, res.Stats.SampleHit)
+}
+
+func gammaString(sys *core.System, res *core.DiscoverResult) string {
+	var parts []string
+	for _, z := range res.Gamma.Top(2) {
+		parts = append(parts, fmt.Sprintf("%s %.2f", sys.Keywords().TopicName(z), res.Gamma[z]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// demo walks the three demonstration scenarios of Section III.
+func demo(opt options, sys *core.System, ds *datagen.Dataset) error {
+	fmt.Println("==================================================================")
+	fmt.Println(" OCTOPUS demo — three scenarios from the ICDE 2018 demonstration")
+	fmt.Println("==================================================================")
+
+	// ---- Scenario 1: keyword-based influential user discovery.
+	fmt.Println("\n--- Scenario 1: Keyword-Based Influential User Discovery ---")
+	q1 := []string{"mining", "pattern"}
+	if opt.dataset == "social" {
+		q1 = []string{"game"}
+	}
+	res, err := sys.DiscoverInfluencers(q1, core.DiscoverOptions{K: 8})
+	if err != nil {
+		return err
+	}
+	printIM(sys, q1, res)
+
+	// ---- Scenario 2: influential keyword suggestion for a target user.
+	fmt.Println("\n--- Scenario 2: Influential Keywords Suggestion ---")
+	target := pickTarget(sys)
+	if target < 0 {
+		fmt.Println("  (no keyword-rich user found)")
+	} else {
+		name := sys.Graph().Name(target)
+		// Auto-completion in action.
+		pre := name[:min(3, len(name))]
+		comps := sys.Complete(pre, 3)
+		fmt.Printf("  typing %q → completions: ", pre)
+		for i, c := range comps {
+			if i > 0 {
+				fmt.Print("; ")
+			}
+			fmt.Print(c.Key)
+		}
+		fmt.Println()
+		sug, err := sys.SuggestKeywords(target, 3, tags.SuggestOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  selling points of %s: %v (est. σ=%.2f)\n", name, sug.Keywords, sug.Spread)
+		if len(sug.Keywords) > 0 {
+			radar, err := sys.Radar(sug.Keywords[0])
+			if err == nil {
+				fmt.Printf("  radar for %q:\n", sug.Keywords[0])
+				for z, v := range radar.Values {
+					fmt.Printf("    %-22s %s %.3f\n", radar.Topics[z], bar(v, 40), v)
+				}
+			}
+		}
+	}
+
+	// ---- Scenario 3: interactive influential path exploration.
+	fmt.Println("\n--- Scenario 3: Interactive Influential Path Exploration ---")
+	hub := hubNode(sys)
+	pg, err := sys.InfluencePaths(hub, core.PathOptions{Theta: 0.01, MaxNodes: 40})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  how %s influences the community (θ=%.2g, %d nodes, σ=%.2f):\n",
+		sys.Graph().Name(hub), pg.Theta, len(pg.Nodes), pg.Spread)
+	printTree(sys, pg)
+	if len(pg.Nodes) > 1 {
+		clicked := pg.Nodes[len(pg.Nodes)-1].ID
+		path, err := sys.HighlightPath(pg, clicked)
+		if err == nil {
+			fmt.Printf("  clicking %q highlights: ", sys.Graph().Name(clicked))
+			for i, u := range path {
+				if i > 0 {
+					fmt.Print(" → ")
+				}
+				fmt.Print(sys.Graph().Name(u))
+			}
+			fmt.Println()
+		}
+	}
+	_ = ds
+	return nil
+}
+
+func pickTarget(sys *core.System) graph.NodeID {
+	best, bestDeg := graph.NodeID(-1), -1
+	for u := 0; u < sys.Graph().NumNodes(); u++ {
+		if len(sys.UserKeywords(graph.NodeID(u))) >= 4 {
+			if d := sys.Graph().OutDegree(graph.NodeID(u)); d > bestDeg {
+				best, bestDeg = graph.NodeID(u), d
+			}
+		}
+	}
+	return best
+}
+
+func hubNode(sys *core.System) graph.NodeID {
+	best, bestDeg := graph.NodeID(0), -1
+	for u := 0; u < sys.Graph().NumNodes(); u++ {
+		if d := sys.Graph().OutDegree(graph.NodeID(u)); d > bestDeg {
+			best, bestDeg = graph.NodeID(u), d
+		}
+	}
+	return best
+}
+
+func printTree(sys *core.System, pg *core.PathGraph) {
+	shown := 0
+	for _, n := range pg.Nodes {
+		if shown >= 12 {
+			fmt.Printf("    … and %d more nodes\n", len(pg.Nodes)-shown)
+			break
+		}
+		indent := strings.Repeat("  ", int(n.Depth))
+		fmt.Printf("    %s%s (ap=%.3f, effect=%.2f)\n", indent, sys.Graph().Name(n.ID), n.Prob, n.Size)
+		shown++
+	}
+}
+
+func bar(v float64, width int) string {
+	n := int(v * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n) + strings.Repeat("░", width-n)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

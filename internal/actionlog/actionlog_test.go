@@ -1,0 +1,249 @@
+package actionlog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/rng"
+)
+
+func sampleLog() *Log {
+	items := []Item{
+		{ID: 0, Keywords: []string{"data", "mining"}},
+		{ID: 1, Keywords: []string{"social", "network"}},
+	}
+	actions := []Action{
+		{User: 2, Item: 0, Time: 5},
+		{User: 0, Item: 0, Time: 1},
+		{User: 1, Item: 0, Time: 3},
+		{User: 0, Item: 1, Time: 2},
+		{User: 3, Item: 1, Time: 2}, // tie broken by user id
+	}
+	return Build(4, items, actions)
+}
+
+func TestBuildOrdersActions(t *testing.T) {
+	l := sampleLog()
+	if len(l.Episodes) != 2 {
+		t.Fatalf("episodes = %d", len(l.Episodes))
+	}
+	ep := l.Episodes[0]
+	var users []NodeID
+	for _, a := range ep.Actions {
+		users = append(users, a.User)
+	}
+	if !reflect.DeepEqual(users, []NodeID{0, 1, 2}) {
+		t.Fatalf("episode 0 order = %v", users)
+	}
+	ep1 := l.Episodes[1]
+	if ep1.Actions[0].User != 0 || ep1.Actions[1].User != 3 {
+		t.Fatalf("tie-break order = %v", ep1.Actions)
+	}
+}
+
+func TestBuildDropsUnknownItemsAndDups(t *testing.T) {
+	items := []Item{{ID: 7, Keywords: []string{"x"}}}
+	actions := []Action{
+		{User: 0, Item: 7, Time: 9},
+		{User: 0, Item: 7, Time: 4}, // duplicate user+item keeps earliest
+		{User: 1, Item: 99, Time: 1},
+	}
+	l := Build(2, items, actions)
+	if got := l.NumActions(); got != 1 {
+		t.Fatalf("actions = %d, want 1", got)
+	}
+	if l.Episodes[0].Actions[0].Time != 4 {
+		t.Fatalf("kept time %d, want earliest 4", l.Episodes[0].Actions[0].Time)
+	}
+}
+
+func TestBuildDropsOutOfRangeUsers(t *testing.T) {
+	items := []Item{{ID: 0, Keywords: []string{"x"}}}
+	actions := []Action{
+		{User: 0, Item: 0, Time: 1},
+		{User: 99, Item: 0, Time: 2}, // beyond numUsers
+		{User: -1, Item: 0, Time: 3}, // negative
+	}
+	l := Build(2, items, actions)
+	if got := l.NumActions(); got != 1 {
+		t.Fatalf("actions = %d, want 1 (out-of-range users dropped)", got)
+	}
+}
+
+func TestUserItems(t *testing.T) {
+	l := sampleLog()
+	ui := l.UserItems()
+	if len(ui) != 4 {
+		t.Fatalf("UserItems len = %d", len(ui))
+	}
+	if !reflect.DeepEqual(ui[0], []int32{0, 1}) {
+		t.Fatalf("user 0 items = %v", ui[0])
+	}
+	if !reflect.DeepEqual(ui[2], []int32{0}) {
+		t.Fatalf("user 2 items = %v", ui[2])
+	}
+}
+
+func TestKeywordsOf(t *testing.T) {
+	l := sampleLog()
+	kws := l.KeywordsOf([]int32{0, 1})
+	want := []string{"data", "mining", "network", "social"}
+	if !reflect.DeepEqual(kws, want) {
+		t.Fatalf("KeywordsOf = %v", kws)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumUsers != l.NumUsers || len(l2.Episodes) != len(l.Episodes) {
+		t.Fatalf("round trip shape: %d/%d", l2.NumUsers, len(l2.Episodes))
+	}
+	if l2.NumActions() != l.NumActions() {
+		t.Fatalf("round trip actions: %d vs %d", l2.NumActions(), l.NumActions())
+	}
+	if !reflect.DeepEqual(l2.Episodes[0].Item.Keywords, []string{"data", "mining"}) {
+		t.Fatalf("keywords lost: %v", l2.Episodes[0].Item.Keywords)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"a 0 1 2",          // action before header is fine structurally but no header at all
+		"log x",            // bad count
+		"log 2\ni",         // malformed item
+		"log 2\na 0 1",     // malformed action
+		"log 2\nz 1 2",     // unknown record
+		"log 2\na 0 -1 3",  // negative user
+		"log 2\ni abc x,y", // bad item id
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("Read(%q) succeeded", c)
+		}
+	}
+}
+
+func TestReadItemWithoutKeywords(t *testing.T) {
+	l, err := Read(strings.NewReader("log 1\ni 5\na 5 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Episodes) != 1 || len(l.Episodes[0].Item.Keywords) != 0 {
+		t.Fatalf("episodes = %+v", l.Episodes)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nUsers := 1 + r.Intn(20)
+		nItems := 1 + r.Intn(10)
+		items := make([]Item, nItems)
+		for i := range items {
+			items[i] = Item{ID: int32(i), Keywords: []string{"k" + string(rune('a'+i%26))}}
+		}
+		var actions []Action
+		for i := 0; i < 50; i++ {
+			actions = append(actions, Action{
+				User: NodeID(r.Intn(nUsers)),
+				Item: int32(r.Intn(nItems)),
+				Time: int64(r.Intn(100)),
+			})
+		}
+		l := Build(nUsers, items, actions)
+		var buf bytes.Buffer
+		if Write(&buf, l) != nil {
+			return false
+		}
+		l2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return l2.NumActions() == l.NumActions() && l2.NumUsers == l.NumUsers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizer(t *testing.T) {
+	tok := Tokenizer{}
+	got := tok.Tokenize("Mining of Massive Datasets: a New Approach to Data Mining!")
+	want := []string{"mining", "massive", "datasets", "data"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerMinLen(t *testing.T) {
+	tok := Tokenizer{MinLen: 5}
+	got := tok.Tokenize("deep graph neural networks")
+	if !reflect.DeepEqual(got, []string{"graph", "neural", "networks"}) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+}
+
+func TestTokenizerCustomStopwords(t *testing.T) {
+	tok := Tokenizer{Stopwords: map[string]bool{"graph": true}}
+	got := tok.Tokenize("graph mining")
+	if !reflect.DeepEqual(got, []string{"mining"}) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+}
+
+func TestTokenizerUnicodeAndDigits(t *testing.T) {
+	tok := Tokenizer{}
+	got := tok.Tokenize("Web2.0 Systèmes — distributed123 systems")
+	// "web2" (4 chars), "systèmes" splits at è producing "syst"+"mes";
+	// both pass min length 3.
+	if len(got) == 0 {
+		t.Fatal("Tokenize dropped everything")
+	}
+	for _, w := range got {
+		if strings.ToLower(w) != w {
+			t.Fatalf("non-lowercase token %q", w)
+		}
+	}
+}
+
+func TestTokenizerEmpty(t *testing.T) {
+	tok := Tokenizer{}
+	if got := tok.Tokenize("  !!! "); len(got) != 0 {
+		t.Fatalf("Tokenize(junk) = %v", got)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	tok := Tokenizer{}
+	text := "Online Topic-Aware Influence Maximization for Social Networks at Scale"
+	for i := 0; i < b.N; i++ {
+		tok.Tokenize(text)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(3)
+	items := make([]Item, 100)
+	for i := range items {
+		items[i] = Item{ID: int32(i), Keywords: []string{"kw"}}
+	}
+	actions := make([]Action, 10000)
+	for i := range actions {
+		actions[i] = Action{User: NodeID(r.Intn(1000)), Item: int32(r.Intn(100)), Time: int64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(1000, items, actions)
+	}
+}

@@ -1,0 +1,61 @@
+package actionlog
+
+import "strings"
+
+// defaultStopwords are high-frequency English function words plus a few
+// academic-title fillers; they never become model keywords.
+var defaultStopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "in": true,
+	"into": true, "is": true, "it": true, "its": true, "of": true,
+	"on": true, "or": true, "over": true, "that": true, "the": true,
+	"to": true, "via": true, "with": true, "using": true, "based": true,
+	"towards": true, "toward": true, "approach": true, "method": true,
+	"new": true, "novel": true, "study": true, "analysis": true,
+}
+
+// Tokenizer turns free text (paper titles, ad copy) into model keywords:
+// lowercase alphabetic tokens, stopwords removed, short tokens dropped.
+type Tokenizer struct {
+	// MinLen is the minimum keyword length (default 3 when zero).
+	MinLen int
+	// Stopwords overrides the default stopword set when non-nil.
+	Stopwords map[string]bool
+}
+
+// Tokenize extracts keywords from text, preserving first-occurrence
+// order and deduplicating.
+func (t Tokenizer) Tokenize(text string) []string {
+	minLen := t.MinLen
+	if minLen == 0 {
+		minLen = 3
+	}
+	stop := t.Stopwords
+	if stop == nil {
+		stop = defaultStopwords
+	}
+	var out []string
+	seen := map[string]bool{}
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		w := b.String()
+		b.Reset()
+		if len(w) < minLen || stop[w] || seen[w] {
+			return
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	for _, r := range strings.ToLower(text) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,149 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Set(i)
+		if !s.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 5 {
+		t.Fatalf("Clear failed: has=%v count=%d", s.Has(64), s.Count())
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Reset left %d bits", s.Count())
+	}
+}
+
+func TestSetUnionIntersect(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	if got := a.IntersectCount(b); got != 1 {
+		t.Fatalf("IntersectCount = %d, want 1", got)
+	}
+	a.Union(b)
+	for _, i := range []int{1, 50, 99} {
+		if !a.Has(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Fatalf("union count = %d", a.Count())
+	}
+}
+
+func TestUnionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched sizes did not panic")
+		}
+	}()
+	New(10).Union(New(20))
+}
+
+func TestSetQuickCountMatchesNaive(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		s := New(1 << 16)
+		ref := make(map[int]bool)
+		for _, i := range idxs {
+			s.Set(int(i))
+			ref[int(i)] = true
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if !s.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVisitedEpochs(t *testing.T) {
+	v := NewVisited(10)
+	if v.Visit(3) {
+		t.Fatal("first Visit reported already-visited")
+	}
+	if !v.Visit(3) {
+		t.Fatal("second Visit reported not-visited")
+	}
+	if !v.Has(3) || v.Has(4) {
+		t.Fatal("Has wrong")
+	}
+	v.NextEpoch()
+	if v.Has(3) {
+		t.Fatal("NextEpoch did not clear membership")
+	}
+	if v.Visit(3) {
+		t.Fatal("Visit after NextEpoch reported already-visited")
+	}
+}
+
+func TestVisitedWrap(t *testing.T) {
+	v := NewVisited(4)
+	v.Visit(2)
+	// Force the epoch counter to the wrap point.
+	v.epoch = ^uint32(0)
+	v.stamp[1] = v.epoch // stale stamp that would alias after wrap
+	v.NextEpoch()
+	if v.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", v.epoch)
+	}
+	if v.Has(1) || v.Has(2) {
+		t.Fatal("wrap left stale visited entries")
+	}
+}
+
+func TestVisitedLen(t *testing.T) {
+	if NewVisited(17).Len() != 17 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func BenchmarkVisitedVisit(b *testing.B) {
+	v := NewVisited(1 << 16)
+	for i := 0; i < b.N; i++ {
+		if i&0xffff == 0 {
+			v.NextEpoch()
+		}
+		v.Visit(i & 0xffff)
+	}
+}
+
+func BenchmarkSetCount(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i += 3 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Count()
+	}
+	_ = sink
+}

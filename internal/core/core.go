@@ -1,0 +1,510 @@
+// Package core assembles the OCTOPUS system (Figure 2 of the paper):
+// social network data + action logs feed the topic-aware influence
+// model, whose learned parameters power three online analysis services —
+// keyword-based influence maximization, personalized influential keyword
+// suggestion, and influential path exploration — behind a keyword-based
+// interface with name auto-completion.
+//
+// A System is safe for concurrent queries: per-query scratch state
+// (otim engines, MIA calculators) is pooled internally.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/em"
+	"octopus/internal/graph"
+	"octopus/internal/mia"
+	"octopus/internal/otim"
+	"octopus/internal/ris"
+	"octopus/internal/rng"
+	"octopus/internal/tags"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+	"octopus/internal/trie"
+)
+
+// Config controls system construction.
+type Config struct {
+	// Topics is Z for model learning (required unless ground-truth
+	// models are supplied).
+	Topics int
+	// EMIterations controls the learner (default 15).
+	EMIterations int
+	// EMRestarts runs several EM initializations and keeps the best
+	// likelihood (default 1).
+	EMRestarts int
+	// GroundTruth, when non-nil, skips EM and adopts the given models
+	// (used when the caller generated synthetic data with a known model,
+	// or loads previously learned parameters).
+	GroundTruth      *tic.Model
+	GroundTruthWords *topic.Model
+	// OTIM configures the keyword-IM index.
+	OTIM otim.BuildOptions
+	// Tags configures the influencer index.
+	Tags tags.IndexOptions
+	// TopicNames are optional display labels.
+	TopicNames []string
+	// Seed drives all randomized construction.
+	Seed uint64
+}
+
+// System is a fully built OCTOPUS instance.
+type System struct {
+	g     *graph.Graph
+	log   *actionlog.Log
+	prop  *tic.Model
+	words *topic.Model
+
+	otimIdx *otim.Index
+	tagsIdx *tags.Index
+	sugg    *tags.Suggester
+	names   *trie.Trie
+
+	userKeywords [][]string
+
+	engines sync.Pool // *otim.Engine
+	calcs   sync.Pool // *mia.Calc
+
+	// Learning diagnostics (nil when ground truth was adopted).
+	LearnDiag []float64
+}
+
+// Build constructs the system from a graph and an action log.
+func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if log == nil {
+		log = actionlog.Build(g.NumNodes(), nil, nil)
+	}
+	s := &System{g: g, log: log}
+
+	// Stage 1: topic-aware influence modeling (Section II-B).
+	if cfg.GroundTruth != nil && cfg.GroundTruthWords != nil {
+		s.prop = cfg.GroundTruth
+		s.words = cfg.GroundTruthWords
+	} else {
+		if cfg.Topics <= 0 {
+			return nil, fmt.Errorf("core: Topics required when learning from logs")
+		}
+		res, err := em.Learn(g, log, em.Config{
+			Topics:     cfg.Topics,
+			Iterations: cfg.EMIterations,
+			Restarts:   cfg.EMRestarts,
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: model learning: %w", err)
+		}
+		s.prop = res.Propagation
+		s.words = res.Keywords
+		s.LearnDiag = res.LogLikelihood
+	}
+	if cfg.TopicNames != nil {
+		if err := s.words.SetTopicNames(cfg.TopicNames); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	// Stage 2: online indexes.
+	otimOpt := cfg.OTIM
+	otimOpt.Seed = cfg.Seed ^ 0x9e37
+	oix, err := otim.BuildIndex(s.prop, otimOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: otim index: %w", err)
+	}
+	s.otimIdx = oix
+
+	tagsOpt := cfg.Tags
+	tagsOpt.Seed = cfg.Seed ^ 0x79b9
+	tix, err := tags.BuildIndex(s.prop, tagsOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: tags index: %w", err)
+	}
+	s.tagsIdx = tix
+
+	// Stage 3: user keyword pools + suggester + completion trie.
+	userItems := log.UserItems()
+	s.userKeywords = make([][]string, g.NumNodes())
+	for u := range s.userKeywords {
+		if len(userItems[u]) > 0 {
+			s.userKeywords[u] = log.KeywordsOf(userItems[u])
+		}
+	}
+	s.sugg = tags.NewSuggester(tix, s.words, s.userKeywords)
+
+	s.names = &trie.Trie{}
+	for u := 0; u < g.NumNodes(); u++ {
+		if nm := g.Name(graph.NodeID(u)); nm != "" {
+			s.names.Insert(nm, int32(u), float64(g.OutDegree(graph.NodeID(u))))
+		}
+	}
+
+	s.engines.New = func() any { return otim.NewEngine(oix) }
+	s.calcs.New = func() any { return mia.NewCalc(g) }
+	return s, nil
+}
+
+// Graph returns the social graph.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// Propagation returns the (learned or adopted) TIC model.
+func (s *System) Propagation() *tic.Model { return s.prop }
+
+// Keywords returns the keyword/topic model.
+func (s *System) Keywords() *topic.Model { return s.words }
+
+// OTIMIndex exposes the keyword-IM index (for experiments).
+func (s *System) OTIMIndex() *otim.Index { return s.otimIdx }
+
+// TagsIndex exposes the influencer index (for experiments).
+func (s *System) TagsIndex() *tags.Index { return s.tagsIdx }
+
+// UserKeywords returns the candidate keyword pool of a user.
+func (s *System) UserKeywords(u graph.NodeID) []string {
+	if int(u) >= len(s.userKeywords) {
+		return nil
+	}
+	return s.userKeywords[u]
+}
+
+// ResolveUser accepts a display name or numeric id rendered as a string
+// and returns the node id.
+func (s *System) ResolveUser(name string) (graph.NodeID, error) {
+	if id, ok := s.g.Lookup(name); ok {
+		return id, nil
+	}
+	var id int
+	if _, err := fmt.Sscanf(name, "%d", &id); err == nil && id >= 0 && id < s.g.NumNodes() {
+		return graph.NodeID(id), nil
+	}
+	return 0, fmt.Errorf("core: unknown user %q", name)
+}
+
+// Complete returns auto-completions for a user-name prefix, ranked by
+// out-degree (Scenario 2's completion box).
+func (s *System) Complete(prefix string, k int) []trie.Completion {
+	return s.names.Complete(prefix, k)
+}
+
+// InfluencerResult is one discovered seed user.
+type InfluencerResult struct {
+	User   graph.NodeID
+	Name   string
+	Spread float64 // cumulative MIA spread after including this seed
+	// TopTopic is the dominant topic of the user's immediate influence —
+	// the "aspect" the seed covers (Scenario 1's diversity observation).
+	TopTopic     int
+	TopTopicName string
+}
+
+// DiscoverOptions tunes keyword-based influential user discovery.
+type DiscoverOptions struct {
+	K          int     // number of seeds (default 10)
+	Theta      float64 // MIA threshold (default 0.01)
+	Epsilon    float64 // ε-approximate selection (default 0 = exact)
+	UseSamples bool    // consult the topic-sample index
+	Context    context.Context
+}
+
+// DiscoverResult is the full answer to Scenario 1.
+type DiscoverResult struct {
+	Gamma        topic.Dist
+	UnknownWords []string
+	Seeds        []InfluencerResult
+	Stats        otim.Stats
+}
+
+// DiscoverInfluencers implements keyword-based influence maximization
+// (Section II-C): given keywords, find the seed set with maximum
+// topic-aware influence spread.
+func (s *System) DiscoverInfluencers(keywords []string, opt DiscoverOptions) (*DiscoverResult, error) {
+	if opt.K == 0 {
+		opt.K = 10
+	}
+	gamma, unknown := s.words.InferGamma(keywords)
+	eng := s.engines.Get().(*otim.Engine)
+	defer s.engines.Put(eng)
+	res, err := eng.Query(gamma, otim.QueryOptions{
+		K:          opt.K,
+		Theta:      opt.Theta,
+		Epsilon:    opt.Epsilon,
+		UseSamples: opt.UseSamples,
+		Context:    opt.Context,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &DiscoverResult{Gamma: gamma, UnknownWords: unknown, Stats: res.Stats}
+	for i, u := range res.Seeds {
+		tt := s.dominantTopic(u)
+		out.Seeds = append(out.Seeds, InfluencerResult{
+			User:         u,
+			Name:         s.g.Name(u),
+			Spread:       res.Spreads[i],
+			TopTopic:     tt,
+			TopTopicName: s.words.TopicName(tt),
+		})
+	}
+	return out, nil
+}
+
+// dominantTopic returns the topic carrying the most outgoing probability
+// mass of u.
+func (s *System) dominantTopic(u graph.NodeID) int {
+	z := s.prop.NumTopics()
+	mass := make([]float64, z)
+	lo, hi := s.g.OutEdges(u)
+	for e := lo; e < hi; e++ {
+		s.prop.EdgeTopics(e, func(zi int, p float64) { mass[zi] += p })
+	}
+	best := 0
+	for zi := 1; zi < z; zi++ {
+		if mass[zi] > mass[best] {
+			best = zi
+		}
+	}
+	return best
+}
+
+// TargetedResult is the answer to a targeted influence query.
+type TargetedResult struct {
+	Gamma topic.Dist
+	Seeds []InfluencerResult
+	// AudienceSpread is the estimated number of *target* users activated
+	// by the full seed set.
+	AudienceSpread float64
+}
+
+// DiscoverTargetedInfluencers finds k seeds maximizing influence over a
+// target audience rather than the whole network — the targeted-IM
+// service of the advertising deployment (reference [7]: real-time
+// targeted influence maximization for online advertisements). Spread is
+// estimated with reverse-reachable sets rooted in the audience.
+func (s *System) DiscoverTargetedInfluencers(keywords []string, audience []graph.NodeID,
+	k, rrSamples int, seed uint64) (*TargetedResult, error) {
+
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive")
+	}
+	if len(audience) == 0 {
+		return nil, fmt.Errorf("core: empty target audience")
+	}
+	for _, u := range audience {
+		if int(u) < 0 || int(u) >= s.g.NumNodes() {
+			return nil, fmt.Errorf("core: audience member %d out of range", u)
+		}
+	}
+	if rrSamples <= 0 {
+		rrSamples = 20000
+	}
+	gamma, _ := s.words.InferGamma(keywords)
+	col := ris.GenerateTargeted(s.prop, gamma, audience, rrSamples, rng.New(seed))
+	seeds, spread := col.SelectSeeds(k)
+	res := &TargetedResult{Gamma: gamma, AudienceSpread: spread}
+	for _, u := range seeds {
+		tt := s.dominantTopic(u)
+		res.Seeds = append(res.Seeds, InfluencerResult{
+			User:         u,
+			Name:         s.g.Name(u),
+			Spread:       col.EstimateSpread([]graph.NodeID{u}),
+			TopTopic:     tt,
+			TopTopicName: s.words.TopicName(tt),
+		})
+	}
+	return res, nil
+}
+
+// SuggestKeywords implements personalized influential keyword suggestion
+// (Section II-D) for a target user.
+func (s *System) SuggestKeywords(user graph.NodeID, k int, opt tags.SuggestOptions) (*tags.Suggestion, error) {
+	if int(user) < 0 || int(user) >= s.g.NumNodes() {
+		return nil, fmt.Errorf("core: user %d out of range", user)
+	}
+	opt.K = k
+	return s.sugg.Suggest(user, opt)
+}
+
+// RankUserKeywords lists a user's keywords by estimated influence.
+func (s *System) RankUserKeywords(user graph.NodeID, limit int) ([]tags.KeywordScore, error) {
+	if int(user) < 0 || int(user) >= s.g.NumNodes() {
+		return nil, fmt.Errorf("core: user %d out of range", user)
+	}
+	return s.sugg.RankKeywords(user, limit), nil
+}
+
+// Radar returns the per-topic profile of one keyword with display names
+// (the radar diagram of Scenario 2).
+type RadarData struct {
+	Keyword string
+	Topics  []string
+	Values  topic.Dist
+}
+
+// Radar computes radar-diagram data for a keyword.
+func (s *System) Radar(keyword string) (*RadarData, error) {
+	dist, ok := s.words.Radar(keyword)
+	if !ok {
+		return nil, fmt.Errorf("core: keyword %q not in vocabulary", keyword)
+	}
+	names := make([]string, s.words.NumTopics())
+	for z := range names {
+		names[z] = s.words.TopicName(z)
+	}
+	return &RadarData{Keyword: keyword, Topics: names, Values: dist}, nil
+}
+
+// PathNode is one node of the path-exploration payload.
+type PathNode struct {
+	ID    graph.NodeID `json:"id"`
+	Name  string       `json:"name"`
+	Prob  float64      `json:"prob"`
+	Size  float64      `json:"size"` // subtree influence mass (node radius)
+	Depth int32        `json:"depth"`
+}
+
+// PathLink is one edge of the path-exploration payload.
+type PathLink struct {
+	Source graph.NodeID `json:"source"`
+	Target graph.NodeID `json:"target"`
+	Prob   float64      `json:"prob"`
+}
+
+// PathGraph is the d3-ready influential-path payload (Scenario 3).
+type PathGraph struct {
+	Root    graph.NodeID `json:"root"`
+	Forward bool         `json:"forward"`
+	Theta   float64      `json:"theta"`
+	Spread  float64      `json:"spread"`
+	Nodes   []PathNode   `json:"nodes"`
+	Links   []PathLink   `json:"links"`
+}
+
+// PathOptions tunes path exploration.
+type PathOptions struct {
+	Keywords []string // topic context; nil = uniform across topics
+	Theta    float64  // prune threshold (default 0.01)
+	MaxNodes int      // cap payload size (default 200)
+	Reverse  bool     // explore who influences the user instead
+}
+
+// InfluencePaths implements influential path visualization and
+// exploration (Section II-E) via the MIA arborescence of the user.
+func (s *System) InfluencePaths(user graph.NodeID, opt PathOptions) (*PathGraph, error) {
+	if int(user) < 0 || int(user) >= s.g.NumNodes() {
+		return nil, fmt.Errorf("core: user %d out of range", user)
+	}
+	if opt.Theta == 0 {
+		opt.Theta = 0.01
+	}
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 200
+	}
+	var gamma topic.Dist
+	if len(opt.Keywords) > 0 {
+		gamma, _ = s.words.InferGamma(opt.Keywords)
+	} else {
+		gamma = topic.Uniform(s.prop.NumTopics())
+	}
+	prob := func(e graph.EdgeID) float64 { return s.prop.EdgeProb(e, gamma) }
+
+	calc := s.calcs.Get().(*mia.Calc)
+	defer s.calcs.Put(calc)
+	var tree *mia.Tree
+	if opt.Reverse {
+		tree = calc.MIIA(prob, user, opt.Theta, opt.MaxNodes)
+	} else {
+		tree = calc.MIOA(prob, user, opt.Theta, opt.MaxNodes)
+	}
+
+	pg := &PathGraph{
+		Root:    user,
+		Forward: tree.Forward,
+		Theta:   tree.Theta,
+		Spread:  tree.Spread(),
+	}
+	weights := tree.SubtreeWeights()
+	for i, n := range tree.Nodes {
+		pg.Nodes = append(pg.Nodes, PathNode{
+			ID:    n.ID,
+			Name:  s.g.Name(n.ID),
+			Prob:  n.Prob,
+			Size:  weights[i],
+			Depth: n.Depth,
+		})
+		if i > 0 {
+			parent := tree.Nodes[n.Parent].ID
+			src, dst := parent, n.ID
+			if !tree.Forward {
+				src, dst = n.ID, parent
+			}
+			pg.Links = append(pg.Links, PathLink{Source: src, Target: dst, Prob: n.Prob})
+		}
+	}
+	return pg, nil
+}
+
+// HighlightPath returns the node chain from the exploration root to a
+// clicked node (Scenario 3: "when the user clicks on any node, OCTOPUS
+// will highlight the paths through the node").
+func (s *System) HighlightPath(pg *PathGraph, clicked graph.NodeID) ([]graph.NodeID, error) {
+	parent := map[graph.NodeID]graph.NodeID{}
+	for _, l := range pg.Links {
+		if pg.Forward {
+			parent[l.Target] = l.Source
+		} else {
+			parent[l.Source] = l.Target
+		}
+	}
+	if _, ok := parent[clicked]; !ok && clicked != pg.Root {
+		return nil, fmt.Errorf("core: node %d not in the explored paths", clicked)
+	}
+	var rev []graph.NodeID
+	cur := clicked
+	for {
+		rev = append(rev, cur)
+		if cur == pg.Root {
+			break
+		}
+		next, ok := parent[cur]
+		if !ok {
+			return nil, fmt.Errorf("core: broken path at node %d", cur)
+		}
+		cur = next
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev, nil
+}
+
+// Stats summarizes the built system for the CLI and HTTP status page.
+type Stats struct {
+	Nodes, Edges    int
+	Topics          int
+	Vocabulary      int
+	Episodes        int
+	Actions         int
+	TopicSamples    int
+	InfluencerPolls int
+	IndexEdges      int
+}
+
+// Stats reports system-level statistics.
+func (s *System) Stats() Stats {
+	return Stats{
+		Nodes:           s.g.NumNodes(),
+		Edges:           s.g.NumEdges(),
+		Topics:          s.prop.NumTopics(),
+		Vocabulary:      s.words.VocabSize(),
+		Episodes:        len(s.log.Episodes),
+		Actions:         s.log.NumActions(),
+		TopicSamples:    s.otimIdx.NumSamples(),
+		InfluencerPolls: s.tagsIdx.NumPolls(),
+		IndexEdges:      s.tagsIdx.EdgesMaterialized(),
+	}
+}

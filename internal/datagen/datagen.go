@@ -1,0 +1,436 @@
+// Package datagen synthesizes the two datasets the OCTOPUS demo runs on,
+// as documented substitutions (DESIGN.md §3):
+//
+//   - Citation: an ACMCite-style academic network — heavy-tailed citation
+//     graph over authors with per-author topic mixtures, paper-title
+//     keywords, and citation actions forming propagation episodes.
+//   - Social: a QQ-style friendship network — community-structured
+//     directed graph with product-share actions over marketing topics.
+//
+// Both generators emit a ground-truth topic-aware IC model alongside the
+// graph and action log, so experiments can measure estimation and
+// learning quality against a known model — something the paper's
+// proprietary datasets cannot offer.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// Dataset bundles everything a generator produces.
+type Dataset struct {
+	Graph      *graph.Graph
+	Truth      *tic.Model   // ground-truth propagation model
+	TruthWords *topic.Model // ground-truth keyword model
+	Log        *actionlog.Log
+	TopicNames []string
+	// Mixtures[u] is the latent interest mixture of user u (ground truth
+	// for diagnostics; the engines never see it).
+	Mixtures []topic.Dist
+}
+
+// CitationConfig parameterizes the ACMCite-style generator.
+type CitationConfig struct {
+	Authors int // number of researchers (required)
+	Topics  int // number of topics (default 8, max len(topicThemes) distinct themes)
+	// AvgCitations is the mean number of citation edges per new author
+	// (default 6).
+	AvgCitations int
+	// Papers is the number of propagation episodes to simulate
+	// (default 2×Authors).
+	Papers int
+	// EdgeScale scales ground-truth activation probabilities (default 0.4).
+	EdgeScale float64
+	Seed      uint64
+}
+
+func (c *CitationConfig) fill() error {
+	if c.Authors <= 1 {
+		return fmt.Errorf("datagen: Authors must be > 1")
+	}
+	if c.Topics == 0 {
+		c.Topics = 8
+	}
+	if c.Topics < 2 {
+		return fmt.Errorf("datagen: Topics must be >= 2")
+	}
+	if c.AvgCitations == 0 {
+		c.AvgCitations = 6
+	}
+	if c.Papers == 0 {
+		c.Papers = 2 * c.Authors
+	}
+	if c.EdgeScale == 0 {
+		c.EdgeScale = 0.4
+	}
+	return nil
+}
+
+// Citation generates the academic dataset.
+func Citation(cfg CitationConfig) (*Dataset, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	n, Z := cfg.Authors, cfg.Topics
+
+	// Author interest mixtures: sparse Dirichlet.
+	mixtures := make([]topic.Dist, n)
+	for u := range mixtures {
+		mixtures[u] = topic.Dist(r.DirichletSym(0.25, Z))
+	}
+
+	// Preferential-attachment citation graph: author v arrives and is
+	// influenced by (cites) earlier authors u chosen by popularity ×
+	// topic similarity; the influence edge is u→v.
+	gb := graph.NewBuilder(n)
+	names := makeNames(n, r)
+	for u := 0; u < n; u++ {
+		gb.SetName(graph.NodeID(u), names[u])
+	}
+	popularity := make([]float64, n) // 1 + #times cited
+	for i := range popularity {
+		popularity[i] = 1
+	}
+	for v := 1; v < n; v++ {
+		cites := 1 + r.Intn(2*cfg.AvgCitations) // mean ≈ AvgCitations
+		for c := 0; c < cites; c++ {
+			u := pickWeightedPrefix(r, popularity, v, mixtures, mixtures[v])
+			if u < 0 || u == v {
+				continue
+			}
+			gb.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			popularity[u] += 1
+		}
+	}
+	g := gb.Build()
+
+	truth, err := truthModel(g, mixtures, Z, cfg.EdgeScale, r)
+	if err != nil {
+		return nil, err
+	}
+	words, topicNames, err := keywordModel(Z, topicThemes, r)
+	if err != nil {
+		return nil, err
+	}
+	log := simulateLog(g, truth, words, mixtures, cfg.Papers, 3, r)
+	return &Dataset{
+		Graph: g, Truth: truth, TruthWords: words, Log: log,
+		TopicNames: topicNames, Mixtures: mixtures,
+	}, nil
+}
+
+// SocialConfig parameterizes the QQ-style generator.
+type SocialConfig struct {
+	Users       int // required
+	Communities int // default max(4, Users/2500)
+	Topics      int // default 6 (product categories)
+	// AvgDegree is the mean out-degree (default 10).
+	AvgDegree int
+	// InterCommunity is the fraction of edges that cross communities
+	// (default 0.1).
+	InterCommunity float64
+	// Items is the number of product-share episodes (default Users).
+	Items     int
+	EdgeScale float64 // default 0.3
+	Seed      uint64
+}
+
+func (c *SocialConfig) fill() error {
+	if c.Users <= 1 {
+		return fmt.Errorf("datagen: Users must be > 1")
+	}
+	if c.Communities == 0 {
+		c.Communities = c.Users / 2500
+		if c.Communities < 4 {
+			c.Communities = 4
+		}
+	}
+	if c.Topics == 0 {
+		c.Topics = 6
+	}
+	if c.Topics < 2 {
+		return fmt.Errorf("datagen: Topics must be >= 2")
+	}
+	if c.AvgDegree == 0 {
+		c.AvgDegree = 10
+	}
+	if c.InterCommunity == 0 {
+		c.InterCommunity = 0.1
+	}
+	if c.Items == 0 {
+		c.Items = c.Users
+	}
+	if c.EdgeScale == 0 {
+		c.EdgeScale = 0.3
+	}
+	return nil
+}
+
+// Social generates the QQ-style marketing dataset.
+func Social(cfg SocialConfig) (*Dataset, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	n, Z, C := cfg.Users, cfg.Topics, cfg.Communities
+
+	// Community assignment and per-community topic preferences.
+	community := make([]int, n)
+	for u := range community {
+		community[u] = r.Intn(C)
+	}
+	commPref := make([]topic.Dist, C)
+	for c := range commPref {
+		commPref[c] = topic.Dist(r.DirichletSym(0.4, Z))
+	}
+	mixtures := make([]topic.Dist, n)
+	for u := range mixtures {
+		// User mixture = community preference blended with personal noise.
+		personal := r.DirichletSym(0.5, Z)
+		mix := make(topic.Dist, Z)
+		for z := 0; z < Z; z++ {
+			mix[z] = 0.7*commPref[community[u]][z] + 0.3*personal[z]
+		}
+		mixtures[u] = mix.Normalize()
+	}
+
+	// Community-heavy directed edges with a few hub users.
+	gb := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		gb.SetName(graph.NodeID(u), fmt.Sprintf("user_%05d", u))
+	}
+	byComm := make([][]int, C)
+	for u, c := range community {
+		byComm[c] = append(byComm[c], u)
+	}
+	hubs := r.Sample(n, maxInt(1, n/200))
+	hubSet := map[int]bool{}
+	for _, h := range hubs {
+		hubSet[h] = true
+	}
+	for u := 0; u < n; u++ {
+		deg := 1 + r.Intn(2*cfg.AvgDegree)
+		if hubSet[u] {
+			deg *= 5
+		}
+		for d := 0; d < deg; d++ {
+			var v int
+			if r.Float64() < cfg.InterCommunity {
+				v = r.Intn(n)
+			} else {
+				peers := byComm[community[u]]
+				v = peers[r.Intn(len(peers))]
+			}
+			if v != u {
+				gb.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	g := gb.Build()
+
+	truth, err := truthModel(g, mixtures, Z, cfg.EdgeScale, r)
+	if err != nil {
+		return nil, err
+	}
+	words, topicNames, err := keywordModel(Z, productThemes, r)
+	if err != nil {
+		return nil, err
+	}
+	log := simulateLog(g, truth, words, mixtures, cfg.Items, 2, r)
+	return &Dataset{
+		Graph: g, Truth: truth, TruthWords: words, Log: log,
+		TopicNames: topicNames, Mixtures: mixtures,
+	}, nil
+}
+
+// truthModel assigns per-edge topic probabilities from endpoint interest
+// overlap: edges carry probability mass in the topics both endpoints
+// care about. Probabilities are attenuated by the target's in-degree
+// (weighted-cascade style): a user followed by many pays less attention
+// to each individual source, which matches the influence strengths EM
+// recovers from real action logs and keeps cascades from saturating the
+// network.
+func truthModel(g *graph.Graph, mixtures []topic.Dist, Z int, scale float64, r *rng.Source) (*tic.Model, error) {
+	mb := tic.NewBuilder(g, Z)
+	for u := 0; u < g.NumNodes(); u++ {
+		lo, hi := g.OutEdges(graph.NodeID(u))
+		for e := lo; e < hi; e++ {
+			v := g.Dst(e)
+			atten := math.Pow(float64(1+g.InDegree(v)), 0.75)
+			for z := 0; z < Z; z++ {
+				overlap := mixtures[u][z] * mixtures[v][z] * float64(Z) * float64(Z)
+				p := scale * overlap * (0.5 + r.Float64()) / atten
+				if p > 0.9 {
+					p = 0.9
+				}
+				if p >= 0.005 { // sparsify negligible topics
+					if err := mb.SetProb(e, z, p); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return mb.Build(), nil
+}
+
+type theme = struct {
+	Name  string
+	Words []string
+}
+
+// keywordModel builds the ground-truth p(w|z) from themed word pools:
+// each topic's distribution is concentrated on its theme words with a
+// long tail over the whole vocabulary.
+func keywordModel(Z int, themes []theme, r *rng.Source) (*topic.Model, []string, error) {
+	var vocab []string
+	wordTheme := map[string]int{}
+	for ti, th := range themes {
+		for _, w := range th.Words {
+			if _, dup := wordTheme[w]; !dup {
+				wordTheme[w] = ti
+				vocab = append(vocab, w)
+			}
+		}
+	}
+	topicNames := make([]string, Z)
+	pwz := make([][]float64, Z)
+	for z := 0; z < Z; z++ {
+		th := z % len(themes)
+		topicNames[z] = themes[th].Name
+		row := make([]float64, len(vocab))
+		for wi, w := range vocab {
+			if wordTheme[w] == th {
+				row[wi] = 1 + r.Float64() // theme words dominate
+			} else {
+				row[wi] = 0.02 * r.Float64() // background noise
+			}
+		}
+		pwz[z] = row
+	}
+	m, err := topic.NewModel(vocab, pwz, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.SetTopicNames(topicNames); err != nil {
+		return nil, nil, err
+	}
+	return m, topicNames, nil
+}
+
+// simulateLog creates items and propagates each through the ground-truth
+// model, recording actions: author posts at t=0, every activation is a
+// later action — exactly the citation/forward semantics of Section II-B.
+func simulateLog(g *graph.Graph, truth *tic.Model, words *topic.Model,
+	mixtures []topic.Dist, items, kwPerItem int, r *rng.Source) *actionlog.Log {
+
+	sim := tic.NewSimulator(truth)
+	Z := truth.NumTopics()
+	var its []actionlog.Item
+	var acts []actionlog.Action
+	for i := 0; i < items; i++ {
+		author := graph.NodeID(r.Intn(g.NumNodes()))
+		z := r.WeightedChoice(mixtures[author])
+		gamma := topic.Pure(z, Z)
+		// Item keywords: draw from p(w|z).
+		kws := drawKeywords(words, z, kwPerItem+r.Intn(3), r)
+		its = append(its, actionlog.Item{ID: int32(i), Keywords: kws})
+		tick := int64(0)
+		acts = append(acts, actionlog.Action{User: author, Item: int32(i), Time: tick})
+		sim.Cascade([]graph.NodeID{author}, gamma, r, func(u, v graph.NodeID, e graph.EdgeID) {
+			tick++
+			acts = append(acts, actionlog.Action{User: v, Item: int32(i), Time: tick})
+		})
+	}
+	return actionlog.Build(g.NumNodes(), its, acts)
+}
+
+func drawKeywords(words *topic.Model, z, count int, r *rng.Source) []string {
+	seen := map[int]bool{}
+	var out []string
+	row := make([]float64, words.VocabSize())
+	for w := range row {
+		row[w] = words.PWZ(z, w)
+	}
+	for len(out) < count && len(out) < words.VocabSize() {
+		w := r.WeightedChoice(row)
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, words.Keyword(w))
+		}
+	}
+	return out
+}
+
+// pickWeightedPrefix samples an index in [0,limit) with probability
+// proportional to popularity[i] × (0.2 + topic similarity).
+func pickWeightedPrefix(r *rng.Source, popularity []float64, limit int,
+	mixtures []topic.Dist, target topic.Dist) int {
+
+	// Rejection-free: build a small candidate set then weight it —
+	// sampling the full prefix every time would be O(n) per edge.
+	const candidates = 12
+	bestIdx, bestW := -1, 0.0
+	total := 0.0
+	weights := make([]float64, candidates)
+	idxs := make([]int, candidates)
+	for c := 0; c < candidates; c++ {
+		i := r.Intn(limit)
+		w := popularity[i] * (0.2 + mixtures[i].Cosine(target))
+		idxs[c] = i
+		weights[c] = w
+		total += w
+		if w > bestW {
+			bestIdx, bestW = i, w
+		}
+	}
+	if total <= 0 {
+		return bestIdx
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for c := 0; c < candidates; c++ {
+		acc += weights[c]
+		if u < acc {
+			return idxs[c]
+		}
+	}
+	return bestIdx
+}
+
+func makeNames(n int, r *rng.Source) []string {
+	names := make([]string, n)
+	used := map[string]bool{}
+	for i := range names {
+		for {
+			nm := firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+			if used[nm] {
+				nm = fmt.Sprintf("%s %c.", nm, 'A'+rune(r.Intn(26)))
+			}
+			if used[nm] {
+				nm = fmt.Sprintf("%s-%d", nm, i)
+			}
+			if !used[nm] {
+				used[nm] = true
+				names[i] = nm
+				break
+			}
+		}
+	}
+	return names
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

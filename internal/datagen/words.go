@@ -1,0 +1,89 @@
+package datagen
+
+// Topic-themed keyword pools used by both generators. Eight themes cover
+// the research areas the OCTOPUS demo mentions (data mining, ML, social
+// networks, …) plus QQ-style product categories; generators cycle through
+// them when asked for more topics than themes.
+var topicThemes = []struct {
+	Name  string
+	Words []string
+}{
+	{"data mining", []string{
+		"mining", "frequent", "pattern", "association", "rule", "clustering",
+		"outlier", "itemset", "classification", "discovery", "warehouse", "olap",
+	}},
+	{"machine learning", []string{
+		"learning", "neural", "kernel", "bayesian", "regression", "boosting",
+		"embedding", "gradient", "inference", "model", "supervised", "feature",
+	}},
+	{"social networks", []string{
+		"social", "network", "influence", "community", "diffusion", "viral",
+		"friendship", "evolution", "link", "prediction", "smallworld", "cascade",
+	}},
+	{"databases", []string{
+		"query", "index", "transaction", "relational", "storage", "join",
+		"optimization", "concurrency", "recovery", "schema", "tuning", "engine",
+	}},
+	{"information retrieval", []string{
+		"retrieval", "ranking", "search", "document", "keyword", "relevance",
+		"corpus", "snippet", "crawler", "topic", "semantic", "entity",
+	}},
+	{"systems", []string{
+		"distributed", "parallel", "scheduling", "consistency", "replication",
+		"fault", "latency", "throughput", "cluster", "memory", "cache", "stream",
+	}},
+	{"security", []string{
+		"security", "privacy", "encryption", "anonymity", "attack", "trust",
+		"authentication", "adversarial", "audit", "leakage", "defense", "protocol",
+	}},
+	{"multimedia", []string{
+		"image", "video", "visual", "audio", "annotation", "recognition",
+		"rendering", "compression", "segmentation", "captioning", "texture", "scene",
+	}},
+}
+
+// productThemes back the QQ-style marketing generator (Section III:
+// keywords like "game", "Gum", "Strawberry", "Xylitol").
+var productThemes = []struct {
+	Name  string
+	Words []string
+}{
+	{"games", []string{
+		"game", "console", "esports", "arcade", "puzzle", "strategy",
+		"racing", "adventure", "multiplayer", "controller", "quest", "arena",
+	}},
+	{"food", []string{
+		"gum", "strawberry", "xylitol", "chocolate", "snack", "beverage",
+		"candy", "coffee", "noodle", "yogurt", "biscuit", "juice",
+	}},
+	{"fashion", []string{
+		"sneaker", "jacket", "denim", "handbag", "scarf", "dress",
+		"vintage", "streetwear", "accessory", "perfume", "watch", "sunglasses",
+	}},
+	{"electronics", []string{
+		"phone", "laptop", "headphone", "camera", "tablet", "charger",
+		"speaker", "smartwatch", "drone", "monitor", "keyboard", "router",
+	}},
+	{"travel", []string{
+		"flight", "hotel", "beach", "resort", "luggage", "passport",
+		"cruise", "camping", "roadtrip", "island", "museum", "itinerary",
+	}},
+	{"fitness", []string{
+		"yoga", "running", "protein", "gym", "cycling", "swimming",
+		"treadmill", "pilates", "marathon", "dumbbell", "stretching", "cardio",
+	}},
+}
+
+var firstNames = []string{
+	"Alice", "Bob", "Carol", "David", "Elena", "Frank", "Grace", "Hiro",
+	"Ivan", "Julia", "Kevin", "Lina", "Marco", "Nadia", "Omar", "Priya",
+	"Qing", "Rosa", "Sam", "Tara", "Uma", "Victor", "Wei", "Xena",
+	"Yusuf", "Zoe", "Anders", "Bianca", "Chen", "Dmitri", "Emma", "Farid",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Lee", "Garcia", "Chen", "Kumar", "Ivanov", "Tanaka",
+	"Muller", "Rossi", "Silva", "Kim", "Nguyen", "Hansen", "Novak", "Pereira",
+	"Okafor", "Larsen", "Dubois", "Haddad", "Kowalski", "Berg", "Moreau", "Sato",
+	"Jansen", "Costa", "Weber", "Olsen", "Ricci", "Zhang", "Fischer", "Andersen",
+}

@@ -1,0 +1,408 @@
+// Package em learns the parameters of the topic-aware IC model from
+// action logs, following the expectation-maximization scheme of Barbieri
+// et al. (ICDM 2012) that OCTOPUS cites in Section II-B: "Given a set of
+// such items, we can jointly learn ppᶻᵤᵥ and p(w|z) using the
+// Expectation-Maximization algorithm".
+//
+// The generative story: each item i draws a topic zᵢ ~ p(z), emits its
+// keywords from p(w|zᵢ), and propagates through the graph under the IC
+// model with edge probabilities ppᶻⁱ. The E-step computes per-item topic
+// responsibilities from both the keywords and the observed propagation
+// trace; the M-step refits p(z), p(w|z) and ppᶻᵤᵥ from
+// responsibility-weighted counts, with the classic Saito-style credit
+// split among a node's possible activators.
+package em
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// Config controls the learner.
+type Config struct {
+	// Topics is Z, the number of latent topics. Required.
+	Topics int
+	// Iterations is the number of EM rounds (default 20).
+	Iterations int
+	// Seed drives the random initialization.
+	Seed uint64
+	// Restarts runs that many independent random initializations and
+	// keeps the one with the best final log-likelihood — the standard
+	// defense against EM local optima (default 1).
+	Restarts int
+	// MinProb prunes learned edge probabilities below this threshold when
+	// exporting the tic.Model (default 1e-4).
+	MinProb float64
+	// Smoothing is the additive smoothing applied in the M-step to
+	// keyword counts and the topic prior (default 0.01).
+	Smoothing float64
+	// EdgePrior is the Beta-prior pseudo-failure count added to each
+	// (edge, topic) trial mass in the M-step (default 0.5). It pulls
+	// weakly observed combinations toward zero: without it, a topic with
+	// near-zero responsibility on an edge would inherit the edge's
+	// success RATE from other topics, hallucinating cross-topic
+	// influence.
+	EdgePrior float64
+}
+
+func (c *Config) fill() error {
+	if c.Topics <= 0 {
+		return fmt.Errorf("em: Topics must be positive")
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 1
+	}
+	if c.MinProb == 0 {
+		c.MinProb = 1e-4
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.01
+	}
+	if c.EdgePrior == 0 {
+		c.EdgePrior = 0.5
+	}
+	return nil
+}
+
+// Result carries the learned model pair plus diagnostics.
+type Result struct {
+	Propagation *tic.Model   // learned ppᶻᵤᵥ bound to the graph
+	Keywords    *topic.Model // learned p(w|z) and p(z)
+	// LogLikelihood per EM iteration (keyword + propagation terms).
+	LogLikelihood []float64
+	// Responsibilities[i] is the final topic posterior of episode i.
+	Responsibilities []topic.Dist
+}
+
+// trial data extracted once from the log.
+type successGroup struct {
+	parents []graph.EdgeID // edges (u,v) from previously-active in-neighbors
+}
+
+type episodeTrials struct {
+	item      int // index into log.Episodes
+	words     []int
+	successes []successGroup
+	failures  []graph.EdgeID
+}
+
+// Learn runs EM over the log and graph. With cfg.Restarts > 1 it runs
+// that many independent initializations and returns the one with the
+// best final log-likelihood.
+func Learn(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if cfg.Restarts > 1 {
+		var best *Result
+		for r := 0; r < cfg.Restarts; r++ {
+			c := cfg
+			c.Restarts = 1
+			c.Seed = cfg.Seed + uint64(r)*0x9e3779b97f4a7c15
+			res, err := Learn(g, log, c)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil ||
+				res.LogLikelihood[len(res.LogLikelihood)-1] >
+					best.LogLikelihood[len(best.LogLikelihood)-1] {
+				best = res
+			}
+		}
+		return best, nil
+	}
+	if log.NumUsers != g.NumNodes() {
+		return nil, fmt.Errorf("em: log covers %d users, graph has %d nodes",
+			log.NumUsers, g.NumNodes())
+	}
+	vocab := collectVocab(log)
+	if len(vocab) == 0 {
+		return nil, fmt.Errorf("em: action log contains no keywords")
+	}
+	vocabID := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		vocabID[w] = i
+	}
+	trials := extractTrials(g, log, vocabID)
+	if len(trials) == 0 {
+		return nil, fmt.Errorf("em: action log contains no usable episodes")
+	}
+
+	Z, V, M := cfg.Topics, len(vocab), g.NumEdges()
+	r := rng.New(cfg.Seed)
+
+	// Parameters. pp is Z*M, pwz is Z*V (row-major by topic).
+	pp := make([]float64, Z*M)
+	for i := range pp {
+		pp[i] = 0.05 + 0.25*r.Float64()
+	}
+	pwz := make([]float64, Z*V)
+	for z := 0; z < Z; z++ {
+		row := pwz[z*V : (z+1)*V]
+		sum := 0.0
+		for w := range row {
+			row[w] = 0.5 + r.Float64()
+			sum += row[w]
+		}
+		for w := range row {
+			row[w] /= sum
+		}
+	}
+	prior := make([]float64, Z)
+	for z := range prior {
+		prior[z] = 1 / float64(Z)
+	}
+
+	resp := make([]topic.Dist, len(trials))
+	for i := range resp {
+		resp[i] = make(topic.Dist, Z)
+	}
+	var llHist []float64
+
+	// Scratch buffers.
+	logL := make([]float64, Z)
+	// Accumulators for M-step.
+	accSucc := make([]float64, Z*M) // responsibility-weighted activator credit
+	accTrial := make([]float64, Z*M)
+	accWord := make([]float64, Z*V)
+	accPrior := make([]float64, Z)
+
+	// Iteration 0 is the keyword-anchoring pass (not recorded in the
+	// likelihood history); iterations 1..Iterations are fully joint.
+	for iter := 0; iter <= cfg.Iterations; iter++ {
+		for i := range accSucc {
+			accSucc[i] = 0
+			accTrial[i] = 0
+		}
+		for i := range accWord {
+			accWord[i] = 0
+		}
+		for i := range accPrior {
+			accPrior[i] = 0
+		}
+		totalLL := 0.0
+
+		// In the first iteration the edge probabilities are random noise,
+		// and the propagation likelihood (hundreds of per-edge terms) can
+		// drown the keyword evidence and flip whole episodes to arbitrary
+		// topics. Anchor the first E-step to keywords only; subsequent
+		// iterations are fully joint.
+		useProp := iter > 0
+
+		for ti, tr := range trials {
+			// E-step: log responsibility per topic.
+			for z := 0; z < Z; z++ {
+				ll := math.Log(prior[z])
+				rowW := pwz[z*V : (z+1)*V]
+				for _, w := range tr.words {
+					ll += math.Log(rowW[w] + 1e-300)
+				}
+				if useProp {
+					rowP := pp[z*M : (z+1)*M]
+					for _, sg := range tr.successes {
+						pNone := 1.0
+						for _, e := range sg.parents {
+							pNone *= 1 - rowP[e]
+						}
+						ll += math.Log(1 - pNone + 1e-12)
+					}
+					for _, e := range tr.failures {
+						ll += math.Log(1 - rowP[e] + 1e-12)
+					}
+				}
+				logL[z] = ll
+			}
+			maxv := math.Inf(-1)
+			for _, v := range logL {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			sum := 0.0
+			for z := 0; z < Z; z++ {
+				resp[ti][z] = math.Exp(logL[z] - maxv)
+				sum += resp[ti][z]
+			}
+			totalLL += maxv + math.Log(sum)
+			for z := 0; z < Z; z++ {
+				resp[ti][z] /= sum
+			}
+
+			// Accumulate M-step statistics.
+			for z := 0; z < Z; z++ {
+				rz := resp[ti][z]
+				if rz < 1e-12 {
+					continue
+				}
+				accPrior[z] += rz
+				rowW := accWord[z*V : (z+1)*V]
+				for _, w := range tr.words {
+					rowW[w] += rz
+				}
+				rowP := pp[z*M : (z+1)*M]
+				rowSucc := accSucc[z*M : (z+1)*M]
+				rowTrial := accTrial[z*M : (z+1)*M]
+				for _, sg := range tr.successes {
+					pNone := 1.0
+					for _, e := range sg.parents {
+						pNone *= 1 - rowP[e]
+					}
+					pAny := 1 - pNone
+					if pAny < 1e-12 {
+						pAny = 1e-12
+					}
+					for _, e := range sg.parents {
+						// Saito credit: probability that edge e was the
+						// successful activator given at least one succeeded.
+						rowSucc[e] += rz * rowP[e] / pAny
+						rowTrial[e] += rz
+					}
+				}
+				for _, e := range tr.failures {
+					rowTrial[e] += rz
+				}
+			}
+		}
+
+		// M-step.
+		priorSum := 0.0
+		for z := 0; z < Z; z++ {
+			accPrior[z] += cfg.Smoothing
+			priorSum += accPrior[z]
+		}
+		for z := 0; z < Z; z++ {
+			prior[z] = accPrior[z] / priorSum
+		}
+		for z := 0; z < Z; z++ {
+			rowW := accWord[z*V : (z+1)*V]
+			sum := 0.0
+			for w := range rowW {
+				rowW[w] += cfg.Smoothing
+				sum += rowW[w]
+			}
+			dst := pwz[z*V : (z+1)*V]
+			for w := range rowW {
+				dst[w] = rowW[w] / sum
+			}
+		}
+		for idx := range pp {
+			if accTrial[idx] > 1e-9 {
+				// Beta(0, EdgePrior) posterior mean: weakly observed
+				// (edge, topic) pairs shrink toward zero rather than
+				// inheriting the edge's success rate from other topics.
+				p := accSucc[idx] / (accTrial[idx] + cfg.EdgePrior)
+				if p > 1 {
+					p = 1
+				}
+				pp[idx] = p
+			} else {
+				// No trials at all for this edge under this topic: decay
+				// the random initialization toward the sparse prior.
+				pp[idx] *= 0.5
+			}
+		}
+		if useProp {
+			llHist = append(llHist, totalLL)
+		}
+	}
+
+	// Export models.
+	mb := tic.NewBuilder(g, Z)
+	for z := 0; z < Z; z++ {
+		rowP := pp[z*M : (z+1)*M]
+		for e := 0; e < M; e++ {
+			if rowP[e] >= cfg.MinProb {
+				if err := mb.SetProb(graph.EdgeID(e), z, rowP[e]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	rows := make([][]float64, Z)
+	for z := 0; z < Z; z++ {
+		rows[z] = append([]float64(nil), pwz[z*V:(z+1)*V]...)
+	}
+	km, err := topic.NewModel(vocab, rows, topic.Dist(prior))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Propagation:      mb.Build(),
+		Keywords:         km,
+		LogLikelihood:    llHist,
+		Responsibilities: resp,
+	}, nil
+}
+
+func collectVocab(log *actionlog.Log) []string {
+	seen := map[string]bool{}
+	var vocab []string
+	for _, ep := range log.Episodes {
+		for _, w := range ep.Item.Keywords {
+			if !seen[w] {
+				seen[w] = true
+				vocab = append(vocab, w)
+			}
+		}
+	}
+	sort.Strings(vocab)
+	return vocab
+}
+
+// extractTrials converts each episode into IC activation trials: for an
+// action (v,t), in-neighbors of v active strictly before t form the
+// success group of v; for each actor u and each out-neighbor v of u that
+// never acted, the edge (u,v) is a failure trial.
+func extractTrials(g *graph.Graph, log *actionlog.Log, vocabID map[string]int) []episodeTrials {
+	var out []episodeTrials
+	actTime := make(map[graph.NodeID]int64)
+	for ei, ep := range log.Episodes {
+		if len(ep.Actions) == 0 {
+			continue
+		}
+		clear(actTime)
+		for _, a := range ep.Actions {
+			actTime[a.User] = a.Time
+		}
+		tr := episodeTrials{item: ei}
+		for _, w := range ep.Item.Keywords {
+			if id, ok := vocabID[w]; ok {
+				tr.words = append(tr.words, id)
+			}
+		}
+		for _, a := range ep.Actions {
+			v := a.User
+			lo, hi := g.InSlots(v)
+			var parents []graph.EdgeID
+			for s := lo; s < hi; s++ {
+				u := g.InSrc(s)
+				if tu, ok := actTime[u]; ok && tu < a.Time {
+					parents = append(parents, g.InEdgeID(s))
+				}
+			}
+			if len(parents) > 0 {
+				tr.successes = append(tr.successes, successGroup{parents: parents})
+			}
+			elo, ehi := g.OutEdges(v)
+			for e := elo; e < ehi; e++ {
+				if _, acted := actTime[g.Dst(e)]; !acted {
+					tr.failures = append(tr.failures, e)
+				}
+			}
+		}
+		if len(tr.successes) > 0 || len(tr.failures) > 0 || len(tr.words) > 0 {
+			out = append(out, tr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// synthetic builds a ground-truth two-topic world and simulates episodes:
+// topic 0 items carry keywords {alpha,beta} and propagate over "strong in
+// topic 0" edges; topic 1 items carry {gamma,delta}.
+func synthetic(t testing.TB, nNodes, nEpisodes int, seed uint64) (*graph.Graph, *tic.Model, *actionlog.Log) {
+	if tt, ok := t.(*testing.T); ok {
+		tt.Helper()
+	}
+	r := rng.New(seed)
+	gb := graph.NewBuilder(nNodes)
+	for i := 0; i < nNodes*4; i++ {
+		gb.AddEdge(int32(r.Intn(nNodes)), int32(r.Intn(nNodes)))
+	}
+	g := gb.Build()
+	mb := tic.NewBuilder(g, 2)
+	for e := 0; e < g.NumEdges(); e++ {
+		// Each edge strong in exactly one topic.
+		if r.Bool() {
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.4 + 0.3*r.Float64(), 0.02})
+		} else {
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.02, 0.4 + 0.3*r.Float64()})
+		}
+	}
+	truth := mb.Build()
+
+	sim := tic.NewSimulator(truth)
+	var items []actionlog.Item
+	var actions []actionlog.Action
+	kws := [][]string{{"alpha", "beta"}, {"gamma", "delta"}}
+	for i := 0; i < nEpisodes; i++ {
+		z := i % 2
+		gamma := topic.Pure(z, 2)
+		seeds := []graph.NodeID{int32(r.Intn(nNodes))}
+		items = append(items, actionlog.Item{ID: int32(i), Keywords: kws[z]})
+		tick := int64(0)
+		actions = append(actions, actionlog.Action{User: seeds[0], Item: int32(i), Time: tick})
+		sim.Cascade(seeds, gamma, r, func(u, v graph.NodeID, e graph.EdgeID) {
+			tick++
+			actions = append(actions, actionlog.Action{User: v, Item: int32(i), Time: tick})
+		})
+	}
+	return g, truth, actionlog.Build(nNodes, items, actions)
+}
+
+func TestLearnRecoversKeywordTopics(t *testing.T) {
+	g, _, log := synthetic(t, 60, 400, 42)
+	res, err := Learn(g, log, Config{Topics: 2, Iterations: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := res.Keywords
+	// The two topics must separate {alpha,beta} from {gamma,delta} (up to
+	// permutation).
+	ga, _ := km.InferGamma([]string{"alpha", "beta"})
+	gg, _ := km.InferGamma([]string{"gamma", "delta"})
+	za, zg := ga.Top(1)[0], gg.Top(1)[0]
+	if za == zg {
+		t.Fatalf("keyword groups not separated: alpha→%d gamma→%d (γa=%v γg=%v)", za, zg, ga, gg)
+	}
+	if ga[za] < 0.9 || gg[zg] < 0.9 {
+		t.Fatalf("weak separation: γa=%v γg=%v", ga, gg)
+	}
+}
+
+func TestLearnLikelihoodImproves(t *testing.T) {
+	g, _, log := synthetic(t, 40, 150, 1)
+	res, err := Learn(g, log, Config{Topics: 2, Iterations: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := res.LogLikelihood
+	if len(ll) != 10 {
+		t.Fatalf("LL history len = %d", len(ll))
+	}
+	if ll[len(ll)-1] < ll[0] {
+		t.Fatalf("likelihood decreased overall: first=%v last=%v", ll[0], ll[len(ll)-1])
+	}
+	// EM should be (near-)monotone; allow tiny dips from smoothing.
+	for i := 1; i < len(ll); i++ {
+		if ll[i] < ll[i-1]-math.Abs(ll[i-1])*0.01-1 {
+			t.Fatalf("likelihood dropped at iter %d: %v -> %v", i, ll[i-1], ll[i])
+		}
+	}
+}
+
+func TestLearnRecoversEdgeTopicAlignment(t *testing.T) {
+	g, truth, log := synthetic(t, 60, 600, 99)
+	res, err := Learn(g, log, Config{Topics: 2, Iterations: 15, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determine topic permutation via keywords.
+	ga, _ := res.Keywords.InferGamma([]string{"alpha"})
+	learnedZ0 := ga.Top(1)[0] // learned topic corresponding to true topic 0
+
+	// For edges with many observations, the learned dominant topic should
+	// match the true dominant topic more often than not.
+	match, checked := 0, 0
+	for e := 0; e < g.NumEdges(); e++ {
+		eid := graph.EdgeID(e)
+		trueDom := 0
+		if truth.TopicProb(eid, 1) > truth.TopicProb(eid, 0) {
+			trueDom = 1
+		}
+		l0 := res.Propagation.TopicProb(eid, learnedZ0)
+		l1 := res.Propagation.TopicProb(eid, 1-learnedZ0)
+		if l0 == 0 && l1 == 0 {
+			continue // never observed
+		}
+		if l0 < 0.05 && l1 < 0.05 {
+			continue // too weak to call
+		}
+		learnedDom := 0
+		if l1 > l0 {
+			learnedDom = 1
+		}
+		checked++
+		if learnedDom == trueDom {
+			match++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few edges checked: %d", checked)
+	}
+	if acc := float64(match) / float64(checked); acc < 0.75 {
+		t.Fatalf("edge topic alignment accuracy = %.2f (%d/%d), want >= 0.75", acc, match, checked)
+	}
+}
+
+func TestLearnResponsibilitiesValid(t *testing.T) {
+	g, _, log := synthetic(t, 30, 80, 5)
+	res, err := Learn(g, log, Config{Topics: 3, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responsibilities) == 0 {
+		t.Fatal("no responsibilities")
+	}
+	for i, r := range res.Responsibilities {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("episode %d responsibility invalid: %v", i, err)
+		}
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	g, _, log := synthetic(t, 10, 5, 2)
+	if _, err := Learn(g, log, Config{Topics: 0}); err == nil {
+		t.Fatal("Topics=0 accepted")
+	}
+	bad := &actionlog.Log{NumUsers: 99}
+	if _, err := Learn(g, bad, Config{Topics: 2}); err == nil {
+		t.Fatal("user-count mismatch accepted")
+	}
+	empty := actionlog.Build(g.NumNodes(), nil, nil)
+	if _, err := Learn(g, empty, Config{Topics: 2}); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	// Items present but keyword-free.
+	noKw := actionlog.Build(g.NumNodes(),
+		[]actionlog.Item{{ID: 0}},
+		[]actionlog.Action{{User: 0, Item: 0, Time: 0}})
+	if _, err := Learn(g, noKw, Config{Topics: 2}); err == nil {
+		t.Fatal("keyword-free log accepted")
+	}
+}
+
+func TestLearnedModelUsableForSimulation(t *testing.T) {
+	g, _, log := synthetic(t, 40, 200, 8)
+	res, err := Learn(g, log, Config{Topics: 2, Iterations: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, _ := res.Keywords.InferGamma([]string{"alpha"})
+	sim := tic.NewSimulator(res.Propagation)
+	spread := sim.EstimateSpread([]graph.NodeID{0}, gamma, 200, rng.New(4))
+	if spread < 1 {
+		t.Fatalf("spread = %v, want >= 1", spread)
+	}
+}
+
+func TestLearnDeterministic(t *testing.T) {
+	g, _, log := synthetic(t, 30, 60, 10)
+	a, err := Learn(g, log, Config{Topics: 2, Iterations: 5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Learn(g, log, Config{Topics: 2, Iterations: 5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.LogLikelihood {
+		if a.LogLikelihood[i] != b.LogLikelihood[i] {
+			t.Fatalf("nondeterministic LL at iter %d", i)
+		}
+	}
+}
+
+func BenchmarkLearn(b *testing.B) {
+	g, _, log := synthetic(b, 100, 300, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Learn(g, log, Config{Topics: 4, Iterations: 5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	# comment
+//	n <numNodes>
+//	v <id> <name with spaces allowed>
+//	e <src> <dst>
+//
+// The `n` record is optional (node count is inferred otherwise); `v`
+// records are optional per node. Lines may appear in any order.
+
+// WriteText serializes g to w in the text format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	if g.names != nil {
+		for u := int32(0); u < g.n; u++ {
+			if g.names[u] != "" {
+				if _, err := fmt.Fprintf(bw, "v %d %s\n", u, g.names[u]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for u := int32(0); u < g.n; u++ {
+		lo, hi := g.OutEdges(u)
+		for e := lo; e < hi; e++ {
+			if _, err := fmt.Fprintf(bw, "e %d %d\n", u, g.outDst[e]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format and builds a Graph.
+func ReadText(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		switch fields[0] {
+		case "n":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: n record needs a count", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			if n > 0 {
+				b.grow(int32(n - 1))
+			}
+		case "v":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: v record needs id and name", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, fields[1])
+			}
+			b.SetName(int32(id), fields[2])
+		case "e":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: e record needs src and dst", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(strings.TrimSpace(fields[2]))
+			if err1 != nil || err2 != nil || u < 0 || v < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", lineNo, line)
+			}
+			b.AddEdge(int32(u), int32(v))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	return b.Build(), nil
+}

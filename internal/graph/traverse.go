@@ -1,0 +1,96 @@
+package graph
+
+// BFSForward visits nodes reachable from roots along out-edges in
+// breadth-first order, calling visit(node, depth). Returning false from
+// visit stops the traversal early. The queue and visited set are
+// allocated per call; hot paths in the engines use their own epoch-based
+// traversal state instead.
+func (g *Graph) BFSForward(roots []NodeID, visit func(u NodeID, depth int) bool) {
+	g.bfs(roots, visit, true)
+}
+
+// BFSReverse is BFSForward along in-edges.
+func (g *Graph) BFSReverse(roots []NodeID, visit func(u NodeID, depth int) bool) {
+	g.bfs(roots, visit, false)
+}
+
+func (g *Graph) bfs(roots []NodeID, visit func(NodeID, int) bool, forward bool) {
+	type qe struct {
+		u NodeID
+		d int32
+	}
+	seen := make([]bool, g.n)
+	queue := make([]qe, 0, len(roots))
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			queue = append(queue, qe{r, 0})
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if !visit(cur.u, int(cur.d)) {
+			return
+		}
+		if forward {
+			for _, v := range g.OutNeighbors(cur.u) {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, qe{v, cur.d + 1})
+				}
+			}
+		} else {
+			lo, hi := g.InSlots(cur.u)
+			for s := lo; s < hi; s++ {
+				v := g.InSrc(s)
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, qe{v, cur.d + 1})
+				}
+			}
+		}
+	}
+}
+
+// ReachableCount returns the number of nodes reachable from u along
+// out-edges (including u).
+func (g *Graph) ReachableCount(u NodeID) int {
+	count := 0
+	g.BFSForward([]NodeID{u}, func(NodeID, int) bool { count++; return true })
+	return count
+}
+
+// LocalSubgraph returns the set of nodes within radius hops of root along
+// out-edges (including root), in BFS order, along with the set of
+// boundary nodes: members of the ball whose out-edges leave it or that
+// sit exactly at the radius.
+func (g *Graph) LocalSubgraph(root NodeID, radius int) (ball, boundary []NodeID) {
+	depth := map[NodeID]int{}
+	g.BFSForward([]NodeID{root}, func(u NodeID, d int) bool {
+		if d > radius {
+			// BFS visits in non-decreasing depth, so nothing past this
+			// point belongs to the ball.
+			return false
+		}
+		depth[u] = d
+		ball = append(ball, u)
+		return true
+	})
+	inBall := make(map[NodeID]bool, len(ball))
+	for _, u := range ball {
+		inBall[u] = true
+	}
+	for _, u := range ball {
+		if depth[u] == radius {
+			boundary = append(boundary, u)
+			continue
+		}
+		for _, v := range g.OutNeighbors(u) {
+			if !inBall[v] {
+				boundary = append(boundary, u)
+				break
+			}
+		}
+	}
+	return ball, boundary
+}

@@ -1,0 +1,312 @@
+// Package im provides the classical influence-maximization algorithms
+// OCTOPUS's introduction cites ([4],[8] and the heuristics literature):
+// CELF-accelerated Monte-Carlo greedy, DegreeDiscount, SingleDiscount,
+// weighted PageRank and degree/random baselines. The online engines are
+// benchmarked against these; the naive per-query baseline of Section I
+// ("compute pp_{u,v} for each edge … then employ the traditional IM
+// algorithms") composes tic.Model.Weights with one of these algorithms.
+package im
+
+import (
+	"fmt"
+	"math"
+
+	"octopus/internal/graph"
+	"octopus/internal/heaps"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// Random returns k distinct uniformly random seeds.
+func Random(g *graph.Graph, k int, r *rng.Source) []graph.NodeID {
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	idx := r.Sample(n, k)
+	out := make([]graph.NodeID, k)
+	for i, v := range idx {
+		out[i] = graph.NodeID(v)
+	}
+	return out
+}
+
+// TopDegree returns the k nodes with the largest out-degree.
+func TopDegree(g *graph.Graph, k int) []graph.NodeID {
+	h := heaps.NewMax(g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		h.Push(heaps.Item{ID: int32(u), Key: float64(g.OutDegree(graph.NodeID(u)))})
+	}
+	return popK(h, k, g.NumNodes())
+}
+
+// TopWeightedDegree ranks nodes by the sum of outgoing edge
+// probabilities (the expected number of directly activated neighbors).
+func TopWeightedDegree(g *graph.Graph, w []float64, k int) []graph.NodeID {
+	h := heaps.NewMax(g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		lo, hi := g.OutEdges(graph.NodeID(u))
+		s := 0.0
+		for e := lo; e < hi; e++ {
+			s += w[e]
+		}
+		h.Push(heaps.Item{ID: int32(u), Key: s})
+	}
+	return popK(h, k, g.NumNodes())
+}
+
+func popK(h *heaps.Max, k, n int) []graph.NodeID {
+	if k > n {
+		k = n
+	}
+	out := make([]graph.NodeID, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		out = append(out, h.Pop().ID)
+	}
+	return out
+}
+
+// SingleDiscount greedily picks high weighted-degree nodes, discounting
+// each pick's edges into already-chosen seeds (Chen et al., KDD 2009).
+func SingleDiscount(g *graph.Graph, w []float64, k int) []graph.NodeID {
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	h := heaps.NewIndexed(n)
+	deg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		lo, hi := g.OutEdges(graph.NodeID(u))
+		for e := lo; e < hi; e++ {
+			deg[u] += w[e]
+		}
+		h.Push(int32(u), deg[u])
+	}
+	chosen := make([]bool, n)
+	out := make([]graph.NodeID, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		u, _ := h.PopMax()
+		chosen[u] = true
+		out = append(out, u)
+		// Discount: every in-neighbor of u loses the edge into u.
+		lo, hi := g.InSlots(u)
+		for s := lo; s < hi; s++ {
+			v := g.InSrc(s)
+			if chosen[v] {
+				continue
+			}
+			deg[v] -= w[g.InEdgeID(s)]
+			if h.Contains(v) {
+				h.Update(v, deg[v])
+			}
+		}
+	}
+	return out
+}
+
+// DegreeDiscount implements the degree-discount heuristic generalized to
+// heterogeneous edge probabilities: a node's score is its remaining
+// weighted degree discounted by the probability mass already claimed by
+// neighboring seeds.
+func DegreeDiscount(g *graph.Graph, w []float64, k int) []graph.NodeID {
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	wdeg := make([]float64, n) // Σ out-edge probs
+	for u := 0; u < n; u++ {
+		lo, hi := g.OutEdges(graph.NodeID(u))
+		for e := lo; e < hi; e++ {
+			wdeg[u] += w[e]
+		}
+	}
+	// tv[u] = probability u is activated directly by chosen seeds.
+	tv := make([]float64, n)
+	h := heaps.NewIndexed(n)
+	score := func(u int) float64 {
+		// Expected additional activations if u seeds: u itself (if not
+		// already reached) plus its remaining out mass scaled by the
+		// chance u is not already covered.
+		return (1 - tv[u]) * (1 + wdeg[u])
+	}
+	for u := 0; u < n; u++ {
+		h.Push(int32(u), score(u))
+	}
+	chosen := make([]bool, n)
+	out := make([]graph.NodeID, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		u, _ := h.PopMax()
+		chosen[u] = true
+		out = append(out, u)
+		lo, hi := g.OutEdges(u)
+		for e := lo; e < hi; e++ {
+			v := g.Dst(e)
+			if chosen[v] {
+				continue
+			}
+			tv[v] = 1 - (1-tv[v])*(1-w[e])
+			h.Update(v, score(int(v)))
+		}
+		ilo, ihi := g.InSlots(u)
+		for s := ilo; s < ihi; s++ {
+			v := g.InSrc(s)
+			if chosen[v] {
+				continue
+			}
+			wdeg[v] -= w[g.InEdgeID(s)]
+			h.Update(v, score(int(v)))
+		}
+	}
+	return out
+}
+
+// PageRank ranks nodes by weighted PageRank on the reversed graph, so
+// that mass flows toward strong influencers (a node pointed-to by many
+// strong edges in the reverse graph is one that points at much of the
+// network in the forward graph).
+func PageRank(g *graph.Graph, w []float64, k, iters int, damping float64) []graph.NodeID {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	// Out-weight sums on the reversed graph = in-weight sums forward.
+	inSum := make([]float64, n)
+	for v := 0; v < n; v++ {
+		lo, hi := g.InSlots(graph.NodeID(v))
+		for s := lo; s < hi; s++ {
+			inSum[v] += w[g.InEdgeID(s)]
+		}
+	}
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = base
+		}
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if inSum[v] == 0 {
+				dangling += pr[v]
+				continue
+			}
+			share := damping * pr[v] / inSum[v]
+			lo, hi := g.InSlots(graph.NodeID(v))
+			for s := lo; s < hi; s++ {
+				// Reverse edge v -> InSrc(s) with weight w[edge].
+				next[g.InSrc(s)] += share * w[g.InEdgeID(s)]
+			}
+		}
+		if dangling > 0 {
+			spread := damping * dangling / float64(n)
+			for i := range next {
+				next[i] += spread
+			}
+		}
+		pr, next = next, pr
+	}
+	h := heaps.NewMax(n)
+	for u := 0; u < n; u++ {
+		h.Push(heaps.Item{ID: int32(u), Key: pr[u]})
+	}
+	return popK(h, k, n)
+}
+
+// CELFResult reports greedy selection with per-step spreads.
+type CELFResult struct {
+	Seeds   []graph.NodeID
+	Spreads []float64 // estimated σ after each pick
+	Evals   int       // number of spread evaluations performed
+}
+
+// CELFGreedy runs lazy-forward greedy (Leskovec et al., KDD 2007) with
+// Monte-Carlo spread estimation under the TIC model and γ. samples is
+// the cascade count per evaluation. This is the quality-reference
+// algorithm; it is far too slow for online use, which is the gap the
+// best-effort engine closes.
+func CELFGreedy(m *tic.Model, gamma topic.Dist, k, samples int, r *rng.Source) (*CELFResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("im: k must be positive")
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("im: samples must be positive")
+	}
+	g := m.Graph()
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	sim := tic.NewSimulator(m)
+	res := &CELFResult{}
+	evalSeed := r.Uint64()
+	eval := func(seeds []graph.NodeID) float64 {
+		// Common random numbers across evaluations reduce comparison noise.
+		return sim.EstimateSpread(seeds, gamma, samples, rng.New(evalSeed))
+	}
+
+	h := heaps.NewMax(n)
+	for u := 0; u < n; u++ {
+		s := eval([]graph.NodeID{graph.NodeID(u)})
+		res.Evals++
+		h.Push(heaps.Item{ID: int32(u), Key: s, Round: 0})
+	}
+	var cur []graph.NodeID
+	curSpread := 0.0
+	for len(cur) < k && h.Len() > 0 {
+		top := h.Pop()
+		if int(top.Round) == len(cur) {
+			cur = append(cur, top.ID)
+			curSpread += top.Key
+			res.Seeds = append(res.Seeds, top.ID)
+			res.Spreads = append(res.Spreads, curSpread)
+			continue
+		}
+		gain := eval(append(append([]graph.NodeID(nil), cur...), top.ID)) - curSpread
+		res.Evals++
+		if gain < 0 {
+			gain = 0
+		}
+		h.Push(heaps.Item{ID: top.ID, Key: gain, Round: int32(len(cur))})
+	}
+	return res, nil
+}
+
+// EstimateSpreads evaluates σ(seeds[:i]) for each prefix using MC, for
+// comparing seed-set quality across algorithms at equal k.
+func EstimateSpreads(m *tic.Model, gamma topic.Dist, seeds []graph.NodeID, samples int, seed uint64) []float64 {
+	sim := tic.NewSimulator(m)
+	out := make([]float64, len(seeds))
+	for i := 1; i <= len(seeds); i++ {
+		out[i-1] = sim.EstimateSpread(seeds[:i], gamma, samples, rng.New(seed))
+	}
+	return out
+}
+
+// Overlap returns |a ∩ b| / max(|a|,|b|) — a quick seed-set similarity
+// used in experiments.
+func Overlap(a, b []graph.NodeID) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[graph.NodeID]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	inter := 0
+	for _, v := range b {
+		if set[v] {
+			inter++
+		}
+	}
+	return float64(inter) / math.Max(float64(len(a)), float64(len(b)))
+}

@@ -1,0 +1,247 @@
+package im
+
+import (
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// starModel: node 0 -> 1..15 with p=0.9; node 16 -> 17 with p=0.9;
+// the clear best single seed is 0, the best pair adds 16.
+func starModel(t testing.TB) (*tic.Model, []float64) {
+	b := graph.NewBuilder(18)
+	for v := int32(1); v <= 15; v++ {
+		b.AddEdge(0, v)
+	}
+	b.AddEdge(16, 17)
+	g := b.Build()
+	mb := tic.NewBuilder(g, 1)
+	for e := 0; e < g.NumEdges(); e++ {
+		if err := mb.SetProb(graph.EdgeID(e), 0, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := mb.Build()
+	return m, m.Weights(topic.Dist{1})
+}
+
+func TestRandom(t *testing.T) {
+	m, _ := starModel(t)
+	r := rng.New(1)
+	seeds := Random(m.Graph(), 5, r)
+	if len(seeds) != 5 {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	if got := Random(m.Graph(), 1000, r); len(got) != 18 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+}
+
+func TestTopDegree(t *testing.T) {
+	m, _ := starModel(t)
+	seeds := TopDegree(m.Graph(), 2)
+	if seeds[0] != 0 {
+		t.Fatalf("TopDegree first = %d, want hub 0", seeds[0])
+	}
+}
+
+func TestTopWeightedDegree(t *testing.T) {
+	m, w := starModel(t)
+	seeds := TopWeightedDegree(m.Graph(), w, 2)
+	if seeds[0] != 0 || seeds[1] != 16 {
+		t.Fatalf("TopWeightedDegree = %v", seeds)
+	}
+}
+
+func TestSingleDiscount(t *testing.T) {
+	m, w := starModel(t)
+	seeds := SingleDiscount(m.Graph(), w, 2)
+	if seeds[0] != 0 || seeds[1] != 16 {
+		t.Fatalf("SingleDiscount = %v", seeds)
+	}
+}
+
+func TestSingleDiscountDiscounts(t *testing.T) {
+	// 0 -> {1,2}, 1 -> {2,3}: after picking 0... actually verify that a
+	// node pointing into chosen seeds loses score: build 0->1 (strong),
+	// 2->0 (strong), 2->3 (weak). After choosing 0, node 2's score drops.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	w := make([]float64, g.NumEdges())
+	e01, _ := g.FindEdge(0, 1)
+	e20, _ := g.FindEdge(2, 0)
+	e23, _ := g.FindEdge(2, 3)
+	w[e01] = 0.9
+	w[e20] = 0.8
+	w[e23] = 0.1
+	seeds := SingleDiscount(g, w, 2)
+	if seeds[0] != 0 {
+		t.Fatalf("first pick = %d", seeds[0])
+	}
+	// Node 2 score after discount: 0.1 < node 1 (0) ... 2 still wins with 0.1.
+	if seeds[1] != 2 {
+		t.Fatalf("second pick = %d, want 2", seeds[1])
+	}
+}
+
+func TestDegreeDiscount(t *testing.T) {
+	m, w := starModel(t)
+	seeds := DegreeDiscount(m.Graph(), w, 2)
+	if seeds[0] != 0 || seeds[1] != 16 {
+		t.Fatalf("DegreeDiscount = %v", seeds)
+	}
+	// Neighbors of chosen hub must rank below untouched node 16's leaf.
+	seeds3 := DegreeDiscount(m.Graph(), w, 18)
+	if len(seeds3) != 18 {
+		t.Fatalf("full ranking len = %d", len(seeds3))
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	m, w := starModel(t)
+	seeds := PageRank(m.Graph(), w, 1, 40, 0.85)
+	if seeds[0] != 0 {
+		t.Fatalf("PageRank top = %d, want 0", seeds[0])
+	}
+	// Defaulted parameters work too.
+	if got := PageRank(m.Graph(), w, 1, 0, 0); got[0] != 0 {
+		t.Fatalf("PageRank with defaults = %v", got)
+	}
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	if got := PageRank(g, nil, 3, 10, 0.85); got != nil {
+		t.Fatalf("empty graph PageRank = %v", got)
+	}
+}
+
+func TestCELFGreedyFindsHub(t *testing.T) {
+	m, _ := starModel(t)
+	res, err := CELFGreedy(m, topic.Dist{1}, 2, 300, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("CELF first seed = %d", res.Seeds[0])
+	}
+	if res.Seeds[1] != 16 {
+		t.Fatalf("CELF second seed = %d", res.Seeds[1])
+	}
+	if len(res.Spreads) != 2 || res.Spreads[1] <= res.Spreads[0] {
+		t.Fatalf("spreads not increasing: %v", res.Spreads)
+	}
+	if res.Evals < m.Graph().NumNodes() {
+		t.Fatalf("evals = %d, want >= n", res.Evals)
+	}
+}
+
+func TestCELFLazinessSavesEvals(t *testing.T) {
+	m, _ := starModel(t)
+	res, err := CELFGreedy(m, topic.Dist{1}, 3, 200, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain greedy would need n evals per round = 54; CELF should do far
+	// fewer than 2n total for k=3 on this graph.
+	if res.Evals > 2*m.Graph().NumNodes() {
+		t.Fatalf("CELF evals = %d, laziness ineffective", res.Evals)
+	}
+}
+
+func TestCELFErrors(t *testing.T) {
+	m, _ := starModel(t)
+	if _, err := CELFGreedy(m, topic.Dist{1}, 0, 100, rng.New(1)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := CELFGreedy(m, topic.Dist{1}, 1, 0, rng.New(1)); err == nil {
+		t.Fatal("samples=0 accepted")
+	}
+}
+
+func TestEstimateSpreads(t *testing.T) {
+	m, _ := starModel(t)
+	s := EstimateSpreads(m, topic.Dist{1}, []graph.NodeID{0, 16}, 500, 7)
+	if len(s) != 2 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[1] <= s[0] {
+		t.Fatalf("prefix spreads not increasing: %v", s)
+	}
+	if s[0] < 10 || s[0] > 16 {
+		t.Fatalf("σ({0}) = %v, want ~14.5", s[0])
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []graph.NodeID{1, 2, 3}
+	b := []graph.NodeID{2, 3, 4, 5}
+	if got := Overlap(a, b); got != 0.5 {
+		t.Fatalf("Overlap = %v", got)
+	}
+	if got := Overlap(nil, nil); got != 1 {
+		t.Fatalf("Overlap(nil,nil) = %v", got)
+	}
+	if got := Overlap(a, nil); got != 0 {
+		t.Fatalf("Overlap(a,nil) = %v", got)
+	}
+}
+
+func TestHeuristicsAgreeOnObviousInstance(t *testing.T) {
+	// All heuristics should find the hub on the star instance.
+	m, w := starModel(t)
+	g := m.Graph()
+	algos := map[string][]graph.NodeID{
+		"degree":    TopDegree(g, 1),
+		"wdegree":   TopWeightedDegree(g, w, 1),
+		"sdiscount": SingleDiscount(g, w, 1),
+		"ddiscount": DegreeDiscount(g, w, 1),
+		"pagerank":  PageRank(g, w, 1, 30, 0.85),
+	}
+	for name, seeds := range algos {
+		if len(seeds) != 1 || seeds[0] != 0 {
+			t.Fatalf("%s picked %v, want [0]", name, seeds)
+		}
+	}
+}
+
+func BenchmarkDegreeDiscount(b *testing.B) {
+	r := rng.New(1)
+	const n = 20000
+	gb := graph.NewBuilder(n)
+	for i := 0; i < n*6; i++ {
+		gb.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	g := gb.Build()
+	w := make([]float64, g.NumEdges())
+	for e := range w {
+		w[e] = 0.1 * r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DegreeDiscount(g, w, 50)
+	}
+}
+
+func BenchmarkCELFGreedySmall(b *testing.B) {
+	m, _ := starModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CELFGreedy(m, topic.Dist{1}, 2, 100, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

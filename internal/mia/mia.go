@@ -1,0 +1,311 @@
+// Package mia implements maximum influence arborescences (Chen, Wang and
+// Wang, KDD 2010 — reference [4] of the OCTOPUS paper). OCTOPUS uses MIA
+// in two roles:
+//
+//  1. Influential-path visualization and exploration (Section II-E): the
+//     influence of a user u is restricted to a local tree rooted at u
+//     where each u→v path is the maximum-probability path, pruned below a
+//     threshold θ.
+//  2. A fast deterministic spread oracle inside the online engines: the
+//     MIA spread of a seed set (sum of per-node activation probabilities
+//     over the union of the seeds' arborescences) is computable in
+//     milliseconds and is monotone in edge probabilities, which the
+//     best-effort bounds rely on.
+//
+// Trees are built with a max-probability Dijkstra: path probability is
+// the product of edge probabilities, so popping the largest-probability
+// node first yields the maximum influence path to every node.
+package mia
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/graph"
+	"octopus/internal/heaps"
+)
+
+// EdgeProb supplies the activation probability of an edge (typically a
+// closure over a tic.Model and a query topic distribution γ).
+type EdgeProb func(graph.EdgeID) float64
+
+// TreeNode is one node of an arborescence.
+type TreeNode struct {
+	ID     graph.NodeID
+	Parent int32        // index into Tree.Nodes, -1 for the root
+	Edge   graph.EdgeID // graph edge linking parent and this node
+	Prob   float64      // max path probability from/to the root
+	Depth  int32
+}
+
+// Tree is a maximum influence arborescence. Nodes[0] is the root;
+// children always appear after their parent (pop order of Dijkstra).
+type Tree struct {
+	Root    graph.NodeID
+	Forward bool // true: MIOA (root influences others); false: MIIA
+	Theta   float64
+	Nodes   []TreeNode
+}
+
+// Size returns the number of nodes including the root.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Spread returns Σ_v ap(root→v), the MIA influence of the root (the root
+// itself contributes 1).
+func (t *Tree) Spread() float64 {
+	s := 0.0
+	for _, n := range t.Nodes {
+		s += n.Prob
+	}
+	return s
+}
+
+// Path returns the node sequence from the root to Nodes[i].
+func (t *Tree) Path(i int) []graph.NodeID {
+	var rev []graph.NodeID
+	for j := int32(i); j >= 0; j = t.Nodes[j].Parent {
+		rev = append(rev, t.Nodes[j].ID)
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// Find returns the index of node id in the tree, or -1.
+func (t *Tree) Find(id graph.NodeID) int {
+	for i, n := range t.Nodes {
+		if n.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Children returns a child-index adjacency list aligned with Nodes.
+func (t *Tree) Children() [][]int32 {
+	ch := make([][]int32, len(t.Nodes))
+	for i := 1; i < len(t.Nodes); i++ {
+		p := t.Nodes[i].Parent
+		ch[p] = append(ch[p], int32(i))
+	}
+	return ch
+}
+
+// SubtreeWeights returns, per node index, the sum of Prob over the
+// node's subtree — the "effect of the user on influence" rendered as
+// node size in the OCTOPUS path visualization.
+func (t *Tree) SubtreeWeights() []float64 {
+	w := make([]float64, len(t.Nodes))
+	for i := range t.Nodes {
+		w[i] = t.Nodes[i].Prob
+	}
+	// Children appear after parents, so a reverse sweep accumulates.
+	for i := len(t.Nodes) - 1; i >= 1; i-- {
+		w[t.Nodes[i].Parent] += w[i]
+	}
+	return w
+}
+
+// Calc holds reusable state for building arborescences on one graph.
+// Not safe for concurrent use; create one per goroutine.
+type Calc struct {
+	g      *graph.Graph
+	heap   *heaps.Indexed
+	best   []float64
+	parent []int32
+	pedge  []graph.EdgeID
+	stamp  []uint32
+	epoch  uint32
+}
+
+// NewCalc returns a Calc for graph g.
+func NewCalc(g *graph.Graph) *Calc {
+	n := g.NumNodes()
+	return &Calc{
+		g:      g,
+		heap:   heaps.NewIndexed(n),
+		best:   make([]float64, n),
+		parent: make([]int32, n),
+		pedge:  make([]graph.EdgeID, n),
+		stamp:  make([]uint32, n),
+	}
+}
+
+// MIOA builds the maximum influence out-arborescence of root: all nodes
+// reachable with max path probability ≥ theta, capped at maxNodes nodes
+// (0 means unlimited).
+func (c *Calc) MIOA(prob EdgeProb, root graph.NodeID, theta float64, maxNodes int) *Tree {
+	return c.build(prob, root, theta, maxNodes, true)
+}
+
+// MIIA builds the maximum influence in-arborescence (who influences
+// root, Scenario 3's reverse exploration).
+func (c *Calc) MIIA(prob EdgeProb, root graph.NodeID, theta float64, maxNodes int) *Tree {
+	return c.build(prob, root, theta, maxNodes, false)
+}
+
+func (c *Calc) build(prob EdgeProb, root graph.NodeID, theta float64, maxNodes int, forward bool) *Tree {
+	if theta <= 0 {
+		theta = 1e-9 // a zero threshold would make dense graphs explode
+	}
+	c.epoch++
+	if c.epoch == 0 {
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+		c.epoch = 1
+	}
+	t := &Tree{Root: root, Forward: forward, Theta: theta}
+	c.heap.Clear()
+	c.best[root] = 1
+	c.parent[root] = -1
+	c.stamp[root] = c.epoch
+	c.heap.Push(root, 1)
+
+	// popped index per node: record position in t.Nodes as we pop.
+	// Reuse c.parent to store graph parent node; map to tree index later
+	// via popOrder lookup.
+	popIndex := make(map[graph.NodeID]int32, 16)
+
+	for c.heap.Len() > 0 {
+		u, p := c.heap.PopMax()
+		if p < theta {
+			break
+		}
+		var parentIdx int32 = -1
+		var edge graph.EdgeID
+		var depth int32
+		if u != root {
+			parentIdx = popIndex[c.parent[u]]
+			edge = c.pedge[u]
+			depth = t.Nodes[parentIdx].Depth + 1
+		}
+		popIndex[u] = int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, TreeNode{ID: u, Parent: parentIdx, Edge: edge, Prob: p, Depth: depth})
+		if maxNodes > 0 && len(t.Nodes) >= maxNodes {
+			break
+		}
+		if forward {
+			lo, hi := c.g.OutEdges(u)
+			for e := lo; e < hi; e++ {
+				c.relax(u, c.g.Dst(e), e, p*prob(e), theta)
+			}
+		} else {
+			lo, hi := c.g.InSlots(u)
+			for s := lo; s < hi; s++ {
+				c.relax(u, c.g.InSrc(s), c.g.InEdgeID(s), p*prob(c.g.InEdgeID(s)), theta)
+			}
+		}
+	}
+	c.heap.Clear()
+	return t
+}
+
+func (c *Calc) relax(u, v graph.NodeID, e graph.EdgeID, p, theta float64) {
+	if p < theta {
+		return
+	}
+	if c.stamp[v] == c.epoch {
+		if _, inHeap := c.heap.Key(v); !inHeap {
+			return // already finalized in the tree
+		}
+		if p <= c.best[v] {
+			return
+		}
+	}
+	c.stamp[v] = c.epoch
+	c.best[v] = p
+	c.parent[v] = u
+	c.pedge[v] = e
+	c.heap.Update(v, p)
+}
+
+// Cover tracks per-node activation probabilities for a growing seed set
+// under the MIA independence approximation: a node reached by several
+// seeds' arborescences with probabilities p₁..pⱼ is activated with
+// probability 1−Π(1−pᵢ).
+type Cover struct {
+	probs map[graph.NodeID]float64
+}
+
+// NewCover returns an empty cover.
+func NewCover() *Cover { return &Cover{probs: make(map[graph.NodeID]float64)} }
+
+// Spread returns the current MIA spread Σ_v ap(v).
+func (c *Cover) Spread() float64 {
+	s := 0.0
+	for _, p := range c.probs {
+		s += p
+	}
+	return s
+}
+
+// Prob returns the current activation probability of v.
+func (c *Cover) Prob(v graph.NodeID) float64 { return c.probs[v] }
+
+// Gain returns the marginal MIA spread of adding tree's root:
+// Σ_v ap_tree(v)·(1−cover(v)).
+func (c *Cover) Gain(t *Tree) float64 {
+	g := 0.0
+	for _, n := range t.Nodes {
+		g += n.Prob * (1 - c.probs[n.ID])
+	}
+	return g
+}
+
+// Add merges tree into the cover.
+func (c *Cover) Add(t *Tree) {
+	for _, n := range t.Nodes {
+		cur := c.probs[n.ID]
+		c.probs[n.ID] = 1 - (1-cur)*(1-n.Prob)
+	}
+}
+
+// Validate checks Tree invariants; used by tests and the HTTP layer.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("mia: empty tree")
+	}
+	if t.Nodes[0].ID != t.Root || t.Nodes[0].Parent != -1 || t.Nodes[0].Prob != 1 {
+		return fmt.Errorf("mia: malformed root node %+v", t.Nodes[0])
+	}
+	for i := 1; i < len(t.Nodes); i++ {
+		n := t.Nodes[i]
+		if n.Parent < 0 || int(n.Parent) >= i {
+			return fmt.Errorf("mia: node %d has forward/invalid parent %d", i, n.Parent)
+		}
+		if n.Prob <= 0 || n.Prob > t.Nodes[n.Parent].Prob+1e-12 {
+			return fmt.Errorf("mia: node %d prob %v exceeds parent prob %v",
+				i, n.Prob, t.Nodes[n.Parent].Prob)
+		}
+		if n.Prob < t.Theta {
+			return fmt.Errorf("mia: node %d prob %v below theta %v", i, n.Prob, t.Theta)
+		}
+		if n.Depth != t.Nodes[n.Parent].Depth+1 {
+			return fmt.Errorf("mia: node %d depth %d inconsistent", i, n.Depth)
+		}
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, n := range t.Nodes {
+		if seen[n.ID] {
+			return fmt.Errorf("mia: node %d appears twice", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	return nil
+}
+
+// TopInfluenced returns the k non-root tree nodes with the largest
+// activation probabilities, as (node, prob) pairs in decreasing order.
+func (t *Tree) TopInfluenced(k int) []TreeNode {
+	nodes := make([]TreeNode, 0, len(t.Nodes)-1)
+	for _, n := range t.Nodes[1:] {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Prob > nodes[j].Prob })
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	return nodes[:k]
+}

@@ -1,0 +1,282 @@
+package mia
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// diamond: 0->1 (0.8), 0->2 (0.5), 1->3 (0.5), 2->3 (0.9).
+// Max path 0→3 goes via 2: 0.5*0.9 = 0.45 > 0.8*0.5 = 0.40.
+func diamond(t testing.TB) (*graph.Graph, EdgeProb) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	probs := map[[2]graph.NodeID]float64{
+		{0, 1}: 0.8, {0, 2}: 0.5, {1, 3}: 0.5, {2, 3}: 0.9,
+	}
+	ep := func(e graph.EdgeID) float64 {
+		return probs[[2]graph.NodeID{g.Src(e), g.Dst(e)}]
+	}
+	return g, ep
+}
+
+func TestMIOAMaxPath(t *testing.T) {
+	g, ep := diamond(t)
+	c := NewCalc(g)
+	tree := c.MIOA(ep, 0, 0.01, 0)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 4 {
+		t.Fatalf("tree size = %d", tree.Size())
+	}
+	i3 := tree.Find(3)
+	if i3 < 0 {
+		t.Fatal("node 3 missing")
+	}
+	if got := tree.Nodes[i3].Prob; math.Abs(got-0.45) > 1e-12 {
+		t.Fatalf("ap(0→3) = %v, want 0.45 (via node 2)", got)
+	}
+	path := tree.Path(i3)
+	if len(path) != 3 || path[0] != 0 || path[1] != 2 || path[2] != 3 {
+		t.Fatalf("path = %v, want [0 2 3]", path)
+	}
+}
+
+func TestMIOAThetaPrunes(t *testing.T) {
+	g, ep := diamond(t)
+	c := NewCalc(g)
+	tree := c.MIOA(ep, 0, 0.46, 0) // cuts node 3 (0.45)
+	if tree.Find(3) >= 0 {
+		t.Fatalf("theta failed to prune node 3: %+v", tree.Nodes)
+	}
+	if tree.Size() != 3 {
+		t.Fatalf("size = %d, want 3", tree.Size())
+	}
+}
+
+func TestMIOAMaxNodesCap(t *testing.T) {
+	g, ep := diamond(t)
+	c := NewCalc(g)
+	tree := c.MIOA(ep, 0, 0.01, 2)
+	if tree.Size() != 2 {
+		t.Fatalf("size = %d, want cap 2", tree.Size())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIIAReverse(t *testing.T) {
+	g, ep := diamond(t)
+	c := NewCalc(g)
+	tree := c.MIIA(ep, 3, 0.01, 0)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Forward {
+		t.Fatal("MIIA marked forward")
+	}
+	i0 := tree.Find(0)
+	if i0 < 0 {
+		t.Fatal("node 0 missing from MIIA(3)")
+	}
+	if got := tree.Nodes[i0].Prob; math.Abs(got-0.45) > 1e-12 {
+		t.Fatalf("ap(0→3) via MIIA = %v, want 0.45", got)
+	}
+}
+
+func TestSpreadAndSubtreeWeights(t *testing.T) {
+	g, ep := diamond(t)
+	c := NewCalc(g)
+	tree := c.MIOA(ep, 0, 0.01, 0)
+	want := 1 + 0.8 + 0.5 + 0.45
+	if got := tree.Spread(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Spread = %v, want %v", got, want)
+	}
+	w := tree.SubtreeWeights()
+	if math.Abs(w[0]-want) > 1e-12 {
+		t.Fatalf("root subtree weight = %v, want total %v", w[0], want)
+	}
+	// Node 2's subtree contains itself (0.5) and node 3 (0.45).
+	i2 := tree.Find(2)
+	if math.Abs(w[i2]-0.95) > 1e-12 {
+		t.Fatalf("subtree(2) = %v, want 0.95", w[i2])
+	}
+}
+
+func TestChildren(t *testing.T) {
+	g, ep := diamond(t)
+	tree := NewCalc(g).MIOA(ep, 0, 0.01, 0)
+	ch := tree.Children()
+	if len(ch[0]) != 2 {
+		t.Fatalf("root children = %v", ch[0])
+	}
+}
+
+func TestTopInfluenced(t *testing.T) {
+	g, ep := diamond(t)
+	tree := NewCalc(g).MIOA(ep, 0, 0.01, 0)
+	top := tree.TopInfluenced(2)
+	if len(top) != 2 || top[0].ID != 1 || top[1].ID != 2 {
+		t.Fatalf("TopInfluenced = %+v", top)
+	}
+	if got := tree.TopInfluenced(100); len(got) != 3 {
+		t.Fatalf("TopInfluenced(100) len = %d", len(got))
+	}
+}
+
+func TestCoverGainAndAdd(t *testing.T) {
+	g, ep := diamond(t)
+	c := NewCalc(g)
+	t0 := c.MIOA(ep, 0, 0.01, 0)
+	cover := NewCover()
+	gain0 := cover.Gain(t0)
+	if math.Abs(gain0-t0.Spread()) > 1e-12 {
+		t.Fatalf("first gain = %v, want full spread %v", gain0, t0.Spread())
+	}
+	cover.Add(t0)
+	if math.Abs(cover.Spread()-t0.Spread()) > 1e-12 {
+		t.Fatalf("cover spread = %v", cover.Spread())
+	}
+	// Adding the same tree again gains only the complement mass.
+	gainAgain := cover.Gain(t0)
+	if gainAgain >= gain0 {
+		t.Fatalf("repeat gain %v not diminished from %v", gainAgain, gain0)
+	}
+	// Submodularity corner: gain of a disjoint node's tree unchanged.
+	t3 := c.MIOA(ep, 3, 0.01, 0)
+	if got := cover.Gain(t3); math.Abs(got-(1-cover.Prob(3))) > 1e-12 {
+		t.Fatalf("gain(t3) = %v", got)
+	}
+}
+
+func TestCalcReuseAcrossQueries(t *testing.T) {
+	g, ep := diamond(t)
+	c := NewCalc(g)
+	for i := 0; i < 50; i++ {
+		root := graph.NodeID(i % 4)
+		tree := c.MIOA(ep, root, 0.01, 0)
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if tree.Root != root {
+			t.Fatalf("root mismatch")
+		}
+	}
+}
+
+func TestZeroThetaDefaulted(t *testing.T) {
+	g, ep := diamond(t)
+	tree := NewCalc(g).MIOA(ep, 0, 0, 0)
+	if tree.Theta <= 0 {
+		t.Fatalf("theta not defaulted: %v", tree.Theta)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on random graphs, MIOA trees validate, probabilities are
+// monotone along paths, and MIIA/MIOA agree on path probability.
+func TestQuickTreeInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := b.Build()
+		w := make([]float64, g.NumEdges())
+		for e := range w {
+			w[e] = 0.05 + 0.9*r.Float64()
+		}
+		ep := func(e graph.EdgeID) float64 { return w[e] }
+		c := NewCalc(g)
+		root := graph.NodeID(r.Intn(n))
+		theta := 0.001 + 0.3*r.Float64()
+		fwd := c.MIOA(ep, root, theta, 0)
+		if fwd.Validate() != nil {
+			return false
+		}
+		// Every non-root node's prob equals parent prob times edge prob.
+		for i := 1; i < len(fwd.Nodes); i++ {
+			nd := fwd.Nodes[i]
+			want := fwd.Nodes[nd.Parent].Prob * ep(nd.Edge)
+			if math.Abs(nd.Prob-want) > 1e-9 {
+				return false
+			}
+		}
+		// MIIA from a reached node recovers the same max path probability.
+		if len(fwd.Nodes) > 1 {
+			target := fwd.Nodes[len(fwd.Nodes)-1]
+			rev := c.MIIA(ep, target.ID, theta, 0)
+			j := rev.Find(root)
+			if j < 0 {
+				return false
+			}
+			if math.Abs(rev.Nodes[j].Prob-target.Prob) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MIA singleton spread is a lower bound of (and correlated
+// with) the true IC spread on trees, and never exceeds n.
+func TestMIASpreadAgainstMCOnTree(t *testing.T) {
+	// A perfect binary tree (each edge 0.6): MIA = IC exactly on trees.
+	b := graph.NewBuilder(15)
+	for i := int32(0); i < 7; i++ {
+		b.AddEdge(i, 2*i+1)
+		b.AddEdge(i, 2*i+2)
+	}
+	g := b.Build()
+	mb := tic.NewBuilder(g, 1)
+	for e := 0; e < g.NumEdges(); e++ {
+		_ = mb.SetProb(graph.EdgeID(e), 0, 0.6)
+	}
+	m := mb.Build()
+	ep := func(e graph.EdgeID) float64 { return m.EdgeProb(e, topic.Dist{1}) }
+	tree := NewCalc(g).MIOA(ep, 0, 1e-9, 0)
+	sim := tic.NewSimulator(m)
+	mc := sim.EstimateSpread([]graph.NodeID{0}, topic.Dist{1}, 30000, rng.New(1))
+	if math.Abs(tree.Spread()-mc) > 0.15 {
+		t.Fatalf("MIA=%v MC=%v should coincide on a tree", tree.Spread(), mc)
+	}
+}
+
+func BenchmarkMIOA(b *testing.B) {
+	r := rng.New(1)
+	const n = 20000
+	gb := graph.NewBuilder(n)
+	for i := 0; i < n*6; i++ {
+		gb.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	g := gb.Build()
+	w := make([]float64, g.NumEdges())
+	for e := range w {
+		w[e] = 0.01 + 0.2*r.Float64()
+	}
+	ep := func(e graph.EdgeID) float64 { return w[e] }
+	c := NewCalc(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := c.MIOA(ep, graph.NodeID(i%n), 0.01, 0)
+		_ = tree
+	}
+}

@@ -1,0 +1,381 @@
+package otim
+
+import (
+	"context"
+	"fmt"
+
+	"octopus/internal/graph"
+	"octopus/internal/heaps"
+	"octopus/internal/mia"
+	"octopus/internal/rng"
+	"octopus/internal/topic"
+)
+
+func newSampleRNG(seed uint64) *rng.Source { return rng.New(seed) }
+
+// Bound identifies one of the engine's upper-bound estimators.
+type Bound int
+
+const (
+	// BoundPrecomputed is UB_P(u) = 1 + Σ_z γ_z·A_z(u): O(Z) per user,
+	// always at least as tight as the neighborhood bound.
+	BoundPrecomputed Bound = iota
+	// BoundNeighborhood is UB_N(u) = 1 + Δ·Σ_z γ_z·wdeg_z(u): O(Z) per
+	// user with a single global cap; kept for the bound-quality ablation.
+	BoundNeighborhood
+	// BoundLocalGraph evaluates the MIA tree of u under γ truncated at
+	// LocalDepth and adds the escaped mass through frontier nodes:
+	// tightest, costs one truncated Dijkstra.
+	BoundLocalGraph
+)
+
+// QueryOptions configures a keyword-IM query.
+type QueryOptions struct {
+	// K is the number of seeds (required).
+	K int
+	// Theta is the MIA threshold defining spread semantics
+	// (default 0.01; must be ≥ the index's ThetaPre for sound bounds).
+	Theta float64
+	// Epsilon permits (1−ε)-approximate seed picks for earlier
+	// termination; 0 demands exact greedy.
+	Epsilon float64
+	// FirstBound chooses the cheap first-tier bound (default
+	// BoundPrecomputed).
+	FirstBound Bound
+	// SkipLocalBound drops the middle refinement tier, escalating cheap
+	// bounds straight to exact evaluation (for the E5 ablation).
+	SkipLocalBound bool
+	// MaxTreeNodes caps exact-evaluation tree sizes (0 = unlimited).
+	MaxTreeNodes int
+	// UseSamples answers from the topic-sample index when a sample lies
+	// within SampleTolerance (L1) of the query.
+	UseSamples bool
+	// SampleTolerance is the L1 radius for direct sample answers
+	// (default 0.1).
+	SampleTolerance float64
+	// Context cancels long queries between refinement steps.
+	Context context.Context
+}
+
+func (o *QueryOptions) fill() error {
+	if o.K <= 0 {
+		return fmt.Errorf("otim: K must be positive")
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.01
+	}
+	if o.Theta <= 0 || o.Theta >= 1 {
+		return fmt.Errorf("otim: Theta %v out of (0,1)", o.Theta)
+	}
+	if o.Epsilon < 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("otim: Epsilon %v out of [0,1)", o.Epsilon)
+	}
+	if o.SampleTolerance == 0 {
+		o.SampleTolerance = 0.1
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+	return nil
+}
+
+// Stats reports the work a query performed — the quantities Experiment
+// E5 tabulates.
+type Stats struct {
+	CheapBounds int // first-tier bound evaluations (all n, vectorized)
+	LocalBounds int // local-graph bound evaluations
+	ExactEvals  int // full MIA tree evaluations
+	Pruned      int // users never refined beyond the cheap bound
+	SampleHit   bool
+	SampleDist  float64 // L1 distance to the nearest sample (-1 if none)
+}
+
+// Result is the answer to a keyword-IM query.
+type Result struct {
+	Seeds   []graph.NodeID
+	Spreads []float64 // MIA spread after each seed
+	Stats   Stats
+}
+
+// Engine answers topic-aware IM queries against an Index. Not safe for
+// concurrent use — create one Engine per goroutine (they share the
+// immutable Index).
+type Engine struct {
+	ix   *Index
+	calc *mia.Calc
+	// tier[u] = highest refinement tier evaluated for u this query.
+	tier    []int8
+	tierGen []uint32
+	curGen  uint32
+	// bMemo caches B_γ(v) = Σ_z γ_z·A_z(v) within one query.
+	bMemo    []float64
+	bMemoGen []uint32
+}
+
+// NewEngine creates a query engine over ix.
+func NewEngine(ix *Index) *Engine {
+	n := ix.model.Graph().NumNodes()
+	return &Engine{
+		ix:       ix,
+		calc:     mia.NewCalc(ix.model.Graph()),
+		tier:     make([]int8, n),
+		tierGen:  make([]uint32, n),
+		bMemo:    make([]float64, n),
+		bMemoGen: make([]uint32, n),
+	}
+}
+
+// QueryKeywords resolves keywords through the keyword model and runs
+// Query with the induced topic distribution γ.
+func (e *Engine) QueryKeywords(km *topic.Model, keywords []string, opt QueryOptions) (*Result, topic.Dist, error) {
+	gamma, _ := km.InferGamma(keywords)
+	res, err := e.Query(gamma, opt)
+	return res, gamma, err
+}
+
+// Query finds the K seeds with maximum topic-aware influence spread
+// under γ using the best-effort framework.
+func (e *Engine) Query(gamma topic.Dist, opt QueryOptions) (*Result, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	m := e.ix.model
+	if len(gamma) != m.NumTopics() {
+		return nil, fmt.Errorf("otim: γ has %d topics, model has %d", len(gamma), m.NumTopics())
+	}
+	if err := gamma.Validate(); err != nil {
+		return nil, fmt.Errorf("otim: invalid γ: %w", err)
+	}
+	if opt.Theta < e.ix.thetaPre {
+		return nil, fmt.Errorf("otim: query θ=%v below index θ_pre=%v breaks bound soundness",
+			opt.Theta, e.ix.thetaPre)
+	}
+	res := &Result{Stats: Stats{SampleDist: -1}}
+
+	// Topic-sample fast path.
+	if opt.UseSamples && len(e.ix.samples) > 0 {
+		si, dist := e.ix.NearestSample(gamma)
+		res.Stats.SampleDist = dist
+		if si >= 0 && dist <= opt.SampleTolerance && len(e.ix.samples[si].Seeds) >= opt.K {
+			s := e.ix.samples[si]
+			res.Stats.SampleHit = true
+			res.Seeds = append([]graph.NodeID(nil), s.Seeds[:opt.K]...)
+			// Report honest spreads for the actual query γ.
+			res.Spreads = e.spreadsFor(res.Seeds, gamma, opt)
+			return res, nil
+		}
+	}
+	e.bestEffort(gamma, opt, res)
+	return res, nil
+}
+
+// spreadsFor computes MIA cover spreads of seed prefixes under γ.
+func (e *Engine) spreadsFor(seeds []graph.NodeID, gamma topic.Dist, opt QueryOptions) []float64 {
+	prob := func(ed graph.EdgeID) float64 { return e.ix.model.EdgeProb(ed, gamma) }
+	cover := mia.NewCover()
+	out := make([]float64, len(seeds))
+	for i, s := range seeds {
+		tree := e.calc.MIOA(prob, s, opt.Theta, opt.MaxTreeNodes)
+		cover.Add(tree)
+		out[i] = cover.Spread()
+	}
+	return out
+}
+
+// entry encoding in the lazy heap: Round packs (round<<2 | tier).
+// tier 0 = cheap bound, 1 = local bound, 2 = exact marginal gain.
+const (
+	tierCheap = 0
+	tierLocal = 1
+	tierExact = 2
+)
+
+func pack(round int, tier int) int32   { return int32(round<<2 | tier) }
+func unpack(v int32) (round, tier int) { return int(v >> 2), int(v & 3) }
+
+func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
+	m := e.ix.model
+	g := m.Graph()
+	n := g.NumNodes()
+	z := m.NumTopics()
+	prob := func(ed graph.EdgeID) float64 { return m.EdgeProb(ed, gamma) }
+
+	e.curGen++
+	if e.curGen == 0 {
+		for i := range e.tierGen {
+			e.tierGen[i] = 0
+			e.bMemoGen[i] = 0
+		}
+		e.curGen = 1
+	}
+
+	// Tier-0 bounds for every user.
+	h := heaps.NewMax(n)
+	useP := opt.FirstBound != BoundNeighborhood
+	for u := 0; u < n; u++ {
+		var ub float64
+		if useP {
+			row := e.ix.aggr[u*z : (u+1)*z]
+			for zi := 0; zi < z; zi++ {
+				ub += gamma[zi] * row[zi]
+			}
+		} else {
+			row := e.ix.wdeg[u*z : (u+1)*z]
+			s := 0.0
+			for zi := 0; zi < z; zi++ {
+				s += gamma[zi] * row[zi]
+			}
+			ub = s * e.ix.delta
+		}
+		h.Push(heaps.Item{ID: int32(u), Key: 1 + ub, Round: pack(0, tierCheap)})
+	}
+	res.Stats.CheapBounds = n
+
+	cover := mia.NewCover()
+	chosen := make([]bool, n)
+	round := 0
+	// Within one query γ is fixed, so a candidate's MIA tree never
+	// changes across seed rounds — only the cover does. Cache trees so
+	// stale re-evaluations are O(tree) gain walks instead of Dijkstras.
+	treeCache := make(map[int32]*mia.Tree)
+	getTree := func(id int32) *mia.Tree {
+		if t, ok := treeCache[id]; ok {
+			return t
+		}
+		t := e.calc.MIOA(prob, id, opt.Theta, opt.MaxTreeNodes)
+		treeCache[id] = t
+		return t
+	}
+	// bestFresh tracks the best exact gain seen this round for ε-early
+	// selection.
+	bestFreshID := int32(-1)
+	bestFreshGain := -1.0
+	var bestFreshTree *mia.Tree
+
+	selectSeed := func(id int32, gain float64, tree *mia.Tree) {
+		if tree == nil {
+			tree = getTree(id)
+		}
+		chosen[id] = true
+		cover.Add(tree)
+		res.Seeds = append(res.Seeds, id)
+		res.Spreads = append(res.Spreads, cover.Spread())
+		round++
+		bestFreshID, bestFreshGain, bestFreshTree = -1, -1, nil
+	}
+
+	for len(res.Seeds) < opt.K && h.Len() > 0 {
+		if err := opt.Context.Err(); err != nil {
+			return // cancelled: return seeds found so far
+		}
+		top := h.Pop()
+		if chosen[top.ID] {
+			continue // stale entry of an already-selected seed
+		}
+		topRound, topTier := unpack(top.Round)
+
+		// ε-approximate early pick: the freshest exact gain already
+		// dominates (1−ε)·(best remaining upper bound).
+		if opt.Epsilon > 0 && bestFreshID >= 0 && bestFreshID != top.ID &&
+			bestFreshGain >= (1-opt.Epsilon)*top.Key {
+			h.Push(top) // put the candidate back
+			selectSeed(bestFreshID, bestFreshGain, bestFreshTree)
+			continue
+		}
+
+		switch {
+		case topTier == tierExact && topRound == round:
+			selectSeed(top.ID, top.Key, nil)
+
+		case topTier == tierExact: // stale marginal gain: rewalk cached tree
+			tree := getTree(top.ID)
+			gain := cover.Gain(tree)
+			res.Stats.ExactEvals++
+			if gain > bestFreshGain {
+				bestFreshID, bestFreshGain, bestFreshTree = top.ID, gain, tree
+			}
+			h.Push(heaps.Item{ID: top.ID, Key: gain, Round: pack(round, tierExact)})
+
+		case topTier == tierCheap && !opt.SkipLocalBound:
+			ub := e.localBound(gamma, top.ID)
+			res.Stats.LocalBounds++
+			if ub > top.Key {
+				ub = top.Key // bounds only tighten
+			}
+			h.Push(heaps.Item{ID: top.ID, Key: ub, Round: pack(round, tierLocal)})
+			e.markTier(top.ID, tierLocal)
+
+		default: // cheap (skipping local) or local: escalate to exact
+			tree := getTree(top.ID)
+			gain := cover.Gain(tree)
+			res.Stats.ExactEvals++
+			if gain > bestFreshGain {
+				bestFreshID, bestFreshGain, bestFreshTree = top.ID, gain, tree
+			}
+			h.Push(heaps.Item{ID: top.ID, Key: gain, Round: pack(round, tierExact)})
+			e.markTier(top.ID, tierExact)
+		}
+	}
+
+	// Pruned = users whose refinement never went past the cheap bound.
+	refined := 0
+	for u := 0; u < n; u++ {
+		if e.tierGen[u] == e.curGen {
+			refined++
+		}
+	}
+	res.Stats.Pruned = n - refined
+}
+
+func (e *Engine) markTier(u int32, tier int8) {
+	if e.tierGen[u] != e.curGen {
+		e.tierGen[u] = e.curGen
+		e.tier[u] = tier
+		return
+	}
+	if tier > e.tier[u] {
+		e.tier[u] = tier
+	}
+}
+
+// localBound computes the local-graph bound
+//
+//	UB_L(u) = 1 + Σ_{v∈N⁺(u)} p_{u,v}(γ) · min(σ̄max(v), 1 + B_γ(v))
+//
+// where B_γ(v) = Σ_z γ_z·A_z(v). Soundness: the MIA spread satisfies the
+// union-bound recursion σ(u) ≤ 1 + Σ_v p_uv(γ)·σ(v), and both σ̄max(v)
+// (monotonicity in edge probabilities) and 1+B_γ(v) (one more unrolling)
+// dominate σ(v). UB_L is always ≤ UB_P since min(σ̄max(v),·) ≤ σ̄max(v),
+// and it evaluates u's two-hop local graph — the same locality the OTIM
+// paper's local-graph estimator exploits.
+func (e *Engine) localBound(gamma topic.Dist, u int32) float64 {
+	m := e.ix.model
+	g := m.Graph()
+	z := m.NumTopics()
+	ub := 1.0
+	lo, hi := g.OutEdges(u)
+	for ed := lo; ed < hi; ed++ {
+		p := m.EdgeProb(ed, gamma)
+		if p == 0 {
+			continue
+		}
+		v := g.Dst(ed)
+		var bv float64
+		if e.bMemoGen[v] == e.curGen {
+			bv = e.bMemo[v]
+		} else {
+			row := e.ix.aggr[int(v)*z : (int(v)+1)*z]
+			for zi := 0; zi < z; zi++ {
+				bv += gamma[zi] * row[zi]
+			}
+			e.bMemo[v] = bv
+			e.bMemoGen[v] = e.curGen
+		}
+		capV := e.ix.sigmaMax[v]
+		if 1+bv < capV {
+			capV = 1 + bv
+		}
+		ub += p * capV
+	}
+	return ub
+}

@@ -1,0 +1,204 @@
+// Package otim implements the online topic-aware influence maximization
+// engine of Chen et al. (PVLDB 2015) — reference [3] of the OCTOPUS paper
+// and the algorithm behind its keyword-based influential-user discovery
+// (Section II-C).
+//
+// The challenge (Section I of the demo paper): every keyword query induces
+// a different topic distribution γ and therefore a different probabilistic
+// graph, so running a traditional IM algorithm per query is far too slow.
+// The engine answers queries online with a best-effort framework: it
+// estimates an upper bound of the influence spread for each user, then
+// preferentially computes exact spreads for users with the largest bounds,
+// pruning insignificant users. Three bound estimators are provided —
+// precomputation-based, neighborhood-based and local-graph-based — plus a
+// topic-sample index that precomputes seed sets for offline-sampled topic
+// distributions and answers (or warm-starts) nearby queries.
+//
+// Spread semantics. Exact evaluation uses the maximum influence
+// arborescence (MIA) spread at the query threshold θ, the same
+// deterministic tractable model OCTOPUS uses for path exploration; all
+// bounds provably dominate the MIA spread whenever the index was built
+// with θ_pre ≤ θ_query (see the derivations in DESIGN.md §2).
+package otim
+
+import (
+	"fmt"
+	"math"
+
+	"octopus/internal/graph"
+	"octopus/internal/mia"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// BuildOptions configures offline index construction.
+type BuildOptions struct {
+	// ThetaPre is the MIA threshold for precomputed upper-envelope
+	// spreads. It must be ≤ the smallest θ used at query time for the
+	// bounds to remain sound (default 0.001).
+	ThetaPre float64
+	// Samples is the number of topic-sample entries (0 disables the
+	// topic-sample index). Pure per-topic distributions are always
+	// included first, so Samples < Z is rounded up to Z when positive.
+	Samples int
+	// SampleK is the seed-set size precomputed per topic sample
+	// (default 20).
+	SampleK int
+	// SampleTheta is the query θ used when precomputing sample seed sets
+	// (default 0.01).
+	SampleTheta float64
+	// DirichletAlpha is the concentration of the sampled topic mixtures
+	// (default 0.3: mostly-sparse mixtures, matching real keyword queries).
+	DirichletAlpha float64
+	// Seed drives sample generation.
+	Seed uint64
+}
+
+func (o *BuildOptions) fill(z int) {
+	if o.ThetaPre == 0 {
+		o.ThetaPre = 0.001
+	}
+	if o.SampleK == 0 {
+		o.SampleK = 20
+	}
+	if o.SampleTheta == 0 {
+		o.SampleTheta = 0.01
+	}
+	if o.DirichletAlpha == 0 {
+		o.DirichletAlpha = 0.3
+	}
+	if o.Samples > 0 && o.Samples < z {
+		o.Samples = z
+	}
+}
+
+// Index is the offline precomputation consumed by query Engines.
+// Immutable after Build; safe for concurrent readers.
+type Index struct {
+	model    *tic.Model
+	thetaPre float64
+
+	// sigmaMax[v] = MIA spread of v under the upper-envelope weights p̄
+	// at ThetaPre. Because IC/MIA spread is monotone in edge
+	// probabilities, sigmaMax[v] ≥ σ^MIA_γ({v}) for every γ.
+	sigmaMax []float64
+	// delta = max_v sigmaMax[v], the global cap of the neighborhood bound.
+	delta float64
+	// aggr[u*Z+z] = A_z(u) = Σ_{v ∈ N⁺(u)} ppᶻ_{u,v}·sigmaMax[v]; the
+	// precomputation bound is UB_P(u) = 1 + Σ_z γ_z·A_z(u).
+	aggr []float64
+	// wdeg[u*Z+z] = Σ_{v ∈ N⁺(u)} ppᶻ_{u,v}; the neighborhood bound is
+	// UB_N(u) = 1 + Δ·Σ_z γ_z·wdeg_z(u).
+	wdeg []float64
+
+	samples []TopicSample
+}
+
+// TopicSample is one precomputed entry of the topic-sample index.
+type TopicSample struct {
+	Gamma   topic.Dist
+	Seeds   []graph.NodeID
+	Spreads []float64 // MIA spread after each seed prefix
+}
+
+// Model returns the underlying TIC model.
+func (ix *Index) Model() *tic.Model { return ix.model }
+
+// ThetaPre returns the precomputation threshold.
+func (ix *Index) ThetaPre() float64 { return ix.thetaPre }
+
+// SigmaMax returns the precomputed upper-envelope spread of v.
+func (ix *Index) SigmaMax(v graph.NodeID) float64 { return ix.sigmaMax[v] }
+
+// Delta returns the global spread cap Δ.
+func (ix *Index) Delta() float64 { return ix.delta }
+
+// NumSamples returns the topic-sample count.
+func (ix *Index) NumSamples() int { return len(ix.samples) }
+
+// Sample returns the i-th topic sample.
+func (ix *Index) Sample(i int) TopicSample { return ix.samples[i] }
+
+// BuildIndex runs the offline precomputation: per-node upper-envelope
+// MIA spreads, per-topic neighborhood aggregates, and (optionally) the
+// topic-sample seed sets.
+func BuildIndex(m *tic.Model, opt BuildOptions) (*Index, error) {
+	z := m.NumTopics()
+	opt.fill(z)
+	if opt.ThetaPre <= 0 || opt.ThetaPre >= 1 {
+		return nil, fmt.Errorf("otim: ThetaPre %v out of (0,1)", opt.ThetaPre)
+	}
+	g := m.Graph()
+	n := g.NumNodes()
+	ix := &Index{
+		model:    m,
+		thetaPre: opt.ThetaPre,
+		sigmaMax: make([]float64, n),
+		aggr:     make([]float64, n*z),
+		wdeg:     make([]float64, n*z),
+	}
+
+	// Pass 1: σ̄max via MIOA under p̄ for every node.
+	maxProb := func(e graph.EdgeID) float64 { return m.MaxProb(e) }
+	calc := mia.NewCalc(g)
+	for v := 0; v < n; v++ {
+		tree := calc.MIOA(maxProb, graph.NodeID(v), opt.ThetaPre, 0)
+		ix.sigmaMax[v] = tree.Spread()
+		if ix.sigmaMax[v] > ix.delta {
+			ix.delta = ix.sigmaMax[v]
+		}
+	}
+
+	// Pass 2: per-topic aggregates.
+	for u := 0; u < n; u++ {
+		lo, hi := g.OutEdges(graph.NodeID(u))
+		for e := lo; e < hi; e++ {
+			dst := g.Dst(e)
+			m.EdgeTopics(e, func(zi int, p float64) {
+				ix.aggr[u*z+zi] += p * ix.sigmaMax[dst]
+				ix.wdeg[u*z+zi] += p
+			})
+		}
+	}
+
+	// Pass 3: topic samples, seeded with the pure topics so every
+	// single-topic query has an exact-match sample.
+	if opt.Samples > 0 {
+		eng := NewEngine(ix)
+		r := newSampleRNG(opt.Seed)
+		for i := 0; i < opt.Samples; i++ {
+			var gamma topic.Dist
+			if i < z {
+				gamma = topic.Pure(i, z)
+			} else {
+				gamma = topic.Dist(r.DirichletSym(opt.DirichletAlpha, z))
+			}
+			res, err := eng.Query(gamma, QueryOptions{
+				K:          opt.SampleK,
+				Theta:      opt.SampleTheta,
+				UseSamples: false,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("otim: sample %d: %w", i, err)
+			}
+			ix.samples = append(ix.samples, TopicSample{
+				Gamma:   gamma,
+				Seeds:   res.Seeds,
+				Spreads: res.Spreads,
+			})
+		}
+	}
+	return ix, nil
+}
+
+// NearestSample returns the index and L1 distance of the topic sample
+// closest to gamma (-1 if the sample index is empty).
+func (ix *Index) NearestSample(gamma topic.Dist) (int, float64) {
+	best, bestDist := -1, math.Inf(1)
+	for i, s := range ix.samples {
+		if d := gamma.L1(s.Gamma); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, bestDist
+}

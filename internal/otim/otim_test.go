@@ -1,0 +1,529 @@
+package otim
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+	"octopus/internal/mia"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// testWorld builds a random 2-topic model with topic-specialized edges:
+// roughly half the edges are strong in topic 0, half in topic 1.
+func testWorld(t testing.TB, n, deg int, seed uint64) *tic.Model {
+	r := rng.New(seed)
+	gb := graph.NewBuilder(n)
+	for i := 0; i < n*deg; i++ {
+		gb.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	g := gb.Build()
+	mb := tic.NewBuilder(g, 2)
+	for e := 0; e < g.NumEdges(); e++ {
+		if r.Bool() {
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.2 + 0.4*r.Float64(), 0.02 * r.Float64()})
+		} else {
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.02 * r.Float64(), 0.2 + 0.4*r.Float64()})
+		}
+	}
+	return mb.Build()
+}
+
+func buildIdx(t testing.TB, m *tic.Model, samples int) *Index {
+	ix, err := BuildIndex(m, BuildOptions{ThetaPre: 0.001, Samples: samples, SampleK: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexSigmaMaxDominatesGammaSpread(t *testing.T) {
+	m := testWorld(t, 100, 4, 1)
+	ix := buildIdx(t, m, 0)
+	calc := mia.NewCalc(m.Graph())
+	gammas := []topic.Dist{{1, 0}, {0, 1}, {0.5, 0.5}, {0.9, 0.1}}
+	for _, gamma := range gammas {
+		prob := func(e graph.EdgeID) float64 { return m.EdgeProb(e, gamma) }
+		for u := 0; u < 100; u += 7 {
+			s := calc.MIOA(prob, graph.NodeID(u), 0.001, 0).Spread()
+			if s > ix.SigmaMax(graph.NodeID(u))+1e-9 {
+				t.Fatalf("σ̄max(%d)=%v < σ_γ=%v for γ=%v", u, ix.SigmaMax(graph.NodeID(u)), s, gamma)
+			}
+		}
+	}
+}
+
+// The central soundness property: every bound tier dominates the exact
+// MIA spread, and the tiers are ordered UB_N ≥ UB_P ≥ UB_L ≥ σ.
+func TestQuickBoundSoundnessAndOrdering(t *testing.T) {
+	m := testWorld(t, 80, 4, 2)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	calc := mia.NewCalc(m.Graph())
+	z := m.NumTopics()
+	g := m.Graph()
+
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		gamma := topic.Dist(r.DirichletSym(0.5, z))
+		u := int32(r.Intn(g.NumNodes()))
+		theta := 0.001 * (1 + 9*r.Float64()) // θ ∈ [θpre, 10·θpre]
+
+		prob := func(e graph.EdgeID) float64 { return m.EdgeProb(e, gamma) }
+		exact := calc.MIOA(prob, u, theta, 0).Spread()
+
+		// UB_P
+		var bp float64
+		for zi := 0; zi < z; zi++ {
+			bp += gamma[zi] * ix.aggr[int(u)*z+zi]
+		}
+		ubP := 1 + bp
+		// UB_N
+		var wd float64
+		for zi := 0; zi < z; zi++ {
+			wd += gamma[zi] * ix.wdeg[int(u)*z+zi]
+		}
+		ubN := 1 + ix.delta*wd
+		// UB_L
+		eng.curGen++ // fresh memo generation
+		ubL := eng.localBound(gamma, u)
+
+		const tol = 1e-9
+		return ubN+tol >= ubP && ubP+tol >= ubL && ubL+tol >= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryMatchesExhaustiveGreedy(t *testing.T) {
+	m := testWorld(t, 120, 4, 3)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	for _, gamma := range []topic.Dist{{1, 0}, {0.3, 0.7}} {
+		res, err := eng.Query(gamma, QueryOptions{K: 5, Theta: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := NaiveQuery(m, gamma, 5, NaiveMIAGreedy, 0.01, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Seeds) != 5 {
+			t.Fatalf("engine returned %d seeds", len(res.Seeds))
+		}
+		// Identical greedy semantics must give identical spreads
+		// (seed sets may differ only on exact ties).
+		for i := range res.Spreads {
+			if math.Abs(res.Spreads[i]-naive.Spreads[i]) > 1e-6 {
+				t.Fatalf("γ=%v prefix %d: engine σ=%v naive σ=%v (seeds %v vs %v)",
+					gamma, i, res.Spreads[i], naive.Spreads[i], res.Seeds, naive.Seeds)
+			}
+		}
+	}
+}
+
+func TestQueryPrunesMostUsers(t *testing.T) {
+	m := testWorld(t, 400, 4, 4)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	res, err := eng.Query(topic.Dist{0.8, 0.2}, QueryOptions{K: 5, Theta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ExactEvals >= 400 {
+		t.Fatalf("best-effort did not prune: %d exact evals on 400 users", res.Stats.ExactEvals)
+	}
+	if res.Stats.Pruned <= 0 {
+		t.Fatalf("pruned = %d", res.Stats.Pruned)
+	}
+	t.Logf("stats: %+v", res.Stats)
+}
+
+func TestQuerySpreadsNondecreasing(t *testing.T) {
+	m := testWorld(t, 150, 4, 5)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	res, err := eng.Query(topic.Dist{0.5, 0.5}, QueryOptions{K: 8, Theta: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Spreads); i++ {
+		if res.Spreads[i] < res.Spreads[i-1]-1e-9 {
+			t.Fatalf("spreads decreased: %v", res.Spreads)
+		}
+	}
+	// No duplicate seeds.
+	seen := map[graph.NodeID]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestEpsilonApproxQuality(t *testing.T) {
+	m := testWorld(t, 200, 4, 6)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	exact, err := eng.Query(topic.Dist{0.6, 0.4}, QueryOptions{K: 5, Theta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := eng.Query(topic.Dist{0.6, 0.4}, QueryOptions{K: 5, Theta: 0.01, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalExact := exact.Spreads[len(exact.Spreads)-1]
+	finalApprox := approx.Spreads[len(approx.Spreads)-1]
+	if finalApprox < 0.8*finalExact {
+		t.Fatalf("ε-approx spread %v too far below exact %v", finalApprox, finalExact)
+	}
+	if approx.Stats.ExactEvals > exact.Stats.ExactEvals {
+		t.Fatalf("ε-approx did more work: %d > %d", approx.Stats.ExactEvals, exact.Stats.ExactEvals)
+	}
+}
+
+func TestSkipLocalBoundStillCorrect(t *testing.T) {
+	m := testWorld(t, 100, 4, 7)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	gamma := topic.Dist{0.5, 0.5}
+	with, err := eng.Query(gamma, QueryOptions{K: 4, Theta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := eng.Query(gamma, QueryOptions{K: 4, Theta: 0.01, SkipLocalBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range with.Spreads {
+		if math.Abs(with.Spreads[i]-without.Spreads[i]) > 1e-6 {
+			t.Fatalf("bound config changed greedy answer: %v vs %v", with.Spreads, without.Spreads)
+		}
+	}
+	if without.Stats.LocalBounds != 0 {
+		t.Fatalf("SkipLocalBound evaluated %d local bounds", without.Stats.LocalBounds)
+	}
+	// The local tier should reduce exact evaluations.
+	if with.Stats.ExactEvals > without.Stats.ExactEvals {
+		t.Fatalf("local bound increased exact evals: %d vs %d",
+			with.Stats.ExactEvals, without.Stats.ExactEvals)
+	}
+}
+
+func TestNeighborhoodFirstBound(t *testing.T) {
+	m := testWorld(t, 100, 4, 8)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	gamma := topic.Dist{0.7, 0.3}
+	a, err := eng.Query(gamma, QueryOptions{K: 3, Theta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Query(gamma, QueryOptions{K: 3, Theta: 0.01, FirstBound: BoundNeighborhood})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Spreads {
+		if math.Abs(a.Spreads[i]-b.Spreads[i]) > 1e-6 {
+			t.Fatalf("first-bound choice changed answer: %v vs %v", a.Spreads, b.Spreads)
+		}
+	}
+}
+
+func TestTopicSampleHit(t *testing.T) {
+	m := testWorld(t, 120, 4, 9)
+	ix := buildIdx(t, m, 4) // rounded up to Z=2 pures + 2 dirichlet
+	if ix.NumSamples() < 2 {
+		t.Fatalf("samples = %d", ix.NumSamples())
+	}
+	eng := NewEngine(ix)
+	// Query exactly the pure topic 0 — must hit its sample.
+	res, err := eng.Query(topic.Dist{1, 0}, QueryOptions{K: 3, Theta: 0.01, UseSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.SampleHit {
+		t.Fatalf("pure-topic query missed the sample index: %+v", res.Stats)
+	}
+	if res.Stats.SampleDist > 1e-9 {
+		t.Fatalf("sample dist = %v", res.Stats.SampleDist)
+	}
+	// Hit answers must carry honest spreads.
+	if len(res.Spreads) != 3 || res.Spreads[2] < res.Spreads[0] {
+		t.Fatalf("hit spreads = %v", res.Spreads)
+	}
+	// A far query must miss.
+	far, err := eng.Query(topic.Dist{0.5, 0.5}, QueryOptions{K: 3, Theta: 0.01, UseSamples: true, SampleTolerance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Stats.SampleHit {
+		t.Fatalf("distant query hit a sample (dist=%v)", far.Stats.SampleDist)
+	}
+}
+
+func TestTopicSampleHitQualityClose(t *testing.T) {
+	m := testWorld(t, 150, 4, 10)
+	ix := buildIdx(t, m, 2)
+	eng := NewEngine(ix)
+	gamma := topic.Dist{0.97, 0.03} // near pure topic 0
+	hit, err := eng.Query(gamma, QueryOptions{K: 3, Theta: 0.01, UseSamples: true, SampleTolerance: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Stats.SampleHit {
+		t.Skipf("sample not within tolerance (dist=%v)", hit.Stats.SampleDist)
+	}
+	full, err := eng.Query(gamma, QueryOptions{K: 3, Theta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Spreads[2] < 0.85*full.Spreads[2] {
+		t.Fatalf("sample answer spread %v too far below exact %v", hit.Spreads[2], full.Spreads[2])
+	}
+}
+
+func TestSampleShorterThanKFallsThrough(t *testing.T) {
+	m := testWorld(t, 100, 4, 30)
+	ix, err := BuildIndex(m, BuildOptions{ThetaPre: 0.001, Samples: 2, SampleK: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ix)
+	// K=6 exceeds the stored SampleK=2, so even an exact γ match cannot
+	// answer from the sample; the engine must fall through to search.
+	res, err := eng.Query(topic.Pure(0, 2), QueryOptions{K: 6, Theta: 0.01, UseSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SampleHit {
+		t.Fatal("short sample reported as hit")
+	}
+	if len(res.Seeds) != 6 {
+		t.Fatalf("fall-through returned %d seeds", len(res.Seeds))
+	}
+}
+
+func TestNoSamplesNeverHits(t *testing.T) {
+	m := testWorld(t, 80, 4, 31)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	res, err := eng.Query(topic.Pure(0, 2), QueryOptions{K: 2, Theta: 0.01, UseSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SampleHit {
+		t.Fatal("hit without any samples")
+	}
+	if res.Stats.SampleDist != -1 {
+		t.Fatalf("sample dist = %v without samples", res.Stats.SampleDist)
+	}
+}
+
+func TestEpsilonNoDuplicateSeeds(t *testing.T) {
+	m := testWorld(t, 300, 5, 32)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	for _, eps := range []float64{0.05, 0.2, 0.5} {
+		res, err := eng.Query(topic.Dist{0.4, 0.6}, QueryOptions{K: 12, Theta: 0.01, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, s := range res.Seeds {
+			if seen[s] {
+				t.Fatalf("ε=%v produced duplicate seed %d", eps, s)
+			}
+			seen[s] = true
+		}
+		for i := 1; i < len(res.Spreads); i++ {
+			if res.Spreads[i] < res.Spreads[i-1]-1e-9 {
+				t.Fatalf("ε=%v spreads decreased: %v", eps, res.Spreads)
+			}
+		}
+	}
+}
+
+func TestQueryKBeyondUsefulSeeds(t *testing.T) {
+	// A graph where only a handful of nodes have outgoing influence:
+	// requesting more seeds than productive candidates must still return
+	// K seeds (padding with zero-gain users) or fewer without panicking.
+	b := graph.NewBuilder(30)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	mb := tic.NewBuilder(g, 2)
+	_ = mb.SetProbs(0, []float64{0.9, 0.9})
+	_ = mb.SetProbs(1, []float64{0.9, 0.9})
+	m := mb.Build()
+	ix, err := BuildIndex(m, BuildOptions{ThetaPre: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ix)
+	res, err := eng.Query(topic.Dist{0.5, 0.5}, QueryOptions{K: 10, Theta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) == 0 || len(res.Seeds) > 10 {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+	// The two real influencers must come first.
+	first2 := map[graph.NodeID]bool{res.Seeds[0]: true, res.Seeds[1]: true}
+	if !first2[0] || !first2[2] {
+		t.Fatalf("first seeds = %v, want {0,2}", res.Seeds[:2])
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	m := testWorld(t, 50, 3, 11)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	cases := []QueryOptions{
+		{K: 0},
+		{K: 1, Theta: 2},
+		{K: 1, Epsilon: 1},
+		{K: 1, Theta: 0.0001}, // below θ_pre
+	}
+	for i, opt := range cases {
+		if _, err := eng.Query(topic.Dist{1, 0}, opt); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, err := eng.Query(topic.Dist{1}, QueryOptions{K: 1}); err == nil {
+		t.Fatal("wrong-dimension γ accepted")
+	}
+	if _, err := eng.Query(topic.Dist{0.5, 0.6}, QueryOptions{K: 1}); err == nil {
+		t.Fatal("non-normalized γ accepted")
+	}
+}
+
+func TestQueryContextCancel(t *testing.T) {
+	m := testWorld(t, 200, 4, 12)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.Query(topic.Dist{0.5, 0.5}, QueryOptions{K: 5, Theta: 0.01, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 0 {
+		t.Fatalf("cancelled query returned %d seeds", len(res.Seeds))
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	m := testWorld(t, 20, 3, 13)
+	if _, err := BuildIndex(m, BuildOptions{ThetaPre: 1.5}); err == nil {
+		t.Fatal("ThetaPre > 1 accepted")
+	}
+}
+
+func TestQueryKeywords(t *testing.T) {
+	m := testWorld(t, 80, 4, 14)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	km, err := topic.NewModel(
+		[]string{"data", "mining", "social", "network"},
+		[][]float64{{0.5, 0.5, 0, 0}, {0, 0, 0.5, 0.5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, gamma, err := eng.QueryKeywords(km, []string{"data", "mining"}, QueryOptions{K: 3, Theta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma[0] < 0.95 {
+		t.Fatalf("γ = %v, want topic 0", gamma)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+}
+
+func TestNaiveMethods(t *testing.T) {
+	m := testWorld(t, 60, 3, 15)
+	gamma := topic.Dist{0.5, 0.5}
+	for _, method := range []NaiveMethod{NaiveIMM, NaiveMIAGreedy, NaiveDegreeDiscount} {
+		res, err := NaiveQuery(m, gamma, 3, method, 0.01, 7)
+		if err != nil {
+			t.Fatalf("method %d: %v", method, err)
+		}
+		if len(res.Seeds) != 3 || len(res.Spreads) != 3 {
+			t.Fatalf("method %d: seeds=%v spreads=%v", method, res.Seeds, res.Spreads)
+		}
+		if res.EdgesMaterialized != m.Graph().NumEdges() {
+			t.Fatalf("method %d: materialized %d edges", method, res.EdgesMaterialized)
+		}
+	}
+	if _, err := NaiveQuery(m, gamma, 0, NaiveIMM, 0.01, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NaiveQuery(m, gamma, 1, NaiveMethod(99), 0.01, 1); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestEngineReuse(t *testing.T) {
+	m := testWorld(t, 100, 4, 16)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	var prev *Result
+	for i := 0; i < 10; i++ {
+		gamma := topic.Dist{float64(i) / 10, 1 - float64(i)/10}
+		res, err := eng.Query(gamma, QueryOptions{K: 3, Theta: 0.01})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(res.Seeds) != 3 {
+			t.Fatalf("query %d returned %d seeds", i, len(res.Seeds))
+		}
+		prev = res
+	}
+	_ = prev
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	m := testWorld(b, 2000, 5, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(m, BuildOptions{ThetaPre: 0.001}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	m := testWorld(b, 5000, 5, 21)
+	ix, err := BuildIndex(m, BuildOptions{ThetaPre: 0.001})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gamma := topic.Dist{0.3, 0.7}
+		if _, err := eng.Query(gamma, QueryOptions{K: 10, Theta: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveIMM(b *testing.B) {
+	m := testWorld(b, 5000, 5, 21)
+	gamma := topic.Dist{0.3, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NaiveQuery(m, gamma, 10, NaiveIMM, 0.01, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package ris
+
+import (
+	"sync"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// GenerateParallel draws count RR sets using `workers` goroutines, each
+// with an independent RNG stream split from seed. The result is
+// deterministic for a fixed (seed, workers, count) triple: worker w
+// produces the sets at indices w, w+workers, w+2·workers, …
+func GenerateParallel(m *tic.Model, gamma topic.Dist, count, workers int, seed uint64) *Collection {
+	if workers <= 1 {
+		return Generate(m, gamma, count, rng.New(seed))
+	}
+	g := m.Graph()
+	sets := make([][]graph.NodeID, count)
+	base := rng.New(seed)
+	seeds := make([]uint64, workers)
+	for w := range seeds {
+		seeds[w] = base.Uint64()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(seeds[w])
+			s := newSampler(g)
+			prob := func(e graph.EdgeID) float64 { return m.EdgeProb(e, gamma) }
+			for i := w; i < count; i += workers {
+				root := graph.NodeID(r.Intn(g.NumNodes()))
+				sets[i] = s.sampleRR(root, prob, r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return &Collection{n: g.NumNodes(), scale: g.NumNodes(), sets: sets}
+}
+
+// GenerateTargeted draws RR sets whose roots are sampled uniformly from
+// the given target users — the substrate for targeted influence
+// maximization (Li, Zhang, Tan, PVLDB 2015, reference [7] of the
+// OCTOPUS paper): maximizing influence *over a target audience* (for
+// example one community, or users interested in a product category)
+// rather than the whole network. For a collection built this way,
+// EstimateSpread approximates the expected number of activated TARGET
+// users scaled by |targets| instead of n.
+func GenerateTargeted(m *tic.Model, gamma topic.Dist, targets []graph.NodeID,
+	count int, r *rng.Source) *Collection {
+
+	if len(targets) == 0 {
+		return &Collection{n: 0, scale: 0}
+	}
+	g := m.Graph()
+	s := newSampler(g)
+	prob := func(e graph.EdgeID) float64 { return m.EdgeProb(e, gamma) }
+	c := &Collection{n: g.NumNodes(), scale: len(targets), sets: make([][]graph.NodeID, 0, count)}
+	for i := 0; i < count; i++ {
+		root := targets[r.Intn(len(targets))]
+		c.sets = append(c.sets, s.sampleRR(root, prob, r))
+	}
+	return c
+}

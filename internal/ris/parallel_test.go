@@ -1,0 +1,112 @@
+package ris
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+func TestGenerateParallelMatchesSequentialStatistically(t *testing.T) {
+	m, _ := hubGraph(t)
+	gamma := topic.Dist{1}
+	seq := Generate(m, gamma, 20000, rng.New(1))
+	par := GenerateParallel(m, gamma, 20000, 4, 2)
+	if par.NumSets() != 20000 {
+		t.Fatalf("parallel sets = %d", par.NumSets())
+	}
+	a := seq.EstimateSpread([]graph.NodeID{0})
+	b := par.EstimateSpread([]graph.NodeID{0})
+	if math.Abs(a-b) > 0.8 {
+		t.Fatalf("sequential %v vs parallel %v diverge", a, b)
+	}
+}
+
+func TestGenerateParallelDeterministic(t *testing.T) {
+	m, _ := hubGraph(t)
+	gamma := topic.Dist{1}
+	a := GenerateParallel(m, gamma, 500, 4, 7)
+	b := GenerateParallel(m, gamma, 500, 4, 7)
+	for i := 0; i < a.NumSets(); i++ {
+		sa, sb := a.Set(i), b.Set(i)
+		if len(sa) != len(sb) {
+			t.Fatalf("set %d size differs", i)
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("set %d element %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateParallelSingleWorkerFallback(t *testing.T) {
+	m, _ := hubGraph(t)
+	gamma := topic.Dist{1}
+	col := GenerateParallel(m, gamma, 100, 1, 9)
+	if col.NumSets() != 100 {
+		t.Fatalf("sets = %d", col.NumSets())
+	}
+}
+
+func TestGenerateTargeted(t *testing.T) {
+	m, _ := hubGraph(t)
+	gamma := topic.Dist{1}
+	// Targets: the leaves 1..20 of the hub. Node 0 covers all targeted
+	// RR sets whose root it reaches.
+	targets := make([]graph.NodeID, 0, 20)
+	for v := int32(1); v <= 20; v++ {
+		targets = append(targets, v)
+	}
+	col := GenerateTargeted(m, gamma, targets, 20000, rng.New(3))
+	if col.NumNodes() != len(targets) {
+		t.Fatalf("target universe = %d", col.NumNodes())
+	}
+	// σ_T({0}) = expected #targets activated by 0 = 20·0.9 = 18.
+	got := col.EstimateSpread([]graph.NodeID{0})
+	if math.Abs(got-18) > 0.5 {
+		t.Fatalf("targeted spread = %v, want ~18", got)
+	}
+	// A node outside the hub's reach activates only itself if targeted.
+	got21 := col.EstimateSpread([]graph.NodeID{21})
+	if got21 > 0.5 {
+		t.Fatalf("non-influencer targeted spread = %v", got21)
+	}
+	// Seed selection restricted to targets' influencers finds the hub.
+	seeds, _ := col.SelectSeeds(1)
+	if seeds[0] != 0 {
+		t.Fatalf("targeted seed = %v", seeds)
+	}
+}
+
+func TestGenerateTargetedEmpty(t *testing.T) {
+	m, _ := hubGraph(t)
+	col := GenerateTargeted(m, topic.Dist{1}, nil, 100, rng.New(1))
+	if col.NumSets() != 0 || col.NumNodes() != 0 {
+		t.Fatalf("empty targets produced %d sets", col.NumSets())
+	}
+}
+
+func BenchmarkGenerateParallel(b *testing.B) {
+	r := rng.New(1)
+	gb := graph.NewBuilder(20000)
+	for i := 0; i < 100000; i++ {
+		gb.AddEdge(int32(r.Intn(20000)), int32(r.Intn(20000)))
+	}
+	g := gb.Build()
+	mb := tic.NewBuilder(g, 4)
+	for e := 0; e < g.NumEdges(); e++ {
+		_ = mb.SetProb(graph.EdgeID(e), r.Intn(4), 0.1)
+	}
+	m := mb.Build()
+	gamma := topic.Uniform(4)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateParallel(m, gamma, 1000, workers, uint64(i))
+	}
+}

@@ -1,0 +1,304 @@
+// Package ris implements reverse-influence sampling (Borgs et al.) and
+// the IMM algorithm of Tang, Xiao and Shi (SIGMOD 2014/2015), reference
+// [8] of the OCTOPUS paper: the scalable spread-estimation and influence-
+// maximization substrate used as the strong offline baseline and as the
+// refinement oracle inside the online engines.
+//
+// A reverse-reachable (RR) set for root v under edge probabilities p is
+// the random set of nodes that can reach v in the graph where each edge e
+// is kept independently with probability p_e. For any seed set S,
+// n·E[S ∩ RR ≠ ∅] equals the influence spread σ(S).
+package ris
+
+import (
+	"fmt"
+	"math"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// Collection is a set of RR samples over a fixed graph and edge-weight
+// function. Immutable after generation.
+type Collection struct {
+	// n is the node-id space (graph node count) used for indexing.
+	n int
+	// scale is the estimate numerator: the size of the universe RR roots
+	// were drawn from (n for uniform sampling; |targets| for targeted
+	// collections).
+	scale int
+	sets  [][]graph.NodeID
+}
+
+// NumSets returns the number of RR sets.
+func (c *Collection) NumSets() int { return len(c.sets) }
+
+// NumNodes returns the root-universe size the estimates scale by.
+func (c *Collection) NumNodes() int { return c.scale }
+
+// Set returns the i-th RR set; callers must not modify it.
+func (c *Collection) Set(i int) []graph.NodeID { return c.sets[i] }
+
+// AvgSize returns the mean RR-set size (its expectation equals the
+// expected spread of a uniformly random singleton seed).
+func (c *Collection) AvgSize() float64 {
+	if len(c.sets) == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range c.sets {
+		total += len(s)
+	}
+	return float64(total) / float64(len(c.sets))
+}
+
+// sampler carries reusable reverse-BFS state.
+type sampler struct {
+	g     *graph.Graph
+	stamp []uint32
+	epoch uint32
+	queue []graph.NodeID
+}
+
+func newSampler(g *graph.Graph) *sampler {
+	return &sampler{g: g, stamp: make([]uint32, g.NumNodes())}
+}
+
+// sampleRR grows one RR set rooted at root; prob returns the keep
+// probability of an edge id.
+func (s *sampler) sampleRR(root graph.NodeID, prob func(graph.EdgeID) float64, r *rng.Source) []graph.NodeID {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	q := s.queue[:0]
+	s.stamp[root] = s.epoch
+	q = append(q, root)
+	for i := 0; i < len(q); i++ {
+		v := q[i]
+		lo, hi := s.g.InSlots(v)
+		for slot := lo; slot < hi; slot++ {
+			u := s.g.InSrc(slot)
+			if s.stamp[u] == s.epoch {
+				continue
+			}
+			if r.Float64() < prob(s.g.InEdgeID(slot)) {
+				s.stamp[u] = s.epoch
+				q = append(q, u)
+			}
+		}
+	}
+	s.queue = q
+	out := make([]graph.NodeID, len(q))
+	copy(out, q)
+	return out
+}
+
+// Generate draws count RR sets under the TIC model mixed by gamma.
+func Generate(m *tic.Model, gamma topic.Dist, count int, r *rng.Source) *Collection {
+	g := m.Graph()
+	s := newSampler(g)
+	c := &Collection{n: g.NumNodes(), scale: g.NumNodes(), sets: make([][]graph.NodeID, 0, count)}
+	prob := func(e graph.EdgeID) float64 { return m.EdgeProb(e, gamma) }
+	for i := 0; i < count; i++ {
+		root := graph.NodeID(r.Intn(g.NumNodes()))
+		c.sets = append(c.sets, s.sampleRR(root, prob, r))
+	}
+	return c
+}
+
+// GenerateWeighted draws count RR sets under explicit edge weights
+// (indexed by EdgeID).
+func GenerateWeighted(g *graph.Graph, w []float64, count int, r *rng.Source) *Collection {
+	s := newSampler(g)
+	c := &Collection{n: g.NumNodes(), scale: g.NumNodes(), sets: make([][]graph.NodeID, 0, count)}
+	prob := func(e graph.EdgeID) float64 { return w[e] }
+	for i := 0; i < count; i++ {
+		root := graph.NodeID(r.Intn(g.NumNodes()))
+		c.sets = append(c.sets, s.sampleRR(root, prob, r))
+	}
+	return c
+}
+
+// EstimateSpread returns the RIS estimate of σ(seeds): n · (covered
+// sets) / (total sets).
+func (c *Collection) EstimateSpread(seeds []graph.NodeID) float64 {
+	if len(c.sets) == 0 {
+		return 0
+	}
+	inSeed := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		inSeed[s] = true
+	}
+	covered := 0
+	for _, set := range c.sets {
+		for _, v := range set {
+			if inSeed[v] {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(c.scale) * float64(covered) / float64(len(c.sets))
+}
+
+// SelectSeeds greedily picks k seeds maximizing RR-set coverage and
+// returns them with the RIS spread estimate of the chosen set. Greedy
+// max-coverage gives the standard (1−1/e) guarantee on the sampled
+// universe.
+func (c *Collection) SelectSeeds(k int) ([]graph.NodeID, float64) {
+	if k <= 0 || len(c.sets) == 0 {
+		return nil, 0
+	}
+	// Inverted index: node -> RR set ids.
+	index := make([][]int32, c.n)
+	for si, set := range c.sets {
+		for _, v := range set {
+			index[v] = append(index[v], int32(si))
+		}
+	}
+	deg := make([]int32, c.n)
+	for v := range index {
+		deg[v] = int32(len(index[v]))
+	}
+	coveredSet := make([]bool, len(c.sets))
+	seeds := make([]graph.NodeID, 0, k)
+	covered := 0
+	for len(seeds) < k {
+		best := graph.NodeID(-1)
+		var bestDeg int32 = -1
+		for v := 0; v < c.n; v++ {
+			if deg[v] > bestDeg {
+				bestDeg = deg[v]
+				best = graph.NodeID(v)
+			}
+		}
+		if best < 0 || bestDeg <= 0 {
+			break // nothing covers any remaining set
+		}
+		seeds = append(seeds, best)
+		for _, si := range index[best] {
+			if coveredSet[si] {
+				continue
+			}
+			coveredSet[si] = true
+			covered++
+			// Decrement degree of every member of the newly covered set.
+			for _, u := range c.sets[si] {
+				deg[u]--
+			}
+		}
+		deg[best] = -1 // never pick again
+	}
+	spread := float64(c.scale) * float64(covered) / float64(len(c.sets))
+	return seeds, spread
+}
+
+// IMMOptions configures IMM.
+type IMMOptions struct {
+	K       int     // number of seeds
+	Epsilon float64 // approximation parameter (default 0.2)
+	Ell     float64 // confidence parameter ℓ (default 1)
+	Seed    uint64
+	// MaxSets caps total RR sets as a safety valve (default 2_000_000).
+	MaxSets int
+}
+
+// IMMResult reports the chosen seeds and sampling statistics.
+type IMMResult struct {
+	Seeds      []graph.NodeID
+	SpreadEst  float64
+	SetsUsed   int
+	LowerBound float64 // LB on OPT_k found in phase 1
+}
+
+// IMM runs the two-phase IMM algorithm under explicit edge weights.
+func IMM(g *graph.Graph, w []float64, opt IMMOptions) (*IMMResult, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("ris: empty graph")
+	}
+	if opt.K <= 0 || opt.K > n {
+		return nil, fmt.Errorf("ris: k=%d out of range (n=%d)", opt.K, n)
+	}
+	if opt.Epsilon == 0 {
+		opt.Epsilon = 0.2
+	}
+	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
+		return nil, fmt.Errorf("ris: epsilon=%v out of (0,1)", opt.Epsilon)
+	}
+	if opt.Ell == 0 {
+		opt.Ell = 1
+	}
+	if opt.MaxSets == 0 {
+		opt.MaxSets = 2_000_000
+	}
+	r := rng.New(opt.Seed)
+	s := newSampler(g)
+	prob := func(e graph.EdgeID) float64 { return w[e] }
+
+	nf := float64(n)
+	k := opt.K
+	eps := opt.Epsilon
+	ell := opt.Ell
+	logcnk := logChoose(n, k)
+	logn := math.Log(nf)
+
+	col := &Collection{n: n, scale: n}
+	grow := func(target int) {
+		if target > opt.MaxSets {
+			target = opt.MaxSets
+		}
+		for len(col.sets) < target {
+			root := graph.NodeID(r.Intn(n))
+			col.sets = append(col.sets, s.sampleRR(root, prob, r))
+		}
+	}
+
+	// Phase 1: estimate a lower bound LB on OPT_k.
+	epsPrime := math.Sqrt2 * eps
+	lambdaPrime := (2 + 2*epsPrime/3) * (logcnk + ell*logn + math.Log(math.Log2(nf))) * nf / (epsPrime * epsPrime)
+	LB := 1.0
+	maxRounds := int(math.Log2(nf))
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+	for i := 1; i < maxRounds; i++ {
+		x := nf / math.Pow(2, float64(i))
+		thetaI := int(math.Ceil(lambdaPrime / x))
+		grow(thetaI)
+		_, cov := col.SelectSeeds(k)
+		if cov >= (1+epsPrime)*x {
+			LB = cov / (1 + epsPrime)
+			break
+		}
+	}
+
+	// Phase 2: θ = λ*/LB RR sets, then greedy selection.
+	alpha := math.Sqrt(ell*logn + math.Log(2))
+	beta := math.Sqrt((1 - 1/math.E) * (logcnk + ell*logn + math.Log(2)))
+	lambdaStar := 2 * nf * (alpha + beta) * (alpha + beta) / (eps * eps)
+	theta := int(math.Ceil(lambdaStar / LB))
+	grow(theta)
+	seeds, spread := col.SelectSeeds(k)
+	return &IMMResult{Seeds: seeds, SpreadEst: spread, SetsUsed: col.NumSets(), LowerBound: LB}, nil
+}
+
+// IMMModel runs IMM under the TIC model mixed by gamma.
+func IMMModel(m *tic.Model, gamma topic.Dist, opt IMMOptions) (*IMMResult, error) {
+	return IMM(m.Graph(), m.Weights(gamma), opt)
+}
+
+// logChoose returns ln C(n,k) via lgamma.
+func logChoose(n, k int) float64 {
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1))
+}

@@ -1,0 +1,259 @@
+package ris
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// hubGraph: node 0 points to 1..20 with p=0.9; nodes 21..39 isolated-ish.
+func hubGraph(t testing.TB) (*tic.Model, *graph.Graph) {
+	b := graph.NewBuilder(40)
+	for v := int32(1); v <= 20; v++ {
+		b.AddEdge(0, v)
+	}
+	for v := int32(21); v < 39; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.Build()
+	mb := tic.NewBuilder(g, 1)
+	for e := 0; e < g.NumEdges(); e++ {
+		p := 0.9
+		if src := g.Src(graph.EdgeID(e)); src >= 21 {
+			p = 0.05
+		}
+		if err := mb.SetProb(graph.EdgeID(e), 0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mb.Build(), g
+}
+
+func TestRISEstimateMatchesMC(t *testing.T) {
+	m, _ := hubGraph(t)
+	gamma := topic.Dist{1}
+	col := Generate(m, gamma, 30000, rng.New(1))
+	est := col.EstimateSpread([]graph.NodeID{0})
+	sim := tic.NewSimulator(m)
+	mc := sim.EstimateSpread([]graph.NodeID{0}, gamma, 20000, rng.New(2))
+	if math.Abs(est-mc) > 0.6 {
+		t.Fatalf("RIS=%v MC=%v diverge", est, mc)
+	}
+}
+
+func TestRISSingletonAvgSize(t *testing.T) {
+	m, g := hubGraph(t)
+	col := Generate(m, topic.Dist{1}, 20000, rng.New(3))
+	// E[RR size] = average singleton spread = (1/n)Σ_u σ({u}).
+	sim := tic.NewSimulator(m)
+	total := 0.0
+	for u := 0; u < g.NumNodes(); u++ {
+		total += sim.EstimateSpread([]graph.NodeID{int32(u)}, topic.Dist{1}, 400, rng.New(uint64(u)+10))
+	}
+	want := total / float64(g.NumNodes())
+	if got := col.AvgSize(); math.Abs(got-want) > 0.25 {
+		t.Fatalf("AvgSize=%v, want ~%v", got, want)
+	}
+}
+
+func TestSelectSeedsPrefersHub(t *testing.T) {
+	m, _ := hubGraph(t)
+	col := Generate(m, topic.Dist{1}, 5000, rng.New(4))
+	seeds, spread := col.SelectSeeds(1)
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Fatalf("seeds = %v, want [0]", seeds)
+	}
+	if spread < 10 {
+		t.Fatalf("spread = %v, want > 10", spread)
+	}
+}
+
+func TestSelectSeedsZeroAndOverflow(t *testing.T) {
+	m, _ := hubGraph(t)
+	col := Generate(m, topic.Dist{1}, 100, rng.New(5))
+	if s, _ := col.SelectSeeds(0); s != nil {
+		t.Fatalf("k=0 seeds = %v", s)
+	}
+	seeds, _ := col.SelectSeeds(1000)
+	// Greedy stops when every set is covered; never more than n seeds.
+	if len(seeds) > col.NumNodes() {
+		t.Fatalf("too many seeds: %d", len(seeds))
+	}
+}
+
+func TestEstimateSpreadMonotone(t *testing.T) {
+	m, _ := hubGraph(t)
+	col := Generate(m, topic.Dist{1}, 3000, rng.New(6))
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k1 := 1 + r.Intn(5)
+		base := make([]graph.NodeID, 0, k1+2)
+		for i := 0; i < k1; i++ {
+			base = append(base, graph.NodeID(r.Intn(40)))
+		}
+		bigger := append(append([]graph.NodeID(nil), base...), graph.NodeID(r.Intn(40)))
+		return col.EstimateSpread(bigger) >= col.EstimateSpread(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateWeightedZeroProbs(t *testing.T) {
+	_, g := hubGraph(t)
+	w := make([]float64, g.NumEdges())
+	col := GenerateWeighted(g, w, 500, rng.New(7))
+	for i := 0; i < col.NumSets(); i++ {
+		if len(col.Set(i)) != 1 {
+			t.Fatalf("zero-prob RR set has %d nodes", len(col.Set(i)))
+		}
+	}
+	// Singleton spread should be ~1 for any node.
+	if got := col.EstimateSpread([]graph.NodeID{0}); got > 3 {
+		t.Fatalf("spread under zero probs = %v", got)
+	}
+}
+
+func TestGreedyMatchesExhaustiveTiny(t *testing.T) {
+	// 6-node graph, exhaustive k=2 optimum vs greedy on same collection.
+	b := graph.NewBuilder(6)
+	edges := [][2]int32{{0, 1}, {0, 2}, {3, 4}, {3, 5}, {1, 2}, {4, 5}}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	mb := tic.NewBuilder(g, 1)
+	for e := 0; e < g.NumEdges(); e++ {
+		_ = mb.SetProb(graph.EdgeID(e), 0, 0.8)
+	}
+	m := mb.Build()
+	col := Generate(m, topic.Dist{1}, 20000, rng.New(8))
+	seeds, spread := col.SelectSeeds(2)
+
+	best := 0.0
+	for a := 0; a < 6; a++ {
+		for bb := a + 1; bb < 6; bb++ {
+			s := col.EstimateSpread([]graph.NodeID{int32(a), int32(bb)})
+			if s > best {
+				best = s
+			}
+		}
+	}
+	if spread < best*0.95 {
+		t.Fatalf("greedy=%v exhaustive=%v (seeds=%v)", spread, best, seeds)
+	}
+}
+
+func TestIMMFindsHub(t *testing.T) {
+	m, g := hubGraph(t)
+	res, err := IMM(g, m.Weights(topic.Dist{1}), IMMOptions{K: 2, Epsilon: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Seeds {
+		if s == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("IMM seeds %v missing hub 0", res.Seeds)
+	}
+	if res.SetsUsed == 0 || res.SpreadEst <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestIMMModelWrapper(t *testing.T) {
+	m, _ := hubGraph(t)
+	res, err := IMMModel(m, topic.Dist{1}, IMMOptions{K: 1, Epsilon: 0.3, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("IMMModel seed = %v", res.Seeds)
+	}
+}
+
+func TestIMMErrors(t *testing.T) {
+	m, g := hubGraph(t)
+	w := m.Weights(topic.Dist{1})
+	if _, err := IMM(g, w, IMMOptions{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := IMM(g, w, IMMOptions{K: 1000}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := IMM(g, w, IMMOptions{K: 1, Epsilon: 1.5}); err == nil {
+		t.Fatal("epsilon>1 accepted")
+	}
+	empty := graph.NewBuilder(0).Build()
+	if _, err := IMM(empty, nil, IMMOptions{K: 1}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestIMMDeterministic(t *testing.T) {
+	m, g := hubGraph(t)
+	w := m.Weights(topic.Dist{1})
+	a, err := IMM(g, w, IMMOptions{K: 3, Epsilon: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IMM(g, w, IMMOptions{K: 3, Epsilon: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SetsUsed != b.SetsUsed || len(a.Seeds) != len(b.Seeds) {
+		t.Fatalf("nondeterministic IMM: %+v vs %+v", a, b)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// ln C(5,2) = ln 10
+	if got := logChoose(5, 2); math.Abs(got-math.Log(10)) > 1e-9 {
+		t.Fatalf("logChoose(5,2) = %v", got)
+	}
+	if got := logChoose(100, 0); math.Abs(got) > 1e-9 {
+		t.Fatalf("logChoose(100,0) = %v", got)
+	}
+}
+
+func BenchmarkGenerateRR(b *testing.B) {
+	r := rng.New(1)
+	gb := graph.NewBuilder(20000)
+	for i := 0; i < 100000; i++ {
+		gb.AddEdge(int32(r.Intn(20000)), int32(r.Intn(20000)))
+	}
+	g := gb.Build()
+	mb := tic.NewBuilder(g, 4)
+	for e := 0; e < g.NumEdges(); e++ {
+		_ = mb.SetProb(graph.EdgeID(e), r.Intn(4), 0.1)
+	}
+	m := mb.Build()
+	gamma := topic.Uniform(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := Generate(m, gamma, 100, rng.New(uint64(i)))
+		_ = col
+	}
+}
+
+func BenchmarkSelectSeeds(b *testing.B) {
+	m, _ := hubGraph(b)
+	col := Generate(m, topic.Dist{1}, 20000, rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.SelectSeeds(5)
+	}
+}

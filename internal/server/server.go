@@ -1,0 +1,274 @@
+// Package server exposes the OCTOPUS analysis services over a JSON HTTP
+// API — the backend the demo's d3js interface (Figure 1) binds to. Each
+// endpoint returns exactly the payload a UI widget renders: seed lists
+// for the influential-user table, keyword suggestions and radar data for
+// the selling-points panel, and node/link graphs for the influential-path
+// visualization.
+//
+//	GET /api/status                         system statistics
+//	GET /api/im?q=data+mining&k=10          keyword-based IM (Scenario 1)
+//	GET /api/suggest?user=NAME&k=3          keyword suggestion (Scenario 2)
+//	GET /api/keywords?user=NAME&limit=20    ranked user keywords
+//	GET /api/radar?keyword=W                radar diagram data
+//	GET /api/paths?user=NAME&theta=0.01     influential paths (Scenario 3)
+//	GET /api/complete?prefix=P&k=10         user-name auto-completion
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/core"
+	"octopus/internal/tags"
+)
+
+// Server wraps a built core.System with HTTP handlers.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+	// QueryTimeout bounds each analysis request (default 10s).
+	QueryTimeout time.Duration
+}
+
+// New creates a Server for sys.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), QueryTimeout: 10 * time.Second}
+	s.mux.HandleFunc("/api/status", s.handleStatus)
+	s.mux.HandleFunc("/api/im", s.handleIM)
+	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("/api/keywords", s.handleKeywords)
+	s.mux.HandleFunc("/api/radar", s.handleRadar)
+	s.mux.HandleFunc("/api/paths", s.handlePaths)
+	s.mux.HandleFunc("/api/complete", s.handleComplete)
+	s.mux.HandleFunc("/", s.handleUI)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorPayload{Error: err.Error()})
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func floatParam(r *http.Request, name string, def float64) float64 {
+	if v := r.URL.Query().Get(name); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.QueryTimeout)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Stats())
+}
+
+type imResponse struct {
+	Query   []string       `json:"query"`
+	Unknown []string       `json:"unknown,omitempty"`
+	Gamma   []float64      `json:"gamma"`
+	Topics  []string       `json:"topics"`
+	Seeds   []imSeed       `json:"seeds"`
+	Stats   map[string]any `json:"stats"`
+}
+
+type imSeed struct {
+	ID     int32   `json:"id"`
+	Name   string  `json:"name"`
+	Spread float64 `json:"spread"`
+	Aspect string  `json:"aspect"`
+}
+
+func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
+	tok := actionlog.Tokenizer{}
+	keywords := tok.Tokenize(r.URL.Query().Get("q"))
+	if len(keywords) == 0 {
+		writeErr(w, http.StatusBadRequest, errMissing("q"))
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	res, err := s.sys.DiscoverInfluencers(keywords, core.DiscoverOptions{
+		K:          intParam(r, "k", 10),
+		Theta:      floatParam(r, "theta", 0.01),
+		UseSamples: r.URL.Query().Get("samples") == "1",
+		Context:    ctx,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	km := s.sys.Keywords()
+	topics := make([]string, km.NumTopics())
+	for z := range topics {
+		topics[z] = km.TopicName(z)
+	}
+	resp := imResponse{
+		Query:   keywords,
+		Unknown: res.UnknownWords,
+		Gamma:   res.Gamma,
+		Topics:  topics,
+		Stats: map[string]any{
+			"exactEvals":  res.Stats.ExactEvals,
+			"localBounds": res.Stats.LocalBounds,
+			"pruned":      res.Stats.Pruned,
+			"sampleHit":   res.Stats.SampleHit,
+		},
+	}
+	for _, seed := range res.Seeds {
+		resp.Seeds = append(resp.Seeds, imSeed{
+			ID: seed.User, Name: seed.Name, Spread: seed.Spread, Aspect: seed.TopTopicName,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type suggestResponse struct {
+	User     string              `json:"user"`
+	Keywords []string            `json:"keywords"`
+	Gamma    []float64           `json:"gamma"`
+	Spread   float64             `json:"spread"`
+	Singles  []tags.KeywordScore `json:"singles"`
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errMissing("user"))
+		return
+	}
+	id, err := s.sys.ResolveUser(user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	sug, err := s.sys.SuggestKeywords(id, intParam(r, "k", 3), tags.SuggestOptions{
+		MinCoherence: floatParam(r, "coherence", 0),
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, suggestResponse{
+		User:     s.sys.Graph().Name(id),
+		Keywords: sug.Keywords,
+		Gamma:    sug.Gamma,
+		Spread:   sug.Spread,
+		Singles:  sug.Singles,
+	})
+}
+
+func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errMissing("user"))
+		return
+	}
+	id, err := s.sys.ResolveUser(user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	ranked, err := s.sys.RankUserKeywords(id, intParam(r, "limit", 20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ranked)
+}
+
+func (s *Server) handleRadar(w http.ResponseWriter, r *http.Request) {
+	kw := strings.TrimSpace(r.URL.Query().Get("keyword"))
+	if kw == "" {
+		writeErr(w, http.StatusBadRequest, errMissing("keyword"))
+		return
+	}
+	radar, err := s.sys.Radar(kw)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, radar)
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, errMissing("user"))
+		return
+	}
+	id, err := s.sys.ResolveUser(user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	tok := actionlog.Tokenizer{}
+	pg, err := s.sys.InfluencePaths(id, core.PathOptions{
+		Keywords: tok.Tokenize(r.URL.Query().Get("q")),
+		Theta:    floatParam(r, "theta", 0.01),
+		MaxNodes: intParam(r, "max", 200),
+		Reverse:  r.URL.Query().Get("reverse") == "1",
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Optional click-highlight.
+	if clicked := intParam(r, "highlight", -1); clicked >= 0 {
+		path, err := s.sys.HighlightPath(pg, int32(clicked))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			*core.PathGraph
+			Highlight []int32 `json:"highlight"`
+		}{pg, path})
+		return
+	}
+	writeJSON(w, http.StatusOK, pg)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	if prefix == "" {
+		writeErr(w, http.StatusBadRequest, errMissing("prefix"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Complete(prefix, intParam(r, "k", 10)))
+}
+
+type missingParamError string
+
+func (e missingParamError) Error() string { return "missing required parameter: " + string(e) }
+
+func errMissing(name string) error { return missingParamError(name) }

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+)
+
+var (
+	srvOnce sync.Once
+	srvVal  *Server
+	srvSys  *core.System
+	srvErr  error
+)
+
+func testServer(t *testing.T) (*Server, *core.System) {
+	t.Helper()
+	srvOnce.Do(func() {
+		ds, err := datagen.Citation(datagen.CitationConfig{
+			Authors: 300, Topics: 4, Papers: 400, Seed: 21,
+		})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+			GroundTruth:      ds.Truth,
+			GroundTruthWords: ds.TruthWords,
+			TopicNames:       ds.TopicNames,
+			Seed:             3,
+		})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srvSys = sys
+		srvVal = New(sys)
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srvVal, srvSys
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	}
+	return rec, body
+}
+
+func TestStatus(t *testing.T) {
+	s, sys := testServer(t)
+	rec, body := get(t, s, "/api/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if int(body["Nodes"].(float64)) != sys.Graph().NumNodes() {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestIMEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/api/im?q=data+mining&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%v", rec.Code, body)
+	}
+	seeds := body["seeds"].([]any)
+	if len(seeds) != 5 {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	first := seeds[0].(map[string]any)
+	if first["name"] == "" || first["spread"].(float64) <= 0 {
+		t.Fatalf("seed payload = %v", first)
+	}
+	if _, ok := body["gamma"]; !ok {
+		t.Fatal("missing gamma")
+	}
+}
+
+func TestIMMissingQuery(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/api/im")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["error"] == nil {
+		t.Fatal("no error payload")
+	}
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	s, sys := testServer(t)
+	// Pick a keyword-rich user by name.
+	var name string
+	for u := 0; u < sys.Graph().NumNodes(); u++ {
+		if len(sys.UserKeywords(graph.NodeID(u))) >= 3 {
+			name = sys.Graph().Name(graph.NodeID(u))
+			break
+		}
+	}
+	if name == "" {
+		t.Skip("no keyword-rich user")
+	}
+	rec, body := get(t, s, "/api/suggest?user="+url.QueryEscape(name)+"&k=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %v", rec.Code, body)
+	}
+	if body["user"].(string) != name {
+		t.Fatalf("user = %v", body["user"])
+	}
+}
+
+func TestSuggestUnknownUser(t *testing.T) {
+	s, _ := testServer(t)
+	rec, _ := get(t, s, "/api/suggest?user=Nobody+Anywhere")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestKeywordsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, _ := get(t, s, "/api/keywords?user=0&limit=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestRadarEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/api/radar?keyword=mining")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["Keyword"].(string) != "mining" {
+		t.Fatalf("radar = %v", body)
+	}
+	rec, _ = get(t, s, "/api/radar?keyword=zzzz")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown keyword status = %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/api/radar")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing keyword status = %d", rec.Code)
+	}
+}
+
+func TestPathsEndpoint(t *testing.T) {
+	s, sys := testServer(t)
+	// hub user
+	var root graph.NodeID
+	best := -1
+	for u := 0; u < sys.Graph().NumNodes(); u++ {
+		if d := sys.Graph().OutDegree(graph.NodeID(u)); d > best {
+			best, root = d, graph.NodeID(u)
+		}
+	}
+	name := sys.Graph().Name(root)
+	rec, body := get(t, s, "/api/paths?user="+url.QueryEscape(name)+"&theta=0.005")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%v", rec.Code, body)
+	}
+	nodes := body["nodes"].([]any)
+	if len(nodes) < 2 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	// Click-highlight the second node.
+	n1 := nodes[1].(map[string]any)
+	id := int(n1["id"].(float64))
+	rec, body = get(t, s, "/api/paths?user="+url.QueryEscape(name)+"&theta=0.005&highlight="+itoa(id))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("highlight status = %d", rec.Code)
+	}
+	if body["highlight"] == nil {
+		t.Fatal("missing highlight payload")
+	}
+	// Reverse exploration.
+	rec, _ = get(t, s, "/api/paths?user="+url.QueryEscape(name)+"&reverse=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reverse status = %d", rec.Code)
+	}
+}
+
+func TestCompleteEndpoint(t *testing.T) {
+	s, sys := testServer(t)
+	prefix := sys.Graph().Name(0)[:2]
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/api/complete?prefix="+url.QueryEscape(prefix), nil)
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var comps []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &comps); err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) == 0 {
+		t.Fatalf("no completions for %q", prefix)
+	}
+	rec, _ = get(t, s, "/api/complete")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing prefix status = %d", rec.Code)
+	}
+}
+
+func TestUIServed(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"OCTOPUS", "/api/im", "/api/paths", "Scenario 3"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("UI missing %q", want)
+		}
+	}
+	// Unknown paths under / must 404, not serve the UI.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", rec.Code)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s, _ := testServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{
+				"/api/im?q=data+mining&k=3",
+				"/api/status",
+				"/api/radar?keyword=mining",
+				"/api/complete?prefix=A",
+			}
+			rec, _ := get(t, s, paths[i%len(paths)])
+			if rec.Code != http.StatusOK {
+				t.Errorf("path %s: status %d", paths[i%len(paths)], rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func itoa(i int) string {
+	b := []byte{}
+	if i == 0 {
+		return "0"
+	}
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

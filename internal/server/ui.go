@@ -1,0 +1,168 @@
+package server
+
+import "net/http"
+
+// handleUI serves the embedded single-page interface — a dependency-free
+// stand-in for the d3js front end of Figure 1. It exercises the same
+// JSON endpoints a production UI would: the keyword-IM table, the
+// suggestion panel with a radar-style bar view, and the influential-path
+// tree rendered as SVG with click-to-highlight.
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+const indexHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>OCTOPUS</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:0;background:#10141c;color:#dfe6f0}
+header{padding:14px 22px;background:#1a2233;font-size:20px;font-weight:600}
+header span{color:#7fb4ff}
+main{display:grid;grid-template-columns:1fr 1fr;gap:16px;padding:16px}
+section{background:#1a2233;border-radius:10px;padding:14px}
+h2{margin:0 0 10px;font-size:15px;color:#9fc1ff}
+input,button{background:#0e1420;color:#dfe6f0;border:1px solid #31405c;border-radius:6px;padding:7px 10px;font-size:14px}
+button{cursor:pointer;background:#2b4a7d}
+table{width:100%;border-collapse:collapse;font-size:13px;margin-top:10px}
+td,th{padding:4px 8px;border-bottom:1px solid #26324a;text-align:left}
+.bar{height:10px;background:#4f8ef7;border-radius:3px;display:inline-block;vertical-align:middle}
+#paths{grid-column:1/-1}
+svg{width:100%;height:420px;background:#0e1420;border-radius:8px}
+.dim{color:#7e8aa3;font-size:12px}
+#complete{position:absolute;background:#1f2a40;border:1px solid #31405c;border-radius:6px;z-index:5}
+#complete div{padding:4px 10px;cursor:pointer}
+#complete div:hover{background:#2b4a7d}
+</style></head><body>
+<header>OCTOPUS <span>online topic-aware influence analysis</span></header>
+<main>
+<section>
+  <h2>Scenario 1 — keyword-based influential users</h2>
+  <input id="q" value="data mining" size="28"> k <input id="k" value="10" size="3">
+  <button onclick="runIM()">discover</button>
+  <div class="dim" id="imStats"></div>
+  <table id="imTable"></table>
+</section>
+<section>
+  <h2>Scenario 2 — influential keywords of a user</h2>
+  <span style="position:relative">
+  <input id="user" size="28" placeholder="type a user name…" oninput="complete()">
+  <span id="complete"></span></span>
+  <button onclick="runSuggest()">suggest</button>
+  <div id="sugOut"></div>
+  <div id="radar"></div>
+</section>
+<section id="paths">
+  <h2>Scenario 3 — influential paths (click nodes to highlight)</h2>
+  <input id="puser" size="28" placeholder="user name">
+  θ <input id="theta" value="0.01" size="5">
+  <label><input type="checkbox" id="rev"> influenced-by</label>
+  <button onclick="runPaths()">explore</button>
+  <span class="dim" id="pstats"></span>
+  <svg id="svg"></svg>
+</section>
+</main>
+<script>
+async function j(u){const r=await fetch(u);const b=await r.json();if(!r.ok)throw b.error;return b}
+async function runIM(){
+  try{
+    const q=encodeURIComponent(document.getElementById('q').value);
+    const k=document.getElementById('k').value;
+    const d=await j('/api/im?q='+q+'&k='+k);
+    document.getElementById('imStats').textContent=
+      'γ top: '+top2(d.gamma,d.topics)+' · '+d.stats.pruned+' users pruned, '+d.stats.exactEvals+' exact evals';
+    let h='<tr><th>#</th><th>user</th><th>σ</th><th>aspect</th></tr>';
+    d.seeds.forEach((s,i)=>{h+='<tr><td>'+(i+1)+'</td><td>'+esc(s.name)+'</td><td>'+s.spread.toFixed(1)+'</td><td>'+esc(s.aspect)+'</td></tr>'});
+    document.getElementById('imTable').innerHTML=h;
+  }catch(e){alert(e)}
+}
+function top2(g,names){
+  return g.map((v,i)=>[v,i]).sort((a,b)=>b[0]-a[0]).slice(0,2)
+          .map(([v,i])=>names[i]+' '+v.toFixed(2)).join(', ');
+}
+function esc(s){const d=document.createElement('div');d.textContent=s||'';return d.innerHTML}
+let compTimer;
+async function complete(){
+  clearTimeout(compTimer);
+  compTimer=setTimeout(async()=>{
+    const p=document.getElementById('user').value;
+    const box=document.getElementById('complete');
+    if(p.length<2){box.innerHTML='';return}
+    try{
+      const d=await j('/api/complete?prefix='+encodeURIComponent(p)+'&k=6');
+      box.innerHTML=(d||[]).map(c=>'<div onclick="pick(\''+esc(c.Key)+'\')">'+esc(c.Key)+'</div>').join('');
+    }catch(e){box.innerHTML=''}
+  },150);
+}
+function pick(name){
+  document.getElementById('user').value=name;
+  document.getElementById('puser').value=name;
+  document.getElementById('complete').innerHTML='';
+}
+async function runSuggest(){
+  try{
+    const u=encodeURIComponent(document.getElementById('user').value);
+    const d=await j('/api/suggest?user='+u+'&k=3');
+    document.getElementById('sugOut').innerHTML=
+      '<p>selling points of <b>'+esc(d.user)+'</b>: <b>'+d.keywords.map(esc).join(', ')+
+      '</b> <span class="dim">(est σ='+d.spread.toFixed(1)+')</span></p>';
+    if(d.keywords.length){
+      const r=await j('/api/radar?keyword='+encodeURIComponent(d.keywords[0]));
+      let h='<div class="dim">radar of “'+esc(r.Keyword)+'”</div><table>';
+      r.Topics.forEach((t,i)=>{h+='<tr><td>'+esc(t)+'</td><td><span class="bar" style="width:'+(r.Values[i]*220)+'px"></span> '+r.Values[i].toFixed(3)+'</td></tr>'});
+      document.getElementById('radar').innerHTML=h+'</table>';
+    }
+  }catch(e){alert(e)}
+}
+let lastPaths=null;
+async function runPaths(hl){
+  try{
+    const u=encodeURIComponent(document.getElementById('puser').value||document.getElementById('user').value);
+    const th=document.getElementById('theta').value;
+    const rev=document.getElementById('rev').checked?'&reverse=1':'';
+    const url='/api/paths?user='+u+'&theta='+th+'&max=80'+rev+(hl!=null?'&highlight='+hl:'');
+    const d=await j(url);
+    lastPaths=d;
+    document.getElementById('pstats').textContent=
+      d.nodes.length+' nodes, spread '+d.spread.toFixed(1);
+    draw(d);
+  }catch(e){alert(e)}
+}
+function draw(d){
+  const svg=document.getElementById('svg');
+  const W=svg.clientWidth,H=420;
+  const byDepth={};
+  d.nodes.forEach(n=>{(byDepth[n.depth]=byDepth[n.depth]||[]).push(n)});
+  const depths=Object.keys(byDepth).map(Number).sort((a,b)=>a-b);
+  const pos={};
+  depths.forEach((dep,di)=>{
+    byDepth[dep].forEach((n,i)=>{
+      pos[n.id]={x:60+di*((W-120)/Math.max(1,depths.length-1||1)),
+                 y:30+(i+0.5)*(H-60)/byDepth[dep].length};
+    });
+  });
+  const hiSet=new Set(d.highlight||[]);
+  let out='';
+  d.links.forEach(l=>{
+    const a=pos[l.source],b=pos[l.target];if(!a||!b)return;
+    const hot=hiSet.has(l.source)&&hiSet.has(l.target);
+    out+='<line x1="'+a.x+'" y1="'+a.y+'" x2="'+b.x+'" y2="'+b.y+
+      '" stroke="'+(hot?'#ffb454':'#31405c')+'" stroke-width="'+(hot?2.5:1)+'"/>';
+  });
+  const maxSize=Math.max(...d.nodes.map(n=>n.size),1);
+  d.nodes.forEach(n=>{
+    const p=pos[n.id];const r=4+10*Math.sqrt(n.size/maxSize);
+    const hot=hiSet.has(n.id);
+    out+='<circle cx="'+p.x+'" cy="'+p.y+'" r="'+r+'" fill="'+
+      (n.id===d.root?'#ffd454':hot?'#ffb454':'#4f8ef7')+
+      '" onclick="runPaths('+n.id+')" style="cursor:pointer"><title>'+
+      esc(n.name)+' ap='+n.prob.toFixed(3)+'</title></circle>';
+    if(r>8)out+='<text x="'+(p.x+r+3)+'" y="'+(p.y+4)+'" fill="#9fb3d4" font-size="11">'+esc(n.name)+'</text>';
+  });
+  svg.innerHTML=out;
+}
+runIM();
+</script></body></html>`

@@ -1,0 +1,254 @@
+// Package tags implements the personalized influential keywords
+// suggestion engine of Li et al. (SIGMOD 2017) — reference [6] of the
+// OCTOPUS paper and the algorithm behind Scenario 2 ("discovering the
+// selling points of a user").
+//
+// The problem: given a target user u, find the k-sized keyword set whose
+// induced topic distribution γ maximizes u's influence spread. Finding
+// the optimum is NP-hard (and NP-hard to approximate within any constant
+// factor), so the engine estimates spreads by sampling and searches the
+// keyword-set space greedily with pruning.
+//
+// The estimation substrate is the influencer index: M uniformly sampled
+// "poll" users, each with a reverse propagation tree grown under the
+// upper-envelope probabilities p̄ where every traversed edge materializes
+// one uniform coin threshold λ_e. Because the effective probability
+// p_e(γ) = Σ_z γ_z·ppᶻ_e is a deterministic function of γ, the SAME coin
+// decides the edge's liveness under every γ: edge live ⟺ λ_e < p_e(γ).
+// One offline sample therefore re-evaluates under any query distribution
+// in O(stored edges) — "maintaining influencers of uniformly sampled
+// users to avoid online sampling from scratch".
+//
+// Lazy propagation sampling: edges whose coin satisfies λ_e ≥ p̄_e can
+// never be live under any γ and terminate traversal immediately, so the
+// index materializes as few edges as possible (the eager alternative
+// flips a coin for every edge of the graph per sample). Query evaluation
+// delays materializing the liveness set: the reverse BFS from the poll
+// root stops as soon as the target user is proven live.
+package tags
+
+import (
+	"fmt"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// IndexOptions configures influencer-index construction.
+type IndexOptions struct {
+	// Polls is M, the number of uniformly sampled poll users
+	// (default 1024). More polls tighten the spread estimator:
+	// stderr ≈ n·√(q(1−q)/M) for hit rate q.
+	Polls int
+	// MaxDepth caps reverse tree depth (0 = unlimited).
+	MaxDepth int
+	// MaxTreeNodes caps reverse tree size (0 = unlimited).
+	MaxTreeNodes int
+	// Seed drives poll selection and coin thresholds.
+	Seed uint64
+}
+
+func (o *IndexOptions) fill() {
+	if o.Polls == 0 {
+		o.Polls = 1024
+	}
+}
+
+// revEdge is one materialized coin: forward graph edge From→To with
+// threshold Lambda (indices are tree-local).
+type revEdge struct {
+	From   int32 // tree-local index of the edge's source (farther node)
+	To     int32 // tree-local index of the edge's destination (nearer root)
+	Lambda float32
+	Edge   graph.EdgeID
+}
+
+// revTree is the stored reverse propagation sample of one poll user.
+type revTree struct {
+	nodes []graph.NodeID
+	local map[graph.NodeID]int32
+	// inEdges[i] lists stored edges whose To == i (edges that can make
+	// node From live once i is live, walking away from the root).
+	inEdges [][]revEdge
+}
+
+// Index is the influencer index. Immutable after Build; safe for
+// concurrent readers.
+type Index struct {
+	m     *tic.Model
+	polls []graph.NodeID
+	trees []revTree
+	// contains[u] lists polls whose stored tree contains u — only these
+	// can contribute to u's spread estimate.
+	contains [][]int32
+	edges    int // total materialized coins
+	coins    int // total coins flipped during build (incl. pruned edges)
+}
+
+// BuildIndex samples M poll users and grows their reverse trees under p̄.
+func BuildIndex(m *tic.Model, opt IndexOptions) (*Index, error) {
+	opt.fill()
+	if opt.Polls <= 0 {
+		return nil, fmt.Errorf("tags: Polls must be positive")
+	}
+	g := m.Graph()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("tags: empty graph")
+	}
+	r := rng.New(opt.Seed)
+	ix := &Index{m: m, contains: make([][]int32, n)}
+
+	type qent struct {
+		idx   int32
+		depth int32
+	}
+	for p := 0; p < opt.Polls; p++ {
+		root := graph.NodeID(r.Intn(n))
+		t := revTree{local: make(map[graph.NodeID]int32, 8)}
+		addNode := func(v graph.NodeID) int32 {
+			if i, ok := t.local[v]; ok {
+				return i
+			}
+			i := int32(len(t.nodes))
+			t.nodes = append(t.nodes, v)
+			t.local[v] = i
+			t.inEdges = append(t.inEdges, nil)
+			return i
+		}
+		rootIdx := addNode(root)
+		queue := []qent{{rootIdx, 0}}
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			if opt.MaxDepth > 0 && int(cur.depth) >= opt.MaxDepth {
+				continue
+			}
+			if opt.MaxTreeNodes > 0 && len(t.nodes) >= opt.MaxTreeNodes {
+				break
+			}
+			v := t.nodes[cur.idx]
+			lo, hi := g.InSlots(v)
+			for s := lo; s < hi; s++ {
+				e := g.InEdgeID(s)
+				lambda := r.Float64()
+				ix.coins++
+				if lambda >= m.MaxProb(e) {
+					continue // dead under every γ: lazy pruning
+				}
+				u := g.InSrc(s)
+				ui, existed := t.local[u]
+				if !existed {
+					ui = addNode(u)
+					queue = append(queue, qent{ui, cur.depth + 1})
+				}
+				t.inEdges[cur.idx] = append(t.inEdges[cur.idx], revEdge{
+					From: ui, To: cur.idx, Lambda: float32(lambda), Edge: e,
+				})
+				ix.edges++
+			}
+		}
+		pi := int32(len(ix.trees))
+		ix.polls = append(ix.polls, root)
+		ix.trees = append(ix.trees, t)
+		for _, v := range t.nodes {
+			ix.contains[v] = append(ix.contains[v], pi)
+		}
+	}
+	return ix, nil
+}
+
+// Model returns the underlying TIC model.
+func (ix *Index) Model() *tic.Model { return ix.m }
+
+// NumPolls returns M.
+func (ix *Index) NumPolls() int { return len(ix.polls) }
+
+// EdgesMaterialized returns the number of stored coins (edges kept after
+// lazy pruning).
+func (ix *Index) EdgesMaterialized() int { return ix.edges }
+
+// CoinsFlipped returns the number of coins drawn during construction,
+// including immediately pruned ones — compare against
+// NumPolls()·NumEdges() for the eager alternative.
+func (ix *Index) CoinsFlipped() int { return ix.coins }
+
+// pollLive reports whether target is live in poll pi under γ: reachable
+// from the poll root walking stored edges whose λ < p(γ). The BFS stops
+// as soon as target is proven live (delayed materialization).
+func (ix *Index) pollLive(pi int32, target graph.NodeID, gamma topic.Dist) bool {
+	t := &ix.trees[pi]
+	ti, ok := t.local[target]
+	if !ok {
+		return false
+	}
+	if ti == 0 {
+		return true // target is the poll root
+	}
+	live := make([]bool, len(t.nodes))
+	live[0] = true
+	queue := make([]int32, 0, 8)
+	queue = append(queue, 0)
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for _, e := range t.inEdges[cur] {
+			if live[e.From] {
+				continue
+			}
+			if float64(e.Lambda) < ix.m.EdgeProb(e.Edge, gamma) {
+				if e.From == ti {
+					return true
+				}
+				live[e.From] = true
+				queue = append(queue, e.From)
+			}
+		}
+	}
+	return false
+}
+
+// SpreadEstimate returns σ̂_γ({u}) = n/M · #{polls where u is live}.
+func (ix *Index) SpreadEstimate(u graph.NodeID, gamma topic.Dist) float64 {
+	hits := 0
+	for _, pi := range ix.contains[u] {
+		if ix.pollLive(pi, u, gamma) {
+			hits++
+		}
+	}
+	n := ix.m.Graph().NumNodes()
+	return float64(n) * float64(hits) / float64(len(ix.polls))
+}
+
+// MaxSpreadEstimate returns the estimator's upper envelope for u: the
+// spread if every stored edge were live (γ-independent), used for
+// pruning entire users before any keyword evaluation.
+func (ix *Index) MaxSpreadEstimate(u graph.NodeID) float64 {
+	n := ix.m.Graph().NumNodes()
+	return float64(n) * float64(len(ix.contains[u])) / float64(len(ix.polls))
+}
+
+// SpreadEstimateSet returns σ̂_γ(S) for a seed set (a poll counts if any
+// member of S is live in it).
+func (ix *Index) SpreadEstimateSet(seeds []graph.NodeID, gamma topic.Dist) float64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	pollSet := map[int32]bool{}
+	for _, u := range seeds {
+		for _, pi := range ix.contains[u] {
+			pollSet[pi] = true
+		}
+	}
+	hits := 0
+	for pi := range pollSet {
+		for _, u := range seeds {
+			if ix.pollLive(pi, u, gamma) {
+				hits++
+				break
+			}
+		}
+	}
+	n := ix.m.Graph().NumNodes()
+	return float64(n) * float64(hits) / float64(len(ix.polls))
+}

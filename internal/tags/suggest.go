@@ -1,0 +1,246 @@
+package tags
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/graph"
+	"octopus/internal/topic"
+)
+
+// SuggestOptions configures a keyword-suggestion query.
+type SuggestOptions struct {
+	// K is the keyword-set size to suggest (required).
+	K int
+	// Candidates restricts the candidate pool size: the MaxCandidates
+	// keywords with the best singleton spread estimates survive to the
+	// set-search phase (default 24).
+	MaxCandidates int
+	// MinCoherence prunes candidates whose topic profile has cosine
+	// similarity below this threshold with the already-chosen keywords,
+	// keeping suggestions topically consistent (default 0 = disabled).
+	MinCoherence float64
+	// Exhaustive searches all C(candidates, K) sets instead of greedy;
+	// exponential — only sensible for tiny pools in tests/experiments.
+	Exhaustive bool
+}
+
+func (o *SuggestOptions) fill() error {
+	if o.K <= 0 {
+		return fmt.Errorf("tags: K must be positive")
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 24
+	}
+	return nil
+}
+
+// Suggestion is the result of a keyword-suggestion query.
+type Suggestion struct {
+	Keywords []string
+	// Gamma is the topic distribution induced by the full keyword set.
+	Gamma topic.Dist
+	// Spread is the index estimate of the target's influence under Gamma.
+	Spread float64
+	// Singles reports each chosen keyword's singleton spread estimate in
+	// pick order (the per-step trace shown in the OCTOPUS UI).
+	Singles []KeywordScore
+	// Stats summarizes search effort.
+	Stats SuggestStats
+}
+
+// KeywordScore pairs a keyword with a spread estimate.
+type KeywordScore struct {
+	Keyword string
+	Spread  float64
+}
+
+// SuggestStats reports search work for the E7/E8 experiments.
+type SuggestStats struct {
+	CandidatesConsidered int
+	SetsEvaluated        int
+	PrunedByCoherence    int
+	PrunedByUpperBound   bool // whole query answered by the max-spread prune
+}
+
+// Suggester runs keyword-suggestion queries against an influencer index
+// and a keyword model. Safe for concurrent use (all state is immutable).
+type Suggester struct {
+	ix *Index
+	km *topic.Model
+	// userKeywords[u] is the candidate keyword pool of user u (typically
+	// keywords of the items the user acted on).
+	userKeywords [][]string
+}
+
+// NewSuggester builds a Suggester; userKeywords may be nil, in which
+// case every vocabulary keyword is a candidate for every user.
+func NewSuggester(ix *Index, km *topic.Model, userKeywords [][]string) *Suggester {
+	return &Suggester{ix: ix, km: km, userKeywords: userKeywords}
+}
+
+// Candidates returns the candidate keyword pool for u.
+func (s *Suggester) Candidates(u graph.NodeID) []string {
+	if s.userKeywords != nil && int(u) < len(s.userKeywords) && len(s.userKeywords[u]) > 0 {
+		return s.userKeywords[u]
+	}
+	return s.km.Vocab()
+}
+
+// Suggest finds an influential k-keyword set for the target user.
+func (s *Suggester) Suggest(target graph.NodeID, opt SuggestOptions) (*Suggestion, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	sug := &Suggestion{}
+
+	// Whole-user prune: if the target is contained in no poll tree, no
+	// keyword set can give it nonzero estimated spread.
+	if s.ix.MaxSpreadEstimate(target) == 0 {
+		sug.Stats.PrunedByUpperBound = true
+		sug.Gamma = s.km.Prior().Clone()
+		return sug, nil
+	}
+
+	pool := s.Candidates(target)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("tags: user %d has no candidate keywords", target)
+	}
+
+	// Phase 1: singleton estimates, keep the best MaxCandidates.
+	scored := make([]KeywordScore, 0, len(pool))
+	for _, w := range pool {
+		if _, ok := s.km.KeywordID(w); !ok {
+			continue
+		}
+		gamma, _ := s.km.InferGamma([]string{w})
+		sp := s.ix.SpreadEstimate(target, gamma)
+		scored = append(scored, KeywordScore{Keyword: w, Spread: sp})
+		sug.Stats.SetsEvaluated++
+	}
+	if len(scored) == 0 {
+		return nil, fmt.Errorf("tags: none of user %d's keywords are in the vocabulary", target)
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Spread != scored[j].Spread {
+			return scored[i].Spread > scored[j].Spread
+		}
+		return scored[i].Keyword < scored[j].Keyword
+	})
+	if len(scored) > opt.MaxCandidates {
+		scored = scored[:opt.MaxCandidates]
+	}
+	sug.Stats.CandidatesConsidered = len(scored)
+
+	if opt.K > len(scored) {
+		opt.K = len(scored)
+	}
+
+	if opt.Exhaustive {
+		s.exhaustive(target, scored, opt, sug)
+	} else {
+		s.greedy(target, scored, opt, sug)
+	}
+
+	gamma, _ := s.km.InferGamma(sug.Keywords)
+	sug.Gamma = gamma
+	sug.Spread = s.ix.SpreadEstimate(target, gamma)
+	return sug, nil
+}
+
+func (s *Suggester) greedy(target graph.NodeID, cands []KeywordScore, opt SuggestOptions, sug *Suggestion) {
+	chosen := map[string]bool{}
+	var cur []string
+	for len(cur) < opt.K {
+		bestKw := ""
+		bestSpread := -1.0
+		for _, c := range cands {
+			if chosen[c.Keyword] {
+				continue
+			}
+			if opt.MinCoherence > 0 && len(cur) > 0 {
+				if !s.coherent(c.Keyword, cur, opt.MinCoherence) {
+					sug.Stats.PrunedByCoherence++
+					continue
+				}
+			}
+			gamma, _ := s.km.InferGamma(append(cur, c.Keyword))
+			sp := s.ix.SpreadEstimate(target, gamma)
+			sug.Stats.SetsEvaluated++
+			if sp > bestSpread {
+				bestSpread, bestKw = sp, c.Keyword
+			}
+		}
+		if bestKw == "" {
+			break // everything pruned
+		}
+		chosen[bestKw] = true
+		cur = append(cur, bestKw)
+		sug.Singles = append(sug.Singles, KeywordScore{Keyword: bestKw, Spread: bestSpread})
+	}
+	sug.Keywords = cur
+}
+
+func (s *Suggester) exhaustive(target graph.NodeID, cands []KeywordScore, opt SuggestOptions, sug *Suggestion) {
+	best := -1.0
+	var bestSet []string
+	set := make([]string, 0, opt.K)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(set) == opt.K {
+			gamma, _ := s.km.InferGamma(set)
+			sp := s.ix.SpreadEstimate(target, gamma)
+			sug.Stats.SetsEvaluated++
+			if sp > best {
+				best = sp
+				bestSet = append(bestSet[:0], set...)
+			}
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			set = append(set, cands[i].Keyword)
+			rec(i + 1)
+			set = set[:len(set)-1]
+		}
+	}
+	rec(0)
+	sug.Keywords = append([]string(nil), bestSet...)
+	for _, w := range bestSet {
+		gamma, _ := s.km.InferGamma([]string{w})
+		sug.Singles = append(sug.Singles, KeywordScore{Keyword: w, Spread: s.ix.SpreadEstimate(target, gamma)})
+	}
+}
+
+func (s *Suggester) coherent(w string, cur []string, minC float64) bool {
+	for _, c := range cur {
+		if sim, ok := s.km.KeywordCoherence(w, c); ok && sim < minC {
+			return false
+		}
+	}
+	return true
+}
+
+// RankKeywords returns all candidate keywords of target ranked by
+// singleton spread estimate — the list OCTOPUS shows before the user
+// picks one for the radar view.
+func (s *Suggester) RankKeywords(target graph.NodeID, limit int) []KeywordScore {
+	pool := s.Candidates(target)
+	scored := make([]KeywordScore, 0, len(pool))
+	for _, w := range pool {
+		if _, ok := s.km.KeywordID(w); !ok {
+			continue
+		}
+		gamma, _ := s.km.InferGamma([]string{w})
+		scored = append(scored, KeywordScore{Keyword: w, Spread: s.ix.SpreadEstimate(target, gamma)})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Spread != scored[j].Spread {
+			return scored[i].Spread > scored[j].Spread
+		}
+		return scored[i].Keyword < scored[j].Keyword
+	})
+	if limit > 0 && len(scored) > limit {
+		scored = scored[:limit]
+	}
+	return scored
+}

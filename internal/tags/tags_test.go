@@ -1,0 +1,380 @@
+package tags
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// world builds a 2-topic model where node 0 is a strong topic-0
+// influencer (hub over 1..15) and node 20 a strong topic-1 influencer
+// (hub over 21..35).
+func world(t testing.TB) (*tic.Model, *topic.Model) {
+	b := graph.NewBuilder(40)
+	for v := int32(1); v <= 15; v++ {
+		b.AddEdge(0, v)
+	}
+	for v := int32(21); v <= 35; v++ {
+		b.AddEdge(20, v)
+	}
+	// background noise edges
+	r := rng.New(5)
+	for i := 0; i < 30; i++ {
+		b.AddEdge(int32(r.Intn(40)), int32(r.Intn(40)))
+	}
+	g := b.Build()
+	mb := tic.NewBuilder(g, 2)
+	for e := 0; e < g.NumEdges(); e++ {
+		src := g.Src(graph.EdgeID(e))
+		switch {
+		case src == 0:
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.8, 0.05})
+		case src == 20:
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.05, 0.8})
+		default:
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.05, 0.05})
+		}
+	}
+	m := mb.Build()
+	km, err := topic.NewModel(
+		[]string{"mining", "data", "social", "network"},
+		[][]float64{{0.5, 0.5, 0, 0}, {0, 0, 0.5, 0.5}}, nil)
+	if err != nil {
+		if tt, ok := t.(*testing.T); ok {
+			tt.Fatal(err)
+		}
+	}
+	return m, km
+}
+
+func buildIx(t testing.TB, m *tic.Model, polls int, seed uint64) *Index {
+	ix, err := BuildIndex(m, IndexOptions{Polls: polls, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestSpreadEstimateMatchesMC(t *testing.T) {
+	m, _ := world(t)
+	ix := buildIx(t, m, 20000, 1)
+	sim := tic.NewSimulator(m)
+	for _, tc := range []struct {
+		u     graph.NodeID
+		gamma topic.Dist
+	}{
+		{0, topic.Dist{1, 0}},
+		{0, topic.Dist{0, 1}},
+		{20, topic.Dist{0, 1}},
+		{0, topic.Dist{0.5, 0.5}},
+	} {
+		est := ix.SpreadEstimate(tc.u, tc.gamma)
+		mc := sim.EstimateSpread([]graph.NodeID{tc.u}, tc.gamma, 20000, rng.New(2))
+		if math.Abs(est-mc) > 0.75 {
+			t.Fatalf("u=%d γ=%v: index=%v MC=%v", tc.u, tc.gamma, est, mc)
+		}
+	}
+}
+
+func TestCoinSharingConsistency(t *testing.T) {
+	m, _ := world(t)
+	ix := buildIx(t, m, 2000, 3)
+	gamma := topic.Dist{0.7, 0.3}
+	a := ix.SpreadEstimate(0, gamma)
+	b := ix.SpreadEstimate(0, gamma)
+	if a != b {
+		t.Fatalf("same index+γ gave %v then %v", a, b)
+	}
+}
+
+func TestEnvelopeDominance(t *testing.T) {
+	m, _ := world(t)
+	ix := buildIx(t, m, 3000, 4)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		gamma := topic.Dist(r.DirichletSym(0.6, 2))
+		u := graph.NodeID(r.Intn(40))
+		return ix.SpreadEstimate(u, gamma) <= ix.MaxSpreadEstimate(u)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazySamplingMaterializesFewerEdges(t *testing.T) {
+	m, _ := world(t)
+	ix := buildIx(t, m, 1000, 5)
+	eager := ix.NumPolls() * m.Graph().NumEdges()
+	if ix.CoinsFlipped() >= eager {
+		t.Fatalf("lazy flips %d coins, eager would be %d", ix.CoinsFlipped(), eager)
+	}
+	if ix.EdgesMaterialized() > ix.CoinsFlipped() {
+		t.Fatalf("stored %d > flipped %d", ix.EdgesMaterialized(), ix.CoinsFlipped())
+	}
+	if ix.EdgesMaterialized() == 0 {
+		t.Fatal("no edges materialized at all")
+	}
+}
+
+func TestSpreadEstimateSet(t *testing.T) {
+	m, _ := world(t)
+	ix := buildIx(t, m, 5000, 6)
+	gamma := topic.Dist{0.5, 0.5}
+	s0 := ix.SpreadEstimate(0, gamma)
+	s20 := ix.SpreadEstimate(20, gamma)
+	both := ix.SpreadEstimateSet([]graph.NodeID{0, 20}, gamma)
+	if both < math.Max(s0, s20)-1e-9 {
+		t.Fatalf("set spread %v below max singleton %v/%v", both, s0, s20)
+	}
+	if both > s0+s20+1e-9 {
+		t.Fatalf("set spread %v above sum %v", both, s0+s20)
+	}
+	if got := ix.SpreadEstimateSet(nil, gamma); got != 0 {
+		t.Fatalf("empty set spread = %v", got)
+	}
+}
+
+func TestBuildIndexOptions(t *testing.T) {
+	m, _ := world(t)
+	if _, err := BuildIndex(m, IndexOptions{Polls: -1}); err == nil {
+		t.Fatal("negative polls accepted")
+	}
+	empty := graph.NewBuilder(0).Build()
+	mb := tic.NewBuilder(empty, 1)
+	if _, err := BuildIndex(mb.Build(), IndexOptions{Polls: 10}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	capped, err := BuildIndex(m, IndexOptions{Polls: 100, MaxDepth: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildIndex(m, IndexOptions{Polls: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.EdgesMaterialized() > full.EdgesMaterialized() {
+		t.Fatalf("depth cap stored more edges: %d > %d",
+			capped.EdgesMaterialized(), full.EdgesMaterialized())
+	}
+}
+
+func TestSuggestFindsTopicalKeywords(t *testing.T) {
+	m, km := world(t)
+	ix := buildIx(t, m, 8000, 8)
+	s := NewSuggester(ix, km, nil)
+
+	// Node 0 influences in topic 0 → expects {data, mining}-type keywords.
+	sug, err := s.Suggest(0, SuggestOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sug.Keywords) != 2 {
+		t.Fatalf("keywords = %v", sug.Keywords)
+	}
+	for _, w := range sug.Keywords {
+		if w != "data" && w != "mining" {
+			t.Fatalf("node 0 suggested %v, want topic-0 keywords", sug.Keywords)
+		}
+	}
+	if sug.Gamma[0] < 0.9 {
+		t.Fatalf("γ = %v, want topic 0", sug.Gamma)
+	}
+
+	// Node 20 influences in topic 1.
+	sug20, err := s.Suggest(20, SuggestOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range sug20.Keywords {
+		if w != "social" && w != "network" {
+			t.Fatalf("node 20 suggested %v, want topic-1 keywords", sug20.Keywords)
+		}
+	}
+}
+
+func TestSuggestUserPools(t *testing.T) {
+	m, km := world(t)
+	ix := buildIx(t, m, 4000, 9)
+	pools := make([][]string, 40)
+	pools[0] = []string{"mining"} // node 0 restricted to one keyword
+	s := NewSuggester(ix, km, pools)
+	sug, err := s.Suggest(0, SuggestOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sug.Keywords) != 1 || sug.Keywords[0] != "mining" {
+		t.Fatalf("restricted pool suggested %v", sug.Keywords)
+	}
+	// Users without pools fall back to the whole vocabulary.
+	if got := s.Candidates(20); len(got) != 4 {
+		t.Fatalf("fallback candidates = %v", got)
+	}
+}
+
+func TestSuggestGreedyMatchesExhaustiveSmall(t *testing.T) {
+	m, km := world(t)
+	ix := buildIx(t, m, 8000, 10)
+	s := NewSuggester(ix, km, nil)
+	g, err := s.Suggest(0, SuggestOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Suggest(0, SuggestOptions{K: 2, Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Spread < 0.9*e.Spread {
+		t.Fatalf("greedy spread %v far below exhaustive %v", g.Spread, e.Spread)
+	}
+}
+
+func TestSuggestCoherencePruning(t *testing.T) {
+	m, km := world(t)
+	ix := buildIx(t, m, 4000, 11)
+	s := NewSuggester(ix, km, nil)
+	sug, err := s.Suggest(0, SuggestOptions{K: 2, MinCoherence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug.Stats.PrunedByCoherence == 0 {
+		t.Fatalf("coherence pruning never fired: %+v", sug.Stats)
+	}
+	// The suggested set must be topically coherent.
+	if len(sug.Keywords) == 2 {
+		sim, ok := km.KeywordCoherence(sug.Keywords[0], sug.Keywords[1])
+		if !ok || sim < 0.9 {
+			t.Fatalf("incoherent suggestion %v (sim=%v)", sug.Keywords, sim)
+		}
+	}
+}
+
+func TestSuggestIsolatedUserPruned(t *testing.T) {
+	// A node contained in no poll tree gets the upper-bound prune.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // node 2 fully isolated
+	g := b.Build()
+	mb := tic.NewBuilder(g, 1)
+	_ = mb.SetProb(0, 0, 0.0) // even 0→1 never fires
+	m := mb.Build()
+	km, err := topic.NewModel([]string{"x"}, [][]float64{{1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only polls rooted at 0 or 1 exist; node 2 appears in a tree only if
+	// it is sampled as a root itself. Use a seed/poll count where node 2
+	// is certainly sampled — then prune cannot fire for 2; instead check
+	// a node that never appears: impossible here, so instead verify the
+	// prune on an index whose polls exclude 2 by construction.
+	ix, err := BuildIndex(m, IndexOptions{Polls: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuggester(ix, km, nil)
+	// Find a node with zero max spread, if any; the API must return the
+	// pruned result rather than erroring.
+	for u := graph.NodeID(0); u < 3; u++ {
+		if ix.MaxSpreadEstimate(u) == 0 {
+			sug, err := s.Suggest(u, SuggestOptions{K: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sug.Stats.PrunedByUpperBound || sug.Spread != 0 {
+				t.Fatalf("prune missing: %+v", sug)
+			}
+		}
+	}
+}
+
+func TestSuggestErrors(t *testing.T) {
+	m, km := world(t)
+	ix := buildIx(t, m, 500, 12)
+	s := NewSuggester(ix, km, nil)
+	if _, err := s.Suggest(0, SuggestOptions{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	pools := make([][]string, 40)
+	pools[0] = []string{"unknown-word"}
+	s2 := NewSuggester(ix, km, pools)
+	if _, err := s2.Suggest(0, SuggestOptions{K: 1}); err == nil {
+		t.Fatal("out-of-vocabulary pool accepted")
+	}
+}
+
+func TestRankKeywords(t *testing.T) {
+	m, km := world(t)
+	ix := buildIx(t, m, 6000, 13)
+	s := NewSuggester(ix, km, nil)
+	ranked := s.RankKeywords(0, 0)
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d keywords", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Spread > ranked[i-1].Spread {
+			t.Fatalf("ranking not sorted: %+v", ranked)
+		}
+	}
+	// Topic-0 keywords must outrank topic-1 keywords for node 0.
+	top := ranked[0].Keyword
+	if top != "data" && top != "mining" {
+		t.Fatalf("top keyword for node 0 = %q", top)
+	}
+	if got := s.RankKeywords(0, 2); len(got) != 2 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+}
+
+func TestIndexDeterministic(t *testing.T) {
+	m, _ := world(t)
+	a := buildIx(t, m, 500, 42)
+	b := buildIx(t, m, 500, 42)
+	if a.EdgesMaterialized() != b.EdgesMaterialized() || a.CoinsFlipped() != b.CoinsFlipped() {
+		t.Fatal("index construction not deterministic")
+	}
+	gamma := topic.Dist{0.3, 0.7}
+	if a.SpreadEstimate(0, gamma) != b.SpreadEstimate(0, gamma) {
+		t.Fatal("estimates not deterministic")
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	m, _ := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(m, IndexOptions{Polls: 1000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpreadEstimate(b *testing.B) {
+	m, _ := world(b)
+	ix, err := BuildIndex(m, IndexOptions{Polls: 4000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gamma := topic.Dist{0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SpreadEstimate(graph.NodeID(i%40), gamma)
+	}
+}
+
+func BenchmarkSuggest(b *testing.B) {
+	m, km := world(b)
+	ix, err := BuildIndex(m, IndexOptions{Polls: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewSuggester(ix, km, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Suggest(0, SuggestOptions{K: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package tic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"octopus/internal/graph"
+)
+
+// Write serializes the model's per-edge topic probabilities in a
+// line-oriented text format:
+//
+//	ticmodel <numTopics> <numEdges>
+//	e <edgeID> <z>:<p> [<z>:<p> ...]
+//
+// Edges with no non-zero topic probabilities are omitted. The graph
+// itself is serialized separately (graph.WriteText); Read re-binds the
+// probabilities to a compatible graph.
+func Write(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "ticmodel %d %d\n", m.z, m.g.NumEdges()); err != nil {
+		return err
+	}
+	for e := 0; e < m.g.NumEdges(); e++ {
+		lo, hi := m.off[e], m.off[e+1]
+		if lo == hi {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "e %d", e); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			if _, err := fmt.Fprintf(bw, " %d:%g", m.topicIdx[i], m.topicP[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write and binds the model to g,
+// which must have exactly the edge count recorded in the header.
+func Read(r io.Reader, g *graph.Graph) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("tic: empty model stream")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 || header[0] != "ticmodel" {
+		return nil, fmt.Errorf("tic: malformed header %q", sc.Text())
+	}
+	z, err1 := strconv.Atoi(header[1])
+	edges, err2 := strconv.Atoi(header[2])
+	if err1 != nil || err2 != nil || z <= 0 {
+		return nil, fmt.Errorf("tic: malformed header %q", sc.Text())
+	}
+	if edges != g.NumEdges() {
+		return nil, fmt.Errorf("tic: model has %d edges, graph has %d", edges, g.NumEdges())
+	}
+	b := NewBuilder(g, z)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "e" || len(fields) < 3 {
+			return nil, fmt.Errorf("tic: line %d: malformed edge record", lineNo)
+		}
+		eid, err := strconv.Atoi(fields[1])
+		if err != nil || eid < 0 || eid >= edges {
+			return nil, fmt.Errorf("tic: line %d: bad edge id %q", lineNo, fields[1])
+		}
+		for _, pair := range fields[2:] {
+			zi, pv, ok := strings.Cut(pair, ":")
+			if !ok {
+				return nil, fmt.Errorf("tic: line %d: malformed pair %q", lineNo, pair)
+			}
+			zv, err1 := strconv.Atoi(zi)
+			p, err2 := strconv.ParseFloat(pv, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("tic: line %d: malformed pair %q", lineNo, pair)
+			}
+			if err := b.SetProb(graph.EdgeID(eid), zv, p); err != nil {
+				return nil, fmt.Errorf("tic: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tic: read: %w", err)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,103 @@
+package tic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/topic"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	m := lineModel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf, m.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumTopics() != m.NumTopics() {
+		t.Fatalf("topics: %d vs %d", m2.NumTopics(), m.NumTopics())
+	}
+	for e := 0; e < m.Graph().NumEdges(); e++ {
+		for z := 0; z < m.NumTopics(); z++ {
+			a, b := m.TopicProb(graph.EdgeID(e), z), m2.TopicProb(graph.EdgeID(e), z)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("edge %d topic %d: %v vs %v", e, z, a, b)
+			}
+		}
+		if m.MaxProb(graph.EdgeID(e)) != m2.MaxProb(graph.EdgeID(e)) {
+			t.Fatalf("edge %d max prob differs", e)
+		}
+	}
+}
+
+func TestModelReadErrors(t *testing.T) {
+	g := func() *graph.Graph {
+		b := graph.NewBuilder(2)
+		b.AddEdge(0, 1)
+		return b.Build()
+	}()
+	cases := []string{
+		"",
+		"wrong 2 1",
+		"ticmodel x 1",
+		"ticmodel 2 5",          // edge count mismatch (graph has 1)
+		"ticmodel 2 1\ne 0",     // no pairs
+		"ticmodel 2 1\ne 9 0:1", // edge out of range
+		"ticmodel 2 1\ne 0 bad",
+		"ticmodel 2 1\ne 0 0:2.5", // probability out of range
+		"ticmodel 2 1\ne 0 7:0.5", // topic out of range
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c), g); err == nil {
+			t.Fatalf("Read(%q) succeeded", c)
+		}
+	}
+}
+
+func TestModelRoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(15)
+		gb := graph.NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			gb.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := gb.Build()
+		z := 2 + r.Intn(5)
+		mb := NewBuilder(g, z)
+		for e := 0; e < g.NumEdges(); e++ {
+			for k := 0; k < 2; k++ {
+				if err := mb.SetProb(graph.EdgeID(e), r.Intn(z), r.Float64()); err != nil {
+					return false
+				}
+			}
+		}
+		m := mb.Build()
+		var buf bytes.Buffer
+		if Write(&buf, m) != nil {
+			return false
+		}
+		m2, err := Read(&buf, g)
+		if err != nil {
+			return false
+		}
+		gamma := topic.Uniform(z)
+		for e := 0; e < g.NumEdges(); e++ {
+			if math.Abs(m.EdgeProb(graph.EdgeID(e), gamma)-m2.EdgeProb(graph.EdgeID(e), gamma)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

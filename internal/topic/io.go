@@ -1,0 +1,148 @@
+package topic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write serializes a keyword model:
+//
+//	topicmodel <Z> <V>
+//	prior <p1> ... <pZ>
+//	tname <z> <label>
+//	w <keyword> <p(w|1)> ... <p(w|Z)>
+func Write(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "topicmodel %d %d\n", m.z, len(m.vocab)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(bw, "prior"); err != nil {
+		return err
+	}
+	for _, p := range m.prior {
+		if _, err := fmt.Fprintf(bw, " %g", p); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+	if m.topicNames != nil {
+		for z, name := range m.topicNames {
+			if _, err := fmt.Fprintf(bw, "tname %d %s\n", z, name); err != nil {
+				return err
+			}
+		}
+	}
+	for wi, kw := range m.vocab {
+		if _, err := fmt.Fprintf(bw, "w %s", kw); err != nil {
+			return err
+		}
+		for z := 0; z < m.z; z++ {
+			if _, err := fmt.Fprintf(bw, " %g", m.pwz[z][wi]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("topic: empty model stream")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 || header[0] != "topicmodel" {
+		return nil, fmt.Errorf("topic: malformed header %q", sc.Text())
+	}
+	z, err1 := strconv.Atoi(header[1])
+	v, err2 := strconv.Atoi(header[2])
+	if err1 != nil || err2 != nil || z <= 0 || v <= 0 {
+		return nil, fmt.Errorf("topic: malformed header %q", sc.Text())
+	}
+	var prior Dist
+	names := make([]string, z)
+	haveNames := false
+	vocab := make([]string, 0, v)
+	rows := make([][]float64, z)
+	for zi := range rows {
+		rows[zi] = make([]float64, 0, v)
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "prior":
+			if len(fields) != z+1 {
+				return nil, fmt.Errorf("topic: line %d: prior needs %d entries", lineNo, z)
+			}
+			prior = make(Dist, z)
+			for zi := 0; zi < z; zi++ {
+				p, err := strconv.ParseFloat(fields[zi+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("topic: line %d: bad prior entry", lineNo)
+				}
+				prior[zi] = p
+			}
+		case "tname":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("topic: line %d: malformed tname", lineNo)
+			}
+			zi, err := strconv.Atoi(fields[1])
+			if err != nil || zi < 0 || zi >= z {
+				return nil, fmt.Errorf("topic: line %d: bad topic index", lineNo)
+			}
+			names[zi] = strings.Join(fields[2:], " ")
+			haveNames = true
+		case "w":
+			if len(fields) != z+2 {
+				return nil, fmt.Errorf("topic: line %d: keyword needs %d probabilities", lineNo, z)
+			}
+			vocab = append(vocab, fields[1])
+			for zi := 0; zi < z; zi++ {
+				p, err := strconv.ParseFloat(fields[zi+2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("topic: line %d: bad probability", lineNo)
+				}
+				rows[zi] = append(rows[zi], p)
+			}
+		default:
+			return nil, fmt.Errorf("topic: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topic: read: %w", err)
+	}
+	if len(vocab) != v {
+		return nil, fmt.Errorf("topic: header promised %d keywords, found %d", v, len(vocab))
+	}
+	m, err := NewModel(vocab, rows, prior)
+	if err != nil {
+		return nil, err
+	}
+	if haveNames {
+		for zi := range names {
+			if names[zi] == "" {
+				names[zi] = fmt.Sprintf("topic-%d", zi)
+			}
+		}
+		if err := m.SetTopicNames(names); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,113 @@
+package topic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelIORoundTrip(t *testing.T) {
+	m := testModel(t)
+	if err := m.SetTopicNames([]string{"data mining", "social nets", "ML"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumTopics() != m.NumTopics() || m2.VocabSize() != m.VocabSize() {
+		t.Fatalf("shape: %d/%d vs %d/%d", m2.NumTopics(), m2.VocabSize(), m.NumTopics(), m.VocabSize())
+	}
+	if m2.TopicName(1) != "social nets" {
+		t.Fatalf("name lost: %q", m2.TopicName(1))
+	}
+	// p(w|z) must round-trip up to the model's smoothing epsilon (Read
+	// re-applies the 1e-9 floor of NewModel).
+	for _, q := range [][]string{{"data"}, {"network", "social"}, {"learning", "neural"}} {
+		g1, _ := m.InferGamma(q)
+		g2, _ := m2.InferGamma(q)
+		if g1.L1(g2) > 1e-6 {
+			t.Fatalf("inference differs after round trip: %v vs %v", g1, g2)
+		}
+	}
+	if m.Prior().L1(m2.Prior()) > 1e-9 {
+		t.Fatalf("prior differs")
+	}
+}
+
+func TestModelIORoundTripNoNames(t *testing.T) {
+	m := testModel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.TopicName(0) != "topic-0" {
+		t.Fatalf("unexpected name %q", m2.TopicName(0))
+	}
+}
+
+func TestModelIOErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 1 2",
+		"topicmodel x 2",
+		"topicmodel 2 2\nprior 0.5",          // short prior
+		"topicmodel 2 1\nw a 0.5",            // short keyword probs
+		"topicmodel 2 1\ntname 9 x\nw a 1 1", // bad topic index
+		"topicmodel 2 2\nw a 1 1",            // vocab count mismatch
+		"topicmodel 2 1\nzzz",                // unknown record
+		"topicmodel 2 1\nw a bad 1",          // bad probability
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("Read(%q) succeeded", c)
+		}
+	}
+}
+
+func TestModelIOMultiWordTopicNames(t *testing.T) {
+	m := testModel(t)
+	if err := m.SetTopicNames([]string{"a b c", "d", "e f"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.TopicName(0) != "a b c" || m2.TopicName(2) != "e f" {
+		t.Fatalf("multi-word names lost: %q %q", m2.TopicName(0), m2.TopicName(2))
+	}
+}
+
+func TestModelIOPriorPreserved(t *testing.T) {
+	vocab := []string{"x", "y"}
+	pwz := [][]float64{{1, 0}, {0, 1}}
+	m, err := NewModel(vocab, pwz, Dist{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2.Prior()[0]-0.8) > 1e-9 {
+		t.Fatalf("prior = %v", m2.Prior())
+	}
+}

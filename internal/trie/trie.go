@@ -1,0 +1,115 @@
+// Package trie provides a byte-wise prefix trie with weighted top-k
+// completion, backing the auto-completion box of the OCTOPUS interface
+// ("she can simply type in the name … assisted by an auto-completion
+// tool", Scenario 2).
+package trie
+
+import "sort"
+
+// Trie maps strings to (value, weight) pairs and answers prefix queries.
+// The zero value is an empty trie ready for use. Not safe for concurrent
+// mutation; concurrent reads are safe after building.
+type Trie struct {
+	root node
+	size int
+}
+
+type node struct {
+	children map[byte]*node
+	// terminal entry (valid when set=true)
+	set    bool
+	value  int32
+	weight float64
+	key    string
+}
+
+// Len returns the number of keys.
+func (t *Trie) Len() int { return t.size }
+
+// Insert adds key with an associated value and ranking weight,
+// overwriting any previous entry for key.
+func (t *Trie) Insert(key string, value int32, weight float64) {
+	cur := &t.root
+	for i := 0; i < len(key); i++ {
+		if cur.children == nil {
+			cur.children = make(map[byte]*node)
+		}
+		next, ok := cur.children[key[i]]
+		if !ok {
+			next = &node{}
+			cur.children[key[i]] = next
+		}
+		cur = next
+	}
+	if !cur.set {
+		t.size++
+	}
+	cur.set = true
+	cur.value = value
+	cur.weight = weight
+	cur.key = key
+}
+
+// Lookup returns the value stored at exactly key.
+func (t *Trie) Lookup(key string) (int32, bool) {
+	cur := t.descend(key)
+	if cur == nil || !cur.set {
+		return 0, false
+	}
+	return cur.value, true
+}
+
+func (t *Trie) descend(prefix string) *node {
+	cur := &t.root
+	for i := 0; i < len(prefix); i++ {
+		next, ok := cur.children[prefix[i]]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Completion is one auto-completion result.
+type Completion struct {
+	Key    string
+	Value  int32
+	Weight float64
+}
+
+// Complete returns up to k completions of prefix ordered by decreasing
+// weight (ties broken lexicographically).
+func (t *Trie) Complete(prefix string, k int) []Completion {
+	start := t.descend(prefix)
+	if start == nil || k <= 0 {
+		return nil
+	}
+	var out []Completion
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.set {
+			out = append(out, Completion{Key: n.key, Value: n.value, Weight: n.weight})
+		}
+		// Deterministic child order.
+		keys := make([]byte, 0, len(n.children))
+		for b := range n.children {
+			keys = append(keys, b)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, b := range keys {
+			walk(n.children[b])
+		}
+	}
+	walk(start)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package trie
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func build() *Trie {
+	t := &Trie{}
+	t.Insert("michael jordan", 1, 50)
+	t.Insert("michael stonebraker", 2, 40)
+	t.Insert("jiawei han", 3, 60)
+	t.Insert("jure leskovec", 4, 55)
+	return t
+}
+
+func TestLookup(t *testing.T) {
+	tr := build()
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Lookup("jiawei han")
+	if !ok || v != 3 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if _, ok := tr.Lookup("jiawei"); ok {
+		t.Fatal("prefix matched as exact key")
+	}
+	if _, ok := tr.Lookup("nobody"); ok {
+		t.Fatal("missing key matched")
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	tr := build()
+	tr.Insert("jiawei han", 9, 1)
+	if tr.Len() != 4 {
+		t.Fatalf("overwrite changed size: %d", tr.Len())
+	}
+	v, _ := tr.Lookup("jiawei han")
+	if v != 9 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+}
+
+func TestCompleteOrdering(t *testing.T) {
+	tr := build()
+	got := tr.Complete("mi", 10)
+	if len(got) != 2 {
+		t.Fatalf("completions = %+v", got)
+	}
+	if got[0].Key != "michael jordan" || got[1].Key != "michael stonebraker" {
+		t.Fatalf("weight ordering wrong: %+v", got)
+	}
+}
+
+func TestCompleteLimit(t *testing.T) {
+	tr := build()
+	if got := tr.Complete("", 2); len(got) != 2 || got[0].Key != "jiawei han" {
+		t.Fatalf("top-2 = %+v", got)
+	}
+	if got := tr.Complete("x", 5); got != nil {
+		t.Fatalf("no-match = %+v", got)
+	}
+	if got := tr.Complete("j", 0); got != nil {
+		t.Fatalf("k=0 = %+v", got)
+	}
+}
+
+func TestExactKeyIsCompletion(t *testing.T) {
+	tr := build()
+	got := tr.Complete("jure leskovec", 5)
+	if len(got) != 1 || got[0].Value != 4 {
+		t.Fatalf("exact completion = %+v", got)
+	}
+}
+
+func TestQuickInsertLookup(t *testing.T) {
+	f := func(keys []string) bool {
+		tr := &Trie{}
+		ref := map[string]int32{}
+		for i, k := range keys {
+			tr.Insert(k, int32(i), float64(i))
+			ref[k] = int32(i)
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Lookup(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompleteContainsAllMatches(t *testing.T) {
+	tr := &Trie{}
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("user%03d", i), int32(i), float64(i%10))
+	}
+	got := tr.Complete("user0", 1000)
+	if len(got) != 100 {
+		t.Fatalf("Complete(user0) = %d entries, want 100", len(got))
+	}
+	got2 := tr.Complete("user09", 1000)
+	if len(got2) != 10 {
+		t.Fatalf("Complete(user09) = %d entries, want 10", len(got2))
+	}
+}
+
+func BenchmarkComplete(b *testing.B) {
+	tr := &Trie{}
+	for i := 0; i < 10000; i++ {
+		tr.Insert(fmt.Sprintf("user%05d", i), int32(i), float64(i%100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Complete("user0", 10)
+	}
+}

@@ -1,0 +1,233 @@
+// Package octopus is an open-source reproduction of OCTOPUS, the online
+// topic-aware influence analysis system for social networks (Fan, Qiu,
+// Li, Meng, Zhang, Li, Tan, Du — ICDE 2018), together with the research
+// engines it is built on: online topic-aware influence maximization
+// (Chen et al., PVLDB 2015) and personalized influential keywords
+// exploration (Li et al., SIGMOD 2017).
+//
+// A System is built from a social graph and an action log. It learns a
+// topic-aware independent cascade model (per-edge per-topic activation
+// probabilities plus a keyword model) with EM, precomputes the online
+// indexes, and then answers three analysis services interactively:
+//
+//   - DiscoverInfluencers: given free-text keywords, find the seed users
+//     with maximum topic-aware influence spread (Scenario 1).
+//   - SuggestKeywords: given a user, find the keyword set that maximizes
+//     the user's influence — their "selling points" (Scenario 2).
+//   - InfluencePaths: visualize how a user influences (or is influenced
+//     by) the network through maximum influence arborescences
+//     (Scenario 3).
+//
+// Quickstart:
+//
+//	ds, _ := octopus.GenerateCitation(octopus.CitationConfig{Authors: 5000, Seed: 1})
+//	sys, _ := octopus.Build(ds.Graph, ds.Log, octopus.Config{Topics: 8})
+//	res, _ := sys.DiscoverInfluencers([]string{"data", "mining"},
+//	    octopus.DiscoverOptions{K: 10})
+//
+// All randomized components take explicit seeds; identical inputs
+// produce identical outputs. The package is pure Go with no dependencies
+// outside the standard library.
+package octopus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/server"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// Core system types.
+type (
+	// System is a fully built OCTOPUS instance; see core.System.
+	System = core.System
+	// Config controls system construction.
+	Config = core.Config
+	// DiscoverOptions tunes keyword-based influential user discovery.
+	DiscoverOptions = core.DiscoverOptions
+	// DiscoverResult is the answer to a keyword-IM query.
+	DiscoverResult = core.DiscoverResult
+	// InfluencerResult is one discovered seed user.
+	InfluencerResult = core.InfluencerResult
+	// PathOptions tunes influential-path exploration.
+	PathOptions = core.PathOptions
+	// PathGraph is the d3-ready influential-path payload.
+	PathGraph = core.PathGraph
+	// RadarData is the per-topic profile of a keyword.
+	RadarData = core.RadarData
+	// TargetedResult is the answer to a targeted influence query.
+	TargetedResult = core.TargetedResult
+	// Stats summarizes a built system.
+	Stats = core.Stats
+)
+
+// Graph and data types.
+type (
+	// Graph is the immutable CSR social graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges into a Graph.
+	GraphBuilder = graph.Builder
+	// NodeID identifies a graph node.
+	NodeID = graph.NodeID
+	// ActionLog is a set of propagation episodes.
+	ActionLog = actionlog.Log
+	// Item is a piece of propagated content.
+	Item = actionlog.Item
+	// Action records a user acting on an item.
+	Action = actionlog.Action
+	// Tokenizer extracts keywords from free text.
+	Tokenizer = actionlog.Tokenizer
+)
+
+// Data generation types.
+type (
+	// Dataset bundles a generated graph, ground-truth models and log.
+	Dataset = datagen.Dataset
+	// CitationConfig parameterizes the ACMCite-style generator.
+	CitationConfig = datagen.CitationConfig
+	// SocialConfig parameterizes the QQ-style generator.
+	SocialConfig = datagen.SocialConfig
+)
+
+// Server is the JSON HTTP API over a System.
+type Server = server.Server
+
+// Build constructs a System from a social graph and action log. With
+// cfg.GroundTruth set, model learning is skipped; otherwise the
+// topic-aware IC parameters and keyword model are learned from the log
+// by EM (cfg.Topics required).
+func Build(g *Graph, log *ActionLog, cfg Config) (*System, error) {
+	return core.Build(g, log, cfg)
+}
+
+// NewGraphBuilder returns a builder expecting n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// BuildActionLog assembles an ActionLog from items and raw actions.
+func BuildActionLog(numUsers int, items []Item, actions []Action) *ActionLog {
+	return actionlog.Build(numUsers, items, actions)
+}
+
+// GenerateCitation synthesizes the ACMCite-style academic dataset.
+func GenerateCitation(cfg CitationConfig) (*Dataset, error) { return datagen.Citation(cfg) }
+
+// GenerateSocial synthesizes the QQ-style marketing dataset.
+func GenerateSocial(cfg SocialConfig) (*Dataset, error) { return datagen.Social(cfg) }
+
+// NewServer wraps a System in the JSON HTTP API.
+func NewServer(sys *System) *Server { return server.New(sys) }
+
+// SaveGraph writes g to path in the text format.
+func SaveGraph(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	defer f.Close()
+	if err := graph.WriteText(f, g); err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadGraph reads a graph from a text-format file.
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("octopus: %w", err)
+	}
+	defer f.Close()
+	g, err := graph.ReadText(f)
+	if err != nil {
+		return nil, fmt.Errorf("octopus: %w", err)
+	}
+	return g, nil
+}
+
+// SaveModels writes a system's learned (or adopted) models next to each
+// other: <dir>/propagation.tic and <dir>/keywords.topics. Together with
+// SaveGraph/SaveLog this persists everything needed to rebuild the
+// system without re-running EM.
+func SaveModels(dir string, sys *System) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	pf, err := os.Create(filepath.Join(dir, "propagation.tic"))
+	if err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	defer pf.Close()
+	if err := tic.Write(pf, sys.Propagation()); err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	if err := pf.Close(); err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	kf, err := os.Create(filepath.Join(dir, "keywords.topics"))
+	if err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	defer kf.Close()
+	if err := topic.Write(kf, sys.Keywords()); err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	return kf.Close()
+}
+
+// LoadModels reads models previously written by SaveModels and returns a
+// Config preset that adopts them (skipping EM) when passed to Build.
+func LoadModels(dir string, g *Graph) (Config, error) {
+	pf, err := os.Open(filepath.Join(dir, "propagation.tic"))
+	if err != nil {
+		return Config{}, fmt.Errorf("octopus: %w", err)
+	}
+	defer pf.Close()
+	prop, err := tic.Read(pf, g)
+	if err != nil {
+		return Config{}, fmt.Errorf("octopus: %w", err)
+	}
+	kf, err := os.Open(filepath.Join(dir, "keywords.topics"))
+	if err != nil {
+		return Config{}, fmt.Errorf("octopus: %w", err)
+	}
+	defer kf.Close()
+	words, err := topic.Read(kf)
+	if err != nil {
+		return Config{}, fmt.Errorf("octopus: %w", err)
+	}
+	return Config{GroundTruth: prop, GroundTruthWords: words}, nil
+}
+
+// SaveLog writes an action log to path.
+func SaveLog(path string, l *ActionLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	defer f.Close()
+	if err := actionlog.Write(f, l); err != nil {
+		return fmt.Errorf("octopus: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadLog reads an action log from path.
+func LoadLog(path string) (*ActionLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("octopus: %w", err)
+	}
+	defer f.Close()
+	l, err := actionlog.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("octopus: %w", err)
+	}
+	return l, nil
+}

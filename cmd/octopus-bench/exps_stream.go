@@ -1,0 +1,247 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/bench"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/stream"
+	"octopus/internal/tic"
+)
+
+// streamHoldout is a full dataset split into a base system (built ahead
+// of time, as the paper's offline stage) and a held-back tail of events
+// to be replayed live.
+type streamHoldout struct {
+	ds       *datagen.Dataset
+	base     *core.System
+	edges    []stream.EdgeEvent // held-out follow edges
+	episodes []actionlog.Episode
+}
+
+// buildStreamHoldout withholds every 20th edge and the last 20% of
+// episodes from the base build.
+func buildStreamHoldout(e *env) (*streamHoldout, error) {
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors: e.sizes.streamAuthors,
+		Topics:  6,
+		Seed:    e.seed ^ 0xe13,
+	})
+	if err != nil {
+		return nil, err
+	}
+	full := ds.Graph
+	bb := graph.NewBuilder(full.NumNodes())
+	var held []stream.EdgeEvent
+	i := 0
+	full.EachEdge(func(_ graph.EdgeID, u, v graph.NodeID) {
+		if i%20 == 19 {
+			held = append(held, stream.EdgeEvent{Src: u, Dst: v})
+		} else {
+			bb.AddEdge(u, v)
+		}
+		i++
+	})
+	for u, nm := range full.Names() {
+		if nm != "" {
+			bb.SetName(graph.NodeID(u), nm)
+		}
+	}
+	baseG := bb.Build()
+	baseModel, err := tic.Remap(ds.Truth, baseG, nil)
+	if err != nil {
+		return nil, err
+	}
+	split := len(ds.Log.Episodes) * 4 / 5
+	headLog := actionlog.Build(baseG.NumNodes(),
+		episodeItems(ds.Log.Episodes[:split]), episodeActions(ds.Log.Episodes[:split]))
+	base, err := core.Build(baseG, headLog, core.Config{
+		GroundTruth:      baseModel,
+		GroundTruthWords: ds.TruthWords,
+		TopicNames:       ds.TopicNames,
+		Seed:             e.seed ^ 0x1313,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &streamHoldout{
+		ds:       ds,
+		base:     base,
+		edges:    held,
+		episodes: ds.Log.Episodes[split:],
+	}, nil
+}
+
+func episodeItems(eps []actionlog.Episode) []actionlog.Item {
+	out := make([]actionlog.Item, 0, len(eps))
+	for _, ep := range eps {
+		out = append(out, ep.Item)
+	}
+	return out
+}
+
+func episodeActions(eps []actionlog.Episode) []actionlog.Action {
+	var out []actionlog.Action
+	for _, ep := range eps {
+		out = append(out, ep.Actions...)
+	}
+	return out
+}
+
+// replayResult aggregates one replay run.
+type replayResult struct {
+	events    int
+	wall      time.Duration
+	queries   int64
+	qErrors   int64
+	qLat      bench.Timer
+	snapshots uint64
+	swapMean  time.Duration
+	pending   int
+	version   uint64
+}
+
+// replay streams the holdout into a LiveSystem in interleaved batches
+// while query workers hammer the current snapshot, then force-folds.
+func replay(h *streamHoldout, rebuildEvents, batchSize int) (*replayResult, error) {
+	ls, err := stream.NewLiveSystem(h.base, stream.Config{
+		RebuildEvents: rebuildEvents,
+		BufferBatches: 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ls.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, qErrors atomic.Int64
+	var latMu sync.Mutex
+	var qLat bench.Timer
+	queryTerms := [][]string{{"mining", "data"}, {"learning", "systems"}, {"query"}}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for qi := 0; ; qi++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				_, err := ls.DiscoverInfluencers(queryTerms[qi%len(queryTerms)],
+					core.DiscoverOptions{K: 5})
+				d := time.Since(start)
+				if err != nil {
+					qErrors.Add(1)
+				} else {
+					queries.Add(1)
+					latMu.Lock()
+					qLat.Add(d)
+					latMu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	// Interleave edge batches and episode batches, oldest first.
+	begin := time.Now()
+	events := 0
+	ei, pi := 0, 0
+	for ei < len(h.edges) || pi < len(h.episodes) {
+		if ei < len(h.edges) {
+			hi := ei + batchSize
+			if hi > len(h.edges) {
+				hi = len(h.edges)
+			}
+			if err := ls.IngestEdges(h.edges[ei:hi]); err != nil {
+				return nil, err
+			}
+			events += hi - ei
+			ei = hi
+		}
+		for b := 0; b < batchSize && pi < len(h.episodes); b++ {
+			ep := h.episodes[pi]
+			pi++
+			if err := ls.IngestActions([]actionlog.Item{ep.Item}, ep.Actions); err != nil {
+				return nil, err
+			}
+			events += 1 + len(ep.Actions)
+		}
+	}
+	if err := ls.ForceSnapshot(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(begin)
+	close(stop)
+	wg.Wait()
+
+	st := ls.Stats()
+	res := &replayResult{
+		events:    events,
+		wall:      wall,
+		queries:   queries.Load(),
+		qErrors:   qErrors.Load(),
+		qLat:      qLat,
+		snapshots: st.Snapshots,
+		pending:   st.Pending,
+		version:   st.Version,
+	}
+	if st.Snapshots > 0 {
+		res.swapMean = time.Duration(st.TotalSwapMillis / float64(st.Snapshots) * 1e6)
+	}
+	if st.Pending != 0 {
+		return nil, fmt.Errorf("replay left %d pending events after ForceSnapshot", st.Pending)
+	}
+	if res.qErrors > 0 {
+		return nil, fmt.Errorf("%d queries failed during replay", res.qErrors)
+	}
+	// Every held-out edge and episode must have landed.
+	finalStats := ls.System().Stats()
+	if finalStats.Edges != h.ds.Graph.NumEdges() {
+		return nil, fmt.Errorf("final edges %d != full graph %d", finalStats.Edges, h.ds.Graph.NumEdges())
+	}
+	if finalStats.Episodes != len(h.ds.Log.Episodes) {
+		return nil, fmt.Errorf("final episodes %d != full log %d", finalStats.Episodes, len(h.ds.Log.Episodes))
+	}
+	return res, nil
+}
+
+// E13 — replay a held-out event stream into a LiveSystem at several
+// rebuild thresholds: ingest throughput, snapshot-swap latency (paid off
+// the hot path) and the staleness-vs-rebuild-cost trade-off, with
+// concurrent queries that must never fail.
+func runE13(e *env) error {
+	h, err := buildStreamHoldout(e)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(e.out, "[stream holdout: base %d nodes / %d edges / %d episodes; replaying %d edges + %d episodes]\n",
+		h.base.Graph().NumNodes(), h.base.Graph().NumEdges(), len(h.base.ActionLog().Episodes),
+		len(h.edges), len(h.episodes))
+
+	tab := bench.NewTable(
+		fmt.Sprintf("E13: ingest replay on %d-author citation stream (batch=%d, 2 query workers)",
+			e.sizes.streamAuthors, e.sizes.streamBatch),
+		"rebuild@", "events", "events/s", "snapshots", "mean swap", "queries", "mean q-lat", "final ver")
+	for _, rebuildEvents := range []int{e.sizes.streamBatch * 4, e.sizes.streamBatch * 16} {
+		res, err := replay(h, rebuildEvents, e.sizes.streamBatch)
+		if err != nil {
+			return err
+		}
+		eps := float64(res.events) / res.wall.Seconds()
+		tab.Row(rebuildEvents, res.events, fmt.Sprintf("%.0f", eps), res.snapshots,
+			res.swapMean, res.queries, res.qLat.Mean(), res.version)
+	}
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "note: smaller rebuild@ bounds staleness tighter but pays more frequent")
+	fmt.Fprintln(e.out, "      snapshot rebuilds; queries keep serving the previous snapshot either way.")
+	return nil
+}

@@ -26,6 +26,8 @@ type sizes struct {
 	scaleNodes      []int
 	emEpisodes      []int
 	queryReps       int
+	streamAuthors   int // ingest-replay experiment dataset size
+	streamBatch     int // events per replayed ingest batch
 }
 
 func defaultSizes(quick bool) sizes {
@@ -38,6 +40,8 @@ func defaultSizes(quick bool) sizes {
 			scaleNodes:      []int{1000, 2000, 4000},
 			emEpisodes:      []int{500, 1500},
 			queryReps:       5,
+			streamAuthors:   800,
+			streamBatch:     128,
 		}
 	}
 	return sizes{
@@ -48,6 +52,8 @@ func defaultSizes(quick bool) sizes {
 		scaleNodes:      []int{5000, 20000, 60000},
 		emEpisodes:      []int{1000, 4000, 12000},
 		queryReps:       10,
+		streamAuthors:   3000,
+		streamBatch:     256,
 	}
 }
 
@@ -77,6 +83,7 @@ func main() {
 		{"E10", "Substrate scalability: cascades, RR sets, IMM vs n", runE10},
 		{"E11", "EM model learning: parameter recovery vs episodes", runE11},
 		{"E12", "Classical IM baselines at equal k (sanity shape)", runE12},
+		{"E13", "Streaming ingestion: replay throughput, swap latency, staleness", runE13},
 	}
 
 	want := map[string]bool{}

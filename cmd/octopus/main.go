@@ -7,9 +7,14 @@
 // Usage:
 //
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em]
-//	octopus serve [-addr :8080] [same dataset flags]
+//	octopus serve [-addr :8080] [-ingest] [-rebuild-events N] [-rebuild-interval D] [same dataset flags]
 //	octopus query [-q "data mining"] [-k 10] [same dataset flags]
 //	octopus train [-out models/] [same dataset flags]   # EM + persist models
+//
+// With -ingest, serve wraps the system in the streaming subsystem: the
+// /api/ingest endpoints accept live actions/edges and the serving
+// snapshot is rebuilt and atomically swapped after every N events (or D
+// of staleness) without taking queries offline.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
@@ -27,6 +33,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/otim"
 	"octopus/internal/server"
+	"octopus/internal/stream"
 	"octopus/internal/tags"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
@@ -42,6 +49,10 @@ type options struct {
 	query   string
 	k       int
 	out     string
+
+	ingest          bool
+	rebuildEvents   int
+	rebuildInterval time.Duration
 }
 
 func main() {
@@ -61,6 +72,9 @@ func main() {
 	fs.StringVar(&opt.query, "q", "data mining", "keyword query (query)")
 	fs.IntVar(&opt.k, "k", 10, "seed count (query)")
 	fs.StringVar(&opt.out, "out", "models", "output directory (train)")
+	fs.BoolVar(&opt.ingest, "ingest", false, "enable streaming ingestion endpoints (serve)")
+	fs.IntVar(&opt.rebuildEvents, "rebuild-events", 4096, "fold the ingest overlay into a new snapshot after this many events (serve -ingest)")
+	fs.DurationVar(&opt.rebuildInterval, "rebuild-interval", 30*time.Second, "also fold when pending events are older than this; 0 disables (serve -ingest)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -172,8 +186,22 @@ func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
 }
 
 func serve(opt options, sys *core.System, _ *datagen.Dataset) error {
-	srv := server.New(sys)
-	fmt.Printf("OCTOPUS listening on %s — try /api/im?q=data+mining&k=10\n", opt.addr)
+	var srv *server.Server
+	if opt.ingest {
+		ls, err := stream.NewLiveSystem(sys, stream.Config{
+			RebuildEvents:   opt.rebuildEvents,
+			RebuildInterval: opt.rebuildInterval,
+		})
+		if err != nil {
+			return err
+		}
+		defer ls.Close()
+		srv = server.NewLive(ls)
+		fmt.Printf("OCTOPUS (live) listening on %s — POST /api/ingest/{actions,edges}, GET /api/ingest/stats\n", opt.addr)
+	} else {
+		srv = server.New(sys)
+		fmt.Printf("OCTOPUS listening on %s — try /api/im?q=data+mining&k=10\n", opt.addr)
+	}
 	return http.ListenAndServe(opt.addr, srv)
 }
 

@@ -107,6 +107,27 @@ func (l *Log) NumActions() int {
 	return n
 }
 
+// Items returns the items of all episodes in episode order. The slice is
+// freshly allocated; Keywords slices are shared with the log.
+func (l *Log) Items() []Item {
+	out := make([]Item, 0, len(l.Episodes))
+	for _, ep := range l.Episodes {
+		out = append(out, ep.Item)
+	}
+	return out
+}
+
+// Actions returns a flattened copy of every action across episodes, in
+// episode order. Together with Items it lets a caller merge two logs by
+// re-running Build over the combined slices.
+func (l *Log) Actions() []Action {
+	out := make([]Action, 0, l.NumActions())
+	for _, ep := range l.Episodes {
+		out = append(out, ep.Actions...)
+	}
+	return out
+}
+
 // UserItems returns, for each user, the ids of episodes the user acted
 // in — the "items of the user" consulted by the keyword-suggestion
 // engine to enumerate candidate keywords.

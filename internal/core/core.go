@@ -66,6 +66,8 @@ type System struct {
 
 	userKeywords [][]string
 
+	cfg Config // the configuration this system was built with
+
 	engines sync.Pool // *otim.Engine
 	calcs   sync.Pool // *mia.Calc
 
@@ -81,7 +83,7 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 	if log == nil {
 		log = actionlog.Build(g.NumNodes(), nil, nil)
 	}
-	s := &System{g: g, log: log}
+	s := &System{g: g, log: log, cfg: cfg}
 
 	// Stage 1: topic-aware influence modeling (Section II-B).
 	if cfg.GroundTruth != nil && cfg.GroundTruthWords != nil {
@@ -151,6 +153,14 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 
 // Graph returns the social graph.
 func (s *System) Graph() *graph.Graph { return s.g }
+
+// ActionLog returns the action log the system was built from.
+func (s *System) ActionLog() *actionlog.Log { return s.log }
+
+// BuildConfig returns the Config the system was built with — the basis
+// for rebuilding an extended system with the same index tuning (the
+// streaming snapshot manager overrides the model fields before reuse).
+func (s *System) BuildConfig() Config { return s.cfg }
 
 // Propagation returns the (learned or adopted) TIC model.
 func (s *System) Propagation() *tic.Model { return s.prop }

@@ -98,6 +98,16 @@ func (g *Graph) Src(e EdgeID) NodeID {
 	return NodeID(u)
 }
 
+// EachEdge calls fn for every edge in forward CSR order (by source,
+// then destination) with the edge id and its endpoints.
+func (g *Graph) EachEdge(fn func(e EdgeID, u, v NodeID)) {
+	for u := int32(0); u < g.n; u++ {
+		for e := g.outOff[u]; e < g.outOff[u+1]; e++ {
+			fn(e, u, g.outDst[e])
+		}
+	}
+}
+
 // Name returns the display name of u ("" if names are absent).
 func (g *Graph) Name(u NodeID) string {
 	if g.names == nil {
@@ -149,6 +159,21 @@ func (b *Builder) AddEdge(u, v NodeID) {
 	b.grow(u)
 	b.grow(v)
 	b.edges = append(b.edges, edge{u, v})
+}
+
+// AddGraph records every edge and display name of g, growing the node
+// count to cover g's nodes. Used to extend an immutable graph: copy it
+// into a fresh builder, add the new edges, and Build.
+func (b *Builder) AddGraph(g *Graph) {
+	if n := NodeID(g.NumNodes()); n > 0 {
+		b.grow(n - 1)
+	}
+	g.EachEdge(func(_ EdgeID, u, v NodeID) { b.AddEdge(u, v) })
+	for u, nm := range g.Names() {
+		if nm != "" {
+			b.SetName(NodeID(u), nm)
+		}
+	}
 }
 
 func (b *Builder) grow(u NodeID) {

@@ -5,18 +5,31 @@
 // the selling-points panel, and node/link graphs for the influential-path
 // visualization.
 //
-//	GET /api/status                         system statistics
-//	GET /api/im?q=data+mining&k=10          keyword-based IM (Scenario 1)
-//	GET /api/suggest?user=NAME&k=3          keyword suggestion (Scenario 2)
-//	GET /api/keywords?user=NAME&limit=20    ranked user keywords
-//	GET /api/radar?keyword=W                radar diagram data
-//	GET /api/paths?user=NAME&theta=0.01     influential paths (Scenario 3)
-//	GET /api/complete?prefix=P&k=10         user-name auto-completion
+//	GET  /api/status                         system statistics
+//	GET  /api/im?q=data+mining&k=10          keyword-based IM (Scenario 1)
+//	GET  /api/suggest?user=NAME&k=3          keyword suggestion (Scenario 2)
+//	GET  /api/keywords?user=NAME&limit=20    ranked user keywords
+//	GET  /api/radar?keyword=W                radar diagram data
+//	GET  /api/paths?user=NAME&theta=0.01     influential paths (Scenario 3)
+//	GET  /api/complete?prefix=P&k=10         user-name auto-completion
+//
+// A Server created with NewLive additionally accepts streaming events
+// (the live-ingestion subsystem of internal/stream):
+//
+//	POST /api/ingest/actions                 new items + actions (JSON body)
+//	POST /api/ingest/edges                   new follow edges (JSON body)
+//	GET  /api/ingest/stats                   ingestion pipeline statistics
+//
+// Requests with the wrong method are rejected with 405 and an Allow
+// header. Ingest endpoints return 503 when the bounded ingest buffer is
+// full (retry with backoff) and 404 on a static (non-live) server.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -24,29 +37,59 @@ import (
 
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
+	"octopus/internal/stream"
 	"octopus/internal/tags"
 )
 
-// Server wraps a built core.System with HTTP handlers.
+// Server exposes the analysis services (and optionally live ingestion)
+// over HTTP.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+	sys  func() *core.System
+	live *stream.LiveSystem // nil on a static server
+	mux  *http.ServeMux
 	// QueryTimeout bounds each analysis request (default 10s).
 	QueryTimeout time.Duration
 }
 
-// New creates a Server for sys.
+// New creates a Server for a static (immutable) system.
 func New(sys *core.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), QueryTimeout: 10 * time.Second}
-	s.mux.HandleFunc("/api/status", s.handleStatus)
-	s.mux.HandleFunc("/api/im", s.handleIM)
-	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
-	s.mux.HandleFunc("/api/keywords", s.handleKeywords)
-	s.mux.HandleFunc("/api/radar", s.handleRadar)
-	s.mux.HandleFunc("/api/paths", s.handlePaths)
-	s.mux.HandleFunc("/api/complete", s.handleComplete)
+	return newServer(func() *core.System { return sys }, nil)
+}
+
+// NewLive creates a Server over a LiveSystem: every query runs against
+// the current snapshot, and the ingest endpoints are enabled.
+func NewLive(ls *stream.LiveSystem) *Server {
+	return newServer(ls.System, ls)
+}
+
+func newServer(sys func() *core.System, live *stream.LiveSystem) *Server {
+	s := &Server{sys: sys, live: live, mux: http.NewServeMux(), QueryTimeout: 10 * time.Second}
+	s.mux.HandleFunc("/api/status", allow(http.MethodGet, s.handleStatus))
+	s.mux.HandleFunc("/api/im", allow(http.MethodGet, s.handleIM))
+	s.mux.HandleFunc("/api/suggest", allow(http.MethodGet, s.handleSuggest))
+	s.mux.HandleFunc("/api/keywords", allow(http.MethodGet, s.handleKeywords))
+	s.mux.HandleFunc("/api/radar", allow(http.MethodGet, s.handleRadar))
+	s.mux.HandleFunc("/api/paths", allow(http.MethodGet, s.handlePaths))
+	s.mux.HandleFunc("/api/complete", allow(http.MethodGet, s.handleComplete))
+	s.mux.HandleFunc("/api/ingest/actions", allow(http.MethodPost, s.handleIngestActions))
+	s.mux.HandleFunc("/api/ingest/edges", allow(http.MethodPost, s.handleIngestEdges))
+	s.mux.HandleFunc("/api/ingest/stats", allow(http.MethodGet, s.handleIngestStats))
 	s.mux.HandleFunc("/", s.handleUI)
 	return s
+}
+
+// allow guards a handler with a single accepted method (GET handlers
+// also accept HEAD), answering anything else with 405 + Allow.
+func allow(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", method)
+			writeErr(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("method %s not allowed; use %s", r.Method, method))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -89,7 +132,7 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sys.Stats())
+	writeJSON(w, http.StatusOK, s.sys().Stats())
 }
 
 type imResponse struct {
@@ -109,6 +152,7 @@ type imSeed struct {
 }
 
 func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
+	sys := s.sys()
 	tok := actionlog.Tokenizer{}
 	keywords := tok.Tokenize(r.URL.Query().Get("q"))
 	if len(keywords) == 0 {
@@ -117,7 +161,7 @@ func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	res, err := s.sys.DiscoverInfluencers(keywords, core.DiscoverOptions{
+	res, err := sys.DiscoverInfluencers(keywords, core.DiscoverOptions{
 		K:          intParam(r, "k", 10),
 		Theta:      floatParam(r, "theta", 0.01),
 		UseSamples: r.URL.Query().Get("samples") == "1",
@@ -127,7 +171,13 @@ func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	km := s.sys.Keywords()
+	writeJSON(w, http.StatusOK, newIMResponse(sys, keywords, res))
+}
+
+// newIMResponse shapes a DiscoverResult for the UI. Seeds is always a
+// JSON array, never null, so front-end iteration is unconditional.
+func newIMResponse(sys *core.System, keywords []string, res *core.DiscoverResult) imResponse {
+	km := sys.Keywords()
 	topics := make([]string, km.NumTopics())
 	for z := range topics {
 		topics[z] = km.TopicName(z)
@@ -137,6 +187,7 @@ func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
 		Unknown: res.UnknownWords,
 		Gamma:   res.Gamma,
 		Topics:  topics,
+		Seeds:   make([]imSeed, 0, len(res.Seeds)),
 		Stats: map[string]any{
 			"exactEvals":  res.Stats.ExactEvals,
 			"localBounds": res.Stats.LocalBounds,
@@ -149,7 +200,7 @@ func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
 			ID: seed.User, Name: seed.Name, Spread: seed.Spread, Aspect: seed.TopTopicName,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 type suggestResponse struct {
@@ -161,17 +212,18 @@ type suggestResponse struct {
 }
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	sys := s.sys()
 	user := r.URL.Query().Get("user")
 	if user == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
 		return
 	}
-	id, err := s.sys.ResolveUser(user)
+	id, err := sys.ResolveUser(user)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	sug, err := s.sys.SuggestKeywords(id, intParam(r, "k", 3), tags.SuggestOptions{
+	sug, err := sys.SuggestKeywords(id, intParam(r, "k", 3), tags.SuggestOptions{
 		MinCoherence: floatParam(r, "coherence", 0),
 	})
 	if err != nil {
@@ -179,7 +231,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, suggestResponse{
-		User:     s.sys.Graph().Name(id),
+		User:     sys.Graph().Name(id),
 		Keywords: sug.Keywords,
 		Gamma:    sug.Gamma,
 		Spread:   sug.Spread,
@@ -188,17 +240,18 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	sys := s.sys()
 	user := r.URL.Query().Get("user")
 	if user == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
 		return
 	}
-	id, err := s.sys.ResolveUser(user)
+	id, err := sys.ResolveUser(user)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	ranked, err := s.sys.RankUserKeywords(id, intParam(r, "limit", 20))
+	ranked, err := sys.RankUserKeywords(id, intParam(r, "limit", 20))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -212,7 +265,7 @@ func (s *Server) handleRadar(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errMissing("keyword"))
 		return
 	}
-	radar, err := s.sys.Radar(kw)
+	radar, err := s.sys().Radar(kw)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -221,18 +274,19 @@ func (s *Server) handleRadar(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	sys := s.sys()
 	user := r.URL.Query().Get("user")
 	if user == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
 		return
 	}
-	id, err := s.sys.ResolveUser(user)
+	id, err := sys.ResolveUser(user)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	tok := actionlog.Tokenizer{}
-	pg, err := s.sys.InfluencePaths(id, core.PathOptions{
+	pg, err := sys.InfluencePaths(id, core.PathOptions{
 		Keywords: tok.Tokenize(r.URL.Query().Get("q")),
 		Theta:    floatParam(r, "theta", 0.01),
 		MaxNodes: intParam(r, "max", 200),
@@ -244,7 +298,7 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	}
 	// Optional click-highlight.
 	if clicked := intParam(r, "highlight", -1); clicked >= 0 {
-		path, err := s.sys.HighlightPath(pg, int32(clicked))
+		path, err := sys.HighlightPath(pg, int32(clicked))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -264,7 +318,119 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errMissing("prefix"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sys.Complete(prefix, intParam(r, "k", 10)))
+	writeJSON(w, http.StatusOK, s.sys().Complete(prefix, intParam(r, "k", 10)))
+}
+
+// ---- Streaming ingestion endpoints ----
+
+type ingestItem struct {
+	ID       int32    `json:"id"`
+	Keywords []string `json:"keywords"`
+}
+
+type ingestAction struct {
+	User int32 `json:"user"`
+	Item int32 `json:"item"`
+	Time int64 `json:"time"`
+}
+
+type ingestActionsRequest struct {
+	Items   []ingestItem   `json:"items"`
+	Actions []ingestAction `json:"actions"`
+}
+
+type ingestEdgesRequest struct {
+	Edges []stream.EdgeEvent `json:"edges"`
+}
+
+type ingestResponse struct {
+	Enqueued int    `json:"enqueued"`
+	Version  uint64 `json:"version"`
+}
+
+// requireLive rejects ingestion on a static server.
+func (s *Server) requireLive(w http.ResponseWriter) bool {
+	if s.live == nil {
+		writeErr(w, http.StatusNotFound, errors.New("streaming ingestion not enabled on this server"))
+		return false
+	}
+	return true
+}
+
+// writeIngestErr maps ingestion failures: a full buffer is backpressure
+// (503 + Retry-After) and a closed stream is a server-side condition
+// (503, retry against a replacement); anything else is a client error.
+func writeIngestErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, stream.ErrBufferFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, stream.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleIngestActions(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	var req ingestActionsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if len(req.Items) == 0 && len(req.Actions) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no items or actions in body"))
+		return
+	}
+	items := make([]actionlog.Item, 0, len(req.Items))
+	for _, it := range req.Items {
+		items = append(items, actionlog.Item{ID: it.ID, Keywords: it.Keywords})
+	}
+	acts := make([]actionlog.Action, 0, len(req.Actions))
+	for _, a := range req.Actions {
+		acts = append(acts, actionlog.Action{User: a.User, Item: a.Item, Time: a.Time})
+	}
+	if err := s.live.TryIngestActions(items, acts); err != nil {
+		writeIngestErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{
+		Enqueued: len(items) + len(acts),
+		Version:  s.live.Version(),
+	})
+}
+
+func (s *Server) handleIngestEdges(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	var req ingestEdgesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no edges in body"))
+		return
+	}
+	if err := s.live.TryIngestEdges(req.Edges); err != nil {
+		writeIngestErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{
+		Enqueued: len(req.Edges),
+		Version:  s.live.Version(),
+	})
+}
+
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.live.Stats())
 }
 
 type missingParamError string

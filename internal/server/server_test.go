@@ -261,6 +261,60 @@ func TestConcurrentRequests(t *testing.T) {
 	wg.Wait()
 }
 
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := testServer(t)
+	for _, tc := range []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/api/im?q=data", http.MethodGet},
+		{http.MethodDelete, "/api/status", http.MethodGet},
+		{http.MethodPut, "/api/paths?user=0", http.MethodGet},
+		{http.MethodGet, "/api/ingest/actions", http.MethodPost},
+		{http.MethodGet, "/api/ingest/edges", http.MethodPost},
+		{http.MethodPost, "/api/ingest/stats", http.MethodGet},
+	} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want 405", tc.method, tc.path, rec.Code)
+		}
+		if got := rec.Header().Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+	}
+	// HEAD piggybacks on GET handlers.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/api/status", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("HEAD /api/status: status = %d", rec.Code)
+	}
+}
+
+func TestIngestDisabledOnStaticServer(t *testing.T) {
+	s, _ := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/api/ingest/edges",
+		strings.NewReader(`{"edges":[{"src":0,"dst":1}]}`))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+}
+
+// TestIMSeedsNeverNull pins the contract that an empty seed list
+// serializes as [] rather than null.
+func TestIMSeedsNeverNull(t *testing.T) {
+	_, sys := testServer(t)
+	resp := newIMResponse(sys, []string{"data"}, &core.DiscoverResult{})
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"seeds":[]`) {
+		t.Fatalf("empty seeds serialized as %s", raw)
+	}
+}
+
 func itoa(i int) string {
 	b := []byte{}
 	if i == 0 {

@@ -1,0 +1,69 @@
+// Package stream turns the static OCTOPUS system into a live one: it
+// absorbs a continuous stream of new actions, items and follow edges
+// while queries keep being served, closing the gap between the paper's
+// precomputed indexes and an *online* deployment (the
+// preprocessing-vs-freshness trade-off of real-time topic-aware IM).
+//
+// # Architecture
+//
+// Three cooperating pieces, all owned by a LiveSystem:
+//
+//   - Ingester: callers hand batches of events (IngestEdges,
+//     IngestActions) to a bounded in-memory buffer. A single background
+//     goroutine drains the buffer and applies events to the overlay, so
+//     ingestion never contends with query traffic. TryIngest* variants
+//     reject with ErrBufferFull instead of blocking, giving HTTP callers
+//     natural backpressure.
+//
+//   - Delta overlay: the base core.System is immutable (CSR graph,
+//     model slices, indexes), so applied-but-not-yet-folded events live
+//     in a small mutable overlay keyed by endpoint pairs. New edges are
+//     assigned per-topic activation probabilities immediately by a
+//     configurable Prior (default: weighted Jaccard of the endpoints'
+//     topic profiles scaled to the source's typical edge strength), so
+//     the delta is queryable cheaply (PendingOutEdges) before any
+//     rebuild happens.
+//
+//   - Snapshot manager: when the overlay accumulates Config.RebuildEvents
+//     events — or has been pending longer than Config.RebuildInterval —
+//     the apply goroutine folds it into a fresh core.System: the graph is
+//     re-CSR'd with the new edges, the TIC model is remapped onto the new
+//     edge ids (tic.Remap) with overlay priors filling the new edges, the
+//     action log is re-built with the new items/actions, and the OTIM and
+//     tags indexes are rebuilt with the tuning of the base system. The
+//     finished snapshot is installed with a single atomic.Pointer store.
+//
+// # Concurrency and the staleness model
+//
+// Queries are lock-free: LiveSystem.System() is one atomic load, and the
+// returned *core.System is immutable, so an in-flight query keeps using
+// the snapshot it started on even while a newer one is swapped in.
+// Snapshot versions increase monotonically; a reader never observes a
+// torn or partially built system, and swapping never blocks readers.
+//
+// Freshness is therefore bounded, not instant:
+//
+//   - An event becomes *visible to overlay peeks* as soon as the apply
+//     loop processes its batch (microseconds after ingestion, buffer
+//     permitting).
+//   - It becomes *visible to the analysis services* (DiscoverInfluencers,
+//     SuggestKeywords, InfluencePaths) at the next snapshot fold, i.e.
+//     after at most RebuildEvents further events or RebuildInterval of
+//     wall-clock time, plus one rebuild duration.
+//   - Keyword vocabulary is the one dimension that stays frozen across
+//     carry-over folds: the topic model is reused, so keywords unseen at
+//     build time remain "unknown" to gamma inference until a fold with
+//     Config.RelearnEM (which re-runs EM over the merged log off the hot
+//     path and grows the vocabulary).
+//
+// Ingestion ordering matters only across dependent events: an edge that
+// introduces a brand-new node must be ingested before actions by that
+// node, and an item before actions referencing it. Violations are
+// counted in Stats.Invalid and dropped, never applied partially.
+//
+// If a fold fails (it cannot in practice unless a custom Prior emits
+// out-of-range probabilities or RelearnEM is misconfigured), the
+// previous snapshot keeps serving, the failure is recorded in Stats
+// (and returned by ForceSnapshot), and the delta is merged back into
+// the pending overlay to be retried at the next fold.
+package stream

@@ -1,0 +1,588 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/tic"
+)
+
+// Sentinel errors returned by the ingestion API.
+var (
+	// ErrBufferFull is returned by TryIngest* when the bounded buffer is
+	// at capacity; the caller should back off and retry.
+	ErrBufferFull = errors.New("stream: ingest buffer full")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("stream: live system closed")
+)
+
+// Config tunes a LiveSystem.
+type Config struct {
+	// BufferBatches bounds the ingest buffer in *batches* (each
+	// IngestEdges/IngestActions call enqueues one batch). Default 64.
+	BufferBatches int
+	// RebuildEvents folds the overlay into a fresh snapshot once this
+	// many events have been applied since the last fold. Default 4096.
+	RebuildEvents int
+	// RebuildInterval additionally folds a non-empty overlay whose oldest
+	// event is older than this (staleness bound). 0 disables the timer.
+	RebuildInterval time.Duration
+	// Prior assigns per-topic probabilities to brand-new edges. Default
+	// WeightedJaccardPrior(1).
+	Prior Prior
+	// MaxNodes caps the total node count the stream may grow the graph
+	// to, guarding against a malformed event allocating an enormous CSR
+	// at fold time. Default 4×base nodes + 1024.
+	MaxNodes int
+	// RelearnEM re-runs EM over the merged action log at every fold
+	// instead of carrying the model over with priors. Far more expensive
+	// (still off the hot path) but grows the keyword vocabulary. Topics
+	// defaults to the base model's topic count.
+	RelearnEM bool
+	// Topics is Z for RelearnEM folds.
+	Topics int
+}
+
+func (c *Config) fill(base *core.System) {
+	if c.BufferBatches <= 0 {
+		c.BufferBatches = 64
+	}
+	if c.RebuildEvents <= 0 {
+		c.RebuildEvents = 4096
+	}
+	if c.Prior == nil {
+		c.Prior = WeightedJaccardPrior(1)
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 4*base.Graph().NumNodes() + 1024
+	}
+	if c.Topics <= 0 {
+		c.Topics = base.Keywords().NumTopics()
+	}
+}
+
+// Snapshot is one immutable serving generation. Version increases by
+// exactly 1 per fold; the base system is version 1.
+type Snapshot struct {
+	Sys     *core.System
+	Version uint64
+	BuiltAt time.Time
+	// SwapLatency is the rebuild duration paid off the hot path for this
+	// snapshot (0 for the base snapshot).
+	SwapLatency time.Duration
+}
+
+// Stats is a point-in-time view of the ingestion pipeline. Counters are
+// cumulative over the LiveSystem's lifetime; events rejected with
+// ErrBufferFull count as dropped, malformed or out-of-order events as
+// invalid, and re-sent edges/items as duplicates.
+type Stats struct {
+	Version         uint64    `json:"version"`
+	Nodes           int       `json:"nodes"`
+	Edges           int       `json:"edges"`
+	Episodes        int       `json:"episodes"`
+	Accepted        uint64    `json:"accepted"`
+	Dropped         uint64    `json:"droppedBufferFull"`
+	Invalid         uint64    `json:"invalid"`
+	Duplicates      uint64    `json:"duplicates"`
+	Applied         uint64    `json:"applied"`
+	Pending         int       `json:"pending"`
+	Buffered        int64     `json:"buffered"`
+	Snapshots       uint64    `json:"snapshots"`
+	FoldFailures    uint64    `json:"foldFailures"`
+	LastSwapMillis  float64   `json:"lastSwapMillis"`
+	TotalSwapMillis float64   `json:"totalSwapMillis"`
+	LastSwapAt      time.Time `json:"lastSwapAt,omitempty"`
+}
+
+// LiveSystem serves an immutable core.System snapshot while absorbing a
+// stream of graph/action events, periodically folding them into the next
+// snapshot. Create with NewLiveSystem; callers must Close it. All
+// methods are safe for concurrent use.
+type LiveSystem struct {
+	cfg Config
+	cur atomic.Pointer[Snapshot]
+
+	mu      sync.RWMutex
+	ov      *overlay           // accumulating delta since the last fold
+	folding *overlay           // delta currently being folded (peeks still see it)
+	itemIDs map[int32]struct{} // every item id known to base log or stream
+	since   time.Time          // arrival of ov's oldest event
+	lastErr error              // last fold failure, if any
+
+	ch        chan []event
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	accepted, dropped, invalid, duplicates atomic.Uint64
+	applied, snapshots, foldFailures       atomic.Uint64
+	buffered                               atomic.Int64
+	lastSwapNanos, totalSwapNanos          atomic.Int64
+	lastSwapAtNanos                        atomic.Int64
+}
+
+// NewLiveSystem wraps a built base system. The background apply
+// goroutine starts immediately.
+func NewLiveSystem(sys *core.System, cfg Config) (*LiveSystem, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("stream: nil base system")
+	}
+	cfg.fill(sys)
+	ls := &LiveSystem{
+		cfg:     cfg,
+		ov:      newOverlay(),
+		itemIDs: make(map[int32]struct{}, len(sys.ActionLog().Episodes)),
+		ch:      make(chan []event, cfg.BufferBatches),
+		closed:  make(chan struct{}),
+	}
+	for _, ep := range sys.ActionLog().Episodes {
+		ls.itemIDs[ep.Item.ID] = struct{}{}
+	}
+	ls.cur.Store(&Snapshot{Sys: sys, Version: 1, BuiltAt: time.Now()})
+	ls.wg.Add(1)
+	go ls.run()
+	return ls, nil
+}
+
+// System returns the current serving snapshot's system — one atomic
+// load, never blocked by ingestion or folding.
+func (ls *LiveSystem) System() *core.System { return ls.cur.Load().Sys }
+
+// Snapshot returns the current serving snapshot.
+func (ls *LiveSystem) Snapshot() *Snapshot { return ls.cur.Load() }
+
+// Version returns the current snapshot version (monotonically
+// increasing, starting at 1).
+func (ls *LiveSystem) Version() uint64 { return ls.cur.Load().Version }
+
+// DiscoverInfluencers runs Scenario 1 on the current snapshot.
+func (ls *LiveSystem) DiscoverInfluencers(keywords []string, opt core.DiscoverOptions) (*core.DiscoverResult, error) {
+	return ls.System().DiscoverInfluencers(keywords, opt)
+}
+
+// InfluencePaths runs Scenario 3 on the current snapshot.
+func (ls *LiveSystem) InfluencePaths(user graph.NodeID, opt core.PathOptions) (*core.PathGraph, error) {
+	return ls.System().InfluencePaths(user, opt)
+}
+
+// IngestEdges enqueues edge events, blocking while the buffer is full.
+func (ls *LiveSystem) IngestEdges(edges []EdgeEvent) error {
+	return ls.enqueue(edgeBatch(edges), true)
+}
+
+// TryIngestEdges enqueues edge events or fails fast with ErrBufferFull.
+func (ls *LiveSystem) TryIngestEdges(edges []EdgeEvent) error {
+	return ls.enqueue(edgeBatch(edges), false)
+}
+
+// IngestActions enqueues new items and actions (either slice may be
+// empty), blocking while the buffer is full. Items must precede actions
+// that reference them — within one call this ordering is automatic.
+func (ls *LiveSystem) IngestActions(items []actionlog.Item, acts []actionlog.Action) error {
+	return ls.enqueue(actionBatch(items, acts), true)
+}
+
+// TryIngestActions is IngestActions with fail-fast backpressure.
+func (ls *LiveSystem) TryIngestActions(items []actionlog.Item, acts []actionlog.Action) error {
+	return ls.enqueue(actionBatch(items, acts), false)
+}
+
+func edgeBatch(edges []EdgeEvent) []event {
+	b := make([]event, 0, len(edges))
+	for _, e := range edges {
+		b = append(b, event{kind: evEdge, edge: e})
+	}
+	return b
+}
+
+func actionBatch(items []actionlog.Item, acts []actionlog.Action) []event {
+	b := make([]event, 0, len(items)+len(acts))
+	for _, it := range items {
+		b = append(b, event{kind: evItem, item: it})
+	}
+	for _, a := range acts {
+		b = append(b, event{kind: evAction, act: a})
+	}
+	return b
+}
+
+func (ls *LiveSystem) enqueue(batch []event, wait bool) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	select {
+	case <-ls.closed:
+		return ErrClosed
+	default:
+	}
+	// Count into the buffer before the send so the apply goroutine's
+	// decrement can never race Buffered below zero.
+	n := uint64(len(batch))
+	ls.buffered.Add(int64(n))
+	if wait {
+		select {
+		case ls.ch <- batch:
+		case <-ls.closed:
+			ls.buffered.Add(-int64(n))
+			return ErrClosed
+		}
+	} else {
+		select {
+		case ls.ch <- batch:
+		default:
+			ls.buffered.Add(-int64(n))
+			ls.dropped.Add(n)
+			return ErrBufferFull
+		}
+	}
+	ls.accepted.Add(n)
+	return nil
+}
+
+// Flush blocks until every event enqueued before the call has been
+// applied to the overlay (not necessarily folded).
+func (ls *LiveSystem) Flush() error { return ls.marker(evFlush) }
+
+// ForceSnapshot folds all pending events into a new snapshot now and
+// blocks until the swap completes (a no-op when nothing is pending).
+// A fold failure is returned; the pending delta is retained and will be
+// retried at the next fold.
+func (ls *LiveSystem) ForceSnapshot() error { return ls.marker(evSnapshot) }
+
+func (ls *LiveSystem) marker(kind uint8) error {
+	done := make(chan error, 1)
+	select {
+	case ls.ch <- []event{{kind: kind, done: done}}:
+	case <-ls.closed:
+		return ErrClosed
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ls.closed:
+		return ErrClosed
+	}
+}
+
+// Close stops the apply goroutine. Events still buffered are discarded;
+// the current snapshot remains usable.
+func (ls *LiveSystem) Close() error {
+	ls.closeOnce.Do(func() { close(ls.closed) })
+	ls.wg.Wait()
+	return nil
+}
+
+// PendingOutEdges returns u's applied-but-not-yet-folded out-edges with
+// their prior topic probabilities — the cheap queryable delta.
+func (ls *LiveSystem) PendingOutEdges(u graph.NodeID) []OverlayEdge {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	var out []OverlayEdge
+	if ls.folding != nil {
+		out = ls.folding.appendOutEdges(u, out)
+	}
+	return ls.ov.appendOutEdges(u, out)
+}
+
+// Stats reports pipeline counters and current-snapshot dimensions.
+func (ls *LiveSystem) Stats() Stats {
+	snap := ls.cur.Load()
+	sysStats := snap.Sys.Stats()
+	ls.mu.RLock()
+	pending := ls.ov.events
+	if ls.folding != nil {
+		pending += ls.folding.events
+	}
+	ls.mu.RUnlock()
+	st := Stats{
+		Version:         snap.Version,
+		Nodes:           sysStats.Nodes,
+		Edges:           sysStats.Edges,
+		Episodes:        sysStats.Episodes,
+		Accepted:        ls.accepted.Load(),
+		Dropped:         ls.dropped.Load(),
+		Invalid:         ls.invalid.Load(),
+		Duplicates:      ls.duplicates.Load(),
+		Applied:         ls.applied.Load(),
+		Pending:         pending,
+		Buffered:        ls.buffered.Load(),
+		Snapshots:       ls.snapshots.Load(),
+		FoldFailures:    ls.foldFailures.Load(),
+		LastSwapMillis:  float64(ls.lastSwapNanos.Load()) / 1e6,
+		TotalSwapMillis: float64(ls.totalSwapNanos.Load()) / 1e6,
+	}
+	if at := ls.lastSwapAtNanos.Load(); at != 0 {
+		st.LastSwapAt = time.Unix(0, at)
+	}
+	return st
+}
+
+// LastFoldError returns the most recent fold failure (nil if none).
+func (ls *LiveSystem) LastFoldError() error {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.lastErr
+}
+
+// run is the background apply loop: drain the buffer, apply events to
+// the overlay, and fold when a threshold trips.
+func (ls *LiveSystem) run() {
+	defer ls.wg.Done()
+	var tickC <-chan time.Time
+	if ls.cfg.RebuildInterval > 0 {
+		period := ls.cfg.RebuildInterval / 2
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-ls.closed:
+			return
+		case batch := <-ls.ch:
+			forceFold, markers := ls.applyBatch(batch)
+			var foldErr error
+			if forceFold || ls.pendingEvents() >= ls.cfg.RebuildEvents {
+				foldErr = ls.fold()
+			}
+			for _, m := range markers {
+				if m.kind == evSnapshot {
+					m.done <- foldErr
+				} else {
+					m.done <- nil
+				}
+			}
+		case <-tickC:
+			ls.mu.RLock()
+			stale := ls.ov.events > 0 && time.Since(ls.since) >= ls.cfg.RebuildInterval
+			ls.mu.RUnlock()
+			if stale {
+				_ = ls.fold() // failure is recorded in stats; delta retained
+			}
+		}
+	}
+}
+
+func (ls *LiveSystem) pendingEvents() int {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.ov.events
+}
+
+// applyBatch applies one buffered batch to the overlay. It returns
+// whether a snapshot marker demanded an immediate fold, plus the marker
+// events to answer after any such fold completes.
+func (ls *LiveSystem) applyBatch(batch []event) (forceFold bool, markers []event) {
+	base := ls.cur.Load().Sys
+	ls.buffered.Add(-countData(batch))
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	for _, ev := range batch {
+		switch ev.kind {
+		case evEdge:
+			ls.applyEdge(base, ev.edge)
+		case evItem:
+			ls.applyItem(ev.item)
+		case evAction:
+			ls.applyAction(base, ev.act)
+		case evFlush:
+			markers = append(markers, ev)
+		case evSnapshot:
+			forceFold = true
+			markers = append(markers, ev)
+		}
+	}
+	return forceFold, markers
+}
+
+func countData(batch []event) int64 {
+	n := int64(0)
+	for _, ev := range batch {
+		if ev.kind == evEdge || ev.kind == evItem || ev.kind == evAction {
+			n++
+		}
+	}
+	return n
+}
+
+// applyEdge validates, dedupes and assigns a prior; caller holds mu.
+func (ls *LiveSystem) applyEdge(base *core.System, ev EdgeEvent) {
+	n := base.Graph().NumNodes()
+	if ev.Src < 0 || ev.Dst < 0 || ev.Src == ev.Dst ||
+		int(ev.Src) >= ls.cfg.MaxNodes || int(ev.Dst) >= ls.cfg.MaxNodes {
+		ls.invalid.Add(1)
+		return
+	}
+	if int(ev.Src) < n && int(ev.Dst) < n {
+		if _, ok := base.Graph().FindEdge(ev.Src, ev.Dst); ok {
+			ls.duplicates.Add(1)
+			return
+		}
+	}
+	// No folding-overlay check needed: applies and folds share the apply
+	// goroutine, so ls.folding is always nil here.
+	if ls.ov.hasEdge(ev.Src, ev.Dst) {
+		ls.duplicates.Add(1)
+		return
+	}
+	ls.noteFirstEvent()
+	ls.ov.addEdge(ev, ls.cfg.Prior(base, ev.Src, ev.Dst))
+	ls.applied.Add(1)
+}
+
+func (ls *LiveSystem) applyItem(it actionlog.Item) {
+	if it.ID < 0 {
+		ls.invalid.Add(1)
+		return
+	}
+	if _, ok := ls.itemIDs[it.ID]; ok {
+		ls.duplicates.Add(1)
+		return
+	}
+	ls.itemIDs[it.ID] = struct{}{}
+	ls.noteFirstEvent()
+	ls.ov.addItem(it)
+	ls.applied.Add(1)
+}
+
+func (ls *LiveSystem) applyAction(base *core.System, a actionlog.Action) {
+	ceil := base.Graph().NumNodes()
+	if c := ls.ov.nodeCeil(); c > ceil {
+		ceil = c
+	}
+	if a.User < 0 || int(a.User) >= ceil {
+		ls.invalid.Add(1)
+		return
+	}
+	if _, ok := ls.itemIDs[a.Item]; !ok {
+		ls.invalid.Add(1)
+		return
+	}
+	ls.noteFirstEvent()
+	ls.ov.addAction(a)
+	ls.applied.Add(1)
+}
+
+func (ls *LiveSystem) noteFirstEvent() {
+	if ls.ov.events == 0 {
+		ls.since = time.Now()
+	}
+}
+
+// fold turns the accumulated overlay into the next snapshot. Runs on the
+// apply goroutine; readers keep serving the old snapshot throughout. On
+// failure the previous snapshot keeps serving and the delta is merged
+// back into the pending overlay so no accepted event is lost.
+func (ls *LiveSystem) fold() error {
+	ls.mu.Lock()
+	if ls.ov.events == 0 {
+		ls.mu.Unlock()
+		return nil
+	}
+	ov := ls.ov
+	oldestPending := ls.since
+	ls.folding = ov
+	ls.ov = newOverlay()
+	ls.mu.Unlock()
+
+	start := time.Now()
+	old := ls.cur.Load()
+	sys, err := ls.rebuild(old, ov)
+	if err != nil {
+		ls.foldFailures.Add(1)
+		ls.mu.Lock()
+		ls.lastErr = err
+		ls.folding = nil
+		// The apply goroutine — the only overlay mutator — is busy in this
+		// very call, so the replacement overlay is still empty and the
+		// delta is restored wholesale; mergeOverlays only matters if
+		// folding ever moves off the apply goroutine.
+		ls.ov = mergeOverlays(ov, ls.ov)
+		ls.since = oldestPending
+		ls.mu.Unlock()
+		return err
+	}
+	elapsed := time.Since(start)
+	// Publish the snapshot and retire the folded delta in one critical
+	// section so locked readers (Stats, PendingOutEdges) never see the
+	// same events both in the new snapshot and as pending.
+	ls.mu.Lock()
+	ls.cur.Store(&Snapshot{
+		Sys:         sys,
+		Version:     old.Version + 1,
+		BuiltAt:     time.Now(),
+		SwapLatency: elapsed,
+	})
+	ls.folding = nil
+	ls.mu.Unlock()
+	ls.snapshots.Add(1)
+	ls.lastSwapNanos.Store(int64(elapsed))
+	ls.totalSwapNanos.Add(int64(elapsed))
+	ls.lastSwapAtNanos.Store(time.Now().UnixNano())
+	return nil
+}
+
+// rebuild merges the overlay into the old snapshot's graph, model and
+// log, and builds a fresh system with the base index tuning.
+func (ls *LiveSystem) rebuild(old *Snapshot, ov *overlay) (*core.System, error) {
+	oldSys := old.Sys
+	oldG := oldSys.Graph()
+
+	b := graph.NewBuilder(oldG.NumNodes())
+	b.AddGraph(oldG)
+	for key := range ov.edges {
+		b.AddEdge(key.u, key.v)
+	}
+	for u, nm := range ov.names {
+		if int(u) >= oldG.NumNodes() || oldG.Name(u) == "" {
+			b.SetName(u, nm)
+		}
+	}
+	newG := b.Build()
+
+	items := append(oldSys.ActionLog().Items(), ov.items...)
+	acts := append(oldSys.ActionLog().Actions(), ov.acts...)
+	newLog := actionlog.Build(newG.NumNodes(), items, acts)
+
+	cfg := oldSys.BuildConfig()
+	cfg.Seed ^= (old.Version + 1) * 0x9e3779b97f4a7c15
+	// Carry-over folds share the keyword model with serving snapshots, so
+	// its topic names must never be re-touched from the fold goroutine;
+	// RelearnEM folds learn fresh, uncorrelated topics the base names
+	// would mislabel (and a changed Topics count would reject them).
+	cfg.TopicNames = nil
+	if ls.cfg.RelearnEM {
+		cfg.GroundTruth, cfg.GroundTruthWords = nil, nil
+		cfg.Topics = ls.cfg.Topics
+	} else {
+		// Carry the learned model onto the grown graph, overlay priors
+		// filling the new edges. (RelearnEM skips this: EM relearns every
+		// edge from the merged log anyway.)
+		model, err := tic.Remap(oldSys.Propagation(), newG, func(u, v graph.NodeID) []float64 {
+			if probs, ok := ov.edges[edgeKey{u, v}]; ok {
+				return probs
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stream: fold model: %w", err)
+		}
+		cfg.GroundTruth = model
+		cfg.GroundTruthWords = oldSys.Keywords()
+	}
+	sys, err := core.Build(newG, newLog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: fold rebuild: %w", err)
+	}
+	return sys, nil
+}

@@ -179,6 +179,48 @@ func (b *Builder) Build() *Model {
 	return m
 }
 
+// Remap rebuilds m's per-edge topic probabilities onto a different graph
+// newG, matching edges by their (src,dst) endpoints. Edges of newG that
+// also exist in m's graph copy their probabilities; edges absent from it
+// (new edges, or edges whose endpoints exceed the old node count) get
+// the probabilities returned by fallback, or all-zero when fallback is
+// nil or returns nil. Edges of m's graph missing from newG are dropped.
+//
+// This is the core of both snapshot folding in the streaming subsystem
+// (extend a learned model to a grown graph, priors for the new edges)
+// and holdout experiments (restrict a model to a subgraph).
+func Remap(m *Model, newG *graph.Graph, fallback func(u, v graph.NodeID) []float64) (*Model, error) {
+	oldG := m.g
+	oldN := graph.NodeID(oldG.NumNodes())
+	b := NewBuilder(newG, m.z)
+	var err error
+	newG.EachEdge(func(e graph.EdgeID, u, v graph.NodeID) {
+		if err != nil {
+			return
+		}
+		if u < oldN && v < oldN {
+			if oe, ok := oldG.FindEdge(u, v); ok {
+				m.EdgeTopics(oe, func(z int, p float64) {
+					if err == nil {
+						err = b.SetProb(e, z, p)
+					}
+				})
+				return
+			}
+		}
+		if fallback == nil {
+			return
+		}
+		if probs := fallback(u, v); probs != nil {
+			err = b.SetProbs(e, probs)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tic: remap: %w", err)
+	}
+	return b.Build(), nil
+}
+
 // Simulator holds reusable state for IC cascade simulation. Not safe for
 // concurrent use; create one per goroutine (Clone is cheap).
 type Simulator struct {

@@ -40,6 +40,7 @@ import (
 	"octopus/internal/datagen"
 	"octopus/internal/graph"
 	"octopus/internal/server"
+	"octopus/internal/stream"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
 )
@@ -99,6 +100,21 @@ type (
 // Server is the JSON HTTP API over a System.
 type Server = server.Server
 
+// Streaming ingestion types (live systems).
+type (
+	// LiveSystem serves immutable snapshots while absorbing a stream of
+	// graph/action events; see stream.LiveSystem.
+	LiveSystem = stream.LiveSystem
+	// StreamConfig tunes ingestion buffering, priors and snapshot folds.
+	StreamConfig = stream.Config
+	// StreamStats reports the ingestion pipeline counters.
+	StreamStats = stream.Stats
+	// StreamSnapshot is one immutable serving generation.
+	StreamSnapshot = stream.Snapshot
+	// EdgeEvent announces a new follow/citation edge to a LiveSystem.
+	EdgeEvent = stream.EdgeEvent
+)
+
 // Build constructs a System from a social graph and action log. With
 // cfg.GroundTruth set, model learning is skipped; otherwise the
 // topic-aware IC parameters and keyword model are learned from the log
@@ -123,6 +139,17 @@ func GenerateSocial(cfg SocialConfig) (*Dataset, error) { return datagen.Social(
 
 // NewServer wraps a System in the JSON HTTP API.
 func NewServer(sys *System) *Server { return server.New(sys) }
+
+// NewLiveSystem turns a built System into a live one that ingests
+// streamed events and periodically swaps in rebuilt snapshots. Callers
+// must Close the returned LiveSystem.
+func NewLiveSystem(sys *System, cfg StreamConfig) (*LiveSystem, error) {
+	return stream.NewLiveSystem(sys, cfg)
+}
+
+// NewLiveServer wraps a LiveSystem in the JSON HTTP API with the
+// /api/ingest endpoints enabled.
+func NewLiveServer(ls *LiveSystem) *Server { return server.NewLive(ls) }
 
 // SaveGraph writes g to path in the text format.
 func SaveGraph(path string, g *Graph) error {

@@ -11,6 +11,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/datagen"
 	"octopus/internal/graph"
+	"octopus/internal/store"
 	"octopus/internal/stream"
 	"octopus/internal/tic"
 )
@@ -105,15 +106,31 @@ type replayResult struct {
 	swapMean  time.Duration
 	pending   int
 	version   uint64
+
+	// Durability counters (WAL-backed replays only).
+	walSyncs    uint64
+	walBytes    int64
+	checkpoints uint64
 }
 
 // replay streams the holdout into a LiveSystem in interleaved batches
 // while query workers hammer the current snapshot, then force-folds.
-func replay(h *streamHoldout, rebuildEvents, batchSize int) (*replayResult, error) {
-	ls, err := stream.NewLiveSystem(h.base, stream.Config{
+// With a non-empty walDir the ingester runs durably: write-ahead
+// logging with per-drain fsync plus a checkpoint per snapshot swap —
+// the E14 WAL-overhead configuration.
+func replay(h *streamHoldout, rebuildEvents, batchSize int, walDir string) (*replayResult, error) {
+	cfg := stream.Config{
 		RebuildEvents: rebuildEvents,
 		BufferBatches: 32,
-	})
+	}
+	if walDir != "" {
+		d, _, err := store.Open(walDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = d
+	}
+	ls, err := stream.NewLiveSystem(h.base, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +210,10 @@ func replay(h *streamHoldout, rebuildEvents, batchSize int) (*replayResult, erro
 		snapshots: st.Snapshots,
 		pending:   st.Pending,
 		version:   st.Version,
+
+		walSyncs:    st.WALSyncs,
+		walBytes:    st.WALBytesLogged,
+		checkpoints: st.Checkpoints,
 	}
 	if st.Snapshots > 0 {
 		res.swapMean = time.Duration(st.TotalSwapMillis / float64(st.Snapshots) * 1e6)
@@ -232,7 +253,7 @@ func runE13(e *env) error {
 			e.sizes.streamAuthors, e.sizes.streamBatch),
 		"rebuild@", "events", "events/s", "snapshots", "mean swap", "queries", "mean q-lat", "final ver")
 	for _, rebuildEvents := range []int{e.sizes.streamBatch * 4, e.sizes.streamBatch * 16} {
-		res, err := replay(h, rebuildEvents, e.sizes.streamBatch)
+		res, err := replay(h, rebuildEvents, e.sizes.streamBatch, "")
 		if err != nil {
 			return err
 		}

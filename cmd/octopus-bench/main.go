@@ -1,7 +1,8 @@
-// Command octopus-bench runs the experiment suite E1–E12 defined in
+// Command octopus-bench runs the experiment suite E1–E14 defined in
 // DESIGN.md §4 and prints one table per experiment — the reproduction of
 // every figure/scenario of the OCTOPUS demo paper plus the engine claims
-// it builds on. EXPERIMENTS.md records a reference run.
+// it builds on (E13: streaming ingestion; E14: persistence and
+// crash-recovery costs). EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
@@ -26,8 +27,9 @@ type sizes struct {
 	scaleNodes      []int
 	emEpisodes      []int
 	queryReps       int
-	streamAuthors   int // ingest-replay experiment dataset size
-	streamBatch     int // events per replayed ingest batch
+	streamAuthors   int   // ingest-replay experiment dataset size
+	streamBatch     int   // events per replayed ingest batch
+	snapshotNodes   []int // cold-start experiment dataset sizes
 }
 
 func defaultSizes(quick bool) sizes {
@@ -42,6 +44,7 @@ func defaultSizes(quick bool) sizes {
 			queryReps:       5,
 			streamAuthors:   800,
 			streamBatch:     128,
+			snapshotNodes:   []int{1000, 2000},
 		}
 	}
 	return sizes{
@@ -54,6 +57,7 @@ func defaultSizes(quick bool) sizes {
 		queryReps:       10,
 		streamAuthors:   3000,
 		streamBatch:     256,
+		snapshotNodes:   []int{3000, 8000},
 	}
 }
 
@@ -84,6 +88,7 @@ func main() {
 		{"E11", "EM model learning: parameter recovery vs episodes", runE11},
 		{"E12", "Classical IM baselines at equal k (sanity shape)", runE12},
 		{"E13", "Streaming ingestion: replay throughput, swap latency, staleness", runE13},
+		{"E14", "Persistence: snapshot cold-start speedup and WAL ingest overhead", runE14},
 	}
 
 	want := map[string]bool{}

@@ -7,24 +7,40 @@
 // Usage:
 //
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em]
-//	octopus serve [-addr :8080] [-ingest] [-rebuild-events N] [-rebuild-interval D] [same dataset flags]
-//	octopus query [-q "data mining"] [-k 10] [same dataset flags]
-//	octopus train [-out models/] [same dataset flags]   # EM + persist models
+//	octopus serve [-addr :8080] [-load model.oct] [-ingest] [-wal DIR]
+//	              [-rebuild-events N] [-rebuild-interval D] [same dataset flags]
+//	octopus query [-q "data mining"] [-k 10] [-load model.oct] [same dataset flags]
+//	octopus train [-out models/] [same dataset flags]   # EM + persist text models
+//	octopus build [-o model.oct] [same dataset flags]   # build + binary snapshot
+//
+// build serializes the complete built system (graph, action log,
+// learned models, config) into one checksummed binary snapshot; serve
+// and query accept it via -load and cold-start in milliseconds instead
+// of re-running EM and data generation.
 //
 // With -ingest, serve wraps the system in the streaming subsystem: the
 // /api/ingest endpoints accept live actions/edges and the serving
 // snapshot is rebuilt and atomically swapped after every N events (or D
-// of staleness) without taking queries offline.
+// of staleness) without taking queries offline. Adding -wal DIR makes
+// ingestion durable: accepted events are written ahead to DIR/wal.log,
+// every swap checkpoints DIR/snapshot.oct, and a restarted serve -wal
+// recovers snapshot + WAL tail automatically. SIGINT/SIGTERM trigger a
+// graceful shutdown: the HTTP server drains, then the ingester folds
+// and checkpoints one final time.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"octopus/internal/actionlog"
@@ -33,6 +49,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/otim"
 	"octopus/internal/server"
+	"octopus/internal/store"
 	"octopus/internal/stream"
 	"octopus/internal/tags"
 	"octopus/internal/tic"
@@ -49,8 +66,11 @@ type options struct {
 	query   string
 	k       int
 	out     string
+	load    string
+	snapOut string
 
 	ingest          bool
+	walDir          string
 	rebuildEvents   int
 	rebuildInterval time.Duration
 }
@@ -72,7 +92,10 @@ func main() {
 	fs.StringVar(&opt.query, "q", "data mining", "keyword query (query)")
 	fs.IntVar(&opt.k, "k", 10, "seed count (query)")
 	fs.StringVar(&opt.out, "out", "models", "output directory (train)")
+	fs.StringVar(&opt.load, "load", "", "load a binary system snapshot instead of generating + building")
+	fs.StringVar(&opt.snapOut, "o", "model.oct", "snapshot output path (build)")
 	fs.BoolVar(&opt.ingest, "ingest", false, "enable streaming ingestion endpoints (serve)")
+	fs.StringVar(&opt.walDir, "wal", "", "durability directory for serve -ingest: WAL + checkpoint snapshots, with crash recovery on start")
 	fs.IntVar(&opt.rebuildEvents, "rebuild-events", 4096, "fold the ingest overlay into a new snapshot after this many events (serve -ingest)")
 	fs.DurationVar(&opt.rebuildInterval, "rebuild-interval", 30*time.Second, "also fold when pending events are older than this; 0 disables (serve -ingest)")
 	_ = fs.Parse(os.Args[2:])
@@ -81,12 +104,14 @@ func main() {
 	case "demo":
 		run(opt, demo)
 	case "serve":
-		run(opt, serve)
+		serveMain(opt)
 	case "query":
 		run(opt, oneShot)
 	case "train":
 		opt.useEM = true
 		run(opt, train)
+	case "build":
+		run(opt, buildSnapshot)
 	default:
 		usage()
 		os.Exit(2)
@@ -94,12 +119,34 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: octopus <demo|serve|query|train> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: octopus <demo|serve|query|train|build> [flags]")
+}
+
+// buildSnapshot persists the complete built system as one binary
+// snapshot for -load.
+func buildSnapshot(opt options, sys *core.System, _ *datagen.Dataset) error {
+	start := time.Now()
+	if err := store.Save(opt.snapOut, sys); err != nil {
+		return err
+	}
+	fi, err := os.Stat(opt.snapOut)
+	if err != nil {
+		return err
+	}
+	st := sys.Stats()
+	fmt.Printf("wrote %s: %.1f MiB in %s (%d nodes, %d edges, %d topics, %d keywords)\n",
+		opt.snapOut, float64(fi.Size())/(1<<20), time.Since(start).Round(time.Millisecond),
+		st.Nodes, st.Edges, st.Topics, st.Vocabulary)
+	fmt.Printf("cold-start it with: octopus serve -load %s\n", opt.snapOut)
+	return nil
 }
 
 // train persists the graph, the action log and the EM-learned models so
 // later runs can skip learning.
 func train(opt options, sys *core.System, ds *datagen.Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("train needs a generated dataset; -load is not supported here")
+	}
 	if err := os.MkdirAll(opt.out, 0o755); err != nil {
 		return err
 	}
@@ -143,6 +190,17 @@ func run(opt options, fn func(options, *core.System, *datagen.Dataset) error) {
 }
 
 func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
+	if opt.load != "" {
+		start := time.Now()
+		sys, err := store.Load(opt.load)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := sys.Stats()
+		fmt.Fprintf(os.Stderr, "loaded snapshot %s in %s: %d nodes, %d edges, %d topics, %d keywords\n",
+			opt.load, time.Since(start).Round(time.Millisecond), st.Nodes, st.Edges, st.Topics, st.Vocabulary)
+		return sys, nil, nil
+	}
 	var ds *datagen.Dataset
 	var err error
 	fmt.Fprintf(os.Stderr, "generating %s dataset (n=%d, Z=%d, seed=%d)...\n",
@@ -185,24 +243,111 @@ func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
 	return sys, ds, nil
 }
 
-func serve(opt options, sys *core.System, _ *datagen.Dataset) error {
-	var srv *server.Server
+// serveMain builds (or loads, or recovers) the system and serves it.
+// Unlike the other commands it controls system construction itself:
+// with -wal, a durability directory that already holds state wins over
+// both -load and dataset generation.
+func serveMain(opt options) {
+	var dir *store.Dir
+	var sys *core.System
+	if opt.walDir != "" {
+		if !opt.ingest {
+			log.Fatal("serve: -wal requires -ingest")
+		}
+		d, recovered, err := store.Open(opt.walDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir = d
+		if recovered != nil {
+			st := recovered.Sys.Stats()
+			fmt.Fprintf(os.Stderr, "recovered from %s: snapshot v%d + %d WAL events (%d nodes, %d edges)\n",
+				opt.walDir, recovered.SnapshotVersion, recovered.Replayed, st.Nodes, st.Edges)
+			sys = recovered.Sys
+		}
+	}
+	if sys == nil {
+		var err error
+		if sys, _, err = buildSystem(opt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := serve(opt, sys, dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func serve(opt options, sys *core.System, dir *store.Dir) error {
+	var handler http.Handler
+	var live *stream.LiveSystem
 	if opt.ingest {
 		ls, err := stream.NewLiveSystem(sys, stream.Config{
 			RebuildEvents:   opt.rebuildEvents,
 			RebuildInterval: opt.rebuildInterval,
+			Store:           dir,
 		})
 		if err != nil {
 			return err
 		}
-		defer ls.Close()
-		srv = server.NewLive(ls)
-		fmt.Printf("OCTOPUS (live) listening on %s — POST /api/ingest/{actions,edges}, GET /api/ingest/stats\n", opt.addr)
+		live = ls
+		handler = server.NewLive(ls)
+		durable := ""
+		if dir != nil {
+			durable = fmt.Sprintf(", durable in %s", dir.Path())
+		}
+		fmt.Printf("OCTOPUS (live%s) listening on %s — POST /api/ingest/{actions,edges}, GET /api/ingest/stats\n",
+			durable, opt.addr)
 	} else {
-		srv = server.New(sys)
+		handler = server.New(sys)
 		fmt.Printf("OCTOPUS listening on %s — try /api/im?q=data+mining&k=10\n", opt.addr)
 	}
-	return http.ListenAndServe(opt.addr, srv)
+
+	httpSrv := &http.Server{
+		Addr:    opt.addr,
+		Handler: handler,
+		// Never rely on the zero-value (unbounded) timeouts: slowloris
+		// headers and stuck request bodies must not pin connections.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain in-flight
+	// requests (bounded), then drain + checkpoint the live ingester so the
+	// final WAL state flushes cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		if live != nil {
+			_ = live.Close()
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "http server: %v\n", err)
+		}
+		if live != nil {
+			if err := live.Close(); err != nil {
+				return fmt.Errorf("closing ingester: %w", err)
+			}
+			if dir != nil {
+				fmt.Fprintf(os.Stderr, "final checkpoint v%d written to %s\n",
+					dir.LastCheckpointVersion(), dir.Path())
+			}
+		}
+		return nil
+	}
 }
 
 func oneShot(opt options, sys *core.System, _ *datagen.Dataset) error {

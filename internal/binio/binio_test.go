@@ -1,0 +1,113 @@
+package binio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(7)
+	w.U16(65535)
+	w.U32(1 << 30)
+	w.U64(1 << 60)
+	w.I32(-42)
+	w.I64(-1 << 50)
+	w.F32(1.5)
+	w.F64(math.Pi)
+	w.Str("hello world")
+	w.Str("")
+	w.I32s([]int32{-1, 0, 1})
+	w.U16s([]uint16{3, 2, 1})
+	w.F32s([]float32{0.25, 0.5})
+	w.F64s([]float64{1e-300, 1e300})
+	w.Strs([]string{"a", "", "topic words"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := r.U16(); v != 65535 {
+		t.Fatalf("U16 = %d", v)
+	}
+	if v := r.U32(); v != 1<<30 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := r.U64(); v != 1<<60 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I32(); v != -42 {
+		t.Fatalf("I32 = %d", v)
+	}
+	if v := r.I64(); v != -1<<50 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := r.F32(); v != 1.5 {
+		t.Fatalf("F32 = %v", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := r.Str(); v != "hello world" {
+		t.Fatalf("Str = %q", v)
+	}
+	if v := r.Str(); v != "" {
+		t.Fatalf("empty Str = %q", v)
+	}
+	if v := r.I32s(); !reflect.DeepEqual(v, []int32{-1, 0, 1}) {
+		t.Fatalf("I32s = %v", v)
+	}
+	if v := r.U16s(); !reflect.DeepEqual(v, []uint16{3, 2, 1}) {
+		t.Fatalf("U16s = %v", v)
+	}
+	if v := r.F32s(); !reflect.DeepEqual(v, []float32{0.25, 0.5}) {
+		t.Fatalf("F32s = %v", v)
+	}
+	if v := r.F64s(); !reflect.DeepEqual(v, []float64{1e-300, 1e300}) {
+		t.Fatalf("F64s = %v", v)
+	}
+	if v := r.Strs(); !reflect.DeepEqual(v, []string{"a", "", "topic words"}) {
+		t.Fatalf("Strs = %v", v)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Reading past the end sticks an EOF.
+	r.U8()
+	if r.Err() != io.EOF {
+		t.Fatalf("err past end = %v, want EOF", r.Err())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2}))
+	if v := r.U32(); v != 0 || r.Err() == nil {
+		t.Fatalf("truncated U32 = %d, err = %v", v, r.Err())
+	}
+	// All subsequent reads are no-ops returning zero values.
+	if v := r.U64(); v != 0 {
+		t.Fatalf("read after error = %d", v)
+	}
+	if v := r.Strs(); len(v) != 0 {
+		t.Fatalf("Strs after error = %v", v)
+	}
+}
+
+func TestReaderLengthGuard(t *testing.T) {
+	var buf bytes.Buffer
+	var huge [8]byte
+	binary.LittleEndian.PutUint64(huge[:], uint64(MaxLen)+1)
+	buf.Write(huge[:])
+	r := NewReader(&buf)
+	if v := r.I32s(); len(v) != 0 || r.Err() == nil {
+		t.Fatalf("oversized slice accepted: %d elems, err = %v", len(v), r.Err())
+	}
+}

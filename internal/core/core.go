@@ -12,6 +12,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"octopus/internal/actionlog"
@@ -129,15 +130,54 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 	}
 	s.tagsIdx = tix
 
-	// Stage 3: user keyword pools + suggester + completion trie.
-	userItems := log.UserItems()
-	s.userKeywords = make([][]string, g.NumNodes())
-	for u := range s.userKeywords {
-		if len(userItems[u]) > 0 {
-			s.userKeywords[u] = log.KeywordsOf(userItems[u])
-		}
+	s.finish()
+	return s, nil
+}
+
+// Assemble builds a System from already-learned models AND already-built
+// online indexes — the snapshot fast path: no EM, no index
+// precomputation, only the cheap derived structures (user keyword
+// pools, suggester, completion trie) are reconstructed. The indexes
+// must be bound to prop, and prop to g.
+func Assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.Model,
+	otimIdx *otim.Index, tagsIdx *tags.Index, cfg Config) (*System, error) {
+
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
 	}
-	s.sugg = tags.NewSuggester(tix, s.words, s.userKeywords)
+	if prop == nil || words == nil || otimIdx == nil || tagsIdx == nil {
+		return nil, fmt.Errorf("core: assemble needs models and indexes")
+	}
+	if prop.Graph() != g {
+		return nil, fmt.Errorf("core: model not bound to the given graph")
+	}
+	if otimIdx.Model() != prop || tagsIdx.Model() != prop {
+		return nil, fmt.Errorf("core: indexes not bound to the given model")
+	}
+	if prop.NumTopics() != words.NumTopics() {
+		return nil, fmt.Errorf("core: tic model has %d topics, keyword model %d",
+			prop.NumTopics(), words.NumTopics())
+	}
+	if log == nil {
+		log = actionlog.Build(g.NumNodes(), nil, nil)
+	}
+	s := &System{g: g, log: log, cfg: cfg, prop: prop, words: words,
+		otimIdx: otimIdx, tagsIdx: tagsIdx}
+	s.finish()
+	return s, nil
+}
+
+// finish builds stage 3 — the derived structures every construction
+// path shares: user keyword pools, the suggestion engine, the
+// completion trie, and the per-query scratch pools. It runs on every
+// snapshot fold and on every snapshot load, so the keyword pools are
+// computed over interned keyword ids (one string-map pass for the whole
+// log) rather than per-user string maps.
+func (s *System) finish() {
+	g, log := s.g, s.log
+	userItems := log.UserItems()
+	s.userKeywords = buildUserKeywords(log, userItems, g.NumNodes())
+	s.sugg = tags.NewSuggester(s.tagsIdx, s.words, s.userKeywords)
 
 	s.names = &trie.Trie{}
 	for u := 0; u < g.NumNodes(); u++ {
@@ -146,9 +186,67 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 		}
 	}
 
+	oix := s.otimIdx
 	s.engines.New = func() any { return otim.NewEngine(oix) }
 	s.calcs.New = func() any { return mia.NewCalc(g) }
-	return s, nil
+}
+
+// buildUserKeywords computes each user's distinct keyword pool (sorted
+// lexicographically, matching actionlog.KeywordsOf). Keywords are
+// interned once — ids are lexicographic ranks, so per-user dedup and
+// ordering run on integers with a reusable stamp array.
+func buildUserKeywords(log *actionlog.Log, userItems [][]int32, n int) [][]string {
+	kwID := make(map[string]int32)
+	var kws []string
+	for _, ep := range log.Episodes {
+		for _, w := range ep.Item.Keywords {
+			if _, ok := kwID[w]; !ok {
+				kwID[w] = 0
+				kws = append(kws, w)
+			}
+		}
+	}
+	sort.Strings(kws)
+	for i, w := range kws {
+		kwID[w] = int32(i)
+	}
+	epKw := make([][]int32, len(log.Episodes))
+	for ei := range log.Episodes {
+		src := log.Episodes[ei].Item.Keywords
+		ids := make([]int32, len(src))
+		for i, w := range src {
+			ids[i] = kwID[w]
+		}
+		epKw[ei] = ids
+	}
+
+	out := make([][]string, n)
+	stamp := make([]int32, len(kws))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var ids []int32
+	for u := 0; u < n; u++ {
+		if len(userItems[u]) == 0 {
+			continue
+		}
+		ids = ids[:0]
+		for _, ei := range userItems[u] {
+			for _, id := range epKw[ei] {
+				if stamp[id] != int32(u) {
+					stamp[id] = int32(u)
+					ids = append(ids, id)
+				}
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		pool := make([]string, len(ids))
+		for i, id := range ids {
+			pool[i] = kws[id]
+		}
+		out[u] = pool
+	}
+	return out
 }
 
 // Graph returns the social graph.

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+
+	"octopus/internal/binio"
+)
+
+// Binary payload format (version 1): the forward CSR arrays plus
+// optional display names. The reverse adjacency is reconstructed on
+// load with a linear counting pass — cheaper than re-sorting edges
+// through a Builder and byte-for-byte deterministic.
+const graphBinaryVersion = 1
+
+// WriteBinary serializes g's CSR representation.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := binio.NewWriter(w)
+	bw.U8(graphBinaryVersion)
+	bw.I32(g.n)
+	bw.I32s(g.outOff)
+	bw.I32s(g.outDst)
+	if g.names != nil {
+		bw.U8(1)
+		bw.Strs(g.names)
+	} else {
+		bw.U8(0)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the payload produced by WriteBinary and rebuilds
+// the full graph, validating CSR invariants before returning it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := binio.NewReader(r)
+	if v := br.U8(); br.Err() == nil && v != graphBinaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", v)
+	}
+	g := &Graph{}
+	g.n = br.I32()
+	g.outOff = br.I32s()
+	g.outDst = br.I32s()
+	if hasNames := br.U8(); br.Err() == nil && hasNames == 1 {
+		g.names = br.Strs()
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read binary: %w", err)
+	}
+	if g.n < 0 || len(g.outOff) != int(g.n)+1 {
+		return nil, fmt.Errorf("graph: binary payload has %d offsets for %d nodes", len(g.outOff), g.n)
+	}
+	if g.names != nil && len(g.names) != int(g.n) {
+		return nil, fmt.Errorf("graph: binary payload has %d names for %d nodes", len(g.names), g.n)
+	}
+	m := len(g.outDst)
+	if g.outOff[0] != 0 || g.outOff[g.n] != int32(m) {
+		return nil, fmt.Errorf("graph: binary payload offsets span [%d,%d] for %d edges",
+			g.outOff[0], g.outOff[g.n], m)
+	}
+	for u := int32(0); u < g.n; u++ {
+		if g.outOff[u] > g.outOff[u+1] {
+			return nil, fmt.Errorf("graph: binary payload offsets not monotone at node %d", u)
+		}
+	}
+	// Rebuild the reverse adjacency with a counting pass.
+	g.inOff = make([]int32, g.n+1)
+	g.inSrc = make([]NodeID, m)
+	g.inEdge = make([]EdgeID, m)
+	for _, v := range g.outDst {
+		if v < 0 || v >= g.n {
+			return nil, fmt.Errorf("graph: binary payload edge destination %d out of range", v)
+		}
+		g.inOff[v+1]++
+	}
+	for i := int32(0); i < g.n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	cursor := make([]int32, g.n)
+	copy(cursor, g.inOff[:g.n])
+	for u := int32(0); u < g.n; u++ {
+		for e := g.outOff[u]; e < g.outOff[u+1]; e++ {
+			v := g.outDst[e]
+			slot := cursor[v]
+			cursor[v]++
+			g.inSrc[slot] = u
+			g.inEdge[slot] = e
+		}
+	}
+	if g.names != nil {
+		g.nameIdx = make(map[string]NodeID, g.n)
+		for i, nm := range g.names {
+			if nm != "" {
+				g.nameIdx[nm] = NodeID(i)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,83 @@
+package otim
+
+import (
+	"fmt"
+	"io"
+
+	"octopus/internal/binio"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// Binary payload format (version 1): the precomputed bound arrays and
+// topic samples. Loading re-binds them to a TIC model instead of
+// repeating the per-node MIA precomputation.
+const otimBinaryVersion = 1
+
+// WriteBinary serializes the index arrays. The model is serialized
+// separately; ReadBinary re-binds to it.
+func WriteBinary(w io.Writer, ix *Index) error {
+	bw := binio.NewWriter(w)
+	bw.U8(otimBinaryVersion)
+	bw.F64(ix.thetaPre)
+	bw.F64(ix.delta)
+	bw.F64s(ix.sigmaMax)
+	bw.F64s(ix.aggr)
+	bw.F64s(ix.wdeg)
+	bw.U64(uint64(len(ix.samples)))
+	for _, s := range ix.samples {
+		bw.F64s(s.Gamma)
+		bw.I32s(s.Seeds)
+		bw.F64s(s.Spreads)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the payload produced by WriteBinary and binds the
+// index to model m.
+func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
+	br := binio.NewReader(r)
+	if v := br.U8(); br.Err() == nil && v != otimBinaryVersion {
+		return nil, fmt.Errorf("otim: unsupported binary version %d", v)
+	}
+	ix := &Index{model: m}
+	ix.thetaPre = br.F64()
+	ix.delta = br.F64()
+	ix.sigmaMax = br.F64s()
+	ix.aggr = br.F64s()
+	ix.wdeg = br.F64s()
+	numSamples := int(br.U64())
+	if br.Err() == nil && (numSamples < 0 || numSamples > binio.MaxLen) {
+		return nil, fmt.Errorf("otim: binary payload sample count out of range")
+	}
+	for i := 0; i < numSamples && br.Err() == nil; i++ {
+		s := TopicSample{
+			Gamma:   topic.Dist(br.F64s()),
+			Seeds:   br.I32s(),
+			Spreads: br.F64s(),
+		}
+		ix.samples = append(ix.samples, s)
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("otim: read binary: %w", err)
+	}
+	n, z := m.Graph().NumNodes(), m.NumTopics()
+	if ix.thetaPre <= 0 || ix.thetaPre >= 1 {
+		return nil, fmt.Errorf("otim: binary payload thetaPre %v out of (0,1)", ix.thetaPre)
+	}
+	if len(ix.sigmaMax) != n || len(ix.aggr) != n*z || len(ix.wdeg) != n*z {
+		return nil, fmt.Errorf("otim: binary payload arrays sized (%d,%d,%d) for n=%d z=%d",
+			len(ix.sigmaMax), len(ix.aggr), len(ix.wdeg), n, z)
+	}
+	for i, s := range ix.samples {
+		if len(s.Gamma) != z || len(s.Seeds) != len(s.Spreads) {
+			return nil, fmt.Errorf("otim: binary payload sample %d malformed", i)
+		}
+		for _, u := range s.Seeds {
+			if u < 0 || int(u) >= n {
+				return nil, fmt.Errorf("otim: binary payload sample %d seed %d out of range", i, u)
+			}
+		}
+	}
+	return ix, nil
+}

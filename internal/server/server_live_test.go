@@ -10,6 +10,7 @@ import (
 
 	"octopus/internal/core"
 	"octopus/internal/datagen"
+	"octopus/internal/store"
 	"octopus/internal/stream"
 )
 
@@ -124,5 +125,64 @@ func TestIngestEndpoints(t *testing.T) {
 	rec, _ = get(t, s, "/api/paths?user=Live+Newcomer")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("paths for new node status = %d", rec.Code)
+	}
+}
+
+// TestIngestStatsExposeCheckpoints: a WAL-backed live server surfaces
+// the durability counters through /api/ingest/stats.
+func TestIngestStatsExposeCheckpoints(t *testing.T) {
+	ds, err := datagen.Citation(datagen.CitationConfig{Authors: 150, Topics: 4, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+		GroundTruth:      ds.Truth,
+		GroundTruthWords: ds.TruthWords,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := stream.NewLiveSystem(sys, stream.Config{RebuildEvents: 1 << 20, Store: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ls.Close() })
+	s := NewLive(ls)
+
+	rec, body := postJSON(t, s, "/api/ingest/edges", fmt.Sprintf(
+		`{"edges":[{"src":0,"dst":%d,"dstName":"Durable Newcomer"}]}`, sys.Graph().NumNodes()))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("edges status = %d body = %v", rec.Code, body)
+	}
+	if err := ls.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, body = get(t, s, "/api/ingest/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	if body["durable"] != true {
+		t.Fatalf("durable = %v", body["durable"])
+	}
+	if body["checkpoints"].(float64) != 1 || body["lastCheckpointVersion"].(float64) != 1 {
+		t.Fatalf("checkpoint stats = %v", body)
+	}
+	if body["walRecords"].(float64) != 1 || body["walSyncs"].(float64) == 0 {
+		t.Fatalf("WAL stats = %v", body)
+	}
+	if err := ls.ForceSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, s, "/api/ingest/stats")
+	if body["checkpoints"].(float64) != 2 || body["lastCheckpointVersion"].(float64) != 2 {
+		t.Fatalf("post-fold checkpoint stats = %v", body)
+	}
+	if body["walRecords"].(float64) != 0 {
+		t.Fatalf("WAL not rotated after checkpoint: %v", body)
 	}
 }

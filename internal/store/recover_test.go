@@ -1,0 +1,112 @@
+package store
+
+import (
+	"testing"
+
+	"octopus/internal/graph"
+)
+
+// TestDirCheckpointRecover drives the Dir lifecycle by hand: checkpoint
+// a base system, append WAL records (including duplicates of snapshot
+// state), and verify Recover folds exactly the fresh tail in.
+func TestDirCheckpointRecover(t *testing.T) {
+	sys := buildSystem(t, 200, 33)
+	n := graph.NodeID(sys.Graph().NumNodes())
+	z := sys.Propagation().NumTopics()
+	dir := t.TempDir()
+
+	d, res, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("fresh dir recovered %+v", res)
+	}
+	if err := d.Checkpoint(sys, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Checkpoints() != 1 || d.LastCheckpointVersion() != 1 {
+		t.Fatalf("checkpoint counters: %d/%d", d.Checkpoints(), d.LastCheckpointVersion())
+	}
+
+	// One duplicated base edge, one new edge growing the graph, one item
+	// with an action on it.
+	var du, dv graph.NodeID
+	sys.Graph().EachEdge(func(_ graph.EdgeID, u, v graph.NodeID) { du, dv = u, v })
+	prior := make([]float64, z)
+	prior[0], prior[z-1] = 0.3, 0.1
+	recs := []Record{
+		{Kind: RecEdge, Src: du, Dst: dv, Probs: prior},
+		{Kind: RecEdge, Src: 0, Dst: n, DstName: "Recovered Node", Probs: prior},
+		{Kind: RecItem, ItemID: 1 << 20, Keywords: []string{"recovery", "mining"}},
+		{Kind: RecAction, User: 0, Item: 1 << 20, Time: 9},
+	}
+	if err := d.Append(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-only recovery while the Dir is still open (crashed-process
+	// view).
+	res, err = Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotVersion != 1 || res.Replayed != 3 || res.Skipped != 1 {
+		t.Fatalf("recover result = %+v", res)
+	}
+	g2 := res.Sys.Graph()
+	if g2.NumNodes() != int(n)+1 || g2.Name(n) != "Recovered Node" {
+		t.Fatalf("recovered graph: %d nodes, name(%d)=%q", g2.NumNodes(), n, g2.Name(n))
+	}
+	e, ok := g2.FindEdge(0, n)
+	if !ok {
+		t.Fatal("recovered edge (0,n) missing")
+	}
+	if p := res.Sys.Propagation().TopicProb(e, 0); p != float64(float32(0.3)) {
+		t.Fatalf("recovered edge prior = %v, want 0.3", p)
+	}
+	if got := len(res.Sys.ActionLog().Episodes); got != len(sys.ActionLog().Episodes)+1 {
+		t.Fatalf("episodes = %d, want %d", got, len(sys.ActionLog().Episodes)+1)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening recovers the same state and compacts it into a fresh
+	// checkpoint, leaving the WAL empty.
+	d2, res2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 == nil || res2.Replayed != 3 {
+		t.Fatalf("reopen recovery = %+v", res2)
+	}
+	if d2.WALRecords() != 0 {
+		t.Fatalf("WAL not compacted: %d records", d2.WALRecords())
+	}
+	// Compaction is a new generation: the version must advance, never
+	// reuse a number for a different state.
+	if res2.SnapshotVersion != 2 || d2.LastCheckpointVersion() != 2 {
+		t.Fatalf("compaction version = %d (dir %d), want 2", res2.SnapshotVersion, d2.LastCheckpointVersion())
+	}
+	assertSystemsEquivalent(t, res.Sys, res2.Sys)
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third open replays nothing (snapshot already current).
+	d3, res3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3 == nil || res3.Replayed != 0 {
+		t.Fatalf("third open recovery = %+v", res3)
+	}
+	assertSystemsEquivalent(t, res.Sys, res3.Sys)
+	if err := d3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,524 @@
+// Package store is the persistence and crash-recovery subsystem of the
+// OCTOPUS reproduction. It has two halves:
+//
+//   - Snapshots: a versioned, checksummed binary codec that serializes a
+//     complete built core.System — graph, action log, learned TIC and
+//     keyword/topic models, the precomputed online indexes, and the
+//     build configuration — so a process cold-starts by decoding arrays
+//     instead of re-running EM and index precomputation (Save / Load).
+//
+//   - WAL: a write-ahead log of streamed ingest events (CRC-framed
+//     records, fsync-batched group commit) paired with snapshot
+//     checkpoints. Recover replays the WAL tail over the latest
+//     snapshot, so a killed live process resumes with every durably
+//     logged event intact (Open / Dir / Recover).
+//
+// # Snapshot format
+//
+// A snapshot is a magic header followed by length-prefixed sections,
+// each independently CRC-checksummed:
+//
+//	"OCTSNAP1"
+//	section := tag[4] | payloadLen u64 | payload | crc32c(payload) u32
+//	sections, in order: META GRPH ALOG TICM TOPC OTIM TAGS CONF DONE
+//
+// All integers are little-endian. Section payloads are the binary
+// codecs of the owning packages (graph.WriteBinary, tic.WriteBinary,
+// topic.WriteBinary, otim.WriteBinary, tags.WriteBinary) plus
+// store-local codecs for the action log and the build configuration. A corrupt, truncated or version-skewed file is
+// rejected with a descriptive error; Save writes through a temp file
+// and renames, so a crash mid-save never clobbers the previous
+// snapshot.
+//
+// # Durability semantics
+//
+// WAL records carry the per-topic prior probabilities assigned to new
+// edges at apply time, so recovery reproduces the exact model the live
+// system had — replay is deterministic and idempotent (records already
+// folded into the snapshot are deduplicated), which makes the
+// checkpoint sequence (write snapshot, then rotate WAL) crash-safe in
+// both orders.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/binio"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+	"octopus/internal/tags"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// formatVersion is the snapshot format version recorded in META.
+const formatVersion = 1
+
+// snapshotMagic opens every snapshot file.
+const snapshotMagic = "OCTSNAP1"
+
+// maxSectionLen bounds a declared section payload length (8 GiB).
+const maxSectionLen = 8 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Section tags, in file order.
+var (
+	tagMeta  = [4]byte{'M', 'E', 'T', 'A'}
+	tagGraph = [4]byte{'G', 'R', 'P', 'H'}
+	tagLog   = [4]byte{'A', 'L', 'O', 'G'}
+	tagTIC   = [4]byte{'T', 'I', 'C', 'M'}
+	tagTopic = [4]byte{'T', 'O', 'P', 'C'}
+	tagOTIM  = [4]byte{'O', 'T', 'I', 'M'}
+	tagTags  = [4]byte{'T', 'A', 'G', 'S'}
+	tagConf  = [4]byte{'C', 'O', 'N', 'F'}
+	tagDone  = [4]byte{'D', 'O', 'N', 'E'}
+)
+
+func writeSection(w io.Writer, tag [4]byte, payload []byte) error {
+	var hdr [12]byte
+	copy(hdr[0:4], tag[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, crcTable))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readSection reads one framed section. limit, when non-negative, is
+// the total stream size — an upper bound no honest section can exceed,
+// so a corrupt length field fails before allocating.
+func readSection(r io.Reader, want [4]byte, limit int64) ([]byte, error) {
+	name := string(want[:])
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: truncated before %s section: %w", name, err)
+	}
+	var tag [4]byte
+	copy(tag[:], hdr[0:4])
+	if tag != want {
+		return nil, fmt.Errorf("store: expected %s section, found %q", name, tag[:])
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:12])
+	if n > maxSectionLen || (limit >= 0 && n > uint64(limit)) {
+		return nil, fmt.Errorf("store: %s section declares %d bytes (limit %d)", name, n, maxSectionLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("store: truncated %s section: %w", name, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("store: truncated %s checksum: %w", name, err)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != binary.LittleEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("store: %s section checksum mismatch", name)
+	}
+	return payload, nil
+}
+
+// section renders a payload-writing function into a byte slice.
+func section(fn func(io.Writer) error) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Write serializes sys as a snapshot to w. version is an informational
+// generation counter (the streaming snapshot version at checkpoint
+// time; 1 for a freshly built system).
+func Write(w io.Writer, sys *core.System, version uint64) error {
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return err
+	}
+	meta, err := section(func(w io.Writer) error {
+		bw := binio.NewWriter(w)
+		bw.U32(formatVersion)
+		bw.U64(version)
+		return bw.Flush()
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode meta: %w", err)
+	}
+	grph, err := section(func(w io.Writer) error { return graph.WriteBinary(w, sys.Graph()) })
+	if err != nil {
+		return fmt.Errorf("store: encode graph: %w", err)
+	}
+	alog, err := section(func(w io.Writer) error { return writeLog(w, sys.ActionLog()) })
+	if err != nil {
+		return fmt.Errorf("store: encode action log: %w", err)
+	}
+	ticm, err := section(func(w io.Writer) error { return tic.WriteBinary(w, sys.Propagation()) })
+	if err != nil {
+		return fmt.Errorf("store: encode tic model: %w", err)
+	}
+	topc, err := section(func(w io.Writer) error { return topic.WriteBinary(w, sys.Keywords()) })
+	if err != nil {
+		return fmt.Errorf("store: encode topic model: %w", err)
+	}
+	otimIdx, err := section(func(w io.Writer) error { return otim.WriteBinary(w, sys.OTIMIndex()) })
+	if err != nil {
+		return fmt.Errorf("store: encode otim index: %w", err)
+	}
+	tagsIdx, err := section(func(w io.Writer) error { return tags.WriteBinary(w, sys.TagsIndex()) })
+	if err != nil {
+		return fmt.Errorf("store: encode tags index: %w", err)
+	}
+	conf, err := section(func(w io.Writer) error { return writeConfig(w, sys.BuildConfig()) })
+	if err != nil {
+		return fmt.Errorf("store: encode config: %w", err)
+	}
+	for _, s := range []struct {
+		tag     [4]byte
+		payload []byte
+	}{
+		{tagMeta, meta}, {tagGraph, grph}, {tagLog, alog},
+		{tagTIC, ticm}, {tagTopic, topc}, {tagOTIM, otimIdx}, {tagTags, tagsIdx},
+		{tagConf, conf}, {tagDone, nil},
+	} {
+		if err := writeSection(w, s.tag, s.payload); err != nil {
+			return fmt.Errorf("store: write %s section: %w", s.tag[:], err)
+		}
+	}
+	return nil
+}
+
+// Parts are the decoded components of a snapshot, before the system is
+// rebuilt from them. Recovery uses them to merge the WAL tail in before
+// paying the single index rebuild.
+type Parts struct {
+	Graph   *graph.Graph
+	Log     *actionlog.Log
+	Prop    *tic.Model
+	Words   *topic.Model
+	OTIM    *otim.Index // precomputed keyword-IM index, bound to Prop
+	Tags    *tags.Index // precomputed influencer index, bound to Prop
+	Config  core.Config // GroundTruth/GroundTruthWords not yet attached
+	Version uint64      // snapshot generation recorded at save time
+}
+
+// ReadParts decodes a snapshot stream into its components without
+// building the system.
+func ReadParts(r io.Reader) (*Parts, error) {
+	// Total stream size, when knowable — bounds every section's declared
+	// payload length before allocation.
+	limit := int64(-1)
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		limit = int64(v.Len())
+	case *os.File:
+		if st, err := v.Stat(); err == nil {
+			limit = st.Size()
+		}
+	}
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("store: read magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("store: bad magic %q (not a snapshot file)", magic)
+	}
+	meta, err := readSection(r, tagMeta, limit)
+	if err != nil {
+		return nil, err
+	}
+	mr := binio.NewReader(bytes.NewReader(meta))
+	fv := mr.U32()
+	version := mr.U64()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("store: decode meta: %w", err)
+	}
+	if fv != formatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot format version %d (want %d)", fv, formatVersion)
+	}
+	p := &Parts{Version: version}
+	grph, err := readSection(r, tagGraph, limit)
+	if err != nil {
+		return nil, err
+	}
+	if p.Graph, err = graph.ReadBinary(bytes.NewReader(grph)); err != nil {
+		return nil, fmt.Errorf("store: decode graph: %w", err)
+	}
+	alog, err := readSection(r, tagLog, limit)
+	if err != nil {
+		return nil, err
+	}
+	if p.Log, err = readLog(bytes.NewReader(alog)); err != nil {
+		return nil, fmt.Errorf("store: decode action log: %w", err)
+	}
+	ticm, err := readSection(r, tagTIC, limit)
+	if err != nil {
+		return nil, err
+	}
+	if p.Prop, err = tic.ReadBinary(bytes.NewReader(ticm), p.Graph); err != nil {
+		return nil, fmt.Errorf("store: decode tic model: %w", err)
+	}
+	topc, err := readSection(r, tagTopic, limit)
+	if err != nil {
+		return nil, err
+	}
+	if p.Words, err = topic.ReadBinary(bytes.NewReader(topc)); err != nil {
+		return nil, fmt.Errorf("store: decode topic model: %w", err)
+	}
+	otimIdx, err := readSection(r, tagOTIM, limit)
+	if err != nil {
+		return nil, err
+	}
+	if p.OTIM, err = otim.ReadBinary(bytes.NewReader(otimIdx), p.Prop); err != nil {
+		return nil, fmt.Errorf("store: decode otim index: %w", err)
+	}
+	tagsIdx, err := readSection(r, tagTags, limit)
+	if err != nil {
+		return nil, err
+	}
+	if p.Tags, err = tags.ReadBinary(bytes.NewReader(tagsIdx), p.Prop); err != nil {
+		return nil, fmt.Errorf("store: decode tags index: %w", err)
+	}
+	conf, err := readSection(r, tagConf, limit)
+	if err != nil {
+		return nil, err
+	}
+	if p.Config, err = readConfig(bytes.NewReader(conf)); err != nil {
+		return nil, fmt.Errorf("store: decode config: %w", err)
+	}
+	if _, err := readSection(r, tagDone, limit); err != nil {
+		return nil, err
+	}
+	if p.Prop.NumTopics() != p.Words.NumTopics() {
+		return nil, fmt.Errorf("store: tic model has %d topics, keyword model %d",
+			p.Prop.NumTopics(), p.Words.NumTopics())
+	}
+	return p, nil
+}
+
+// Build assembles the system from decoded parts: no model learning and
+// no index precomputation — the decoded indexes are adopted directly
+// and only the cheap derived structures are reconstructed.
+func (p *Parts) Build() (*core.System, error) {
+	cfg := p.Config
+	cfg.GroundTruth = p.Prop
+	cfg.GroundTruthWords = p.Words
+	// The decoded keyword model already carries its topic names;
+	// re-applying cfg.TopicNames would be redundant at best and reject a
+	// model whose names were set after the config was captured.
+	cfg.TopicNames = nil
+	sys, err := core.Assemble(p.Graph, p.Log, p.Prop, p.Words, p.OTIM, p.Tags, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuild from snapshot: %w", err)
+	}
+	return sys, nil
+}
+
+// Read decodes a snapshot and assembles the system: no EM and no index
+// precomputation — the serialized models and indexes are adopted
+// directly. The second return is the snapshot generation recorded at
+// save time.
+func Read(r io.Reader) (*core.System, uint64, error) {
+	p, err := ReadParts(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := p.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return sys, p.Version, nil
+}
+
+// Save writes sys to path atomically (temp file + rename + fsync).
+func Save(path string, sys *core.System) error {
+	return saveVersion(path, sys, 1)
+}
+
+func saveVersion(path string, sys *core.System, version uint64) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := func() error {
+		if err := Write(tmp, sys, version); err != nil {
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+		return tmp.Close()
+	}(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save: %w", err)
+	}
+	// CreateTemp defaults to 0600; snapshots are plain data files.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so a rename is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Load reads a snapshot file and rebuilds the system.
+func Load(path string) (*core.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	defer f.Close()
+	sys, _, err := Read(f)
+	return sys, err
+}
+
+// ---- Action log payload ----
+
+func writeLog(w io.Writer, l *actionlog.Log) error {
+	bw := binio.NewWriter(w)
+	bw.U64(uint64(l.NumUsers))
+	bw.U64(uint64(len(l.Episodes)))
+	for _, ep := range l.Episodes {
+		bw.I32(ep.Item.ID)
+		bw.Strs(ep.Item.Keywords)
+		bw.U64(uint64(len(ep.Actions)))
+		for _, a := range ep.Actions {
+			bw.I32(a.User)
+			bw.I64(a.Time)
+		}
+	}
+	return bw.Flush()
+}
+
+func readLog(r io.Reader) (*actionlog.Log, error) {
+	br := binio.NewReader(r)
+	numUsers := int(br.U64())
+	numEps := int(br.U64())
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if numUsers < 0 || numEps < 0 || numEps > binio.MaxLen {
+		return nil, fmt.Errorf("actionlog payload dimensions out of range")
+	}
+	// The payload was written from an already-built log, so episodes are
+	// grouped and their actions ordered — reconstruct directly instead of
+	// paying actionlog.Build's regroup (the log is the largest section on
+	// the cold-start path). Invariants are still verified: any violation
+	// (hand-crafted or stale file) rejects the payload.
+	log := &actionlog.Log{NumUsers: numUsers}
+	seenItems := make(map[int32]struct{}, numEps)
+	for e := 0; e < numEps && br.Err() == nil; e++ {
+		id := br.I32()
+		kws := br.Strs()
+		n := int(br.U64())
+		if br.Err() != nil {
+			break
+		}
+		if n < 0 || n > binio.MaxLen {
+			return nil, fmt.Errorf("actionlog payload action count out of range")
+		}
+		if _, dup := seenItems[id]; dup {
+			return nil, fmt.Errorf("actionlog payload repeats item %d", id)
+		}
+		seenItems[id] = struct{}{}
+		ep := actionlog.Episode{Item: actionlog.Item{ID: id, Keywords: kws}}
+		if n > 0 {
+			ep.Actions = make([]actionlog.Action, 0, n)
+		}
+		for i := 0; i < n && br.Err() == nil; i++ {
+			a := actionlog.Action{User: br.I32(), Item: id, Time: br.I64()}
+			if br.Err() != nil {
+				break
+			}
+			if a.User < 0 || int(a.User) >= numUsers {
+				return nil, fmt.Errorf("actionlog payload action user %d out of range", a.User)
+			}
+			if i > 0 {
+				prev := ep.Actions[i-1]
+				if a.Time < prev.Time || (a.Time == prev.Time && a.User <= prev.User) {
+					return nil, fmt.Errorf("actionlog payload episode %d actions out of order", id)
+				}
+			}
+			ep.Actions = append(ep.Actions, a)
+		}
+		log.Episodes = append(log.Episodes, ep)
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// ---- Build config payload ----
+
+const configVersion = 1
+
+func writeConfig(w io.Writer, cfg core.Config) error {
+	bw := binio.NewWriter(w)
+	bw.U8(configVersion)
+	bw.I64(int64(cfg.Topics))
+	bw.I64(int64(cfg.EMIterations))
+	bw.I64(int64(cfg.EMRestarts))
+	bw.U64(cfg.Seed)
+	bw.F64(cfg.OTIM.ThetaPre)
+	bw.I64(int64(cfg.OTIM.Samples))
+	bw.I64(int64(cfg.OTIM.SampleK))
+	bw.F64(cfg.OTIM.SampleTheta)
+	bw.F64(cfg.OTIM.DirichletAlpha)
+	bw.U64(cfg.OTIM.Seed)
+	bw.I64(int64(cfg.Tags.Polls))
+	bw.I64(int64(cfg.Tags.MaxDepth))
+	bw.I64(int64(cfg.Tags.MaxTreeNodes))
+	bw.U64(cfg.Tags.Seed)
+	bw.Strs(cfg.TopicNames)
+	return bw.Flush()
+}
+
+func readConfig(r io.Reader) (core.Config, error) {
+	br := binio.NewReader(r)
+	var cfg core.Config
+	if v := br.U8(); br.Err() == nil && v != configVersion {
+		return cfg, fmt.Errorf("unsupported config version %d", v)
+	}
+	cfg.Topics = int(br.I64())
+	cfg.EMIterations = int(br.I64())
+	cfg.EMRestarts = int(br.I64())
+	cfg.Seed = br.U64()
+	cfg.OTIM.ThetaPre = br.F64()
+	cfg.OTIM.Samples = int(br.I64())
+	cfg.OTIM.SampleK = int(br.I64())
+	cfg.OTIM.SampleTheta = br.F64()
+	cfg.OTIM.DirichletAlpha = br.F64()
+	cfg.OTIM.Seed = br.U64()
+	cfg.Tags.Polls = int(br.I64())
+	cfg.Tags.MaxDepth = int(br.I64())
+	cfg.Tags.MaxTreeNodes = int(br.I64())
+	cfg.Tags.Seed = br.U64()
+	if names := br.Strs(); len(names) > 0 {
+		cfg.TopicNames = names
+	}
+	return cfg, br.Err()
+}

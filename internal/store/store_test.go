@@ -1,0 +1,162 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+)
+
+func buildSystem(t *testing.T, authors int, seed uint64) *core.System {
+	t.Helper()
+	ds, err := datagen.Citation(datagen.CitationConfig{Authors: authors, Topics: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+		GroundTruth:      ds.Truth,
+		GroundTruthWords: ds.TruthWords,
+		TopicNames:       ds.TopicNames,
+		OTIM:             otim.BuildOptions{Samples: 8},
+		Seed:             seed ^ 0x5a5a,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// assertSystemsEquivalent compares everything the snapshot promises to
+// preserve: dimensions, models and exact analysis results.
+func assertSystemsEquivalent(t *testing.T, want, got *core.System) {
+	t.Helper()
+	ws, gs := want.Stats(), got.Stats()
+	if ws.Nodes != gs.Nodes || ws.Edges != gs.Edges || ws.Topics != gs.Topics ||
+		ws.Vocabulary != gs.Vocabulary || ws.Episodes != gs.Episodes || ws.Actions != gs.Actions {
+		t.Fatalf("stats differ: %+v vs %+v", ws, gs)
+	}
+	// Per-edge model probabilities must be identical.
+	want.Graph().EachEdge(func(e graph.EdgeID, u, v graph.NodeID) {
+		e2, ok := got.Graph().FindEdge(u, v)
+		if !ok {
+			t.Fatalf("edge (%d,%d) missing after reload", u, v)
+		}
+		if want.Propagation().MaxProb(e) != got.Propagation().MaxProb(e2) {
+			t.Fatalf("edge (%d,%d) probability drifted", u, v)
+		}
+	})
+	// Exact (non-sampled) influence queries must return the same seeds
+	// with the same spreads.
+	for _, q := range [][]string{{"mining", "data"}, {"learning"}} {
+		r1, err := want.DiscoverInfluencers(q, core.DiscoverOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := got.DiscoverInfluencers(q, core.DiscoverOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Seeds) != len(r2.Seeds) {
+			t.Fatalf("query %v: %d vs %d seeds", q, len(r1.Seeds), len(r2.Seeds))
+		}
+		for i := range r1.Seeds {
+			if r1.Seeds[i].User != r2.Seeds[i].User ||
+				math.Abs(r1.Seeds[i].Spread-r2.Seeds[i].Spread) > 1e-9 {
+				t.Fatalf("query %v seed %d: %+v vs %+v", q, i, r1.Seeds[i], r2.Seeds[i])
+			}
+		}
+		if r1.Gamma.L1(r2.Gamma) != 0 {
+			t.Fatalf("query %v: gamma differs: %v vs %v", q, r1.Gamma, r2.Gamma)
+		}
+	}
+	// Topic display names survive.
+	for z := 0; z < want.Keywords().NumTopics(); z++ {
+		if want.Keywords().TopicName(z) != got.Keywords().TopicName(z) {
+			t.Fatalf("topic %d name %q -> %q", z, want.Keywords().TopicName(z), got.Keywords().TopicName(z))
+		}
+	}
+	// User name resolution survives.
+	for u := 0; u < want.Graph().NumNodes(); u += 50 {
+		if want.Graph().Name(graph.NodeID(u)) != got.Graph().Name(graph.NodeID(u)) {
+			t.Fatalf("node %d name differs", u)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	sys := buildSystem(t, 300, 21)
+	path := filepath.Join(t.TempDir(), "model.oct")
+	if err := Save(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSystemsEquivalent(t, sys, sys2)
+
+	// A second generation (saving the loaded system) stays stable.
+	path2 := filepath.Join(t.TempDir(), "model2.oct")
+	if err := Save(path2, sys2); err != nil {
+		t.Fatal(err)
+	}
+	sys3, err := Load(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSystemsEquivalent(t, sys, sys3)
+}
+
+func TestSnapshotVersionCarried(t *testing.T) {
+	sys := buildSystem(t, 120, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, 42); err != nil {
+		t.Fatal(err)
+	}
+	_, version, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 42 {
+		t.Fatalf("version = %d, want 42", version)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	sys := buildSystem(t, 120, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, 1); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[0] = 'X'
+	if _, _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// A flipped payload byte inside the graph section must fail its CRC.
+	bad = append([]byte(nil), full...)
+	bad[len(snapshotMagic)+12+24+4+12+100] ^= 0xff // deep inside GRPH payload
+	if _, _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("flipped byte accepted")
+	}
+	// Truncations at section granularity must fail cleanly.
+	for _, cut := range []int{4, len(snapshotMagic) + 3, len(full) / 3, len(full) - 3} {
+		if _, _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.oct")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

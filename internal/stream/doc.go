@@ -66,4 +66,20 @@
 // previous snapshot keeps serving, the failure is recorded in Stats
 // (and returned by ForceSnapshot), and the delta is merged back into
 // the pending overlay to be retried at the next fold.
+//
+// # Durability
+//
+// With Config.Store set (a store.Dir), the pipeline is write-ahead
+// logged: the apply loop validates each drained batch group, applies it
+// to the overlay, appends the accepted events (edges with their
+// assigned priors) to the WAL and fsyncs once per group — before any
+// marker in the group is answered, so Flush doubles as a durability
+// barrier: if a WAL write or fsync failed, Flush and ForceSnapshot
+// return that error (sticky, until a successful checkpoint persists
+// the full state and closes the gap) while ingestion itself keeps
+// running. Every snapshot swap checkpoints (snapshot write, then WAL
+// rotation), Close drains + folds + checkpoints one final time, and
+// Kill stops dead to mimic a crash. store.Recover replays the WAL tail
+// over the latest checkpoint and reproduces the exact live state; see
+// the store package for the guarantees.
 package stream

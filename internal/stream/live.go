@@ -10,6 +10,7 @@ import (
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
 	"octopus/internal/graph"
+	"octopus/internal/store"
 	"octopus/internal/tic"
 )
 
@@ -47,6 +48,14 @@ type Config struct {
 	RelearnEM bool
 	// Topics is Z for RelearnEM folds.
 	Topics int
+	// Store, when non-nil, makes the ingester durable: every drained
+	// batch is appended to the write-ahead log and fsynced (group
+	// commit) before it is acknowledged, every snapshot swap checkpoints
+	// (snapshot write + WAL rotation), and Close drains, folds and
+	// checkpoints one final time. The LiveSystem takes ownership and
+	// closes the store. Open the directory with store.Open, which also
+	// recovers any previous state.
+	Store *store.Dir
 }
 
 func (c *Config) fill(base *core.System) {
@@ -68,7 +77,9 @@ func (c *Config) fill(base *core.System) {
 }
 
 // Snapshot is one immutable serving generation. Version increases by
-// exactly 1 per fold; the base system is version 1.
+// exactly 1 per fold; a fresh base system is version 1, and a durable
+// system resumes from its store's last checkpoint generation so
+// versions stay monotone across restarts.
 type Snapshot struct {
 	Sys     *core.System
 	Version uint64
@@ -99,6 +110,16 @@ type Stats struct {
 	LastSwapMillis  float64   `json:"lastSwapMillis"`
 	TotalSwapMillis float64   `json:"totalSwapMillis"`
 	LastSwapAt      time.Time `json:"lastSwapAt,omitempty"`
+
+	// Durability counters (zero-valued unless Config.Store is set).
+	Durable               bool   `json:"durable"`
+	WALRecords            uint64 `json:"walRecords"`
+	WALSyncs              uint64 `json:"walSyncs"`
+	WALBytes              int64  `json:"walBytes"`
+	WALBytesLogged        int64  `json:"walBytesLogged"`
+	WALErrors             uint64 `json:"walErrors"`
+	Checkpoints           uint64 `json:"checkpoints"`
+	LastCheckpointVersion uint64 `json:"lastCheckpointVersion,omitempty"`
 }
 
 // LiveSystem serves an immutable core.System snapshot while absorbing a
@@ -115,14 +136,22 @@ type LiveSystem struct {
 	itemIDs map[int32]struct{} // every item id known to base log or stream
 	since   time.Time          // arrival of ov's oldest event
 	lastErr error              // last fold failure, if any
+	// walFailure (apply goroutine only) is the sticky durability gap: a
+	// WAL append/sync failed, so some applied events are not on disk.
+	// Flush and ForceSnapshot surface it until a successful checkpoint
+	// persists the full state (snapshot includes the overlay), which
+	// closes the gap and clears it.
+	walFailure error
 
 	ch        chan []event
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	killed    atomic.Bool // Kill (crash simulation): skip drain/checkpoint
 
 	accepted, dropped, invalid, duplicates atomic.Uint64
 	applied, snapshots, foldFailures       atomic.Uint64
+	walErrors                              atomic.Uint64
 	buffered                               atomic.Int64
 	lastSwapNanos, totalSwapNanos          atomic.Int64
 	lastSwapAtNanos                        atomic.Int64
@@ -145,7 +174,21 @@ func NewLiveSystem(sys *core.System, cfg Config) (*LiveSystem, error) {
 	for _, ep := range sys.ActionLog().Episodes {
 		ls.itemIDs[ep.Item.ID] = struct{}{}
 	}
-	ls.cur.Store(&Snapshot{Sys: sys, Version: 1, BuiltAt: time.Now()})
+	version := uint64(1)
+	if st := cfg.Store; st != nil {
+		if !st.HasSnapshot() {
+			// First durable run: checkpoint the base system so recovery
+			// always has a snapshot to replay the WAL over.
+			if err := st.Checkpoint(sys, version); err != nil {
+				return nil, fmt.Errorf("stream: initial checkpoint: %w", err)
+			}
+		} else if v := st.LastCheckpointVersion(); v > version {
+			// Resume the generation counter where the store left off so
+			// checkpoint versions stay monotone across restarts.
+			version = v
+		}
+	}
+	ls.cur.Store(&Snapshot{Sys: sys, Version: version, BuiltAt: time.Now()})
 	ls.wg.Add(1)
 	go ls.run()
 	return ls, nil
@@ -271,12 +314,27 @@ func (ls *LiveSystem) marker(kind uint8) error {
 	}
 }
 
-// Close stops the apply goroutine. Events still buffered are discarded;
-// the current snapshot remains usable.
+// Close stops the apply goroutine. Without a Store, events still
+// buffered are discarded and the current snapshot remains usable. With
+// a Store, Close is a graceful shutdown: buffered batches are drained,
+// applied and logged, a final fold checkpoints the merged state, and
+// the store is closed — so the durability directory is exactly
+// restart-ready.
 func (ls *LiveSystem) Close() error {
 	ls.closeOnce.Do(func() { close(ls.closed) })
 	ls.wg.Wait()
 	return nil
+}
+
+// Kill stops the apply goroutine abruptly: no drain, no final fold, no
+// checkpoint, and the store's WAL file is left open exactly as a
+// crashed process would leave it. It exists so crash-recovery tests
+// (and chaos drills) can exercise store.Recover against a realistic
+// mid-stream state.
+func (ls *LiveSystem) Kill() {
+	ls.killed.Store(true)
+	ls.closeOnce.Do(func() { close(ls.closed) })
+	ls.wg.Wait()
 }
 
 // PendingOutEdges returns u's applied-but-not-yet-folded out-edges with
@@ -321,6 +379,16 @@ func (ls *LiveSystem) Stats() Stats {
 	if at := ls.lastSwapAtNanos.Load(); at != 0 {
 		st.LastSwapAt = time.Unix(0, at)
 	}
+	if d := ls.cfg.Store; d != nil {
+		st.Durable = true
+		st.WALRecords = d.WALRecords()
+		st.WALSyncs = d.WALSyncs()
+		st.WALBytes = d.WALSize()
+		st.WALBytesLogged = d.WALBytesLogged()
+		st.WALErrors = ls.walErrors.Load()
+		st.Checkpoints = d.Checkpoints()
+		st.LastCheckpointVersion = d.LastCheckpointVersion()
+	}
 	return st
 }
 
@@ -348,20 +416,11 @@ func (ls *LiveSystem) run() {
 	for {
 		select {
 		case <-ls.closed:
+			ls.shutdown()
 			return
 		case batch := <-ls.ch:
-			forceFold, markers := ls.applyBatch(batch)
-			var foldErr error
-			if forceFold || ls.pendingEvents() >= ls.cfg.RebuildEvents {
-				foldErr = ls.fold()
-			}
-			for _, m := range markers {
-				if m.kind == evSnapshot {
-					m.done <- foldErr
-				} else {
-					m.done <- nil
-				}
-			}
+			batches := ls.drainMore([][]event{batch})
+			ls.process(batches)
 		case <-tickC:
 			ls.mu.RLock()
 			stale := ls.ov.events > 0 && time.Since(ls.since) >= ls.cfg.RebuildInterval
@@ -379,30 +438,127 @@ func (ls *LiveSystem) pendingEvents() int {
 	return ls.ov.events
 }
 
-// applyBatch applies one buffered batch to the overlay. It returns
-// whether a snapshot marker demanded an immediate fold, plus the marker
-// events to answer after any such fold completes.
-func (ls *LiveSystem) applyBatch(batch []event) (forceFold bool, markers []event) {
-	base := ls.cur.Load().Sys
-	ls.buffered.Add(-countData(batch))
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	for _, ev := range batch {
-		switch ev.kind {
-		case evEdge:
-			ls.applyEdge(base, ev.edge)
-		case evItem:
-			ls.applyItem(ev.item)
-		case evAction:
-			ls.applyAction(base, ev.act)
-		case evFlush:
-			markers = append(markers, ev)
-		case evSnapshot:
-			forceFold = true
-			markers = append(markers, ev)
+// drainMore opportunistically pulls additional already-buffered batches
+// off the channel so one WAL fsync covers all of them (group commit)
+// and fold-threshold checks run once per drain.
+func (ls *LiveSystem) drainMore(batches [][]event) [][]event {
+	for len(batches) < 32 {
+		select {
+		case b := <-ls.ch:
+			batches = append(batches, b)
+		default:
+			return batches
 		}
 	}
-	return forceFold, markers
+	return batches
+}
+
+// process applies a drained batch group: overlay mutation under the
+// lock, one WAL append+fsync for the whole group, then the fold check
+// and marker replies. Markers are only answered after the group is
+// durable, so Flush doubles as a durability barrier — and reports the
+// sticky WAL failure if durability is currently compromised.
+func (ls *LiveSystem) process(batches [][]event) {
+	forceFold, markers, recs := ls.applyBatches(batches)
+	ls.logRecords(recs)
+	var foldErr error
+	if forceFold || ls.pendingEvents() >= ls.cfg.RebuildEvents {
+		foldErr = ls.fold()
+	}
+	for _, m := range markers {
+		switch {
+		case m.kind == evSnapshot && foldErr != nil:
+			m.done <- foldErr
+		default:
+			m.done <- ls.walFailure
+		}
+	}
+}
+
+// applyBatches applies buffered batches to the overlay. It returns
+// whether a snapshot marker demanded an immediate fold, the marker
+// events to answer once the group is durable and any fold completed,
+// and the WAL records for the events that were accepted.
+func (ls *LiveSystem) applyBatches(batches [][]event) (forceFold bool, markers []event, recs []store.Record) {
+	base := ls.cur.Load().Sys
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	for _, batch := range batches {
+		ls.buffered.Add(-countData(batch))
+		for _, ev := range batch {
+			switch ev.kind {
+			case evEdge:
+				if rec, ok := ls.applyEdge(base, ev.edge); ok {
+					recs = append(recs, rec)
+				}
+			case evItem:
+				if rec, ok := ls.applyItem(ev.item); ok {
+					recs = append(recs, rec)
+				}
+			case evAction:
+				if rec, ok := ls.applyAction(base, ev.act); ok {
+					recs = append(recs, rec)
+				}
+			case evFlush:
+				markers = append(markers, ev)
+			case evSnapshot:
+				forceFold = true
+				markers = append(markers, ev)
+			}
+		}
+	}
+	return forceFold, markers, recs
+}
+
+// logRecords appends accepted events to the WAL and fsyncs once (group
+// commit). A write failure does not stop ingestion — availability wins
+// — but it is sticky: counted in walErrors and returned by every
+// Flush/ForceSnapshot until a successful checkpoint closes the
+// durability gap. No-op without a Store.
+func (ls *LiveSystem) logRecords(recs []store.Record) {
+	st := ls.cfg.Store
+	if st == nil || len(recs) == 0 {
+		return
+	}
+	err := st.Append(recs)
+	if err == nil {
+		err = st.Sync()
+	}
+	if err != nil {
+		ls.walErrors.Add(1)
+		ls.walFailure = err
+		ls.mu.Lock()
+		ls.lastErr = err
+		ls.mu.Unlock()
+	}
+}
+
+// shutdown finishes the apply goroutine. A killed system stops dead (to
+// mimic a crash); a closed one drains the buffered batches, makes them
+// durable, and — when a store is attached — folds and checkpoints one
+// final time before closing the store.
+func (ls *LiveSystem) shutdown() {
+	if ls.killed.Load() {
+		return
+	}
+	for {
+		select {
+		case batch := <-ls.ch:
+			ls.process([][]event{batch})
+		default:
+			if ls.cfg.Store == nil {
+				return
+			}
+			_ = ls.fold() // final checkpoint; failure already recorded in stats
+			if err := ls.cfg.Store.Close(); err != nil {
+				ls.walErrors.Add(1)
+				ls.mu.Lock()
+				ls.lastErr = err
+				ls.mu.Unlock()
+			}
+			return
+		}
+	}
 }
 
 func countData(batch []event) int64 {
@@ -416,61 +572,70 @@ func countData(batch []event) int64 {
 }
 
 // applyEdge validates, dedupes and assigns a prior; caller holds mu.
-func (ls *LiveSystem) applyEdge(base *core.System, ev EdgeEvent) {
+// The WAL record (second return false when the event was rejected)
+// carries the assigned prior so recovery reproduces the exact model.
+func (ls *LiveSystem) applyEdge(base *core.System, ev EdgeEvent) (store.Record, bool) {
 	n := base.Graph().NumNodes()
 	if ev.Src < 0 || ev.Dst < 0 || ev.Src == ev.Dst ||
 		int(ev.Src) >= ls.cfg.MaxNodes || int(ev.Dst) >= ls.cfg.MaxNodes {
 		ls.invalid.Add(1)
-		return
+		return store.Record{}, false
 	}
 	if int(ev.Src) < n && int(ev.Dst) < n {
 		if _, ok := base.Graph().FindEdge(ev.Src, ev.Dst); ok {
 			ls.duplicates.Add(1)
-			return
+			return store.Record{}, false
 		}
 	}
 	// No folding-overlay check needed: applies and folds share the apply
 	// goroutine, so ls.folding is always nil here.
 	if ls.ov.hasEdge(ev.Src, ev.Dst) {
 		ls.duplicates.Add(1)
-		return
+		return store.Record{}, false
 	}
 	ls.noteFirstEvent()
-	ls.ov.addEdge(ev, ls.cfg.Prior(base, ev.Src, ev.Dst))
+	prior := ls.cfg.Prior(base, ev.Src, ev.Dst)
+	ls.ov.addEdge(ev, prior)
 	ls.applied.Add(1)
+	return store.Record{
+		Kind: store.RecEdge, Src: ev.Src, Dst: ev.Dst,
+		SrcName: ev.SrcName, DstName: ev.DstName, Probs: prior,
+	}, true
 }
 
-func (ls *LiveSystem) applyItem(it actionlog.Item) {
+func (ls *LiveSystem) applyItem(it actionlog.Item) (store.Record, bool) {
 	if it.ID < 0 {
 		ls.invalid.Add(1)
-		return
+		return store.Record{}, false
 	}
 	if _, ok := ls.itemIDs[it.ID]; ok {
 		ls.duplicates.Add(1)
-		return
+		return store.Record{}, false
 	}
 	ls.itemIDs[it.ID] = struct{}{}
 	ls.noteFirstEvent()
 	ls.ov.addItem(it)
 	ls.applied.Add(1)
+	return store.Record{Kind: store.RecItem, ItemID: it.ID, Keywords: it.Keywords}, true
 }
 
-func (ls *LiveSystem) applyAction(base *core.System, a actionlog.Action) {
+func (ls *LiveSystem) applyAction(base *core.System, a actionlog.Action) (store.Record, bool) {
 	ceil := base.Graph().NumNodes()
 	if c := ls.ov.nodeCeil(); c > ceil {
 		ceil = c
 	}
 	if a.User < 0 || int(a.User) >= ceil {
 		ls.invalid.Add(1)
-		return
+		return store.Record{}, false
 	}
 	if _, ok := ls.itemIDs[a.Item]; !ok {
 		ls.invalid.Add(1)
-		return
+		return store.Record{}, false
 	}
 	ls.noteFirstEvent()
 	ls.ov.addAction(a)
 	ls.applied.Add(1)
+	return store.Record{Kind: store.RecAction, User: a.User, Item: a.Item, Time: a.Time}, true
 }
 
 func (ls *LiveSystem) noteFirstEvent() {
@@ -529,6 +694,24 @@ func (ls *LiveSystem) fold() error {
 	ls.lastSwapNanos.Store(int64(elapsed))
 	ls.totalSwapNanos.Add(int64(elapsed))
 	ls.lastSwapAtNanos.Store(time.Now().UnixNano())
+	if st := ls.cfg.Store; st != nil {
+		// Checkpoint: persist the freshly folded snapshot, then rotate the
+		// WAL (Checkpoint only rotates after the snapshot landed, so a
+		// failure here never loses logged events — recovery just replays a
+		// longer tail).
+		if err := st.Checkpoint(sys, old.Version+1); err != nil {
+			// Compaction failed, but nothing durable was lost: the WAL still
+			// holds the logged tail, so walFailure is left as-is.
+			ls.walErrors.Add(1)
+			ls.mu.Lock()
+			ls.lastErr = err
+			ls.mu.Unlock()
+		} else {
+			// The snapshot persists everything applied so far, including any
+			// events a failed WAL write left off disk — durability restored.
+			ls.walFailure = nil
+		}
+	}
 	return nil
 }
 

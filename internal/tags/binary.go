@@ -1,0 +1,111 @@
+package tags
+
+import (
+	"fmt"
+	"io"
+
+	"octopus/internal/binio"
+	"octopus/internal/graph"
+	"octopus/internal/tic"
+)
+
+// Binary payload format (version 1): the poll roots and stored reverse
+// trees with their materialized coins. Loading re-binds them to a TIC
+// model instead of re-sampling, so query results over the loaded index
+// are identical to the saved one's (the coins ARE the index).
+const tagsBinaryVersion = 1
+
+// WriteBinary serializes the influencer index. The model is serialized
+// separately; ReadBinary re-binds to it.
+func WriteBinary(w io.Writer, ix *Index) error {
+	bw := binio.NewWriter(w)
+	bw.U8(tagsBinaryVersion)
+	bw.U64(uint64(ix.coins))
+	bw.U64(uint64(len(ix.trees)))
+	for ti := range ix.trees {
+		t := &ix.trees[ti]
+		bw.I32(ix.polls[ti])
+		bw.I32s(t.nodes)
+		for _, edges := range t.inEdges {
+			bw.U64(uint64(len(edges)))
+			for _, e := range edges {
+				// To is implicit (the slot index).
+				bw.I32(e.From)
+				bw.F32(e.Lambda)
+				bw.I32(e.Edge)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the payload produced by WriteBinary and binds the
+// index to model m, rebuilding the derived lookup structures
+// (tree-local maps and the per-user poll lists).
+func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
+	br := binio.NewReader(r)
+	if v := br.U8(); br.Err() == nil && v != tagsBinaryVersion {
+		return nil, fmt.Errorf("tags: unsupported binary version %d", v)
+	}
+	g := m.Graph()
+	n, numEdges := g.NumNodes(), g.NumEdges()
+	ix := &Index{m: m, contains: make([][]int32, n)}
+	ix.coins = int(br.U64())
+	numTrees := int(br.U64())
+	if br.Err() == nil && (numTrees <= 0 || numTrees > binio.MaxLen) {
+		return nil, fmt.Errorf("tags: binary payload poll count %d out of range", numTrees)
+	}
+	for p := 0; p < numTrees && br.Err() == nil; p++ {
+		root := br.I32()
+		t := revTree{nodes: br.I32s()}
+		if br.Err() != nil {
+			break
+		}
+		if len(t.nodes) == 0 || t.nodes[0] != root {
+			return nil, fmt.Errorf("tags: binary payload tree %d does not start at its root", p)
+		}
+		t.local = make(map[graph.NodeID]int32, len(t.nodes))
+		for i, v := range t.nodes {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("tags: binary payload tree %d node %d out of range", p, v)
+			}
+			if _, dup := t.local[v]; dup {
+				return nil, fmt.Errorf("tags: binary payload tree %d repeats node %d", p, v)
+			}
+			t.local[v] = int32(i)
+		}
+		t.inEdges = make([][]revEdge, len(t.nodes))
+		for i := range t.nodes {
+			cnt := int(br.U64())
+			if br.Err() != nil {
+				break
+			}
+			if cnt < 0 || cnt > binio.MaxLen {
+				return nil, fmt.Errorf("tags: binary payload tree %d edge count out of range", p)
+			}
+			for k := 0; k < cnt && br.Err() == nil; k++ {
+				e := revEdge{From: br.I32(), To: int32(i), Lambda: br.F32(), Edge: br.I32()}
+				if br.Err() != nil {
+					break
+				}
+				if e.From < 0 || int(e.From) >= len(t.nodes) {
+					return nil, fmt.Errorf("tags: binary payload tree %d edge source out of range", p)
+				}
+				if e.Edge < 0 || int(e.Edge) >= numEdges {
+					return nil, fmt.Errorf("tags: binary payload tree %d graph edge out of range", p)
+				}
+				t.inEdges[i] = append(t.inEdges[i], e)
+				ix.edges++
+			}
+		}
+		ix.polls = append(ix.polls, root)
+		ix.trees = append(ix.trees, t)
+		for _, v := range t.nodes {
+			ix.contains[v] = append(ix.contains[v], int32(p))
+		}
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("tags: read binary: %w", err)
+	}
+	return ix, nil
+}

@@ -1,0 +1,81 @@
+package tic
+
+import (
+	"fmt"
+	"io"
+
+	"octopus/internal/binio"
+	"octopus/internal/graph"
+)
+
+// Binary payload format (version 1): the sparse per-edge topic
+// probability arrays exactly as stored in memory. Unlike the text
+// codec, loading is a straight array copy with no per-line parsing —
+// the fast path the snapshot store uses.
+const ticBinaryVersion = 1
+
+// WriteBinary serializes the model's sparse probability arrays. The
+// graph is serialized separately; ReadBinary re-binds to it.
+func WriteBinary(w io.Writer, m *Model) error {
+	bw := binio.NewWriter(w)
+	bw.U8(ticBinaryVersion)
+	bw.U32(uint32(m.z))
+	bw.U64(uint64(m.g.NumEdges()))
+	bw.I32s(m.off)
+	bw.U16s(m.topicIdx)
+	bw.F32s(m.topicP)
+	return bw.Flush()
+}
+
+// ReadBinary parses the payload produced by WriteBinary and binds the
+// model to g, which must have exactly the edge count recorded in the
+// payload.
+func ReadBinary(r io.Reader, g *graph.Graph) (*Model, error) {
+	br := binio.NewReader(r)
+	if v := br.U8(); br.Err() == nil && v != ticBinaryVersion {
+		return nil, fmt.Errorf("tic: unsupported binary version %d", v)
+	}
+	z := int(br.U32())
+	edges := int(br.U64())
+	off := br.I32s()
+	topicIdx := br.U16s()
+	topicP := br.F32s()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("tic: read binary: %w", err)
+	}
+	if z <= 0 || z > 1<<16 {
+		return nil, fmt.Errorf("tic: binary payload topic count %d out of range", z)
+	}
+	if edges != g.NumEdges() {
+		return nil, fmt.Errorf("tic: model has %d edges, graph has %d", edges, g.NumEdges())
+	}
+	if len(off) != edges+1 || len(topicIdx) != len(topicP) {
+		return nil, fmt.Errorf("tic: binary payload arrays inconsistent (%d offsets, %d idx, %d p)",
+			len(off), len(topicIdx), len(topicP))
+	}
+	if off[0] != 0 || off[edges] != int32(len(topicIdx)) {
+		return nil, fmt.Errorf("tic: binary payload offsets span [%d,%d] for %d entries",
+			off[0], off[edges], len(topicIdx))
+	}
+	m := &Model{g: g, z: z, off: off, topicIdx: topicIdx, topicP: topicP,
+		maxP: make([]float32, edges)}
+	for e := 0; e < edges; e++ {
+		if off[e] > off[e+1] {
+			return nil, fmt.Errorf("tic: binary payload offsets not monotone at edge %d", e)
+		}
+		var mx float32
+		for i := off[e]; i < off[e+1]; i++ {
+			if int(topicIdx[i]) >= z {
+				return nil, fmt.Errorf("tic: binary payload topic %d out of range at edge %d", topicIdx[i], e)
+			}
+			if p := topicP[i]; !(p >= 0 && p <= 1) { // also rejects NaN
+				return nil, fmt.Errorf("tic: binary payload probability %v out of [0,1] at edge %d", p, e)
+			}
+			if topicP[i] > mx {
+				mx = topicP[i]
+			}
+		}
+		m.maxP[e] = mx
+	}
+	return m, nil
+}

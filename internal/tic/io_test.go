@@ -62,6 +62,113 @@ func TestModelReadErrors(t *testing.T) {
 	}
 }
 
+// remappedModel carries lineModel through Remap onto a grown graph —
+// one extra node, one extra edge with an explicit prior, mirroring what
+// a streaming fold produces. It returns the remapped model and the
+// prior assigned to the new edge (2,3).
+func remappedModel(t *testing.T) (*Model, []float64) {
+	t.Helper()
+	m := lineModel(t)
+	gb := graph.NewBuilder(m.Graph().NumNodes())
+	gb.AddGraph(m.Graph())
+	gb.AddEdge(2, 3) // grows the graph to 4 nodes
+	grown := gb.Build()
+	prior := []float64{0.25, 0.125}
+	m2, err := Remap(m, grown, func(u, v graph.NodeID) []float64 {
+		if u == 2 && v == 3 {
+			return prior
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m2, prior
+}
+
+// TestRemappedModelRoundTrip exercises the text codec on a model that
+// went through Remap onto a grown graph — the state a live fold leaves
+// behind, which the original round-trip tests never covered.
+func TestRemappedModelRoundTrip(t *testing.T) {
+	m2, prior := remappedModel(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, m2); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Read(&buf, m2.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertModelsEqual(t, m2, m3, prior)
+}
+
+// TestRemappedModelBinaryRoundTrip is the same through the binary codec
+// used by the snapshot store.
+func TestRemappedModelBinaryRoundTrip(t *testing.T) {
+	m2, prior := remappedModel(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m2); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := ReadBinary(&buf, m2.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertModelsEqual(t, m2, m3, prior)
+	// Binary rejects a graph with a different edge count.
+	var buf2 bytes.Buffer
+	if err := WriteBinary(&buf2, m2); err != nil {
+		t.Fatal(err)
+	}
+	small := lineModel(t).Graph()
+	if _, err := ReadBinary(&buf2, small); err == nil {
+		t.Fatal("binary read bound to wrong graph succeeded")
+	}
+}
+
+func assertModelsEqual(t *testing.T, want, got *Model, newEdgePrior []float64) {
+	t.Helper()
+	if got.NumTopics() != want.NumTopics() {
+		t.Fatalf("topics: %d vs %d", got.NumTopics(), want.NumTopics())
+	}
+	g := want.Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		for z := 0; z < want.NumTopics(); z++ {
+			a, b := want.TopicProb(graph.EdgeID(e), z), got.TopicProb(graph.EdgeID(e), z)
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("edge %d topic %d: %v vs %v", e, z, a, b)
+			}
+		}
+		if want.MaxProb(graph.EdgeID(e)) != got.MaxProb(graph.EdgeID(e)) {
+			t.Fatalf("edge %d max prob differs", e)
+		}
+	}
+	// The fold-added edge carries its prior through the codec.
+	eNew, ok := g.FindEdge(2, 3)
+	if !ok {
+		t.Fatal("grown edge (2,3) missing")
+	}
+	for z, p := range newEdgePrior {
+		if math.Abs(got.TopicProb(eNew, z)-p) > 1e-6 {
+			t.Fatalf("new edge prior topic %d = %v, want %v", z, got.TopicProb(eNew, z), p)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	m := lineModel(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 3 {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut]), m.Graph()); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
 func TestModelRoundTripQuick(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)

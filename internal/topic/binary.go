@@ -1,0 +1,104 @@
+package topic
+
+import (
+	"fmt"
+	"io"
+
+	"octopus/internal/binio"
+)
+
+// Binary payload format (version 1): vocabulary, per-topic keyword
+// rows, prior and optional topic names. Probabilities round-trip
+// exactly (raw float64 bits), so a model loaded from a snapshot infers
+// byte-identical γ distributions.
+const topicBinaryVersion = 1
+
+// WriteBinary serializes the keyword/topic model.
+func WriteBinary(w io.Writer, m *Model) error {
+	bw := binio.NewWriter(w)
+	bw.U8(topicBinaryVersion)
+	bw.U32(uint32(m.z))
+	bw.Strs(m.vocab)
+	bw.F64s(m.prior)
+	for _, row := range m.pwz {
+		bw.F64s(row)
+	}
+	if m.topicNames != nil {
+		bw.U8(1)
+		bw.Strs(m.topicNames)
+	} else {
+		bw.U8(0)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the payload produced by WriteBinary. The model is
+// reassembled directly (no re-normalization), so probabilities are
+// bit-identical to the serialized model's.
+func ReadBinary(r io.Reader) (*Model, error) {
+	br := binio.NewReader(r)
+	if v := br.U8(); br.Err() == nil && v != topicBinaryVersion {
+		return nil, fmt.Errorf("topic: unsupported binary version %d", v)
+	}
+	z := int(br.U32())
+	if br.Err() == nil && (z <= 0 || z > 1<<16) {
+		return nil, fmt.Errorf("topic: binary payload topic count %d out of range", z)
+	}
+	vocab := br.Strs()
+	prior := Dist(br.F64s())
+	pwz := make([][]float64, 0, z)
+	if br.Err() == nil {
+		for zi := 0; zi < z; zi++ {
+			pwz = append(pwz, br.F64s())
+		}
+	}
+	var names []string
+	if hasNames := br.U8(); br.Err() == nil && hasNames == 1 {
+		names = br.Strs()
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("topic: read binary: %w", err)
+	}
+	if len(vocab) == 0 {
+		return nil, fmt.Errorf("topic: binary payload has empty vocabulary")
+	}
+	if len(prior) != z {
+		return nil, fmt.Errorf("topic: binary payload prior has %d entries for %d topics", len(prior), z)
+	}
+	m := &Model{
+		vocab:   vocab,
+		vocabID: make(map[string]int, len(vocab)),
+		z:       z,
+		pwz:     pwz,
+		prior:   prior,
+	}
+	for i, w := range vocab {
+		if w == "" {
+			return nil, fmt.Errorf("topic: binary payload empty keyword at index %d", i)
+		}
+		if _, dup := m.vocabID[w]; dup {
+			return nil, fmt.Errorf("topic: binary payload duplicate keyword %q", w)
+		}
+		m.vocabID[w] = i
+	}
+	for zi, row := range pwz {
+		if len(row) != len(vocab) {
+			return nil, fmt.Errorf("topic: binary payload row %d has %d entries for %d keywords",
+				zi, len(row), len(vocab))
+		}
+		for wi, p := range row {
+			if !(p >= 0 && p <= 1) { // also rejects NaN
+				return nil, fmt.Errorf("topic: binary payload p(w|z)[%d][%d] = %v invalid", zi, wi, p)
+			}
+		}
+	}
+	if err := prior.Validate(); err != nil {
+		return nil, fmt.Errorf("topic: binary payload prior: %w", err)
+	}
+	if names != nil {
+		if err := m.SetTopicNames(names); err != nil {
+			return nil, fmt.Errorf("topic: binary payload: %w", err)
+		}
+	}
+	return m, nil
+}

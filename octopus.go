@@ -40,6 +40,7 @@ import (
 	"octopus/internal/datagen"
 	"octopus/internal/graph"
 	"octopus/internal/server"
+	"octopus/internal/store"
 	"octopus/internal/stream"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
@@ -115,6 +116,15 @@ type (
 	EdgeEvent = stream.EdgeEvent
 )
 
+// Persistence types (snapshots, write-ahead log, crash recovery).
+type (
+	// StoreDir is an open durability directory: checkpoint snapshot +
+	// write-ahead log; see store.Dir.
+	StoreDir = store.Dir
+	// RecoverResult is the outcome of crash recovery.
+	RecoverResult = store.RecoverResult
+)
+
 // Build constructs a System from a social graph and action log. With
 // cfg.GroundTruth set, model learning is skipped; otherwise the
 // topic-aware IC parameters and keyword model are learned from the log
@@ -150,6 +160,44 @@ func NewLiveSystem(sys *System, cfg StreamConfig) (*LiveSystem, error) {
 // NewLiveServer wraps a LiveSystem in the JSON HTTP API with the
 // /api/ingest endpoints enabled.
 func NewLiveServer(ls *LiveSystem) *Server { return server.NewLive(ls) }
+
+// SaveSystem writes a complete built system — graph, action log,
+// learned models, precomputed online indexes and build config — to
+// path as one versioned, checksummed binary snapshot (atomically: temp
+// file + rename). LoadSystem then cold-starts without re-running EM or
+// index precomputation.
+func SaveSystem(path string, sys *System) error {
+	return store.Save(path, sys)
+}
+
+// LoadSystem reads a snapshot written by SaveSystem (or checkpointed by
+// a durable LiveSystem) and assembles the system. Neither model
+// learning nor index precomputation runs — the snapshot carries the
+// learned models AND the precomputed indexes, so only cheap derived
+// structures are rebuilt. Note the consequence: index tuning in the
+// snapshot's config does not re-apply on load; rebuild from raw data
+// to change it.
+func LoadSystem(path string) (*System, error) {
+	return store.Load(path)
+}
+
+// OpenStore opens (creating if needed) a durability directory for a
+// live system: pass the returned StoreDir in StreamConfig.Store to make
+// ingestion durable. If the directory holds previous state — a
+// checkpoint snapshot and possibly a write-ahead-log tail from a crash
+// — it is recovered, compacted, and returned; serve the recovered
+// system in that case. The LiveSystem takes ownership of the StoreDir
+// and closes it.
+func OpenStore(dir string) (*StoreDir, *RecoverResult, error) {
+	return store.Open(dir)
+}
+
+// Recover rebuilds the latest durable state from a durability directory
+// without opening it for writing: the newest checkpoint snapshot with
+// the write-ahead-log tail replayed on top.
+func Recover(dir string) (*RecoverResult, error) {
+	return store.Recover(dir)
+}
 
 // SaveGraph writes g to path in the text format.
 func SaveGraph(path string, g *Graph) error {

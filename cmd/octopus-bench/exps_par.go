@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"octopus/internal/bench"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+	"octopus/internal/stream"
+	"octopus/internal/tags"
+)
+
+// E15 — build/fold parallelism: wall-clock of the offline pipeline
+// (EM learning + OTIM index + influencer index) at Workers ∈
+// {1, 2, 4, GOMAXPROCS}, asserting every parallel build serves exactly
+// the same answers as the serial one; then the snapshot-fold (swap
+// latency) speedup a live system gains from the same knob.
+func runE15(e *env) error {
+	if err := runE15Build(e); err != nil {
+		return err
+	}
+	return runE15Fold(e)
+}
+
+// e15Workers returns the worker counts to sweep: 1, 2 and 4 always run
+// — even on a small host the sweep then still proves parallel builds
+// are identical to serial ones — plus GOMAXPROCS when larger.
+func e15Workers() []int {
+	out := []int{1, 2, 4}
+	if cores := runtime.GOMAXPROCS(0); cores > 4 {
+		out = append(out, cores)
+	}
+	return out
+}
+
+func runE15Build(e *env) error {
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors: e.sizes.parAuthors, Topics: 6, Seed: e.seed ^ 0xe15,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Topics: 6, // learn with EM — the dominant cost the knob targets
+		OTIM:   otim.BuildOptions{Samples: 18},
+		Tags:   tags.IndexOptions{Polls: 2048},
+		Seed:   e.seed ^ 0x15e,
+	}
+
+	workers := e15Workers()
+	tab := bench.NewTable(
+		fmt.Sprintf("E15a: offline pipeline (EM + OTIM + influencer index) on %d authors, %d cores",
+			e.sizes.parAuthors, runtime.GOMAXPROCS(0)),
+		"workers", "build", "speedup", "identical")
+	var serial *core.System
+	var serialDur time.Duration
+	var speedupAtMax float64
+	for _, w := range workers {
+		c := cfg
+		c.Workers = w
+		t0 := time.Now()
+		sys, err := core.Build(ds.Graph, ds.Log, c)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(t0)
+		identical := "-"
+		if serial == nil {
+			serial, serialDur = sys, dur
+		} else {
+			if err := sameAnswers(serial, sys); err != nil {
+				return fmt.Errorf("workers=%d diverges from serial build: %w", w, err)
+			}
+			identical = "yes"
+		}
+		speedupAtMax = serialDur.Seconds() / dur.Seconds()
+		tab.Row(w, dur.Round(time.Millisecond), fmt.Sprintf("%.2f×", speedupAtMax), identical)
+	}
+	tab.Render(e.out)
+	if last := workers[len(workers)-1]; runtime.GOMAXPROCS(0) >= 4 && speedupAtMax < 2 {
+		fmt.Fprintf(e.out, "WARNING: %.2f× at %d workers is below the 2× target (noisy/throttled host?)\n",
+			speedupAtMax, last)
+	}
+	return nil
+}
+
+// sameAnswers cross-checks two systems through their query surface:
+// identical stats, identical influential-user answers for several
+// keyword queries, and identical keyword suggestions for the hub user.
+func sameAnswers(a, b *core.System) error {
+	if sa, sb := a.Stats(), b.Stats(); sa != sb {
+		return fmt.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for _, q := range [][]string{{"mining", "data"}, {"learning"}, {"systems", "query"}} {
+		ra, err := a.DiscoverInfluencers(q, core.DiscoverOptions{K: 8})
+		if err != nil {
+			return err
+		}
+		rb, err := b.DiscoverInfluencers(q, core.DiscoverOptions{K: 8})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			return fmt.Errorf("query %v differs: %+v vs %+v", q, ra, rb)
+		}
+	}
+	hub := graph.NodeID(0)
+	bestDeg := -1
+	for u := 0; u < a.Graph().NumNodes(); u++ {
+		if d := a.Graph().OutDegree(graph.NodeID(u)); d > bestDeg {
+			bestDeg, hub = d, graph.NodeID(u)
+		}
+	}
+	sa, err := a.SuggestKeywords(hub, 3, tags.SuggestOptions{})
+	if err != nil {
+		return err
+	}
+	sb, err := b.SuggestKeywords(hub, 3, tags.SuggestOptions{})
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		return fmt.Errorf("suggestions differ: %+v vs %+v", sa, sb)
+	}
+	return nil
+}
+
+// runE15Fold measures how the Workers knob shrinks snapshot-swap
+// latency: the same held-out edge batch is folded into fresh
+// LiveSystems configured with increasing rebuild parallelism.
+func runE15Fold(e *env) error {
+	h, err := buildStreamHoldout(e)
+	if err != nil {
+		return err
+	}
+	tab := bench.NewTable(
+		fmt.Sprintf("E15b: snapshot fold (swap) latency vs fold workers (%d-author stream, %d held-out edges)",
+			e.sizes.streamAuthors, len(h.edges)),
+		"workers", "swap", "speedup")
+	var serialSwap time.Duration
+	for _, w := range e15Workers() {
+		ls, err := stream.NewLiveSystem(h.base, stream.Config{
+			RebuildEvents: len(h.edges) * 10, // fold only on ForceSnapshot
+			Workers:       w,
+		})
+		if err != nil {
+			return err
+		}
+		if err := ls.IngestEdges(h.edges); err != nil {
+			ls.Close()
+			return err
+		}
+		if err := ls.ForceSnapshot(); err != nil {
+			ls.Close()
+			return err
+		}
+		swap := ls.Snapshot().SwapLatency
+		ls.Close()
+		if serialSwap == 0 {
+			serialSwap = swap
+		}
+		tab.Row(w, swap.Round(time.Millisecond),
+			fmt.Sprintf("%.2f×", serialSwap.Seconds()/swap.Seconds()))
+	}
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "note: folds rebuild indexes only (the model carries over), so fold speedup")
+	fmt.Fprintln(e.out, "      tracks the index stages; EM-heavy cold builds are E15a's territory.")
+	return nil
+}

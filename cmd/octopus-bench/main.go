@@ -1,8 +1,9 @@
-// Command octopus-bench runs the experiment suite E1–E14 defined in
+// Command octopus-bench runs the experiment suite E1–E15 defined in
 // DESIGN.md §4 and prints one table per experiment — the reproduction of
 // every figure/scenario of the OCTOPUS demo paper plus the engine claims
 // it builds on (E13: streaming ingestion; E14: persistence and
-// crash-recovery costs). EXPERIMENTS.md records a reference run.
+// crash-recovery costs; E15: build-pipeline parallelism). EXPERIMENTS.md
+// records a reference run.
 //
 // Usage:
 //
@@ -30,6 +31,7 @@ type sizes struct {
 	streamAuthors   int   // ingest-replay experiment dataset size
 	streamBatch     int   // events per replayed ingest batch
 	snapshotNodes   []int // cold-start experiment dataset sizes
+	parAuthors      int   // build-parallelism experiment dataset size
 }
 
 func defaultSizes(quick bool) sizes {
@@ -45,6 +47,7 @@ func defaultSizes(quick bool) sizes {
 			streamAuthors:   800,
 			streamBatch:     128,
 			snapshotNodes:   []int{1000, 2000},
+			parAuthors:      700,
 		}
 	}
 	return sizes{
@@ -58,6 +61,7 @@ func defaultSizes(quick bool) sizes {
 		streamAuthors:   3000,
 		streamBatch:     256,
 		snapshotNodes:   []int{3000, 8000},
+		parAuthors:      2500,
 	}
 }
 
@@ -89,6 +93,7 @@ func main() {
 		{"E12", "Classical IM baselines at equal k (sanity shape)", runE12},
 		{"E13", "Streaming ingestion: replay throughput, swap latency, staleness", runE13},
 		{"E14", "Persistence: snapshot cold-start speedup and WAL ingest overhead", runE14},
+		{"E15", "Build/fold parallelism: pipeline speedup vs workers, determinism check", runE15},
 	}
 
 	want := map[string]bool{}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em]
+//	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em] [-workers W]
 //	octopus serve [-addr :8080] [-load model.oct] [-ingest] [-wal DIR]
 //	              [-rebuild-events N] [-rebuild-interval D] [same dataset flags]
 //	octopus query [-q "data mining"] [-k 10] [-load model.oct] [same dataset flags]
@@ -17,6 +17,11 @@
 // learned models, config) into one checksummed binary snapshot; serve
 // and query accept it via -load and cold-start in milliseconds instead
 // of re-running EM and data generation.
+//
+// -workers bounds the parallelism of the offline build pipeline (EM +
+// index precomputation) and of streaming fold rebuilds; for a fixed
+// seed the built system is identical at every setting, 0 uses all
+// cores.
 //
 // With -ingest, serve wraps the system in the streaming subsystem: the
 // /api/ingest endpoints accept live actions/edges and the serving
@@ -62,6 +67,7 @@ type options struct {
 	topics  int
 	seed    uint64
 	useEM   bool
+	workers int
 	addr    string
 	query   string
 	k       int
@@ -88,6 +94,7 @@ func main() {
 	fs.IntVar(&opt.topics, "topics", 8, "number of topics")
 	fs.Uint64Var(&opt.seed, "seed", 1, "random seed")
 	fs.BoolVar(&opt.useEM, "em", false, "learn the model from logs with EM instead of adopting ground truth")
+	fs.IntVar(&opt.workers, "workers", 0, "build parallelism for EM + index construction and fold rebuilds (0 = all cores, 1 = serial; same result either way)")
 	fs.StringVar(&opt.addr, "addr", ":8080", "listen address (serve)")
 	fs.StringVar(&opt.query, "q", "data mining", "keyword query (query)")
 	fs.IntVar(&opt.k, "k", 10, "seed count (query)")
@@ -224,6 +231,7 @@ func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
 		TopicNames: ds.TopicNames,
 		OTIM:       otim.BuildOptions{Samples: 2 * opt.topics},
 		Seed:       opt.seed,
+		Workers:    opt.workers,
 	}
 	if opt.useEM {
 		cfg.Topics = opt.topics
@@ -284,6 +292,7 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 		ls, err := stream.NewLiveSystem(sys, stream.Config{
 			RebuildEvents:   opt.rebuildEvents,
 			RebuildInterval: opt.rebuildInterval,
+			Workers:         opt.workers,
 			Store:           dir,
 		})
 		if err != nil {

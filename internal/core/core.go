@@ -51,6 +51,14 @@ type Config struct {
 	TopicNames []string
 	// Seed drives all randomized construction.
 	Seed uint64
+	// Workers bounds the fan-out of every offline build stage — EM
+	// learning, the OTIM index and the influencer index (0 = one worker
+	// per GOMAXPROCS slot, 1 = serial). For a fixed Seed the built
+	// system is bit-identical for every worker count. Per-stage
+	// overrides in OTIM.Workers / Tags.Workers win when non-zero. The
+	// knob is a runtime tuning, not part of the model: snapshots do not
+	// persist it.
+	Workers int
 }
 
 // System is a fully built OCTOPUS instance.
@@ -99,6 +107,7 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 			Iterations: cfg.EMIterations,
 			Restarts:   cfg.EMRestarts,
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: model learning: %w", err)
@@ -116,6 +125,9 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 	// Stage 2: online indexes.
 	otimOpt := cfg.OTIM
 	otimOpt.Seed = cfg.Seed ^ 0x9e37
+	if otimOpt.Workers == 0 {
+		otimOpt.Workers = cfg.Workers
+	}
 	oix, err := otim.BuildIndex(s.prop, otimOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: otim index: %w", err)
@@ -124,6 +136,9 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 
 	tagsOpt := cfg.Tags
 	tagsOpt.Seed = cfg.Seed ^ 0x79b9
+	if tagsOpt.Workers == 0 {
+		tagsOpt.Workers = cfg.Workers
+	}
 	tix, err := tags.BuildIndex(s.prop, tagsOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: tags index: %w", err)

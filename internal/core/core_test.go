@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
 	"octopus/internal/datagen"
 	"octopus/internal/graph"
+	"octopus/internal/otim"
 	"octopus/internal/tags"
 )
 
@@ -423,4 +425,81 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestBuildWorkersDeterministic is the system-level determinism
+// contract behind the Workers knob: for a fixed seed, core.Build — EM
+// learning included — produces a system that answers every service
+// identically at any worker count.
+func TestBuildWorkersDeterministic(t *testing.T) {
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors: 250, Topics: 3, Papers: 350, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) *System {
+		sys, err := Build(ds.Graph, ds.Log, Config{
+			Topics:  3, // exercise the EM path, not just the indexes
+			OTIM:    otim.BuildOptions{Samples: 5, SampleK: 3},
+			Tags:    tags.IndexOptions{Polls: 300},
+			Seed:    13,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	base := build(1)
+	for _, w := range []int{2, 4} {
+		sys := build(w)
+		if a, b := base.Stats(), sys.Stats(); a != b {
+			t.Fatalf("workers=%d: stats %+v != %+v", w, b, a)
+		}
+		for _, q := range [][]string{{"mining"}, {"data", "learning"}} {
+			ra, err := base.DiscoverInfluencers(q, DiscoverOptions{K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := sys.DiscoverInfluencers(q, DiscoverOptions{K: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("workers=%d: query %v differs:\n%+v\nvs\n%+v", w, q, rb, ra)
+			}
+		}
+		var target graph.NodeID = -1
+		for u := 0; u < base.Graph().NumNodes(); u++ {
+			if len(base.UserKeywords(graph.NodeID(u))) >= 3 {
+				target = graph.NodeID(u)
+				break
+			}
+		}
+		if target >= 0 {
+			sa, err := base.SuggestKeywords(target, 2, tags.SuggestOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := sys.SuggestKeywords(target, 2, tags.SuggestOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sa, sb) {
+				t.Fatalf("workers=%d: suggestions differ: %+v vs %+v", w, sb, sa)
+			}
+		}
+		pa, err := base.InfluencePaths(0, PathOptions{Theta: 0.01, MaxNodes: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := sys.InfluencePaths(0, PathOptions{Theta: 0.01, MaxNodes: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("workers=%d: influence paths differ", w)
+		}
+	}
 }

@@ -148,6 +148,9 @@ func TestCitationValidation(t *testing.T) {
 }
 
 func TestSocialShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical generator-shape check; skipped in -short")
+	}
 	ds, err := Social(SocialConfig{Users: 1000, Topics: 4, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +186,9 @@ func TestSocialProductVocabulary(t *testing.T) {
 }
 
 func TestSocialCommunityStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical community-structure check; skipped in -short")
+	}
 	ds, err := Social(SocialConfig{Users: 2000, Communities: 5, Topics: 4, InterCommunity: 0.05, Seed: 8})
 	if err != nil {
 		t.Fatal(err)

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"octopus/internal/actionlog"
 	"octopus/internal/graph"
+	"octopus/internal/par"
 	"octopus/internal/rng"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
@@ -38,38 +40,70 @@ type Config struct {
 	// defense against EM local optima (default 1).
 	Restarts int
 	// MinProb prunes learned edge probabilities below this threshold when
-	// exporting the tic.Model (default 1e-4).
+	// exporting the tic.Model (default 1e-4). The zero value means
+	// "default"; pass any negative value to disable pruning and keep
+	// every learned probability.
 	MinProb float64
 	// Smoothing is the additive smoothing applied in the M-step to
-	// keyword counts and the topic prior (default 0.01).
+	// keyword counts and the topic prior (default 0.01). The zero value
+	// means "default"; pass any negative value to request exactly zero
+	// smoothing (only sensible when every topic is guaranteed keyword
+	// and prior mass — empty topics then degenerate).
 	Smoothing float64
 	// EdgePrior is the Beta-prior pseudo-failure count added to each
 	// (edge, topic) trial mass in the M-step (default 0.5). It pulls
 	// weakly observed combinations toward zero: without it, a topic with
 	// near-zero responsibility on an edge would inherit the edge's
 	// success RATE from other topics, hallucinating cross-topic
-	// influence.
+	// influence. The zero value means "default"; pass any negative
+	// value to disable the prior (maximum-likelihood rates).
 	EdgePrior float64
+	// Workers bounds the E-step fan-out (0 = one worker per GOMAXPROCS
+	// slot, 1 = serial). The learned model is bit-identical for every
+	// worker count: trials are sharded into fixed-size chunks whose
+	// accumulators are merged in chunk order.
+	Workers int
+
+	// filled marks a config whose defaults and sentinels have been
+	// resolved. fill() must be idempotent — the restart loop re-enters
+	// Learn with an already-filled copy, and resolving the negative
+	// sentinels twice would turn an explicit zero back into the default.
+	filled bool
 }
 
 func (c *Config) fill() error {
 	if c.Topics <= 0 {
 		return fmt.Errorf("em: Topics must be positive")
 	}
+	if c.filled {
+		return nil
+	}
+	c.filled = true
 	if c.Iterations == 0 {
 		c.Iterations = 20
 	}
 	if c.Restarts == 0 {
 		c.Restarts = 1
 	}
-	if c.MinProb == 0 {
+	// For the three thresholds the zero value selects the default, so a
+	// negative sentinel is the explicit way to request "exactly zero".
+	switch {
+	case c.MinProb == 0:
 		c.MinProb = 1e-4
+	case c.MinProb < 0:
+		c.MinProb = 0
 	}
-	if c.Smoothing == 0 {
+	switch {
+	case c.Smoothing == 0:
 		c.Smoothing = 0.01
+	case c.Smoothing < 0:
+		c.Smoothing = 0
 	}
-	if c.EdgePrior == 0 {
+	switch {
+	case c.EdgePrior == 0:
 		c.EdgePrior = 0.5
+	case c.EdgePrior < 0:
+		c.EdgePrior = 0
 	}
 	return nil
 }
@@ -94,6 +128,241 @@ type episodeTrials struct {
 	words     []int
 	successes []successGroup
 	failures  []graph.EdgeID
+}
+
+// chunkTrials is the fixed E-step shard size. It must not depend on the
+// worker count: chunk boundaries define the floating-point merge order,
+// which is what makes parallel learning bit-identical to serial.
+const chunkTrials = 256
+
+// emChunk is one fixed shard of trials plus the distinct edge/keyword
+// rows its trials touch, remapped to chunk-local accumulator indices.
+// The translation tables are parallel to the trials' own reference
+// order (success-group parents flattened, then failures, then words),
+// so the hot accumulation loop never does a map lookup.
+type emChunk struct {
+	lo, hi int
+	edges  []graph.EdgeID // distinct edges touched, ascending
+	words  []int32        // distinct keyword ids touched, ascending
+	// Per trial (index ti-lo): chunk-local indices of the trial's
+	// success-group parents (flattened across groups), failure edges
+	// and words.
+	parentsLocal [][]int32
+	failsLocal   [][]int32
+	wordsLocal   [][]int32
+}
+
+// makeChunks shards trials into fixed-size chunks and records each
+// chunk's touched edge/keyword sets and local-index translations once
+// (they are invariant across EM iterations). Accumulators are then
+// sized to the chunk's content — O(chunk references), never O(Z·M) —
+// which keeps parallel EM's memory footprint flat in the graph size.
+func makeChunks(trials []episodeTrials, M, V int) []emChunk {
+	var chunks []emChunk
+	// localE/localW double as "seen" stamps: >= 0 means assigned for the
+	// current chunk (they are reset to -1 per touched entry after use).
+	localE := make([]int32, M)
+	localW := make([]int32, V)
+	for i := range localE {
+		localE[i] = -1
+	}
+	for i := range localW {
+		localW[i] = -1
+	}
+	for lo := 0; lo < len(trials); lo += chunkTrials {
+		hi := lo + chunkTrials
+		if hi > len(trials) {
+			hi = len(trials)
+		}
+		ch := emChunk{lo: lo, hi: hi}
+		// Pass 1: collect + sort distinct sets.
+		for ti := lo; ti < hi; ti++ {
+			tr := &trials[ti]
+			for _, w := range tr.words {
+				if localW[w] < 0 {
+					localW[w] = 0
+					ch.words = append(ch.words, int32(w))
+				}
+			}
+			for _, sg := range tr.successes {
+				for _, e := range sg.parents {
+					if localE[e] < 0 {
+						localE[e] = 0
+						ch.edges = append(ch.edges, e)
+					}
+				}
+			}
+			for _, e := range tr.failures {
+				if localE[e] < 0 {
+					localE[e] = 0
+					ch.edges = append(ch.edges, e)
+				}
+			}
+		}
+		sort.Slice(ch.edges, func(a, b int) bool { return ch.edges[a] < ch.edges[b] })
+		sort.Slice(ch.words, func(a, b int) bool { return ch.words[a] < ch.words[b] })
+		for li, e := range ch.edges {
+			localE[e] = int32(li)
+		}
+		for li, wd := range ch.words {
+			localW[wd] = int32(li)
+		}
+		// Pass 2: translate every trial reference to its local index.
+		ch.parentsLocal = make([][]int32, hi-lo)
+		ch.failsLocal = make([][]int32, hi-lo)
+		ch.wordsLocal = make([][]int32, hi-lo)
+		for ti := lo; ti < hi; ti++ {
+			tr := &trials[ti]
+			var pl []int32
+			for _, sg := range tr.successes {
+				for _, e := range sg.parents {
+					pl = append(pl, localE[e])
+				}
+			}
+			fl := make([]int32, len(tr.failures))
+			for j, e := range tr.failures {
+				fl[j] = localE[e]
+			}
+			wl := make([]int32, len(tr.words))
+			for j, w := range tr.words {
+				wl[j] = localW[w]
+			}
+			ch.parentsLocal[ti-lo], ch.failsLocal[ti-lo], ch.wordsLocal[ti-lo] = pl, fl, wl
+		}
+		// Reset stamps for the next chunk.
+		for _, e := range ch.edges {
+			localE[e] = -1
+		}
+		for _, wd := range ch.words {
+			localW[wd] = -1
+		}
+		chunks = append(chunks, ch)
+	}
+	return chunks
+}
+
+// emAcc is a chunk-local accumulator sized to the owning chunk's
+// touched rows: succ/trial are Z×len(chunk.edges), word is
+// Z×len(chunk.words), indexed by the chunk's local ids. Pooled
+// instances grow to the largest chunk they have served.
+type emAcc struct {
+	succ, trial []float64
+	word        []float64
+	prior       []float64 // Z
+	ll          float64
+}
+
+// sized returns s resized to n, reusing capacity, with every element
+// zeroed.
+func sized(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (a *emAcc) reset(ch *emChunk, Z int) {
+	a.succ = sized(a.succ, Z*len(ch.edges))
+	a.trial = sized(a.trial, Z*len(ch.edges))
+	a.word = sized(a.word, Z*len(ch.words))
+	a.prior = sized(a.prior, Z)
+	a.ll = 0
+}
+
+// eStepChunk runs the E-step plus M-step accumulation for one chunk of
+// trials, writing responsibilities (disjoint per trial) and the
+// chunk-local accumulator. It reads the shared parameters (pp, pwz,
+// prior) which are immutable within one EM iteration.
+func eStepChunk(acc *emAcc, ch *emChunk, trials []episodeTrials, resp []topic.Dist,
+	pp, pwz, prior, logL []float64, useProp bool, Z, M, V int) {
+
+	lenE, lenW := len(ch.edges), len(ch.words)
+	for ti := ch.lo; ti < ch.hi; ti++ {
+		tr := &trials[ti]
+		// E-step: log responsibility per topic.
+		for z := 0; z < Z; z++ {
+			ll := math.Log(prior[z])
+			rowW := pwz[z*V : (z+1)*V]
+			for _, w := range tr.words {
+				ll += math.Log(rowW[w] + 1e-300)
+			}
+			if useProp {
+				rowP := pp[z*M : (z+1)*M]
+				for _, sg := range tr.successes {
+					pNone := 1.0
+					for _, e := range sg.parents {
+						pNone *= 1 - rowP[e]
+					}
+					ll += math.Log(1 - pNone + 1e-12)
+				}
+				for _, e := range tr.failures {
+					ll += math.Log(1 - rowP[e] + 1e-12)
+				}
+			}
+			logL[z] = ll
+		}
+		maxv := math.Inf(-1)
+		for _, v := range logL {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for z := 0; z < Z; z++ {
+			resp[ti][z] = math.Exp(logL[z] - maxv)
+			sum += resp[ti][z]
+		}
+		acc.ll += maxv + math.Log(sum)
+		for z := 0; z < Z; z++ {
+			resp[ti][z] /= sum
+		}
+
+		// Accumulate M-step statistics into the chunk-local rows. Reads
+		// (pp) use global edge ids; writes use the precomputed local ids.
+		pl := ch.parentsLocal[ti-ch.lo]
+		fl := ch.failsLocal[ti-ch.lo]
+		wl := ch.wordsLocal[ti-ch.lo]
+		for z := 0; z < Z; z++ {
+			rz := resp[ti][z]
+			if rz < 1e-12 {
+				continue
+			}
+			acc.prior[z] += rz
+			rowW := acc.word[z*lenW : (z+1)*lenW]
+			for _, lw := range wl {
+				rowW[lw] += rz
+			}
+			rowP := pp[z*M : (z+1)*M]
+			rowSucc := acc.succ[z*lenE : (z+1)*lenE]
+			rowTrial := acc.trial[z*lenE : (z+1)*lenE]
+			cursor := 0
+			for _, sg := range tr.successes {
+				pNone := 1.0
+				for _, e := range sg.parents {
+					pNone *= 1 - rowP[e]
+				}
+				pAny := 1 - pNone
+				if pAny < 1e-12 {
+					pAny = 1e-12
+				}
+				for j, e := range sg.parents {
+					// Saito credit: probability that edge e was the
+					// successful activator given at least one succeeded.
+					le := pl[cursor+j]
+					rowSucc[le] += rz * rowP[e] / pAny
+					rowTrial[le] += rz
+				}
+				cursor += len(sg.parents)
+			}
+			for _, le := range fl {
+				rowTrial[le] += rz
+			}
+		}
+	}
 }
 
 // Learn runs EM over the log and graph. With cfg.Restarts > 1 it runs
@@ -169,9 +438,25 @@ func Learn(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 	}
 	var llHist []float64
 
-	// Scratch buffers.
-	logL := make([]float64, Z)
-	// Accumulators for M-step.
+	// The E-step is embarrassingly parallel over trials — within one
+	// iteration it only reads pp/pwz/prior and writes resp[ti] — but the
+	// M-step accumulators are floating-point sums whose value depends on
+	// addition order. Trials are therefore sharded into fixed-size
+	// chunks (boundaries independent of the worker count), each chunk
+	// accumulates locally, and chunk accumulators are merged into the
+	// global ones strictly in chunk order: the exact same additions in
+	// the exact same order for 1 worker and for N.
+	chunks := makeChunks(trials, M, V)
+	workers := par.Resolve(cfg.Workers)
+	logLs := make([][]float64, workers)
+	for w := range logLs {
+		logLs[w] = make([]float64, Z)
+	}
+	// Accumulators are sized per chunk on reset; the pool bounds live
+	// instances to the OrderedMerge window (≈2×workers).
+	accPool := sync.Pool{New: func() any { return &emAcc{} }}
+
+	// Global M-step accumulators.
 	accSucc := make([]float64, Z*M) // responsibility-weighted activator credit
 	accTrial := make([]float64, Z*M)
 	accWord := make([]float64, Z*V)
@@ -199,80 +484,33 @@ func Learn(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 		// iterations are fully joint.
 		useProp := iter > 0
 
-		for ti, tr := range trials {
-			// E-step: log responsibility per topic.
-			for z := 0; z < Z; z++ {
-				ll := math.Log(prior[z])
-				rowW := pwz[z*V : (z+1)*V]
-				for _, w := range tr.words {
-					ll += math.Log(rowW[w] + 1e-300)
-				}
-				if useProp {
-					rowP := pp[z*M : (z+1)*M]
-					for _, sg := range tr.successes {
-						pNone := 1.0
-						for _, e := range sg.parents {
-							pNone *= 1 - rowP[e]
-						}
-						ll += math.Log(1 - pNone + 1e-12)
+		par.OrderedMerge(cfg.Workers, len(chunks),
+			func(w, ci int) *emAcc {
+				acc := accPool.Get().(*emAcc)
+				acc.reset(&chunks[ci], Z)
+				eStepChunk(acc, &chunks[ci], trials, resp, pp, pwz, prior, logLs[w], useProp, Z, M, V)
+				return acc
+			},
+			func(ci int, acc *emAcc) {
+				ch := &chunks[ci]
+				lenE, lenW := len(ch.edges), len(ch.words)
+				for z := 0; z < Z; z++ {
+					gSucc, gTrial := accSucc[z*M:(z+1)*M], accTrial[z*M:(z+1)*M]
+					lSucc, lTrial := acc.succ[z*lenE:(z+1)*lenE], acc.trial[z*lenE:(z+1)*lenE]
+					for li, e := range ch.edges {
+						gSucc[e] += lSucc[li]
+						gTrial[e] += lTrial[li]
 					}
-					for _, e := range tr.failures {
-						ll += math.Log(1 - rowP[e] + 1e-12)
+					gWord := accWord[z*V : (z+1)*V]
+					lWord := acc.word[z*lenW : (z+1)*lenW]
+					for li, wd := range ch.words {
+						gWord[wd] += lWord[li]
 					}
+					accPrior[z] += acc.prior[z]
 				}
-				logL[z] = ll
-			}
-			maxv := math.Inf(-1)
-			for _, v := range logL {
-				if v > maxv {
-					maxv = v
-				}
-			}
-			sum := 0.0
-			for z := 0; z < Z; z++ {
-				resp[ti][z] = math.Exp(logL[z] - maxv)
-				sum += resp[ti][z]
-			}
-			totalLL += maxv + math.Log(sum)
-			for z := 0; z < Z; z++ {
-				resp[ti][z] /= sum
-			}
-
-			// Accumulate M-step statistics.
-			for z := 0; z < Z; z++ {
-				rz := resp[ti][z]
-				if rz < 1e-12 {
-					continue
-				}
-				accPrior[z] += rz
-				rowW := accWord[z*V : (z+1)*V]
-				for _, w := range tr.words {
-					rowW[w] += rz
-				}
-				rowP := pp[z*M : (z+1)*M]
-				rowSucc := accSucc[z*M : (z+1)*M]
-				rowTrial := accTrial[z*M : (z+1)*M]
-				for _, sg := range tr.successes {
-					pNone := 1.0
-					for _, e := range sg.parents {
-						pNone *= 1 - rowP[e]
-					}
-					pAny := 1 - pNone
-					if pAny < 1e-12 {
-						pAny = 1e-12
-					}
-					for _, e := range sg.parents {
-						// Saito credit: probability that edge e was the
-						// successful activator given at least one succeeded.
-						rowSucc[e] += rz * rowP[e] / pAny
-						rowTrial[e] += rz
-					}
-				}
-				for _, e := range tr.failures {
-					rowTrial[e] += rz
-				}
-			}
-		}
+				totalLL += acc.ll
+				accPool.Put(acc)
+			})
 
 		// M-step.
 		priorSum := 0.0

@@ -208,6 +208,117 @@ func TestLearnDeterministic(t *testing.T) {
 	}
 }
 
+// TestLearnWorkerEquivalence is the parallel-EM contract: for a fixed
+// seed the learned parameters, likelihood history and responsibilities
+// are bit-identical for every worker count — trials are sharded into
+// fixed chunks whose accumulators merge in chunk order.
+func TestLearnWorkerEquivalence(t *testing.T) {
+	g, _, log := synthetic(t, 80, 600, 42) // >chunkTrials trials: several chunks
+	base, err := Learn(g, log, Config{Topics: 3, Iterations: 6, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 5, 16} {
+		res, err := Learn(g, log, Config{Topics: 3, Iterations: 6, Seed: 7, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.LogLikelihood {
+			if base.LogLikelihood[i] != res.LogLikelihood[i] {
+				t.Fatalf("workers=%d: LL[%d] = %v, serial %v", w, i, res.LogLikelihood[i], base.LogLikelihood[i])
+			}
+		}
+		for i := range base.Responsibilities {
+			for z := range base.Responsibilities[i] {
+				if base.Responsibilities[i][z] != res.Responsibilities[i][z] {
+					t.Fatalf("workers=%d: resp[%d][%d] differs", w, i, z)
+				}
+			}
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			for z := 0; z < 3; z++ {
+				if a, b := base.Propagation.TopicProb(graph.EdgeID(e), z),
+					res.Propagation.TopicProb(graph.EdgeID(e), z); a != b {
+					t.Fatalf("workers=%d: pp[e=%d z=%d] = %v, serial %v", w, e, z, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestConfigNegativeSentinels: the zero value of Smoothing / EdgePrior /
+// MinProb means "default", so a negative value is the documented way to
+// request exactly zero.
+func TestConfigNegativeSentinels(t *testing.T) {
+	c := Config{Topics: 2, Smoothing: -1, EdgePrior: -0.5, MinProb: -1e-9}
+	if err := c.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Smoothing != 0 || c.EdgePrior != 0 || c.MinProb != 0 {
+		t.Fatalf("negative sentinels not honored: %+v", c)
+	}
+	d := Config{Topics: 2}
+	if err := d.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Smoothing != 0.01 || d.EdgePrior != 0.5 || d.MinProb != 1e-4 {
+		t.Fatalf("defaults regressed: %+v", d)
+	}
+}
+
+// The sentinels must survive the restart loop: Learn re-enters itself
+// with an already-filled config, and a second fill() must not turn the
+// sentinel-resolved zeros back into defaults.
+func TestNegativeSentinelsSurviveRestarts(t *testing.T) {
+	g, _, log := synthetic(t, 40, 120, 9)
+	withSentinels, err := Learn(g, log, Config{
+		Topics: 2, Iterations: 3, Seed: 3, Restarts: 2,
+		Smoothing: -1, EdgePrior: -1, MinProb: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults, err := Learn(g, log, Config{Topics: 2, Iterations: 3, Seed: 3, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range withSentinels.LogLikelihood {
+		if withSentinels.LogLikelihood[i] != defaults.LogLikelihood[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sentinels had no effect under Restarts > 1 (reverted to defaults)")
+	}
+}
+
+// Disabling MinProb must keep edge probabilities the default would
+// prune.
+func TestMinProbDisabledKeepsTinyEdges(t *testing.T) {
+	g, _, log := synthetic(t, 40, 120, 9)
+	pruned, err := Learn(g, log, Config{Topics: 2, Iterations: 4, Seed: 3, MinProb: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := Learn(g, log, Config{Topics: 2, Iterations: 4, Seed: 3, MinProb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(m *tic.Model) int {
+		n := 0
+		for e := 0; e < g.NumEdges(); e++ {
+			m.EdgeTopics(graph.EdgeID(e), func(int, float64) { n++ })
+		}
+		return n
+	}
+	if count(kept.Propagation) <= count(pruned.Propagation) {
+		t.Fatalf("MinProb -1 kept %d probs, aggressive pruning kept %d",
+			count(kept.Propagation), count(pruned.Propagation))
+	}
+}
+
 func BenchmarkLearn(b *testing.B) {
 	g, _, log := synthetic(b, 100, 300, 3)
 	b.ResetTimer()

@@ -117,6 +117,13 @@ type Calc struct {
 	pedge  []graph.EdgeID
 	stamp  []uint32
 	epoch  uint32
+	// popAt[v] = index of v in the tree being built, set when v is
+	// popped. It is only ever read for a node's parent — which was
+	// necessarily popped earlier in the same build — so stale entries
+	// from previous builds are never observed and no epoch stamp is
+	// needed. Reusing the slice removes the per-build map allocation
+	// that dominated small-tree builds.
+	popAt []int32
 }
 
 // NewCalc returns a Calc for graph g.
@@ -129,6 +136,7 @@ func NewCalc(g *graph.Graph) *Calc {
 		parent: make([]int32, n),
 		pedge:  make([]graph.EdgeID, n),
 		stamp:  make([]uint32, n),
+		popAt:  make([]int32, n),
 	}
 }
 
@@ -163,11 +171,6 @@ func (c *Calc) build(prob EdgeProb, root graph.NodeID, theta float64, maxNodes i
 	c.stamp[root] = c.epoch
 	c.heap.Push(root, 1)
 
-	// popped index per node: record position in t.Nodes as we pop.
-	// Reuse c.parent to store graph parent node; map to tree index later
-	// via popOrder lookup.
-	popIndex := make(map[graph.NodeID]int32, 16)
-
 	for c.heap.Len() > 0 {
 		u, p := c.heap.PopMax()
 		if p < theta {
@@ -177,11 +180,11 @@ func (c *Calc) build(prob EdgeProb, root graph.NodeID, theta float64, maxNodes i
 		var edge graph.EdgeID
 		var depth int32
 		if u != root {
-			parentIdx = popIndex[c.parent[u]]
+			parentIdx = c.popAt[c.parent[u]]
 			edge = c.pedge[u]
 			depth = t.Nodes[parentIdx].Depth + 1
 		}
-		popIndex[u] = int32(len(t.Nodes))
+		c.popAt[u] = int32(len(t.Nodes))
 		t.Nodes = append(t.Nodes, TreeNode{ID: u, Parent: parentIdx, Edge: edge, Prob: p, Depth: depth})
 		if maxNodes > 0 && len(t.Nodes) >= maxNodes {
 			break
@@ -227,19 +230,18 @@ func (c *Calc) relax(u, v graph.NodeID, e graph.EdgeID, p, theta float64) {
 // probability 1−Π(1−pᵢ).
 type Cover struct {
 	probs map[graph.NodeID]float64
+	// spread is maintained incrementally in tree-node order by Add.
+	// Summing the map on demand would visit nodes in Go's randomized
+	// map order and make the floating-point total jitter run-to-run —
+	// query spreads must be reproducible for a fixed seed.
+	spread float64
 }
 
 // NewCover returns an empty cover.
 func NewCover() *Cover { return &Cover{probs: make(map[graph.NodeID]float64)} }
 
 // Spread returns the current MIA spread Σ_v ap(v).
-func (c *Cover) Spread() float64 {
-	s := 0.0
-	for _, p := range c.probs {
-		s += p
-	}
-	return s
-}
+func (c *Cover) Spread() float64 { return c.spread }
 
 // Prob returns the current activation probability of v.
 func (c *Cover) Prob(v graph.NodeID) float64 { return c.probs[v] }
@@ -258,7 +260,9 @@ func (c *Cover) Gain(t *Tree) float64 {
 func (c *Cover) Add(t *Tree) {
 	for _, n := range t.Nodes {
 		cur := c.probs[n.ID]
-		c.probs[n.ID] = 1 - (1-cur)*(1-n.Prob)
+		next := 1 - (1-cur)*(1-n.Prob)
+		c.probs[n.ID] = next
+		c.spread += next - cur
 	}
 }
 

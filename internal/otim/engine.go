@@ -29,6 +29,20 @@ const (
 	BoundLocalGraph
 )
 
+// String names the bound for error messages and experiment tables.
+func (b Bound) String() string {
+	switch b {
+	case BoundPrecomputed:
+		return "precomputed"
+	case BoundNeighborhood:
+		return "neighborhood"
+	case BoundLocalGraph:
+		return "local-graph"
+	default:
+		return fmt.Sprintf("Bound(%d)", int(b))
+	}
+}
+
 // QueryOptions configures a keyword-IM query.
 type QueryOptions struct {
 	// K is the number of seeds (required).
@@ -39,8 +53,11 @@ type QueryOptions struct {
 	// Epsilon permits (1−ε)-approximate seed picks for earlier
 	// termination; 0 demands exact greedy.
 	Epsilon float64
-	// FirstBound chooses the cheap first-tier bound (default
-	// BoundPrecomputed).
+	// FirstBound chooses the cheap first-tier bound: BoundPrecomputed
+	// (the default) or BoundNeighborhood. BoundLocalGraph is a
+	// refinement tier, not a first-tier bound — it is evaluated lazily
+	// per candidate and cannot seed the whole heap — so requesting it
+	// here is rejected rather than silently downgraded.
 	FirstBound Bound
 	// SkipLocalBound drops the middle refinement tier, escalating cheap
 	// bounds straight to exact evaluation (for the E5 ablation).
@@ -69,6 +86,9 @@ func (o *QueryOptions) fill() error {
 	}
 	if o.Epsilon < 0 || o.Epsilon >= 1 {
 		return fmt.Errorf("otim: Epsilon %v out of [0,1)", o.Epsilon)
+	}
+	if o.FirstBound != BoundPrecomputed && o.FirstBound != BoundNeighborhood {
+		return fmt.Errorf("otim: FirstBound %v is not a supported first-tier bound (use BoundPrecomputed or BoundNeighborhood)", o.FirstBound)
 	}
 	if o.SampleTolerance == 0 {
 		o.SampleTolerance = 0.1

@@ -27,6 +27,7 @@ import (
 
 	"octopus/internal/graph"
 	"octopus/internal/mia"
+	"octopus/internal/par"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
 )
@@ -52,6 +53,11 @@ type BuildOptions struct {
 	DirichletAlpha float64
 	// Seed drives sample generation.
 	Seed uint64
+	// Workers bounds the build fan-out (0 = one worker per GOMAXPROCS
+	// slot, 1 = serial). For a fixed Seed the built index is identical
+	// for every worker count: sample topic mixtures are pre-drawn
+	// serially, and every parallel pass writes disjoint locations.
+	Workers int
 }
 
 func (o *BuildOptions) fill(z int) {
@@ -138,19 +144,28 @@ func BuildIndex(m *tic.Model, opt BuildOptions) (*Index, error) {
 		wdeg:     make([]float64, n*z),
 	}
 
-	// Pass 1: σ̄max via MIOA under p̄ for every node.
+	// Pass 1: σ̄max via MIOA under p̄ for every node. Each worker owns a
+	// mia.Calc (the Dijkstra scratch is not shareable); sigmaMax writes
+	// are disjoint per node, and the delta reduction runs serially after.
 	maxProb := func(e graph.EdgeID) float64 { return m.MaxProb(e) }
-	calc := mia.NewCalc(g)
-	for v := 0; v < n; v++ {
-		tree := calc.MIOA(maxProb, graph.NodeID(v), opt.ThetaPre, 0)
-		ix.sigmaMax[v] = tree.Spread()
-		if ix.sigmaMax[v] > ix.delta {
-			ix.delta = ix.sigmaMax[v]
+	calcs := make([]*mia.Calc, par.Resolve(opt.Workers))
+	par.Each(opt.Workers, n, func(w, v int) {
+		calc := calcs[w]
+		if calc == nil {
+			calc = mia.NewCalc(g)
+			calcs[w] = calc
+		}
+		ix.sigmaMax[v] = calc.MIOA(maxProb, graph.NodeID(v), opt.ThetaPre, 0).Spread()
+	})
+	for _, s := range ix.sigmaMax {
+		if s > ix.delta {
+			ix.delta = s
 		}
 	}
 
-	// Pass 2: per-topic aggregates.
-	for u := 0; u < n; u++ {
+	// Pass 2: per-topic aggregates, sharded by node — each iteration
+	// writes only u's own aggr/wdeg rows.
+	par.Each(opt.Workers, n, func(_, u int) {
 		lo, hi := g.OutEdges(graph.NodeID(u))
 		for e := lo; e < hi; e++ {
 			dst := g.Dst(e)
@@ -159,33 +174,52 @@ func BuildIndex(m *tic.Model, opt BuildOptions) (*Index, error) {
 				ix.wdeg[u*z+zi] += p
 			})
 		}
-	}
+	})
 
 	// Pass 3: topic samples, seeded with the pure topics so every
-	// single-topic query has an exact-match sample.
+	// single-topic query has an exact-match sample. Mixtures are drawn
+	// serially from the seed RNG up front (so the draw sequence never
+	// depends on worker count); the per-sample queries are deterministic
+	// given γ and run concurrently on per-worker engines, each writing
+	// its own samples slot.
 	if opt.Samples > 0 {
-		eng := NewEngine(ix)
 		r := newSampleRNG(opt.Seed)
-		for i := 0; i < opt.Samples; i++ {
-			var gamma topic.Dist
+		gammas := make([]topic.Dist, opt.Samples)
+		for i := range gammas {
 			if i < z {
-				gamma = topic.Pure(i, z)
+				gammas[i] = topic.Pure(i, z)
 			} else {
-				gamma = topic.Dist(r.DirichletSym(opt.DirichletAlpha, z))
+				gammas[i] = topic.Dist(r.DirichletSym(opt.DirichletAlpha, z))
 			}
-			res, err := eng.Query(gamma, QueryOptions{
+		}
+		ix.samples = make([]TopicSample, opt.Samples)
+		engines := make([]*Engine, par.Resolve(opt.Workers))
+		errs := make([]error, opt.Samples)
+		par.Each(opt.Workers, opt.Samples, func(w, i int) {
+			eng := engines[w]
+			if eng == nil {
+				eng = NewEngine(ix)
+				engines[w] = eng
+			}
+			res, err := eng.Query(gammas[i], QueryOptions{
 				K:          opt.SampleK,
 				Theta:      opt.SampleTheta,
 				UseSamples: false,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("otim: sample %d: %w", i, err)
+				errs[i] = err
+				return
 			}
-			ix.samples = append(ix.samples, TopicSample{
-				Gamma:   gamma,
+			ix.samples[i] = TopicSample{
+				Gamma:   gammas[i],
 				Seeds:   res.Seeds,
 				Spreads: res.Spreads,
-			})
+			}
+		})
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("otim: sample %d: %w", i, err)
+			}
 		}
 	}
 	return ix, nil

@@ -3,6 +3,8 @@ package otim
 import (
 	"context"
 	"math"
+	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -524,6 +526,62 @@ func BenchmarkNaiveIMM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := NaiveQuery(m, gamma, 10, NaiveIMM, 0.01, uint64(i)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestBuildIndexWorkerEquivalence is the parallel-build contract: for a
+// fixed seed every pass of BuildIndex — per-node MIOA spreads, per-topic
+// aggregates, topic samples — is bit-identical for every worker count.
+func TestBuildIndexWorkerEquivalence(t *testing.T) {
+	m := testWorld(t, 150, 4, 3)
+	build := func(workers int) *Index {
+		ix, err := BuildIndex(m, BuildOptions{
+			ThetaPre: 0.001, Samples: 7, SampleK: 4, Seed: 9, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	base := build(1)
+	for _, w := range []int{2, 3, 8} {
+		ix := build(w)
+		if !reflect.DeepEqual(base.sigmaMax, ix.sigmaMax) {
+			t.Fatalf("workers=%d: sigmaMax differs", w)
+		}
+		if base.delta != ix.delta {
+			t.Fatalf("workers=%d: delta %v != %v", w, ix.delta, base.delta)
+		}
+		if !reflect.DeepEqual(base.aggr, ix.aggr) || !reflect.DeepEqual(base.wdeg, ix.wdeg) {
+			t.Fatalf("workers=%d: aggregates differ", w)
+		}
+		if !reflect.DeepEqual(base.samples, ix.samples) {
+			t.Fatalf("workers=%d: topic samples differ", w)
+		}
+	}
+}
+
+// FirstBound values the engine cannot seed the heap with must be
+// rejected, not silently treated as BoundPrecomputed.
+func TestFirstBoundUnsupportedRejected(t *testing.T) {
+	m := testWorld(t, 40, 3, 1)
+	ix := buildIdx(t, m, 0)
+	eng := NewEngine(ix)
+	gamma := topic.Dist{0.5, 0.5}
+	for _, b := range []Bound{BoundLocalGraph, Bound(7)} {
+		_, err := eng.Query(gamma, QueryOptions{K: 3, FirstBound: b})
+		if err == nil {
+			t.Fatalf("FirstBound %v accepted", b)
+		}
+		if !strings.Contains(err.Error(), "FirstBound") {
+			t.Fatalf("unhelpful error for FirstBound %v: %v", b, err)
+		}
+	}
+	// The two supported bounds still work.
+	for _, b := range []Bound{BoundPrecomputed, BoundNeighborhood} {
+		if _, err := eng.Query(gamma, QueryOptions{K: 3, FirstBound: b}); err != nil {
+			t.Fatalf("FirstBound %v rejected: %v", b, err)
 		}
 	}
 }

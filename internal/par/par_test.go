@@ -1,0 +1,133 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+}
+
+func TestEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]atomic.Int32, n)
+			Each(workers, n, func(w, i int) {
+				if w < 0 || w >= Resolve(workers) {
+					t.Errorf("worker index %d out of range", w)
+				}
+				hits[i].Add(1)
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestEachDisjointWritesDeterministic(t *testing.T) {
+	n := 500
+	want := make([]int, n)
+	Each(1, n, func(_, i int) { want[i] = i * i })
+	for _, workers := range []int{2, 4, 8} {
+		got := make([]int, n)
+		Each(workers, n, func(_, i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOrderedMergeOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 4, 37, 500} {
+			var order []int
+			OrderedMerge(workers, n,
+				func(_, i int) int {
+					if i%7 == 0 { // stagger completion to force reordering
+						time.Sleep(time.Millisecond)
+					}
+					return i * 3
+				},
+				func(i, v int) {
+					if v != i*3 {
+						t.Errorf("merge(%d) got value %d", i, v)
+					}
+					order = append(order, i)
+				})
+			if len(order) != n {
+				t.Fatalf("workers=%d n=%d: merged %d items", workers, n, len(order))
+			}
+			for i, v := range order {
+				if v != i {
+					t.Fatalf("workers=%d n=%d: merge order %v", workers, n, order)
+				}
+			}
+		}
+	}
+}
+
+// A non-associative floating-point reduction must come out bit-identical
+// for every worker count — the property the EM E-step relies on.
+func TestOrderedMergeFloatDeterminism(t *testing.T) {
+	n := 2000
+	vals := make([]float64, n)
+	x := 0.1
+	for i := range vals {
+		x = 3.999 * x * (1 - x) // chaotic, fills the mantissa
+		vals[i] = x
+	}
+	reduce := func(workers int) float64 {
+		sum := 0.0
+		OrderedMerge(workers, n,
+			func(_, i int) float64 { return vals[i] * vals[(i*7)%n] },
+			func(_ int, v float64) { sum += v })
+		return sum
+	}
+	want := reduce(1)
+	for _, workers := range []int{2, 3, 4, 8} {
+		if got := reduce(workers); got != want {
+			t.Fatalf("workers=%d: sum %v != serial %v", workers, got, want)
+		}
+	}
+}
+
+func TestOrderedMergeBoundedWindow(t *testing.T) {
+	workers := 4
+	var inFlight, maxInFlight atomic.Int32
+	OrderedMerge(workers, 200,
+		func(_, i int) int {
+			cur := inFlight.Add(1)
+			for {
+				m := maxInFlight.Load()
+				if cur <= m || maxInFlight.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			if i == 0 { // straggling first item must not let the window run away
+				time.Sleep(20 * time.Millisecond)
+			}
+			return i
+		},
+		func(_ int, _ int) { inFlight.Add(-1) })
+	// In-flight results are capped at 2×workers; the processing slots add
+	// at most `workers` more between claim and merge.
+	if m := maxInFlight.Load(); m > int32(3*workers) {
+		t.Fatalf("max in-flight %d exceeds bound %d", m, 3*workers)
+	}
+}

@@ -21,8 +21,10 @@
 //	GET  /api/ingest/stats                   ingestion pipeline statistics
 //
 // Requests with the wrong method are rejected with 405 and an Allow
-// header. Ingest endpoints return 503 when the bounded ingest buffer is
-// full (retry with backoff) and 404 on a static (non-live) server.
+// header; malformed numeric query parameters (?k=ten, ?theta=0..5) are
+// rejected with 400 and an error payload naming the parameter. Ingest
+// endpoints return 503 when the bounded ingest buffer is full (retry
+// with backoff) and 404 on a static (non-live) server.
 package server
 
 import (
@@ -31,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -109,22 +112,58 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorPayload{Error: err.Error()})
 }
 
-func intParam(r *http.Request, name string, def int) int {
-	if v := r.URL.Query().Get(name); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
-	}
-	return def
+// qparams reads typed query parameters, remembering the first malformed
+// value. Handlers parse everything up front and reject the request with
+// 400 via bad() — a typo like ?k=ten or ?theta=0..5 must fail loudly,
+// not silently fall back to the default. The query string is parsed
+// once, not per read.
+type qparams struct {
+	q   url.Values
+	err error
 }
 
-func floatParam(r *http.Request, name string, def float64) float64 {
-	if v := r.URL.Query().Get(name); v != "" {
-		if f, err := strconv.ParseFloat(v, 64); err == nil {
-			return f
-		}
+func params(r *http.Request) *qparams { return &qparams{q: r.URL.Query()} }
+
+func (q *qparams) fail(name, kind, v string) {
+	if q.err == nil {
+		q.err = fmt.Errorf("parameter %q: invalid %s value %q", name, kind, v)
 	}
-	return def
+}
+
+func (q *qparams) Int(name string, def int) int {
+	v := q.q.Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		q.fail(name, "integer", v)
+		return def
+	}
+	return n
+}
+
+func (q *qparams) Float(name string, def float64) float64 {
+	v := q.q.Get(name)
+	if v == "" {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		q.fail(name, "number", v)
+		return def
+	}
+	return f
+}
+
+// bad reports any malformed parameter as a 400 and tells the handler to
+// stop.
+func (q *qparams) bad(w http.ResponseWriter) bool {
+	if q.err == nil {
+		return false
+	}
+	writeErr(w, http.StatusBadRequest, q.err)
+	return true
 }
 
 func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
@@ -159,11 +198,17 @@ func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errMissing("q"))
 		return
 	}
+	q := params(r)
+	k := q.Int("k", 10)
+	theta := q.Float("theta", 0.01)
+	if q.bad(w) {
+		return
+	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	res, err := sys.DiscoverInfluencers(keywords, core.DiscoverOptions{
-		K:          intParam(r, "k", 10),
-		Theta:      floatParam(r, "theta", 0.01),
+		K:          k,
+		Theta:      theta,
 		UseSamples: r.URL.Query().Get("samples") == "1",
 		Context:    ctx,
 	})
@@ -218,13 +263,19 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
 		return
 	}
+	q := params(r)
+	k := q.Int("k", 3)
+	coherence := q.Float("coherence", 0)
+	if q.bad(w) {
+		return
+	}
 	id, err := sys.ResolveUser(user)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	sug, err := sys.SuggestKeywords(id, intParam(r, "k", 3), tags.SuggestOptions{
-		MinCoherence: floatParam(r, "coherence", 0),
+	sug, err := sys.SuggestKeywords(id, k, tags.SuggestOptions{
+		MinCoherence: coherence,
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -246,12 +297,17 @@ func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
 		return
 	}
+	q := params(r)
+	limit := q.Int("limit", 20)
+	if q.bad(w) {
+		return
+	}
 	id, err := sys.ResolveUser(user)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	ranked, err := sys.RankUserKeywords(id, intParam(r, "limit", 20))
+	ranked, err := sys.RankUserKeywords(id, limit)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -280,6 +336,13 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
 		return
 	}
+	q := params(r)
+	theta := q.Float("theta", 0.01)
+	maxNodes := q.Int("max", 200)
+	highlight := q.Int("highlight", -1)
+	if q.bad(w) {
+		return
+	}
 	id, err := sys.ResolveUser(user)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
@@ -288,8 +351,8 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	tok := actionlog.Tokenizer{}
 	pg, err := sys.InfluencePaths(id, core.PathOptions{
 		Keywords: tok.Tokenize(r.URL.Query().Get("q")),
-		Theta:    floatParam(r, "theta", 0.01),
-		MaxNodes: intParam(r, "max", 200),
+		Theta:    theta,
+		MaxNodes: maxNodes,
 		Reverse:  r.URL.Query().Get("reverse") == "1",
 	})
 	if err != nil {
@@ -297,8 +360,8 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Optional click-highlight.
-	if clicked := intParam(r, "highlight", -1); clicked >= 0 {
-		path, err := sys.HighlightPath(pg, int32(clicked))
+	if highlight >= 0 {
+		path, err := sys.HighlightPath(pg, int32(highlight))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -318,7 +381,12 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errMissing("prefix"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sys().Complete(prefix, intParam(r, "k", 10)))
+	q := params(r)
+	k := q.Int("k", 10)
+	if q.bad(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys().Complete(prefix, k))
 }
 
 // ---- Streaming ingestion endpoints ----

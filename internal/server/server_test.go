@@ -326,3 +326,50 @@ func itoa(i int) string {
 	}
 	return string(b)
 }
+
+// Malformed query/suggest/paths parameters must be rejected with 400 —
+// previously ?k=ten silently fell back to the default, hiding client
+// bugs behind plausible answers.
+func TestMalformedParamsRejected(t *testing.T) {
+	s, sys := testServer(t)
+	user := url.QueryEscape(sys.Graph().Name(0))
+	cases := []string{
+		"/api/im?q=data&k=ten",
+		"/api/im?q=data&theta=0..5",
+		"/api/suggest?user=" + user + "&k=three",
+		"/api/suggest?user=" + user + "&coherence=x",
+		"/api/keywords?user=" + user + "&limit=many",
+		"/api/paths?user=" + user + "&theta=high",
+		"/api/paths?user=" + user + "&max=1e",
+		"/api/paths?user=" + user + "&highlight=first",
+		"/api/complete?prefix=a&k=1.5",
+	}
+	for _, path := range cases {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, rec.Code)
+			continue
+		}
+		if msg, _ := body["error"].(string); !strings.Contains(msg, "parameter") {
+			t.Errorf("GET %s: error payload %q does not name the parameter", path, msg)
+		}
+	}
+}
+
+// Well-formed values for the same parameters keep working.
+func TestWellFormedParamsAccepted(t *testing.T) {
+	s, sys := testServer(t)
+	user := url.QueryEscape(sys.Graph().Name(0))
+	for _, path := range []string{
+		"/api/im?q=data&k=3&theta=0.05",
+		"/api/suggest?user=" + user + "&k=2&coherence=0.1",
+		"/api/keywords?user=" + user + "&limit=5",
+		"/api/paths?user=" + user + "&theta=0.05&max=40",
+		"/api/complete?prefix=a&k=3",
+	} {
+		rec, _ := get(t, s, path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+}

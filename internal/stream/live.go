@@ -48,6 +48,12 @@ type Config struct {
 	RelearnEM bool
 	// Topics is Z for RelearnEM folds.
 	Topics int
+	// Workers overrides the build parallelism of fold rebuilds — the
+	// EM/index pipeline behind every snapshot swap (0 inherits the base
+	// system's build config, 1 forces serial). More workers shrink
+	// snapshot-swap latency; a serving host sharing cores with queries
+	// may want fewer than a dedicated builder.
+	Workers int
 	// Store, when non-nil, makes the ingester durable: every drained
 	// batch is appended to the write-ahead log and fsynced (group
 	// commit) before it is acknowledged, every snapshot swap checkpoints
@@ -739,6 +745,9 @@ func (ls *LiveSystem) rebuild(old *Snapshot, ov *overlay) (*core.System, error) 
 
 	cfg := oldSys.BuildConfig()
 	cfg.Seed ^= (old.Version + 1) * 0x9e3779b97f4a7c15
+	if ls.cfg.Workers != 0 {
+		cfg.Workers = ls.cfg.Workers
+	}
 	// Carry-over folds share the keyword model with serving snapshots, so
 	// its topic names must never be re-touched from the fold goroutine;
 	// RelearnEM folds learn fresh, uncorrelated topics the base names

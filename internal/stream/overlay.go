@@ -44,10 +44,18 @@ func (ov *overlay) nodeCeil() int {
 	return int(ov.maxNode) + 1
 }
 
+// addEdge records an edge event. A key the overlay already holds — a
+// re-accepted duplicate — only refreshes the probabilities and names:
+// appending to bySrc again would surface the neighbor twice in overlay
+// peeks and double-count the event toward fold thresholds and stats.
 func (ov *overlay) addEdge(ev EdgeEvent, probs topic.Dist) {
 	key := edgeKey{ev.Src, ev.Dst}
+	_, dup := ov.edges[key]
 	ov.edges[key] = probs
-	ov.bySrc[ev.Src] = append(ov.bySrc[ev.Src], ev.Dst)
+	if !dup {
+		ov.bySrc[ev.Src] = append(ov.bySrc[ev.Src], ev.Dst)
+		ov.events++
+	}
 	if ev.Src > ov.maxNode {
 		ov.maxNode = ev.Src
 	}
@@ -60,7 +68,6 @@ func (ov *overlay) addEdge(ev EdgeEvent, probs topic.Dist) {
 	if ev.DstName != "" {
 		ov.names[ev.Dst] = ev.DstName
 	}
-	ov.events++
 }
 
 func (ov *overlay) hasEdge(u, v graph.NodeID) bool {
@@ -84,16 +91,24 @@ func (ov *overlay) addAction(a actionlog.Action) {
 // so nothing can be applied while one is in flight — and this reduces
 // to returning the older delta; the merge is kept defensive in case
 // folding ever moves off that goroutine. Edge keys colliding across the
-// two take the newer probabilities.
+// two take the newer probabilities but are not double-listed in bySrc
+// (and do not double-count toward events).
 func mergeOverlays(older, newer *overlay) *overlay {
 	if newer.events == 0 {
 		return older
 	}
+	dupEdges := 0
+	for u, dsts := range newer.bySrc {
+		for _, v := range dsts {
+			if older.hasEdge(u, v) {
+				dupEdges++
+				continue
+			}
+			older.bySrc[u] = append(older.bySrc[u], v)
+		}
+	}
 	for key, probs := range newer.edges {
 		older.edges[key] = probs
-	}
-	for u, dsts := range newer.bySrc {
-		older.bySrc[u] = append(older.bySrc[u], dsts...)
 	}
 	for u, nm := range newer.names {
 		older.names[u] = nm
@@ -103,7 +118,7 @@ func mergeOverlays(older, newer *overlay) *overlay {
 	if newer.maxNode > older.maxNode {
 		older.maxNode = newer.maxNode
 	}
-	older.events += newer.events
+	older.events += newer.events - dupEdges
 	return older
 }
 

@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"testing"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/topic"
+)
+
+// A re-accepted edge key must not duplicate the neighbor in bySrc or
+// double-count toward the fold threshold — it only refreshes the
+// probabilities and names.
+func TestOverlayAddEdgeDedupes(t *testing.T) {
+	ov := newOverlay()
+	ov.addEdge(EdgeEvent{Src: 1, Dst: 2}, topic.Dist{0.1, 0.9})
+	ov.addEdge(EdgeEvent{Src: 1, Dst: 3}, topic.Dist{0.5, 0.5})
+	ov.addEdge(EdgeEvent{Src: 1, Dst: 2, SrcName: "alice"}, topic.Dist{0.4, 0.6})
+
+	if ov.events != 2 {
+		t.Fatalf("events = %d, want 2 (duplicate must not count)", ov.events)
+	}
+	peek := ov.appendOutEdges(1, nil)
+	if len(peek) != 2 {
+		t.Fatalf("peek returned %d edges, want 2: %+v", len(peek), peek)
+	}
+	seen := map[int32]topic.Dist{}
+	for _, e := range peek {
+		if _, dup := seen[e.Dst]; dup {
+			t.Fatalf("destination %d listed twice", e.Dst)
+		}
+		seen[e.Dst] = e.Probs
+	}
+	// The duplicate refreshed the probabilities and the name.
+	if got := seen[2]; got[0] != 0.4 || got[1] != 0.6 {
+		t.Fatalf("re-accepted edge kept stale probs %v", got)
+	}
+	if ov.names[1] != "alice" {
+		t.Fatalf("re-accepted edge dropped the name update")
+	}
+}
+
+// mergeOverlays must not double-list destinations for edge keys present
+// in both overlays, and the merged event count must not count them
+// twice.
+func TestMergeOverlaysDedupes(t *testing.T) {
+	older := newOverlay()
+	older.addEdge(EdgeEvent{Src: 1, Dst: 2}, topic.Dist{1, 0})
+	older.addEdge(EdgeEvent{Src: 4, Dst: 5}, topic.Dist{1, 0})
+	older.addItem(actionlog.Item{ID: 7})
+
+	newer := newOverlay()
+	newer.addEdge(EdgeEvent{Src: 1, Dst: 2}, topic.Dist{0, 1}) // collides
+	newer.addEdge(EdgeEvent{Src: 1, Dst: 9}, topic.Dist{0, 1})
+
+	merged := mergeOverlays(older, newer)
+	if got := merged.appendOutEdges(1, nil); len(got) != 2 {
+		t.Fatalf("merged bySrc[1] has %d entries, want 2: %+v", len(got), got)
+	}
+	// 2 older edges + 1 item + 1 genuinely new edge.
+	if merged.events != 4 {
+		t.Fatalf("merged events = %d, want 4", merged.events)
+	}
+	// Collision takes the newer probabilities.
+	if p := merged.edges[edgeKey{1, 2}]; p[0] != 0 || p[1] != 1 {
+		t.Fatalf("collision kept older probs %v", p)
+	}
+}

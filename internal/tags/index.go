@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"octopus/internal/graph"
+	"octopus/internal/par"
 	"octopus/internal/rng"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
@@ -48,6 +49,12 @@ type IndexOptions struct {
 	MaxTreeNodes int
 	// Seed drives poll selection and coin thresholds.
 	Seed uint64
+	// Workers bounds the build fan-out (0 = one worker per GOMAXPROCS
+	// slot, 1 = serial). For a fixed Seed the built index is identical
+	// for every worker count: poll roots and per-poll coin streams are
+	// pre-drawn serially from the seed RNG, trees grow concurrently,
+	// and their contributions are merged in poll order.
+	Workers int
 }
 
 func (o *IndexOptions) fill() {
@@ -87,7 +94,10 @@ type Index struct {
 	coins    int // total coins flipped during build (incl. pruned edges)
 }
 
-// BuildIndex samples M poll users and grows their reverse trees under p̄.
+// BuildIndex samples M poll users and grows their reverse trees under
+// p̄. Each poll's root and coin stream derive from values drawn
+// serially from the seed RNG, so polls are independent and the index is
+// identical for every Workers setting.
 func BuildIndex(m *tic.Model, opt IndexOptions) (*Index, error) {
 	opt.fill()
 	if opt.Polls <= 0 {
@@ -98,65 +108,89 @@ func BuildIndex(m *tic.Model, opt IndexOptions) (*Index, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("tags: empty graph")
 	}
+	// Pre-draw poll roots and per-poll RNG seeds from the base stream in
+	// poll order; tree growth then never touches the shared RNG.
 	r := rng.New(opt.Seed)
-	ix := &Index{m: m, contains: make([][]int32, n)}
+	roots := make([]graph.NodeID, opt.Polls)
+	seeds := make([]uint64, opt.Polls)
+	for p := range roots {
+		roots[p] = graph.NodeID(r.Intn(n))
+		seeds[p] = r.Uint64()
+	}
 
+	ix := &Index{m: m, contains: make([][]int32, n), polls: roots}
+	ix.trees = make([]revTree, opt.Polls)
+	edges := make([]int, opt.Polls)
+	coins := make([]int, opt.Polls)
+	par.Each(opt.Workers, opt.Polls, func(_, p int) {
+		ix.trees[p], edges[p], coins[p] = growTree(m, roots[p], rng.New(seeds[p]), opt)
+	})
+	// Merge contributions in poll order so each user's contains list —
+	// and every derived estimate — is reproducible.
+	for p := range ix.trees {
+		ix.edges += edges[p]
+		ix.coins += coins[p]
+		for _, v := range ix.trees[p].nodes {
+			ix.contains[v] = append(ix.contains[v], int32(p))
+		}
+	}
+	return ix, nil
+}
+
+// growTree grows one poll's reverse propagation tree under the
+// upper-envelope probabilities, flipping coins from the poll's private
+// RNG. Returns the tree plus the materialized-edge and flipped-coin
+// counts.
+func growTree(m *tic.Model, root graph.NodeID, r *rng.Source, opt IndexOptions) (revTree, int, int) {
+	g := m.Graph()
+	edges, coins := 0, 0
+	t := revTree{local: make(map[graph.NodeID]int32, 8)}
+	addNode := func(v graph.NodeID) int32 {
+		if i, ok := t.local[v]; ok {
+			return i
+		}
+		i := int32(len(t.nodes))
+		t.nodes = append(t.nodes, v)
+		t.local[v] = i
+		t.inEdges = append(t.inEdges, nil)
+		return i
+	}
 	type qent struct {
 		idx   int32
 		depth int32
 	}
-	for p := 0; p < opt.Polls; p++ {
-		root := graph.NodeID(r.Intn(n))
-		t := revTree{local: make(map[graph.NodeID]int32, 8)}
-		addNode := func(v graph.NodeID) int32 {
-			if i, ok := t.local[v]; ok {
-				return i
-			}
-			i := int32(len(t.nodes))
-			t.nodes = append(t.nodes, v)
-			t.local[v] = i
-			t.inEdges = append(t.inEdges, nil)
-			return i
+	rootIdx := addNode(root)
+	queue := []qent{{rootIdx, 0}}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		if opt.MaxDepth > 0 && int(cur.depth) >= opt.MaxDepth {
+			continue
 		}
-		rootIdx := addNode(root)
-		queue := []qent{{rootIdx, 0}}
-		for qi := 0; qi < len(queue); qi++ {
-			cur := queue[qi]
-			if opt.MaxDepth > 0 && int(cur.depth) >= opt.MaxDepth {
-				continue
-			}
-			if opt.MaxTreeNodes > 0 && len(t.nodes) >= opt.MaxTreeNodes {
-				break
-			}
-			v := t.nodes[cur.idx]
-			lo, hi := g.InSlots(v)
-			for s := lo; s < hi; s++ {
-				e := g.InEdgeID(s)
-				lambda := r.Float64()
-				ix.coins++
-				if lambda >= m.MaxProb(e) {
-					continue // dead under every γ: lazy pruning
-				}
-				u := g.InSrc(s)
-				ui, existed := t.local[u]
-				if !existed {
-					ui = addNode(u)
-					queue = append(queue, qent{ui, cur.depth + 1})
-				}
-				t.inEdges[cur.idx] = append(t.inEdges[cur.idx], revEdge{
-					From: ui, To: cur.idx, Lambda: float32(lambda), Edge: e,
-				})
-				ix.edges++
-			}
+		if opt.MaxTreeNodes > 0 && len(t.nodes) >= opt.MaxTreeNodes {
+			break
 		}
-		pi := int32(len(ix.trees))
-		ix.polls = append(ix.polls, root)
-		ix.trees = append(ix.trees, t)
-		for _, v := range t.nodes {
-			ix.contains[v] = append(ix.contains[v], pi)
+		v := t.nodes[cur.idx]
+		lo, hi := g.InSlots(v)
+		for s := lo; s < hi; s++ {
+			e := g.InEdgeID(s)
+			lambda := r.Float64()
+			coins++
+			if lambda >= m.MaxProb(e) {
+				continue // dead under every γ: lazy pruning
+			}
+			u := g.InSrc(s)
+			ui, existed := t.local[u]
+			if !existed {
+				ui = addNode(u)
+				queue = append(queue, qent{ui, cur.depth + 1})
+			}
+			t.inEdges[cur.idx] = append(t.inEdges[cur.idx], revEdge{
+				From: ui, To: cur.idx, Lambda: float32(lambda), Edge: e,
+			})
+			edges++
 		}
 	}
-	return ix, nil
+	return t, edges, coins
 }
 
 // Model returns the underlying TIC model.

@@ -2,6 +2,7 @@ package tags
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -61,6 +62,9 @@ func buildIx(t testing.TB, m *tic.Model, polls int, seed uint64) *Index {
 }
 
 func TestSpreadEstimateMatchesMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-poll Monte-Carlo comparison; skipped in -short")
+	}
 	m, _ := world(t)
 	ix := buildIx(t, m, 20000, 1)
 	sim := tic.NewSimulator(m)
@@ -375,6 +379,38 @@ func BenchmarkSuggest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Suggest(0, SuggestOptions{K: 2}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestBuildIndexWorkerEquivalence is the parallel-build contract: poll
+// roots and coin streams are pre-drawn serially from the seed RNG, so
+// the grown trees (and every derived estimate) are bit-identical for
+// every worker count.
+func TestBuildIndexWorkerEquivalence(t *testing.T) {
+	m, _ := world(t)
+	build := func(workers int) *Index {
+		ix, err := BuildIndex(m, IndexOptions{Polls: 400, Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	base := build(1)
+	for _, w := range []int{2, 3, 8} {
+		ix := build(w)
+		if !reflect.DeepEqual(base.polls, ix.polls) {
+			t.Fatalf("workers=%d: poll roots differ", w)
+		}
+		if base.edges != ix.edges || base.coins != ix.coins {
+			t.Fatalf("workers=%d: edges/coins %d/%d != %d/%d",
+				w, ix.edges, ix.coins, base.edges, base.coins)
+		}
+		if !reflect.DeepEqual(base.trees, ix.trees) {
+			t.Fatalf("workers=%d: reverse trees differ", w)
+		}
+		if !reflect.DeepEqual(base.contains, ix.contains) {
+			t.Fatalf("workers=%d: contains lists differ", w)
 		}
 	}
 }

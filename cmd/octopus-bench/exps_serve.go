@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/bench"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/server"
+	"octopus/internal/stream"
+)
+
+// buildQueryPool derives a pool of keyword queries from the dataset's
+// actual vocabulary: the poolSize most frequent item keywords, as
+// singles and pairs. Rank 0 is the most popular query; a Zipf draw over
+// ranks reproduces the skew of a real query log.
+func buildQueryPool(ds *datagen.Dataset, poolSize int) []string {
+	freq := map[string]int{}
+	for _, ep := range ds.Log.Episodes {
+		for _, w := range ep.Item.Keywords {
+			freq[w]++
+		}
+	}
+	words := make([]string, 0, len(freq))
+	for w := range freq {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if freq[words[i]] != freq[words[j]] {
+			return freq[words[i]] > freq[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	if len(words) > poolSize {
+		words = words[:poolSize]
+	}
+	pool := make([]string, 0, poolSize)
+	for i, w := range words {
+		if i%2 == 0 || len(words) < 4 {
+			pool = append(pool, w)
+		} else {
+			pool = append(pool, w+" "+words[(i+5)%len(words)])
+		}
+		if len(pool) == poolSize {
+			break
+		}
+	}
+	return pool
+}
+
+// serveRun aggregates one closed-loop load run.
+type serveRun struct {
+	reqs    int
+	errs    int // non-200, non-429 responses
+	shed429 int
+	wall    time.Duration
+	lat     bench.Timer
+
+	hits, misses, stale, coalesced, shed uint64 // server-side, from /api/metrics
+}
+
+// serveLoad drives clients closed-loop client goroutines against the
+// base URL, each issuing perClient IM queries drawn Zipf-skewed from
+// the pool, and folds in the server's own /api/metrics counters.
+func serveLoad(base string, pool []string, clients, perClient int, seed uint64) (*serveRun, error) {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	timers := make([]bench.Timer, clients)
+	errs := make([]int, clients)
+	shed := make([]int, clients)
+	var firstErr error
+	var errMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed) + int64(c)))
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(pool)-1))
+			for i := 0; i < perClient; i++ {
+				q := pool[zipf.Uint64()]
+				t0 := time.Now()
+				resp, err := hc.Get(base + "/api/im?q=" + url.QueryEscape(q) + "&k=5")
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				timers[c].Add(time.Since(t0))
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed[c]++
+				case resp.StatusCode != http.StatusOK:
+					errs[c]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Merge per-client results (per-client timers avoid lock contention
+	// on the hot path).
+	run := &serveRun{wall: time.Since(start)}
+	for c := 0; c < clients; c++ {
+		run.reqs += timers[c].N()
+		run.errs += errs[c]
+		run.shed429 += shed[c]
+		for _, d := range timers[c].Samples() {
+			run.lat.Add(d)
+		}
+	}
+	if err := fetchServeMetrics(hc, base, run); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+func fetchServeMetrics(hc *http.Client, base string, run *serveRun) error {
+	resp, err := hc.Get(base + "/api/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Endpoints map[string]struct {
+			Hits      uint64 `json:"cacheHits"`
+			Misses    uint64 `json:"cacheMisses"`
+			Stale     uint64 `json:"cacheStale"`
+			Coalesced uint64 `json:"coalesced"`
+			Shed      uint64 `json:"shed"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decode /api/metrics: %w", err)
+	}
+	im := doc.Endpoints["im"]
+	run.hits, run.misses, run.stale = im.Hits, im.Misses, im.Stale
+	run.coalesced, run.shed = im.Coalesced, im.Shed
+	return nil
+}
+
+// shedUnderLongQuery verifies admission control: with one engine slot,
+// a long targeted-IM query (heavy reverse-reachable sampling over the
+// full graph as audience) occupies the gate while cheap probe queries
+// keep arriving; each probe must be answered 429 immediately rather
+// than queued behind it. Returns the number of shed responses.
+func shedUnderLongQuery(base string, pool []string, nodes int) (int, error) {
+	hc := &http.Client{Timeout: 5 * time.Minute}
+	audience := make([]int32, 0, nodes)
+	for u := 0; u < nodes; u++ {
+		audience = append(audience, int32(u))
+	}
+	body, err := json.Marshal(map[string]any{
+		"q": pool[0], "audience": audience, "k": 20, "rrSamples": 200_000,
+	})
+	if err != nil {
+		return 0, err
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := hc.Post(base+"/api/im/targeted", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- err
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("targeted query status %d", resp.StatusCode)
+			return
+		}
+		done <- nil
+	}()
+	time.Sleep(10 * time.Millisecond) // let the targeted query claim the slot
+	shed := 0
+	for {
+		select {
+		case err := <-done:
+			return shed, err
+		default:
+		}
+		resp, err := hc.Get(base + "/api/complete?prefix=A&k=3")
+		if err != nil {
+			return shed, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+}
+
+// E16 — the query-serving layer under a Zipf-skewed keyword workload:
+// closed-loop load against the HTTP server with the result cache off vs
+// on vs on-under-ingest-driven-swaps, plus an admission-control run
+// that must shed with 429 rather than queue. Asserts the cache buys
+// ≥5× on p50 latency and that the in-flight bound actually sheds.
+func runE16(e *env) error {
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors: e.sizes.serveAuthors,
+		Topics:  6,
+		Seed:    e.seed ^ 0xe16,
+	})
+	if err != nil {
+		return err
+	}
+	sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+		GroundTruth:      ds.Truth,
+		GroundTruthWords: ds.TruthWords,
+		TopicNames:       ds.TopicNames,
+		Seed:             e.seed ^ 0x1616,
+	})
+	if err != nil {
+		return err
+	}
+	pool := buildQueryPool(ds, e.sizes.servePool)
+	clients, perClient := e.sizes.serveClients, e.sizes.serveRequests
+	fmt.Fprintf(e.out, "[serve workload: %d-author system, %d distinct queries (Zipf s=1.2), %d clients × %d requests]\n",
+		ds.Graph.NumNodes(), len(pool), clients, perClient)
+
+	tab := bench.NewTable("E16: closed-loop IM serving, Zipf-skewed keyword workload",
+		"config", "reqs", "errs", "req/s", "p50", "p99", "hits", "misses", "stale", "coalesced")
+
+	row := func(label string, run *serveRun) {
+		tab.Row(label, run.reqs, run.errs,
+			fmt.Sprintf("%.0f", float64(run.reqs)/run.wall.Seconds()),
+			run.lat.Percentile(50), run.lat.Percentile(99),
+			run.hits, run.misses, run.stale, run.coalesced)
+	}
+
+	// 1. Cache off: every request pays a full engine run.
+	srvOff := httptest.NewServer(server.NewWith(sys, server.Options{CacheEntries: -1}))
+	off, err := serveLoad(srvOff.URL, pool, clients, perClient, e.seed)
+	srvOff.Close()
+	if err != nil {
+		return err
+	}
+	row("cache off", off)
+
+	// 2. Cache on: repeated popular queries hit.
+	srvOn := httptest.NewServer(server.NewWith(sys, server.Options{}))
+	on, err := serveLoad(srvOn.URL, pool, clients, perClient, e.seed)
+	srvOn.Close()
+	if err != nil {
+		return err
+	}
+	row("cache on", on)
+
+	// 3. Cache on while ingest-driven snapshot swaps invalidate it.
+	ls, err := stream.NewLiveSystem(sys, stream.Config{RebuildEvents: 1 << 30, BufferBatches: 16})
+	if err != nil {
+		return err
+	}
+	srvLive := httptest.NewServer(server.NewLiveWith(ls, server.Options{}))
+	stopFeed := make(chan struct{})
+	var feedWG sync.WaitGroup
+	var swaps int
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		rng := rand.New(rand.NewSource(int64(e.seed) ^ 0x16f))
+		nextItem := int32(10_000_000)
+		for {
+			select {
+			case <-stopFeed:
+				return
+			default:
+			}
+			items := make([]actionlog.Item, 0, 8)
+			acts := make([]actionlog.Action, 0, 16)
+			for j := 0; j < 8; j++ {
+				id := nextItem
+				nextItem++
+				items = append(items, actionlog.Item{ID: id, Keywords: []string{pool[rng.Intn(len(pool))]}})
+				acts = append(acts,
+					actionlog.Action{User: graph.NodeID(rng.Intn(ds.Graph.NumNodes())), Item: id, Time: int64(id)},
+					actionlog.Action{User: graph.NodeID(rng.Intn(ds.Graph.NumNodes())), Item: id, Time: int64(id) + 1})
+			}
+			if err := ls.IngestActions(items, acts); err != nil {
+				return
+			}
+			if err := ls.ForceSnapshot(); err != nil {
+				return
+			}
+			swaps++
+		}
+	}()
+	live, err := serveLoad(srvLive.URL, pool, clients, perClient, e.seed)
+	close(stopFeed)
+	feedWG.Wait()
+	srvLive.Close()
+	closeErr := ls.Close()
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	row(fmt.Sprintf("cache on + %d swaps", swaps), live)
+
+	// 4. Admission control: one engine slot, uncached. A long targeted-IM
+	// query occupies the slot while im queries keep arriving — they must
+	// be shed with 429 immediately, never queued behind it. (Occupying
+	// the slot explicitly makes the check deterministic even on a
+	// single-core host, where short CPU-bound handlers rarely overlap.)
+	srvShed := httptest.NewServer(server.NewWith(sys, server.Options{CacheEntries: -1, MaxInflight: 1}))
+	shed429, shedErr := shedUnderLongQuery(srvShed.URL, pool, ds.Graph.NumNodes())
+	srvShed.Close()
+	if shedErr != nil {
+		return shedErr
+	}
+	tab.Row("max-inflight=1", "-", "-", "-", "-", "-", "-", "-",
+		fmt.Sprintf("429s=%d", shed429), "-")
+	tab.Render(e.out)
+
+	if off.errs > 0 || on.errs > 0 || live.errs > 0 {
+		return fmt.Errorf("unexpected non-200/429 responses (off=%d on=%d live=%d)",
+			off.errs, on.errs, live.errs)
+	}
+	p50Off, p50On := off.lat.Percentile(50), on.lat.Percentile(50)
+	speedup := float64(p50Off) / float64(p50On)
+	fmt.Fprintf(e.out, "cache p50 speedup: %.1f× (%s → %s); hit rate %.0f%%; live-run stale invalidations: %d\n",
+		speedup, p50Off, p50On, 100*float64(on.hits)/float64(on.reqs), live.stale)
+	if speedup < 5 {
+		return fmt.Errorf("cache p50 speedup %.1f× below the 5× bar", speedup)
+	}
+	if on.hits == 0 {
+		return fmt.Errorf("cache-on run recorded no hits")
+	}
+	if shed429 == 0 {
+		return fmt.Errorf("max-inflight=1 run shed no requests")
+	}
+	fmt.Fprintln(e.out, "note: the cache is generation-tagged — the live run's stale count is swaps doing")
+	fmt.Fprintln(e.out, "      their job; 429s under max-inflight=1 are load shedding, not failures.")
+	return nil
+}

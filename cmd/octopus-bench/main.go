@@ -1,8 +1,10 @@
-// Command octopus-bench runs the experiment suite E1–E15 defined in
+// Command octopus-bench runs the experiment suite E1–E16 defined in
 // DESIGN.md §4 and prints one table per experiment — the reproduction of
 // every figure/scenario of the OCTOPUS demo paper plus the engine claims
 // it builds on (E13: streaming ingestion; E14: persistence and
-// crash-recovery costs; E15: build-pipeline parallelism). EXPERIMENTS.md
+// crash-recovery costs; E15: build-pipeline parallelism; E16: the
+// query-serving layer — result cache, request coalescing and admission
+// control under a Zipf-skewed closed-loop workload). EXPERIMENTS.md
 // records a reference run.
 //
 // Usage:
@@ -32,6 +34,10 @@ type sizes struct {
 	streamBatch     int   // events per replayed ingest batch
 	snapshotNodes   []int // cold-start experiment dataset sizes
 	parAuthors      int   // build-parallelism experiment dataset size
+	serveAuthors    int   // query-serving experiment dataset size
+	serveClients    int   // closed-loop load-generator clients
+	serveRequests   int   // requests per client per configuration
+	servePool       int   // distinct queries in the Zipf-skewed pool
 }
 
 func defaultSizes(quick bool) sizes {
@@ -48,6 +54,10 @@ func defaultSizes(quick bool) sizes {
 			streamBatch:     128,
 			snapshotNodes:   []int{1000, 2000},
 			parAuthors:      700,
+			serveAuthors:    800,
+			serveClients:    4,
+			serveRequests:   150,
+			servePool:       64,
 		}
 	}
 	return sizes{
@@ -62,6 +72,10 @@ func defaultSizes(quick bool) sizes {
 		streamBatch:     256,
 		snapshotNodes:   []int{3000, 8000},
 		parAuthors:      2500,
+		serveAuthors:    2500,
+		serveClients:    8,
+		serveRequests:   400,
+		servePool:       128,
 	}
 }
 
@@ -94,6 +108,7 @@ func main() {
 		{"E13", "Streaming ingestion: replay throughput, swap latency, staleness", runE13},
 		{"E14", "Persistence: snapshot cold-start speedup and WAL ingest overhead", runE14},
 		{"E15", "Build/fold parallelism: pipeline speedup vs workers, determinism check", runE15},
+		{"E16", "Query-serving layer: result cache, coalescing, admission control under Zipf load", runE16},
 	}
 
 	want := map[string]bool{}

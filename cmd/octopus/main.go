@@ -8,7 +8,8 @@
 //
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em] [-workers W]
 //	octopus serve [-addr :8080] [-load model.oct] [-ingest] [-wal DIR]
-//	              [-rebuild-events N] [-rebuild-interval D] [same dataset flags]
+//	              [-rebuild-events N] [-rebuild-interval D]
+//	              [-cache-entries N] [-max-inflight N] [same dataset flags]
 //	octopus query [-q "data mining"] [-k 10] [-load model.oct] [same dataset flags]
 //	octopus train [-out models/] [same dataset flags]   # EM + persist text models
 //	octopus build [-o model.oct] [same dataset flags]   # build + binary snapshot
@@ -32,6 +33,13 @@
 // recovers snapshot + WAL tail automatically. SIGINT/SIGTERM trigger a
 // graceful shutdown: the HTTP server drains, then the ingester folds
 // and checkpoints one final time.
+//
+// serve always runs the query-serving layer: a generation-tagged result
+// cache (-cache-entries, invalidated implicitly by snapshot swaps),
+// request coalescing, and admission control (-max-inflight; excess
+// requests are shed with 429 + Retry-After). GET /api/metrics reports
+// per-endpoint latency quantiles and cache/shed counters; POST
+// /api/batch answers many queries in one round trip.
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -79,6 +88,9 @@ type options struct {
 	walDir          string
 	rebuildEvents   int
 	rebuildInterval time.Duration
+
+	cacheEntries int
+	maxInflight  int
 }
 
 func main() {
@@ -105,6 +117,8 @@ func main() {
 	fs.StringVar(&opt.walDir, "wal", "", "durability directory for serve -ingest: WAL + checkpoint snapshots, with crash recovery on start")
 	fs.IntVar(&opt.rebuildEvents, "rebuild-events", 4096, "fold the ingest overlay into a new snapshot after this many events (serve -ingest)")
 	fs.DurationVar(&opt.rebuildInterval, "rebuild-interval", 30*time.Second, "also fold when pending events are older than this; 0 disables (serve -ingest)")
+	fs.IntVar(&opt.cacheEntries, "cache-entries", server.DefaultCacheEntries, "result-cache entries, invalidated per snapshot generation; negative disables the cache (serve)")
+	fs.IntVar(&opt.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0), "concurrent query-engine bound; excess requests get 429 + Retry-After, 0 = unlimited (serve)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -288,6 +302,10 @@ func serveMain(opt options) {
 func serve(opt options, sys *core.System, dir *store.Dir) error {
 	var handler http.Handler
 	var live *stream.LiveSystem
+	srvOpt := server.Options{
+		CacheEntries: opt.cacheEntries,
+		MaxInflight:  opt.maxInflight,
+	}
 	if opt.ingest {
 		ls, err := stream.NewLiveSystem(sys, stream.Config{
 			RebuildEvents:   opt.rebuildEvents,
@@ -299,7 +317,7 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 			return err
 		}
 		live = ls
-		handler = server.NewLive(ls)
+		handler = server.NewLiveWith(ls, srvOpt)
 		durable := ""
 		if dir != nil {
 			durable = fmt.Sprintf(", durable in %s", dir.Path())
@@ -307,9 +325,19 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 		fmt.Printf("OCTOPUS (live%s) listening on %s — POST /api/ingest/{actions,edges}, GET /api/ingest/stats\n",
 			durable, opt.addr)
 	} else {
-		handler = server.New(sys)
+		handler = server.NewWith(sys, srvOpt)
 		fmt.Printf("OCTOPUS listening on %s — try /api/im?q=data+mining&k=10\n", opt.addr)
 	}
+	// Report the effective settings (0 cache entries means the default
+	// size; only a negative value disables the cache).
+	cacheDesc := fmt.Sprintf("%d", opt.cacheEntries)
+	if opt.cacheEntries == 0 {
+		cacheDesc = fmt.Sprintf("%d", server.DefaultCacheEntries)
+	} else if opt.cacheEntries < 0 {
+		cacheDesc = "off"
+	}
+	fmt.Printf("serving layer: cache-entries=%s max-inflight=%d — GET /api/metrics, POST /api/batch\n",
+		cacheDesc, opt.maxInflight)
 
 	httpSrv := &http.Server{
 		Addr:    opt.addr,

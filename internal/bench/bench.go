@@ -32,6 +32,10 @@ func (t *Timer) Add(d time.Duration) { t.samples = append(t.samples, d) }
 // N returns the sample count.
 func (t *Timer) N() int { return len(t.samples) }
 
+// Samples returns the recorded durations in insertion order (the
+// backing slice; callers must not mutate it).
+func (t *Timer) Samples() []time.Duration { return t.samples }
+
 // Mean returns the mean duration.
 func (t *Timer) Mean() time.Duration {
 	if len(t.samples) == 0 {

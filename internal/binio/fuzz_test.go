@@ -1,0 +1,129 @@
+package binio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader drives every Reader method over arbitrary input. The
+// contract under fuzz: never panic, never allocate more elements than
+// the input could hold (the input is a bytes.Reader, so remain is
+// known), and stay sticky — after the first error every later call is a
+// zero-value no-op and Err() keeps returning the same error.
+func FuzzReader(f *testing.F) {
+	// A fully valid stream covering every codec method, produced by the
+	// Writer itself.
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	w.U8(7)
+	w.U16(513)
+	w.U32(1 << 20)
+	w.U64(1 << 40)
+	w.I32(-5)
+	w.I64(-1 << 33)
+	w.F32(1.5)
+	w.F64(-2.25)
+	w.Str("hello")
+	w.I32s([]int32{1, -2, 3})
+	w.U16s([]uint16{9, 8})
+	w.F32s([]float32{0.5})
+	w.F64s([]float64{1e9, -1e-9})
+	w.Strs([]string{"a", "bc", ""})
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte{})
+	// A declared length far beyond the input: must be rejected before
+	// allocation, not satisfied.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		_ = r.U8()
+		_ = r.U16()
+		_ = r.U32()
+		_ = r.U64()
+		_ = r.I32()
+		_ = r.I64()
+		_ = r.F32()
+		_ = r.F64()
+		checkBounded(t, len(data), len(r.Str()), 1)
+		checkBounded(t, len(data), len(r.I32s()), 4)
+		checkBounded(t, len(data), len(r.U16s()), 2)
+		checkBounded(t, len(data), len(r.F32s()), 4)
+		checkBounded(t, len(data), len(r.F64s()), 8)
+		checkBounded(t, len(data), len(r.Strs()), 4)
+		// Exhaust the stream; the error must become sticky.
+		for i := 0; i < 4; i++ {
+			_ = r.Strs()
+			_ = r.U64()
+		}
+		first := r.Err()
+		if first == nil {
+			return
+		}
+		if v := r.U64(); v != 0 {
+			t.Fatalf("read after error returned %d, want zero value", v)
+		}
+		if s := r.Str(); s != "" {
+			t.Fatalf("Str after error returned %q, want empty", s)
+		}
+		if again := r.Err(); again != first {
+			t.Fatalf("error not sticky: %v then %v", first, again)
+		}
+	})
+}
+
+// checkBounded asserts a decoded slice could actually have come from
+// the input: n elements of the given width never exceed the input size.
+func checkBounded(t *testing.T, inputLen, n, width int) {
+	t.Helper()
+	if n*width > inputLen {
+		t.Fatalf("decoded %d elements × %dB from %dB of input", n, width, inputLen)
+	}
+}
+
+// FuzzReaderWriterRoundTrip: anything the Writer produces from
+// fuzz-chosen values must decode back exactly.
+func FuzzReaderWriterRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint32(2), int64(-3), 4.5, "six")
+	f.Add(uint8(0), uint32(0), int64(0), 0.0, "")
+	f.Fuzz(func(t *testing.T, a uint8, b uint32, c int64, d float64, s string) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.U8(a)
+		w.U32(b)
+		w.I64(c)
+		w.F64(d)
+		w.Str(s)
+		w.Strs([]string{s, s + "x"})
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		if got := r.U8(); got != a {
+			t.Fatalf("U8 = %d, want %d", got, a)
+		}
+		if got := r.U32(); got != b {
+			t.Fatalf("U32 = %d, want %d", got, b)
+		}
+		if got := r.I64(); got != c {
+			t.Fatalf("I64 = %d, want %d", got, c)
+		}
+		if got := r.F64(); got != d && !(d != d && got != got) { // NaN-safe
+			t.Fatalf("F64 = %v, want %v", got, d)
+		}
+		if got := r.Str(); got != s {
+			t.Fatalf("Str = %q, want %q", got, s)
+		}
+		ss := r.Strs()
+		if len(ss) != 2 || ss[0] != s || ss[1] != s+"x" {
+			t.Fatalf("Strs = %q", ss)
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("round trip error: %v", err)
+		}
+	})
+}

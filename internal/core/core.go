@@ -281,6 +281,15 @@ func (s *System) Propagation() *tic.Model { return s.prop }
 // Keywords returns the keyword/topic model.
 func (s *System) Keywords() *topic.Model { return s.words }
 
+// InferGamma maps free-text keywords to the topic distribution γ that
+// drives every topic-aware service, plus the words outside the model's
+// vocabulary. It is cheap (a vocabulary lookup and a normalization) and
+// deterministic, which lets the serving layer key its result cache by
+// the inferred distribution without running an engine.
+func (s *System) InferGamma(keywords []string) (topic.Dist, []string) {
+	return s.words.InferGamma(keywords)
+}
+
 // OTIMIndex exposes the keyword-IM index (for experiments).
 func (s *System) OTIMIndex() *otim.Index { return s.otimIdx }
 

@@ -1,0 +1,451 @@
+// Package qcache is the query-serving layer of the OCTOPUS server: the
+// machinery that lets an *online* influence-analysis system answer the
+// same popular questions many times without redoing the work, and stay
+// up when the offered load exceeds what the engines can absorb.
+//
+// It provides four pieces, composed by internal/server:
+//
+//   - Cache: a bounded LRU of rendered query responses, each entry
+//     tagged with the serving snapshot's generation. A lookup hits only
+//     when the entry's generation matches the current one, so a snapshot
+//     swap invalidates every cached answer implicitly — no flush, no
+//     epoch walk, stale entries simply die on their next touch or fall
+//     off the LRU tail.
+//
+//   - Flight: request coalescing (singleflight). Concurrent identical
+//     misses share one engine run; followers block until the leader's
+//     response is rendered and then reuse its bytes.
+//
+//   - Gate: a semaphore admission controller. Query work acquires a
+//     slot before running an engine; when all slots are taken the
+//     request is shed immediately (the server answers 429 + Retry-After)
+//     instead of queueing unboundedly.
+//
+//   - Metrics: per-endpoint request counters, cache hit/miss/stale and
+//     shed counts, and latency histograms with quantile estimation —
+//     the payload behind GET /api/metrics.
+//
+// The package is deliberately value-agnostic: an Entry is a rendered
+// HTTP response (status + headers + body bytes), so a cache hit is
+// byte-identical to the miss that produced it.
+package qcache
+
+import (
+	"container/list"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one rendered response: what the handler wrote, replayable
+// verbatim. Body and Header must be treated as immutable once stored.
+type Entry struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// Outcome classifies a cache lookup.
+type Outcome int
+
+const (
+	// Miss: no entry under the key.
+	Miss Outcome = iota
+	// Hit: an entry with the current generation.
+	Hit
+	// Stale: an entry existed but was built against an older generation;
+	// it has been evicted and the caller must recompute.
+	Stale
+)
+
+// Cache is a bounded, generation-aware LRU of rendered responses. Safe
+// for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheItem struct {
+	key   string
+	gen   uint64
+	entry *Entry
+}
+
+// New creates a cache bounded to maxEntries (minimum 1).
+func New(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		max:     maxEntries,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get looks the key up against the given generation. A generation
+// mismatch evicts the entry and reports Stale — the snapshot the answer
+// was computed from is no longer the one being served.
+func (c *Cache) Get(key string, gen uint64) (*Entry, Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, Miss
+	}
+	it := el.Value.(*cacheItem)
+	if it.gen != gen {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		return nil, Stale
+	}
+	c.ll.MoveToFront(el)
+	return it.entry, Hit
+}
+
+// Put stores an entry under key for the given generation, replacing any
+// existing entry and evicting from the LRU tail past the bound. A
+// straggler from an older generation never regresses a newer entry — a
+// slow pre-swap leader finishing after the swap must not de-cache the
+// hot key the current generation already recomputed.
+func (c *Cache) Put(key string, gen uint64, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		it := el.Value.(*cacheItem)
+		if it.gen > gen {
+			return
+		}
+		it.gen, it.entry = gen, e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheItem{key: key, gen: gen, entry: e})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheItem).key)
+	}
+}
+
+// Len reports the current number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Flight coalesces concurrent calls that share a key: the first caller
+// (the leader) runs fn, everyone else blocks and reuses its result. The
+// zero value is ready to use. Keys should incorporate the generation so
+// a leader from before a swap is never joined after it.
+type Flight struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val *Entry
+}
+
+// Do runs fn under the key, coalescing with an in-flight identical
+// call. The second return reports whether the result was shared from
+// another caller's run. If the leader's fn panics, the panic
+// propagates to the leader, the key is retired, and waiters receive a
+// nil Entry — a key must never stay wedged past the panic (the HTTP
+// server recovers handler panics, so the process outlives them).
+func (f *Flight) Do(key string, fn func() *Entry) (*Entry, bool) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[string]*flightCall)
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	f.m[key] = c
+	f.mu.Unlock()
+
+	defer func() {
+		f.mu.Lock()
+		delete(f.m, key)
+		f.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val = fn()
+	return c.val, false
+}
+
+// Gate is a semaphore admission controller: at most capacity units of
+// query work run concurrently; excess work is refused immediately, never
+// queued. A nil Gate admits everything.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate creates a gate admitting capacity concurrent acquisitions.
+// capacity <= 0 returns nil — an unlimited gate.
+func NewGate(capacity int) *Gate {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Gate{slots: make(chan struct{}, capacity)}
+}
+
+// TryAcquire claims a slot without blocking, reporting success.
+func (g *Gate) TryAcquire() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (g *Gate) Release() {
+	if g != nil {
+		<-g.slots
+	}
+}
+
+// InFlight reports the currently claimed slots (0 for a nil gate).
+func (g *Gate) InFlight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
+// Capacity reports the slot bound (0 = unlimited).
+func (g *Gate) Capacity() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.slots)
+}
+
+// ---- Metrics ----
+
+// latency histogram: power-of-two buckets over nanoseconds with linear
+// interpolation inside a bucket — coarse (≤2× error) but constant-size,
+// allocation-free and mergeable, which is all a /api/metrics endpoint
+// needs. Exact client-side percentiles belong to the bench harness.
+const histBuckets = 64
+
+type hist struct {
+	count   uint64
+	sumNs   uint64
+	maxNs   uint64
+	buckets [histBuckets]uint64
+}
+
+func (h *hist) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.count++
+	h.sumNs += ns
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+	b := 0
+	for v := ns; v > 1; v >>= 1 {
+		b++
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b]++
+}
+
+// quantile estimates the q-th (0..1) latency in nanoseconds.
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var seen float64
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := float64(uint64(1) << b)
+		if b == 0 {
+			lo = 0
+		}
+		hi := float64(uint64(1) << (b + 1))
+		if seen+float64(n) >= rank {
+			frac := (rank - seen) / float64(n)
+			v := lo + frac*(hi-lo)
+			if m := float64(h.maxNs); v > m {
+				v = m
+			}
+			return v
+		}
+		seen += float64(n)
+	}
+	return float64(h.maxNs)
+}
+
+type endpointStats struct {
+	count     uint64
+	errors    uint64 // responses with status >= 400
+	hits      uint64
+	misses    uint64
+	stale     uint64
+	coalesced uint64
+	shed      uint64
+	lat       hist
+}
+
+// Metrics aggregates per-endpoint serving statistics. Safe for
+// concurrent use; the zero value is not ready — use NewMetrics.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *Metrics) get(endpoint string) *endpointStats {
+	s, ok := m.endpoints[endpoint]
+	if !ok {
+		s = &endpointStats{}
+		m.endpoints[endpoint] = s
+	}
+	return s
+}
+
+// CacheState is how a response was produced, for the per-endpoint cache
+// counters and the X-Octopus-Cache response header.
+type CacheState string
+
+const (
+	// StateHit: served from the cache at the current generation.
+	StateHit CacheState = "hit"
+	// StateMiss: computed by this request's own engine run.
+	StateMiss CacheState = "miss"
+	// StateStale: computed after evicting an entry from an older
+	// generation — the invalidation path a snapshot swap triggers. The
+	// stale counter itself is advanced by StaleEvict at eviction time
+	// (the request may still end up coalesced or shed); Observe treats
+	// StateStale as a miss.
+	StateStale CacheState = "stale"
+	// StateCoalesced: reused from a concurrent identical request's run.
+	StateCoalesced CacheState = "coalesced"
+	// StateShed: refused by the admission gate (429). The shed counter
+	// is advanced by Shed when the gate refuses; Observe only records
+	// the request itself.
+	StateShed CacheState = "shed"
+	// StateBypass: endpoint does not participate in caching.
+	StateBypass CacheState = "bypass"
+)
+
+// Observe records one served response.
+func (m *Metrics) Observe(endpoint string, state CacheState, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.get(endpoint)
+	s.count++
+	if status >= 400 {
+		s.errors++
+	}
+	switch state {
+	case StateHit:
+		s.hits++
+	case StateMiss, StateStale:
+		s.misses++
+	case StateCoalesced:
+		s.coalesced++
+	}
+	s.lat.observe(d)
+}
+
+// Shed records one admission-control rejection for the endpoint.
+func (m *Metrics) Shed(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.get(endpoint).shed++
+}
+
+// StaleEvict records one generation-mismatch eviction for the endpoint.
+func (m *Metrics) StaleEvict(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.get(endpoint).stale++
+}
+
+// EndpointSnapshot is the JSON-ready per-endpoint report.
+type EndpointSnapshot struct {
+	Count     uint64  `json:"count"`
+	Errors    uint64  `json:"errors"`
+	Hits      uint64  `json:"cacheHits"`
+	Misses    uint64  `json:"cacheMisses"`
+	Stale     uint64  `json:"cacheStale"`
+	Coalesced uint64  `json:"coalesced"`
+	Shed      uint64  `json:"shed"`
+	MeanMs    float64 `json:"meanMillis"`
+	P50Ms     float64 `json:"p50Millis"`
+	P99Ms     float64 `json:"p99Millis"`
+	MaxMs     float64 `json:"maxMillis"`
+}
+
+// Snapshot is the JSON-ready full metrics report.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptimeSeconds"`
+	Requests      uint64                      `json:"requests"`
+	Shed          uint64                      `json:"shed"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	// EndpointNames lists the endpoints sorted, so renderers have a
+	// stable iteration order.
+	EndpointNames []string `json:"endpointNames"`
+}
+
+// Report renders a point-in-time snapshot of every endpoint's counters.
+func (m *Metrics) Report() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	for name, s := range m.endpoints {
+		ep := EndpointSnapshot{
+			Count:     s.count,
+			Errors:    s.errors,
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Stale:     s.stale,
+			Coalesced: s.coalesced,
+			Shed:      s.shed,
+			P50Ms:     s.lat.quantile(0.50) / 1e6,
+			P99Ms:     s.lat.quantile(0.99) / 1e6,
+			MaxMs:     float64(s.maxNs()) / 1e6,
+		}
+		if s.count > 0 {
+			ep.MeanMs = float64(s.sumNs()) / float64(s.count) / 1e6
+		}
+		out.Endpoints[name] = ep
+		out.EndpointNames = append(out.EndpointNames, name)
+		out.Requests += s.count
+		out.Shed += s.shed
+	}
+	sort.Strings(out.EndpointNames)
+	return out
+}
+
+func (s *endpointStats) maxNs() uint64 { return s.lat.maxNs }
+func (s *endpointStats) sumNs() uint64 { return s.lat.sumNs }

@@ -1,0 +1,485 @@
+// qserve.go is the query-serving layer of the HTTP API: the glue
+// between the route table and internal/qcache. Every read request is
+// answered from one pinned (snapshot, generation) pair; the rendered
+// response is cached under a canonical key tagged with that generation,
+// concurrent identical misses coalesce into a single engine run, and an
+// optional admission gate sheds excess engine work with 429 instead of
+// queueing it. The file also hosts the endpoints that exist because of
+// this layer: POST /api/batch, GET /api/metrics and POST
+// /api/im/targeted.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/qcache"
+)
+
+// maxBatchQueries bounds one POST /api/batch request.
+const maxBatchQueries = 256
+
+// maxTargetedRRSamples bounds the reverse-reachable sample count a
+// client may demand from POST /api/im/targeted.
+const maxTargetedRRSamples = 200_000
+
+// instrument wraps a route with per-endpoint metrics: request count,
+// error count, latency histogram, and — read back from the
+// X-Octopus-Cache header the cached path stamps — the cache outcome.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		state := qcache.CacheState(sw.Header().Get("X-Octopus-Cache"))
+		if state == "" {
+			state = qcache.StateBypass
+		}
+		s.metrics.Observe(endpoint, state, sw.status(), time.Since(start))
+	}
+}
+
+// statusWriter remembers the response status for the metrics layer.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// cachedQuery adapts a snapshot-bound handler to the cached serving
+// path.
+func (s *Server) cachedQuery(endpoint string, h queryHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(endpoint, h, w, r)
+	}
+}
+
+// serveQuery answers one read request through the serving layer: pin
+// the snapshot and its generation, probe the cache, coalesce identical
+// concurrent misses, compute behind the admission gate, store, replay.
+func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWriter, r *http.Request) {
+	sys, gen := s.snap()
+	if s.cache == nil {
+		replayEntry(w, s.compute(endpoint, h, sys, r), qcache.StateBypass, gen)
+		return
+	}
+	key := s.cacheKey(endpoint, sys, r.URL.Query())
+	state := qcache.StateMiss
+	if e, out := s.cache.Get(key, gen); out == qcache.Hit {
+		replayEntry(w, e, qcache.StateHit, gen)
+		return
+	} else if out == qcache.Stale {
+		// Count the invalidation at eviction time, whatever this request
+		// ends up as (leader, coalesced, shed).
+		state = qcache.StateStale
+		s.metrics.StaleEvict(endpoint)
+	}
+	// Coalesce on (generation, key): concurrent identical misses share
+	// one engine run; a leader pinned before a swap is never joined by a
+	// request pinned after it.
+	fkey := strconv.FormatUint(gen, 10) + "|" + key
+	e, shared := s.flight.Do(fkey, func() *qcache.Entry {
+		// The leader's result is shared by every coalesced waiter, so the
+		// run must not die with the leader's connection: detach its cancel
+		// signal (one disconnecting client must not poison the answer for
+		// the healthy ones) and let queryCtx's own timeout bound the work.
+		leader := r.WithContext(context.WithoutCancel(r.Context()))
+		e := s.compute(endpoint, h, sys, leader)
+		// Only successful answers are worth replaying; errors are cheap to
+		// recompute and may be transient (timeouts, shed).
+		if e.Status == http.StatusOK {
+			s.cache.Put(key, gen, e)
+		}
+		return e
+	})
+	if e == nil {
+		// The flight leader panicked mid-run (recovered by net/http);
+		// don't replay nothing at the waiters.
+		writeErr(w, http.StatusInternalServerError, errors.New("query computation failed; retry"))
+		return
+	}
+	switch {
+	case e.Status == http.StatusTooManyRequests:
+		// Handlers never produce 429 themselves: the flight leader was
+		// shed by the admission gate. Waiters coalesced onto a shed leader
+		// were shed too — report and count them as such (the leader
+		// counted itself in compute).
+		state = qcache.StateShed
+		if shared {
+			s.metrics.Shed(endpoint)
+		}
+	case shared:
+		state = qcache.StateCoalesced
+	}
+	replayEntry(w, e, state, gen)
+}
+
+// compute runs the handler behind the admission gate and renders its
+// response. When the gate is full the request is shed immediately —
+// 429 + Retry-After — rather than queued.
+func (s *Server) compute(endpoint string, h queryHandler, sys *core.System, r *http.Request) *qcache.Entry {
+	if !s.gate.TryAcquire() {
+		s.metrics.Shed(endpoint)
+		return shedEntry()
+	}
+	defer s.gate.Release()
+	rec := newRecorder()
+	h(sys, rec, r)
+	return rec.entry()
+}
+
+func shedEntry() *qcache.Entry {
+	rec := newRecorder()
+	rec.Header().Set("Retry-After", "1")
+	writeErr(rec, http.StatusTooManyRequests,
+		errors.New("server over capacity: in-flight query bound reached; retry"))
+	return rec.entry()
+}
+
+// cacheKey builds the canonical cache key: endpoint, the normalized
+// request parameters, and — for IM queries — the inferred topic
+// distribution γ, rendered exactly. Two requests with equal keys
+// produce byte-identical responses against the same snapshot. The key
+// mirrors exactly what handlers read: the FIRST value of each
+// parameter (url.Values.Get semantics), with names sorted and both
+// sides percent-escaped so no value can smuggle a separator and
+// collide with a differently shaped request. Free-text q is replaced
+// by its keyword tokens, which is all the handler consumes.
+func (s *Server) cacheKey(endpoint string, sys *core.System, q url.Values) string {
+	var b strings.Builder
+	b.WriteString(endpoint)
+	names := make([]string, 0, len(q))
+	for name := range q {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tok := actionlog.Tokenizer{}
+	var queryWords []string
+	for _, name := range names {
+		v := q.Get(name)
+		if v == "" {
+			continue
+		}
+		switch {
+		case name == "q" && (endpoint == "im" || endpoint == "paths"):
+			words := tok.Tokenize(v)
+			v = strings.Join(words, " ")
+			if endpoint == "im" {
+				queryWords = words
+			}
+		case name == "keyword" && endpoint == "radar":
+			v = strings.TrimSpace(v)
+		}
+		b.WriteByte('&')
+		b.WriteString(url.QueryEscape(name))
+		b.WriteByte('=')
+		b.WriteString(url.QueryEscape(v))
+	}
+	if len(queryWords) > 0 {
+		// The hex float rendering is exact, so distinct distributions never
+		// collide.
+		gamma, _ := sys.InferGamma(queryWords)
+		b.WriteString("|g=")
+		for _, g := range gamma {
+			b.WriteString(strconv.FormatFloat(g, 'x', -1, 64))
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// recorder captures a handler's response for caching and replay.
+type recorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{header: make(http.Header)} }
+
+func (rc *recorder) Header() http.Header { return rc.header }
+
+func (rc *recorder) WriteHeader(code int) {
+	if rc.code == 0 {
+		rc.code = code
+	}
+}
+
+func (rc *recorder) Write(b []byte) (int, error) {
+	if rc.code == 0 {
+		rc.code = http.StatusOK
+	}
+	return rc.body.Write(b)
+}
+
+func (rc *recorder) entry() *qcache.Entry {
+	if rc.code == 0 {
+		rc.code = http.StatusOK
+	}
+	return &qcache.Entry{Status: rc.code, Header: rc.header, Body: rc.body.Bytes()}
+}
+
+// replayEntry writes a rendered entry to the wire, stamping the pinned
+// generation and how the answer was produced.
+func replayEntry(w http.ResponseWriter, e *qcache.Entry, state qcache.CacheState, gen uint64) {
+	for k, vs := range e.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
+	w.Header().Set("X-Octopus-Cache", string(state))
+	w.WriteHeader(e.Status)
+	_, _ = w.Write(e.Body)
+}
+
+// ---- POST /api/batch ----
+
+type batchQuery struct {
+	// Endpoint is a read endpoint name: im, suggest, keywords, radar,
+	// paths or complete.
+	Endpoint string `json:"endpoint"`
+	// Params are the endpoint's query parameters.
+	Params map[string]string `json:"params"`
+}
+
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+type batchResult struct {
+	Status     int             `json:"status"`
+	Cache      string          `json:"cache,omitempty"`
+	Generation uint64          `json:"generation,omitempty"`
+	Body       json.RawMessage `json:"body"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+// batchFanout bounds how many sub-queries of one batch run
+// concurrently. Admission is still the gate's job — the fan-out bound
+// only keeps a single batch from monopolizing the scheduler.
+const batchFanout = 8
+
+// handleBatch answers many read queries in one round trip. Each
+// sub-query flows through the full serving layer — cache, coalescing,
+// admission, per-endpoint metrics — exactly as if issued alone, and
+// each pins its own snapshot (a swap mid-batch is visible as a
+// generation step in the results). Sub-queries run with a bounded
+// fan-out, so an all-miss batch costs roughly its slowest member, not
+// the sum. The batch request itself holds no admission slot, so a
+// batch can never starve its own sub-queries.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no queries in body"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	resp := batchResponse{Results: make([]batchResult, len(req.Queries))}
+	sem := make(chan struct{}, batchFanout)
+	var wg sync.WaitGroup
+	for i, bq := range req.Queries {
+		wg.Add(1)
+		go func(i int, bq batchQuery) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			resp.Results[i] = s.batchOne(r, bq)
+		}(i, bq)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) batchOne(r *http.Request, bq batchQuery) batchResult {
+	h, ok := s.queryHandlers[bq.Endpoint]
+	if !ok {
+		rec := newRecorder()
+		writeErr(rec, http.StatusBadRequest,
+			fmt.Errorf("unknown batch endpoint %q (want one of im, suggest, keywords, radar, paths, complete)", bq.Endpoint))
+		e := rec.entry()
+		return batchResult{Status: e.Status, Body: e.Body}
+	}
+	vals := make(url.Values, len(bq.Params))
+	for k, v := range bq.Params {
+		vals.Set(k, v)
+	}
+	sub, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		"/api/"+bq.Endpoint+"?"+vals.Encode(), nil)
+	if err != nil {
+		rec := newRecorder()
+		writeErr(rec, http.StatusBadRequest, fmt.Errorf("bad batch query: %w", err))
+		e := rec.entry()
+		return batchResult{Status: e.Status, Body: e.Body}
+	}
+	// Route through the same instrumentation as a standalone request, so
+	// batch traffic shows up in the per-endpoint metrics too.
+	rec := newRecorder()
+	s.instrument(bq.Endpoint, func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(bq.Endpoint, h, w, r)
+	})(rec, sub)
+	e := rec.entry()
+	gen, _ := strconv.ParseUint(e.Header.Get("X-Octopus-Generation"), 10, 64)
+	return batchResult{
+		Status:     e.Status,
+		Cache:      e.Header.Get("X-Octopus-Cache"),
+		Generation: gen,
+		Body:       e.Body,
+	}
+}
+
+// ---- GET /api/metrics ----
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type metricsResponse struct {
+		qcache.Snapshot
+		Generation   uint64 `json:"generation"`
+		CacheEntries int    `json:"cacheEntries"`
+		InFlight     int    `json:"inFlight"`
+		MaxInflight  int    `json:"maxInflight"`
+	}
+	_, gen := s.snap()
+	resp := metricsResponse{
+		Snapshot:    s.metrics.Report(),
+		Generation:  gen,
+		InFlight:    s.gate.InFlight(),
+		MaxInflight: s.gate.Capacity(),
+	}
+	if s.cache != nil {
+		resp.CacheEntries = s.cache.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /api/im/targeted ----
+
+type targetedRequest struct {
+	// Q is free text, tokenized like /api/im's q parameter. Keywords, if
+	// non-empty, is used verbatim instead.
+	Q         string   `json:"q"`
+	Keywords  []string `json:"keywords"`
+	Audience  []int32  `json:"audience"`
+	K         int      `json:"k"`
+	RRSamples int      `json:"rrSamples"`
+	Seed      uint64   `json:"seed"`
+}
+
+type targetedResponse struct {
+	Query          []string  `json:"query"`
+	Gamma          []float64 `json:"gamma"`
+	Topics         []string  `json:"topics"`
+	AudienceSpread float64   `json:"audienceSpread"`
+	Seeds          []imSeed  `json:"seeds"`
+}
+
+// handleTargeted exposes core.DiscoverTargetedInfluencers: k seeds
+// maximizing influence over a target audience rather than the whole
+// network. The sampling seed defaults to 1, so identical requests give
+// identical answers; results are not cached (POST bodies are outside
+// the result-cache key space) but the work is admission-controlled like
+// any other engine run.
+func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
+	sys, gen := s.snap()
+	w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
+	var req targetedRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	keywords := req.Keywords
+	if len(keywords) == 0 {
+		tok := actionlog.Tokenizer{}
+		keywords = tok.Tokenize(req.Q)
+	}
+	if len(keywords) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no keywords: set \"keywords\" or \"q\" in the body"))
+		return
+	}
+	if len(req.Audience) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty \"audience\" in body"))
+		return
+	}
+	if req.RRSamples > maxTargetedRRSamples {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("rrSamples %d exceeds limit %d", req.RRSamples, maxTargetedRRSamples))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	audience := make([]graph.NodeID, len(req.Audience))
+	for i, u := range req.Audience {
+		audience[i] = u
+	}
+	if !s.gate.TryAcquire() {
+		s.metrics.Shed("targeted")
+		replayEntry(w, shedEntry(), qcache.StateShed, gen)
+		return
+	}
+	defer s.gate.Release()
+	res, err := sys.DiscoverTargetedInfluencers(keywords, audience, k, req.RRSamples, seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	km := sys.Keywords()
+	topics := make([]string, km.NumTopics())
+	for z := range topics {
+		topics[z] = km.TopicName(z)
+	}
+	resp := targetedResponse{
+		Query:          keywords,
+		Gamma:          res.Gamma,
+		Topics:         topics,
+		AudienceSpread: res.AudienceSpread,
+		Seeds:          make([]imSeed, 0, len(res.Seeds)),
+	}
+	for _, seed := range res.Seeds {
+		resp.Seeds = append(resp.Seeds, imSeed{
+			ID: seed.User, Name: seed.Name, Spread: seed.Spread, Aspect: seed.TopTopicName,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -12,6 +12,9 @@
 //	GET  /api/radar?keyword=W                radar diagram data
 //	GET  /api/paths?user=NAME&theta=0.01     influential paths (Scenario 3)
 //	GET  /api/complete?prefix=P&k=10         user-name auto-completion
+//	POST /api/im/targeted                    targeted IM over an audience (JSON body)
+//	POST /api/batch                          many queries in one round trip (JSON body)
+//	GET  /api/metrics                        serving-layer statistics
 //
 // A Server created with NewLive additionally accepts streaming events
 // (the live-ingestion subsystem of internal/stream):
@@ -19,6 +22,22 @@
 //	POST /api/ingest/actions                 new items + actions (JSON body)
 //	POST /api/ingest/edges                   new follow edges (JSON body)
 //	GET  /api/ingest/stats                   ingestion pipeline statistics
+//
+// # Query serving
+//
+// Every query request pins one immutable (snapshot, generation) pair up
+// front and is answered entirely from it. The read endpoints flow
+// through the query-serving layer (internal/qcache): responses are
+// cached in a bounded LRU keyed by (endpoint, normalized parameters,
+// inferred γ) and tagged with the pinned generation, so a snapshot swap
+// invalidates every cached answer implicitly; concurrent identical
+// misses coalesce into one engine run; and an optional admission gate
+// sheds work with 429 + Retry-After instead of queueing unboundedly.
+// Responses carry X-Octopus-Generation (the pinned generation) and
+// X-Octopus-Cache (hit | miss | stale | coalesced | bypass). Cached and
+// freshly computed responses are byte-identical for the same
+// generation. GET /api/metrics reports per-endpoint counts, latency
+// quantiles, cache hit/miss/stale and shed counters.
 //
 // Requests with the wrong method are rejected with 405 and an Allow
 // header; malformed numeric query parameters (?k=ten, ?theta=0..5) are
@@ -40,45 +59,141 @@ import (
 
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
+	"octopus/internal/qcache"
 	"octopus/internal/stream"
 	"octopus/internal/tags"
 )
 
+// DefaultCacheEntries bounds the result cache when Options.CacheEntries
+// is left zero.
+const DefaultCacheEntries = 4096
+
+// Options tunes the query-serving layer of a Server.
+type Options struct {
+	// QueryTimeout bounds each analysis request (default 10s).
+	QueryTimeout time.Duration
+	// CacheEntries bounds the result cache (default DefaultCacheEntries;
+	// negative disables caching entirely).
+	CacheEntries int
+	// MaxInflight bounds concurrently running query engines; excess
+	// requests are shed with 429 + Retry-After instead of queueing.
+	// 0 (default) admits everything.
+	MaxInflight int
+}
+
+func (o *Options) fill() {
+	if o.QueryTimeout <= 0 {
+		o.QueryTimeout = 10 * time.Second
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = DefaultCacheEntries
+	}
+}
+
+// queryHandler is a read handler bound to a pinned snapshot: it must
+// answer entirely from sys, never re-resolving the live system, so the
+// response is a pure function of (sys, request) — the property the
+// result cache's bit-identical guarantee rests on.
+type queryHandler func(sys *core.System, w http.ResponseWriter, r *http.Request)
+
 // Server exposes the analysis services (and optionally live ingestion)
 // over HTTP.
 type Server struct {
-	sys  func() *core.System
+	// snap pins the (system, generation) pair a request is answered
+	// from — one atomic load on a live server, a constant on a static
+	// one. Handlers must never re-resolve the system mid-request: the
+	// cache's byte-identical guarantee rests on the single pin.
+	snap func() (*core.System, uint64)
 	live *stream.LiveSystem // nil on a static server
 	mux  *http.ServeMux
 	// QueryTimeout bounds each analysis request (default 10s).
 	QueryTimeout time.Duration
+
+	cache         *qcache.Cache // nil when caching is disabled
+	flight        qcache.Flight
+	gate          *qcache.Gate
+	metrics       *qcache.Metrics
+	queryHandlers map[string]queryHandler // batch dispatch table
 }
 
-// New creates a Server for a static (immutable) system.
-func New(sys *core.System) *Server {
-	return newServer(func() *core.System { return sys }, nil)
+// New creates a Server for a static (immutable) system with default
+// serving options.
+func New(sys *core.System) *Server { return NewWith(sys, Options{}) }
+
+// NewWith creates a Server for a static system with explicit serving
+// options. A static system has exactly one generation (1), so cached
+// entries never go stale.
+func NewWith(sys *core.System, opt Options) *Server {
+	return newServer(func() (*core.System, uint64) { return sys, 1 }, nil, opt)
 }
 
-// NewLive creates a Server over a LiveSystem: every query runs against
-// the current snapshot, and the ingest endpoints are enabled.
-func NewLive(ls *stream.LiveSystem) *Server {
-	return newServer(ls.System, ls)
+// NewLive creates a Server over a LiveSystem with default serving
+// options: every query runs against the current snapshot, and the
+// ingest endpoints are enabled.
+func NewLive(ls *stream.LiveSystem) *Server { return NewLiveWith(ls, Options{}) }
+
+// NewLiveWith creates a live Server with explicit serving options.
+// Cache entries are tagged with the snapshot generation they were
+// computed from, so every snapshot swap implicitly invalidates the
+// whole cache.
+func NewLiveWith(ls *stream.LiveSystem, opt Options) *Server {
+	// One atomic snapshot load yields both the system and the generation
+	// (stream.Generation pins the same counter); loading them separately
+	// could tear across a swap.
+	return newServer(func() (*core.System, uint64) {
+		sn := ls.Snapshot()
+		return sn.Sys, sn.Version
+	}, ls, opt)
 }
 
-func newServer(sys func() *core.System, live *stream.LiveSystem) *Server {
-	s := &Server{sys: sys, live: live, mux: http.NewServeMux(), QueryTimeout: 10 * time.Second}
-	s.mux.HandleFunc("/api/status", allow(http.MethodGet, s.handleStatus))
-	s.mux.HandleFunc("/api/im", allow(http.MethodGet, s.handleIM))
-	s.mux.HandleFunc("/api/suggest", allow(http.MethodGet, s.handleSuggest))
-	s.mux.HandleFunc("/api/keywords", allow(http.MethodGet, s.handleKeywords))
-	s.mux.HandleFunc("/api/radar", allow(http.MethodGet, s.handleRadar))
-	s.mux.HandleFunc("/api/paths", allow(http.MethodGet, s.handlePaths))
-	s.mux.HandleFunc("/api/complete", allow(http.MethodGet, s.handleComplete))
-	s.mux.HandleFunc("/api/ingest/actions", allow(http.MethodPost, s.handleIngestActions))
-	s.mux.HandleFunc("/api/ingest/edges", allow(http.MethodPost, s.handleIngestEdges))
-	s.mux.HandleFunc("/api/ingest/stats", allow(http.MethodGet, s.handleIngestStats))
+func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt Options) *Server {
+	opt.fill()
+	s := &Server{
+		snap:          snap,
+		live:          live,
+		mux:           http.NewServeMux(),
+		QueryTimeout:  opt.QueryTimeout,
+		gate:          qcache.NewGate(opt.MaxInflight),
+		metrics:       qcache.NewMetrics(),
+		queryHandlers: make(map[string]queryHandler),
+	}
+	if opt.CacheEntries > 0 {
+		s.cache = qcache.New(opt.CacheEntries)
+	}
+	for _, q := range []struct {
+		name string
+		h    queryHandler
+	}{
+		{"im", s.handleIM},
+		{"suggest", s.handleSuggest},
+		{"keywords", s.handleKeywords},
+		{"radar", s.handleRadar},
+		{"paths", s.handlePaths},
+		{"complete", s.handleComplete},
+	} {
+		s.queryHandlers[q.name] = q.h
+		s.mux.HandleFunc("/api/"+q.name,
+			s.instrument(q.name, allow(http.MethodGet, s.cachedQuery(q.name, q.h))))
+	}
+	s.mux.HandleFunc("/api/status", s.instrument("status", allow(http.MethodGet, s.pinned(s.handleStatus))))
+	s.mux.HandleFunc("/api/metrics", s.instrument("metrics", allow(http.MethodGet, s.handleMetrics)))
+	s.mux.HandleFunc("/api/batch", s.instrument("batch", allow(http.MethodPost, s.handleBatch)))
+	s.mux.HandleFunc("/api/im/targeted", s.instrument("targeted", allow(http.MethodPost, s.handleTargeted)))
+	s.mux.HandleFunc("/api/ingest/actions", s.instrument("ingest/actions", allow(http.MethodPost, s.handleIngestActions)))
+	s.mux.HandleFunc("/api/ingest/edges", s.instrument("ingest/edges", allow(http.MethodPost, s.handleIngestEdges)))
+	s.mux.HandleFunc("/api/ingest/stats", s.instrument("ingest/stats", allow(http.MethodGet, s.handleIngestStats)))
 	s.mux.HandleFunc("/", s.handleUI)
 	return s
+}
+
+// pinned adapts a snapshot-bound handler to an uncached route: pin once,
+// stamp the generation header, run.
+func (s *Server) pinned(h queryHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sys, gen := s.snap()
+		w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
+		h(sys, w, r)
+	}
 }
 
 // allow guards a handler with a single accepted method (GET handlers
@@ -170,8 +285,8 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 	return context.WithTimeout(r.Context(), s.QueryTimeout)
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sys().Stats())
+func (s *Server) handleStatus(sys *core.System, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sys.Stats())
 }
 
 type imResponse struct {
@@ -190,8 +305,7 @@ type imSeed struct {
 	Aspect string  `json:"aspect"`
 }
 
-func (s *Server) handleIM(w http.ResponseWriter, r *http.Request) {
-	sys := s.sys()
+func (s *Server) handleIM(sys *core.System, w http.ResponseWriter, r *http.Request) {
 	tok := actionlog.Tokenizer{}
 	keywords := tok.Tokenize(r.URL.Query().Get("q"))
 	if len(keywords) == 0 {
@@ -256,8 +370,7 @@ type suggestResponse struct {
 	Singles  []tags.KeywordScore `json:"singles"`
 }
 
-func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	sys := s.sys()
+func (s *Server) handleSuggest(sys *core.System, w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	if user == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
@@ -290,8 +403,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
-	sys := s.sys()
+func (s *Server) handleKeywords(sys *core.System, w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	if user == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
@@ -315,13 +427,13 @@ func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ranked)
 }
 
-func (s *Server) handleRadar(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRadar(sys *core.System, w http.ResponseWriter, r *http.Request) {
 	kw := strings.TrimSpace(r.URL.Query().Get("keyword"))
 	if kw == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("keyword"))
 		return
 	}
-	radar, err := s.sys().Radar(kw)
+	radar, err := sys.Radar(kw)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -329,8 +441,7 @@ func (s *Server) handleRadar(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, radar)
 }
 
-func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
-	sys := s.sys()
+func (s *Server) handlePaths(sys *core.System, w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	if user == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("user"))
@@ -375,7 +486,7 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, pg)
 }
 
-func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleComplete(sys *core.System, w http.ResponseWriter, r *http.Request) {
 	prefix := r.URL.Query().Get("prefix")
 	if prefix == "" {
 		writeErr(w, http.StatusBadRequest, errMissing("prefix"))
@@ -386,7 +497,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if q.bad(w) {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sys().Complete(prefix, k))
+	writeJSON(w, http.StatusOK, sys.Complete(prefix, k))
 }
 
 // ---- Streaming ingestion endpoints ----

@@ -208,8 +208,19 @@ func (ls *LiveSystem) System() *core.System { return ls.cur.Load().Sys }
 func (ls *LiveSystem) Snapshot() *Snapshot { return ls.cur.Load() }
 
 // Version returns the current snapshot version (monotonically
-// increasing, starting at 1).
+// increasing, starting at 1). It doubles as the serving generation —
+// see Generation.
 func (ls *LiveSystem) Version() uint64 { return ls.cur.Load().Version }
+
+// Generation returns the serving generation the current snapshot
+// belongs to — a monotonically increasing counter that every snapshot
+// swap bumps by exactly one. It is the cache-invalidation signal of the
+// query-serving layer: a result cached under generation g is valid only
+// while Generation() still returns g, so a fold implicitly invalidates
+// every cached answer. Within one process Generation equals Version;
+// the distinct name pins the contract (monotone, bumps per swap) that
+// the server's result cache depends on.
+func (ls *LiveSystem) Generation() uint64 { return ls.cur.Load().Version }
 
 // DiscoverInfluencers runs Scenario 1 on the current snapshot.
 func (ls *LiveSystem) DiscoverInfluencers(keywords []string, opt core.DiscoverOptions) (*core.DiscoverResult, error) {

@@ -101,6 +101,11 @@ type (
 // Server is the JSON HTTP API over a System.
 type Server = server.Server
 
+// ServerOptions tunes the query-serving layer of a Server: result-cache
+// size (generation-tagged, so snapshot swaps invalidate implicitly) and
+// the in-flight query bound past which requests are shed with 429.
+type ServerOptions = server.Options
+
 // Streaming ingestion types (live systems).
 type (
 	// LiveSystem serves immutable snapshots while absorbing a stream of
@@ -147,8 +152,13 @@ func GenerateCitation(cfg CitationConfig) (*Dataset, error) { return datagen.Cit
 // GenerateSocial synthesizes the QQ-style marketing dataset.
 func GenerateSocial(cfg SocialConfig) (*Dataset, error) { return datagen.Social(cfg) }
 
-// NewServer wraps a System in the JSON HTTP API.
+// NewServer wraps a System in the JSON HTTP API with default serving
+// options (result cache on, no in-flight bound).
 func NewServer(sys *System) *Server { return server.New(sys) }
+
+// NewServerWith wraps a System in the JSON HTTP API with explicit
+// serving options.
+func NewServerWith(sys *System, opt ServerOptions) *Server { return server.NewWith(sys, opt) }
 
 // NewLiveSystem turns a built System into a live one that ingests
 // streamed events and periodically swaps in rebuilt snapshots. Callers
@@ -160,6 +170,14 @@ func NewLiveSystem(sys *System, cfg StreamConfig) (*LiveSystem, error) {
 // NewLiveServer wraps a LiveSystem in the JSON HTTP API with the
 // /api/ingest endpoints enabled.
 func NewLiveServer(ls *LiveSystem) *Server { return server.NewLive(ls) }
+
+// NewLiveServerWith wraps a LiveSystem in the JSON HTTP API with
+// explicit serving options. Cached results are tagged with the serving
+// snapshot's generation, so every ingest-driven swap invalidates the
+// cache implicitly.
+func NewLiveServerWith(ls *LiveSystem, opt ServerOptions) *Server {
+	return server.NewLiveWith(ls, opt)
+}
 
 // SaveSystem writes a complete built system — graph, action log,
 // learned models, precomputed online indexes and build config — to

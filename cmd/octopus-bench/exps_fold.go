@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+	"octopus/internal/rng"
+	"octopus/internal/stream"
+	"octopus/internal/tic"
+)
+
+// E17 — incremental snapshot folds: full-rebuild vs delta-maintenance
+// swap latency across the delta shapes a live system sees, with a
+// query-level identity check against a from-scratch rebuild at the same
+// seed for every row. The dominant live delta — actions and items with
+// few or no new edges — must fold ≥5× faster than a full rebuild;
+// edge-heavy deltas are reported together with their genuine update
+// mass (the nodes whose precomputed spreads actually change), which is
+// the hard floor any exact incremental scheme pays.
+func runE17(e *env) error {
+	// EdgeScale 0.1 keeps ground-truth activation probabilities in the
+	// range EM learns from real logs (~0.01–0.15); the generator default
+	// of 0.4 makes every hub's influence region span the whole graph,
+	// which no θ-bounded MIA deployment would tolerate.
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors:   e.sizes.foldAuthors,
+		Topics:    6,
+		EdgeScale: 0.1,
+		Seed:      e.seed ^ 0xe17,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Hold out every 16th edge (~6%) so edge deltas replay real,
+	// structurally plausible edges; shuffle so a delta is spread across
+	// the graph like live traffic instead of clustered on one CSR hub.
+	full := ds.Graph
+	bb := graph.NewBuilder(full.NumNodes())
+	var held [][2]graph.NodeID
+	i := 0
+	full.EachEdge(func(_ graph.EdgeID, u, v graph.NodeID) {
+		if i%16 == 15 {
+			held = append(held, [2]graph.NodeID{u, v})
+		} else {
+			bb.AddEdge(u, v)
+		}
+		i++
+	})
+	r := rng.New(e.seed ^ 0x71e)
+	for j := len(held) - 1; j > 0; j-- {
+		k := r.Intn(j + 1)
+		held[j], held[k] = held[k], held[j]
+	}
+	baseG := bb.Build()
+	baseModel, err := tic.Remap(ds.Truth, baseG, nil)
+	if err != nil {
+		return err
+	}
+	base, err := core.Build(baseG, ds.Log, core.Config{
+		GroundTruth:      baseModel,
+		GroundTruthWords: ds.TruthWords,
+		OTIM:             otim.BuildOptions{Samples: 2 * ds.Truth.NumTopics(), SampleK: 10},
+		Seed:             e.seed ^ 0x17e,
+	})
+	if err != nil {
+		return err
+	}
+	n := baseG.NumNodes()
+	baseEdges := baseG.NumEdges()
+	fmt.Fprintf(e.out, "base system: %d nodes, %d edges, %d held-out edges, %d topic samples\n",
+		n, baseEdges, len(held), base.OTIMIndex().NumSamples())
+	fmt.Fprintf(e.out, "%-14s %-8s %-8s %-10s %-10s %-8s %s\n",
+		"delta", "edges", "dirty", "full(ms)", "inc(ms)", "speedup", "identical")
+
+	prior := stream.WeightedJaccardPrior(1)
+	maxItem := int32(0)
+	for _, ep := range ds.Log.Episodes {
+		if ep.Item.ID > maxItem {
+			maxItem = ep.Item.ID
+		}
+	}
+
+	type deltaCase struct {
+		name     string
+		edges    [][2]graph.NodeID
+		items    []actionlog.Item
+		acts     []actionlog.Action
+		assert5x bool
+	}
+	// The actions row is the live system's bread and butter: one full
+	// RebuildEvents batch of social actions with no graph growth.
+	actItems := make([]actionlog.Item, 64)
+	var actActs []actionlog.Action
+	for k := range actItems {
+		actItems[k] = actionlog.Item{
+			ID:       maxItem + int32(k) + 1,
+			Keywords: []string{"mining", "data", "systems"},
+		}
+		for a := 0; a < 64; a++ {
+			actActs = append(actActs, actionlog.Action{
+				User: graph.NodeID(r.Intn(n)), Item: actItems[k].ID, Time: int64(a),
+			})
+		}
+	}
+	cases := []deltaCase{
+		{name: "actions(4096)", items: actItems, acts: actActs, assert5x: true},
+		{name: "edges 0.1%", edges: held[:max(1, baseEdges/1000)]},
+		{name: "edges 1%", edges: held[:max(1, baseEdges/100)]},
+	}
+
+	for _, dc := range cases {
+		// Shared swap prep, exactly as stream.LiveSystem.rebuild pays it:
+		// graph re-CSR and model remap only when edges arrived, log merge
+		// proportional to the delta.
+		prepStart := time.Now()
+		g, prop := baseG, baseModel
+		if len(dc.edges) > 0 {
+			gb := graph.NewBuilder(n)
+			gb.AddGraph(baseG)
+			priors := make(map[[2]graph.NodeID][]float64, len(dc.edges))
+			for _, ed := range dc.edges {
+				gb.AddEdge(ed[0], ed[1])
+				priors[ed] = prior(base, ed[0], ed[1])
+			}
+			g = gb.Build()
+			if prop, err = tic.Remap(baseModel, g, func(u, v graph.NodeID) []float64 {
+				return priors[[2]graph.NodeID{u, v}]
+			}); err != nil {
+				return err
+			}
+		}
+		log := actionlog.Merge(base.ActionLog(), g.NumNodes(), dc.items, dc.acts)
+		prep := time.Since(prepStart)
+
+		cfg := base.BuildConfig()
+		cfg.FoldMaxDirtyFrac = 1 // measure the machinery, not the fallback policy
+
+		incStart := time.Now()
+		srcs := make([]graph.NodeID, len(dc.edges))
+		dsts := make([]graph.NodeID, len(dc.edges))
+		for j, ed := range dc.edges {
+			srcs[j], dsts[j] = ed[0], ed[1]
+		}
+		folded, fs, err := core.Fold(base, g, log, prop, srcs, dsts, cfg)
+		if err != nil {
+			return fmt.Errorf("E17 %s: %w", dc.name, err)
+		}
+		inc := prep + time.Since(incStart)
+
+		fullStart := time.Now()
+		cfg.GroundTruth = prop
+		cfg.GroundTruthWords = base.Keywords()
+		rebuilt, err := core.Build(g, log, cfg)
+		if err != nil {
+			return err
+		}
+		fullDur := prep + time.Since(fullStart)
+
+		if err := foldIdentical(rebuilt, folded); err != nil {
+			return fmt.Errorf("E17 %s: %w", dc.name, err)
+		}
+		speedup := float64(fullDur) / float64(inc)
+		fmt.Fprintf(e.out, "%-14s %-8d %-8d %-10.1f %-10.1f %-8.1f yes\n",
+			dc.name, len(dc.edges), fs.DirtyNodes,
+			float64(fullDur.Microseconds())/1e3, float64(inc.Microseconds())/1e3, speedup)
+		if dc.assert5x && speedup < 5 {
+			return fmt.Errorf("E17 %s: incremental fold speedup %.1f× below the 5× bar", dc.name, speedup)
+		}
+	}
+	fmt.Fprintln(e.out, "note: edge rows pay the genuine update mass — the dirty column counts nodes")
+	fmt.Fprintln(e.out, "whose precomputed spreads truly change, an exactness floor no incremental")
+	fmt.Fprintln(e.out, "scheme can skip; action-dominated deltas (the live-traffic majority) fold in")
+	fmt.Fprintln(e.out, "near-constant time because graph, model and both indexes are reused wholesale.")
+	return nil
+}
+
+// foldIdentical compares the rebuilt and folded systems query-by-query
+// across the three analysis services plus system stats.
+func foldIdentical(full, fold *core.System) error {
+	if a, b := full.Stats(), fold.Stats(); a != b {
+		return fmt.Errorf("stats diverge: full %+v, fold %+v", a, b)
+	}
+	for _, q := range [][]string{{"mining", "data"}, {"learning"}, {"systems", "query"}} {
+		for _, useSamples := range []bool{false, true} {
+			ra, err1 := full.DiscoverInfluencers(q, core.DiscoverOptions{K: 8, UseSamples: useSamples})
+			rb, err2 := fold.DiscoverInfluencers(q, core.DiscoverOptions{K: 8, UseSamples: useSamples})
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("query %v: %v %v", q, err1, err2)
+			}
+			if !reflect.DeepEqual(ra, rb) {
+				return fmt.Errorf("query %v (samples=%v) diverges", q, useSamples)
+			}
+		}
+	}
+	n := full.Graph().NumNodes()
+	for u := 0; u < n; u += n/7 + 1 {
+		ka, err1 := full.RankUserKeywords(graph.NodeID(u), 5)
+		kb, err2 := fold.RankUserKeywords(graph.NodeID(u), 5)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("keywords of %d: %v %v", u, err1, err2)
+		}
+		if !reflect.DeepEqual(ka, kb) {
+			return fmt.Errorf("keyword ranks of %d diverge", u)
+		}
+		pa, err1 := full.InfluencePaths(graph.NodeID(u), core.PathOptions{Theta: 0.01, MaxNodes: 60})
+		pb, err2 := fold.InfluencePaths(graph.NodeID(u), core.PathOptions{Theta: 0.01, MaxNodes: 60})
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("paths of %d: %v %v", u, err1, err2)
+		}
+		if !reflect.DeepEqual(pa, pb) {
+			return fmt.Errorf("paths of %d diverge", u)
+		}
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
-// Command octopus-bench runs the experiment suite E1–E16 defined in
+// Command octopus-bench runs the experiment suite E1–E17 defined in
 // DESIGN.md §4 and prints one table per experiment — the reproduction of
 // every figure/scenario of the OCTOPUS demo paper plus the engine claims
 // it builds on (E13: streaming ingestion; E14: persistence and
 // crash-recovery costs; E15: build-pipeline parallelism; E16: the
 // query-serving layer — result cache, request coalescing and admission
-// control under a Zipf-skewed closed-loop workload). EXPERIMENTS.md
-// records a reference run.
+// control under a Zipf-skewed closed-loop workload; E17: incremental
+// snapshot folds — swap latency vs delta size with a query-level
+// identity check against full rebuilds). EXPERIMENTS.md records a
+// reference run.
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ type sizes struct {
 	serveClients    int   // closed-loop load-generator clients
 	serveRequests   int   // requests per client per configuration
 	servePool       int   // distinct queries in the Zipf-skewed pool
+	foldAuthors     int   // incremental-fold experiment dataset size
 }
 
 func defaultSizes(quick bool) sizes {
@@ -58,6 +61,7 @@ func defaultSizes(quick bool) sizes {
 			serveClients:    4,
 			serveRequests:   150,
 			servePool:       64,
+			foldAuthors:     3000,
 		}
 	}
 	return sizes{
@@ -76,6 +80,7 @@ func defaultSizes(quick bool) sizes {
 		serveClients:    8,
 		serveRequests:   400,
 		servePool:       128,
+		foldAuthors:     4000,
 	}
 }
 
@@ -109,6 +114,7 @@ func main() {
 		{"E14", "Persistence: snapshot cold-start speedup and WAL ingest overhead", runE14},
 		{"E15", "Build/fold parallelism: pipeline speedup vs workers, determinism check", runE15},
 		{"E16", "Query-serving layer: result cache, coalescing, admission control under Zipf load", runE16},
+		{"E17", "Incremental snapshot folds: swap latency vs delta size, identity vs full rebuild", runE17},
 	}
 
 	want := map[string]bool{}

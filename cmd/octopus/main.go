@@ -8,7 +8,7 @@
 //
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em] [-workers W]
 //	octopus serve [-addr :8080] [-load model.oct] [-ingest] [-wal DIR]
-//	              [-rebuild-events N] [-rebuild-interval D]
+//	              [-rebuild-events N] [-rebuild-interval D] [-incremental-fold]
 //	              [-cache-entries N] [-max-inflight N] [same dataset flags]
 //	octopus query [-q "data mining"] [-k 10] [-load model.oct] [same dataset flags]
 //	octopus train [-out models/] [same dataset flags]   # EM + persist text models
@@ -27,7 +27,11 @@
 // With -ingest, serve wraps the system in the streaming subsystem: the
 // /api/ingest endpoints accept live actions/edges and the serving
 // snapshot is rebuilt and atomically swapped after every N events (or D
-// of staleness) without taking queries offline. Adding -wal DIR makes
+// of staleness) without taking queries offline. -incremental-fold (on
+// by default) delta-maintains the precomputed indexes at each swap so
+// the rebuild cost scales with the delta, not the corpus; the result is
+// query-identical to a full rebuild, and oversized deltas fall back to
+// one automatically. Adding -wal DIR makes
 // ingestion durable: accepted events are written ahead to DIR/wal.log,
 // every swap checkpoints DIR/snapshot.oct, and a restarted serve -wal
 // recovers snapshot + WAL tail automatically. SIGINT/SIGTERM trigger a
@@ -88,6 +92,7 @@ type options struct {
 	walDir          string
 	rebuildEvents   int
 	rebuildInterval time.Duration
+	incrementalFold bool
 
 	cacheEntries int
 	maxInflight  int
@@ -117,6 +122,7 @@ func main() {
 	fs.StringVar(&opt.walDir, "wal", "", "durability directory for serve -ingest: WAL + checkpoint snapshots, with crash recovery on start")
 	fs.IntVar(&opt.rebuildEvents, "rebuild-events", 4096, "fold the ingest overlay into a new snapshot after this many events (serve -ingest)")
 	fs.DurationVar(&opt.rebuildInterval, "rebuild-interval", 30*time.Second, "also fold when pending events are older than this; 0 disables (serve -ingest)")
+	fs.BoolVar(&opt.incrementalFold, "incremental-fold", true, "delta-maintain the indexes at fold time so swap latency scales with the delta; query-identical to a full rebuild, which large deltas automatically fall back to (serve -ingest)")
 	fs.IntVar(&opt.cacheEntries, "cache-entries", server.DefaultCacheEntries, "result-cache entries, invalidated per snapshot generation; negative disables the cache (serve)")
 	fs.IntVar(&opt.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0), "concurrent query-engine bound; excess requests get 429 + Retry-After, 0 = unlimited (serve)")
 	_ = fs.Parse(os.Args[2:])
@@ -311,6 +317,7 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 			RebuildEvents:   opt.rebuildEvents,
 			RebuildInterval: opt.rebuildInterval,
 			Workers:         opt.workers,
+			IncrementalFold: opt.incrementalFold,
 			Store:           dir,
 		})
 		if err != nil {

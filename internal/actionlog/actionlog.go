@@ -143,6 +143,96 @@ func (l *Log) UserItems() [][]int32 {
 	return out
 }
 
+// Merge extends base with new items and actions, producing exactly what
+// Build(numUsers, base.Items()+items, base.Actions()+acts) produces —
+// for a cost proportional to the delta, not the corpus. Episodes
+// untouched by the new actions share their backing slices with base
+// (logs are immutable by convention), touched episodes are re-merged
+// with the earliest-occurrence dedup Build applies, and new items append
+// fresh episodes in order. Inputs Build would handle through its global
+// maps — duplicate item ids or a shrinking user universe — fall back to
+// a full Build, so Merge is always safe to call in Build's place.
+func Merge(base *Log, numUsers int, items []Item, acts []Action) *Log {
+	full := func() *Log {
+		return Build(numUsers, append(base.Items(), items...), append(base.Actions(), acts...))
+	}
+	if base == nil {
+		return Build(numUsers, items, acts)
+	}
+	if numUsers < base.NumUsers {
+		return full()
+	}
+	if len(items) == 0 && len(acts) == 0 && numUsers == base.NumUsers {
+		return base // empty delta: the merged log IS the base (immutable)
+	}
+	epIdx := make(map[int32]int, len(base.Episodes)+len(items))
+	for i, ep := range base.Episodes {
+		if _, dup := epIdx[ep.Item.ID]; dup {
+			return full() // base itself holds duplicate ids: Build semantics are map-driven
+		}
+		epIdx[ep.Item.ID] = i
+	}
+	out := &Log{NumUsers: numUsers}
+	out.Episodes = make([]Episode, len(base.Episodes), len(base.Episodes)+len(items))
+	copy(out.Episodes, base.Episodes)
+	for _, it := range items {
+		if _, dup := epIdx[it.ID]; dup {
+			return full()
+		}
+		epIdx[it.ID] = len(out.Episodes)
+		out.Episodes = append(out.Episodes, Episode{Item: it})
+	}
+
+	// Group the accepted new actions per episode, keeping the earliest
+	// occurrence per user within the delta (Build's global dedup).
+	newByEp := map[int]map[NodeID]int64{}
+	for _, a := range acts {
+		if a.User < 0 || int(a.User) >= numUsers {
+			continue
+		}
+		ei, ok := epIdx[a.Item]
+		if !ok {
+			continue
+		}
+		users := newByEp[ei]
+		if users == nil {
+			users = map[NodeID]int64{}
+			newByEp[ei] = users
+		}
+		if t, dup := users[a.User]; !dup || a.Time < t {
+			users[a.User] = a.Time
+		}
+	}
+
+	for ei, users := range newByEp {
+		ep := out.Episodes[ei] // value copy; base's slice stays untouched
+		merged := make([]Action, 0, len(ep.Actions)+len(users))
+		for _, a := range ep.Actions {
+			// An earlier new occurrence wins over the stored one, exactly
+			// as Build's min-time dedup would decide.
+			if t, dup := users[a.User]; dup {
+				delete(users, a.User)
+				if t < a.Time {
+					a.Time = t
+				}
+			}
+			merged = append(merged, a)
+		}
+		for u, t := range users {
+			merged = append(merged, Action{User: u, Item: ep.Item.ID, Time: t})
+		}
+		sort.Slice(merged, func(i, j int) bool {
+			if merged[i].Time != merged[j].Time {
+				return merged[i].Time < merged[j].Time
+			}
+			return merged[i].User < merged[j].User
+		})
+		ep.Actions = merged
+		out.Episodes[ei] = ep
+	}
+	return out
+}
+
 // KeywordsOf returns the distinct keywords across the given episode ids.
 func (l *Log) KeywordsOf(episodeIDs []int32) []string {
 	seen := map[string]bool{}

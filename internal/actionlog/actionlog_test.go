@@ -247,3 +247,61 @@ func BenchmarkBuild(b *testing.B) {
 		Build(1000, items, actions)
 	}
 }
+
+// Merge must produce exactly what Build over the concatenated inputs
+// produces, for every wrinkle Build's global maps handle: duplicate
+// (user,item) actions where the earlier time wins (in either
+// direction), invalid users, unknown items, new items with and without
+// actions, and empty deltas.
+func TestMergeMatchesBuild(t *testing.T) {
+	r := rng.New(9)
+	baseItems := make([]Item, 40)
+	for i := range baseItems {
+		baseItems[i] = Item{ID: int32(i * 3), Keywords: []string{"kw"}}
+	}
+	var baseActs []Action
+	for i := 0; i < 600; i++ {
+		baseActs = append(baseActs, Action{
+			User: NodeID(r.Intn(100)), Item: int32(3 * r.Intn(40)), Time: int64(10 + r.Intn(50)),
+		})
+	}
+	base := Build(100, baseItems, baseActs)
+
+	newItems := []Item{{ID: 500, Keywords: []string{"fresh"}}, {ID: 501}}
+	var newActs []Action
+	for i := 0; i < 200; i++ {
+		newActs = append(newActs, Action{
+			User: NodeID(r.Intn(110) - 5), // some invalid users
+			Item: int32(3 * r.Intn(45)),   // some unknown items
+			Time: int64(r.Intn(100)),      // some earlier than stored
+		})
+	}
+	newActs = append(newActs,
+		Action{User: 3, Item: 500, Time: 7},
+		Action{User: 3, Item: 500, Time: 2}, // duplicate within the delta: earliest wins
+		Action{User: 4, Item: 501, Time: 1},
+	)
+
+	got := Merge(base, 100, newItems, newActs)
+	want := Build(100, append(base.Items(), newItems...), append(base.Actions(), newActs...))
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Merge diverges from Build:\nwant %+v\ngot  %+v", want, got)
+	}
+
+	// Empty delta: the merged log IS the base.
+	if Merge(base, 100, nil, nil) != base {
+		t.Fatal("empty-delta Merge must return the base log")
+	}
+	// User-universe growth forces re-validation but stays equivalent.
+	grown := Merge(base, 130, newItems, newActs)
+	wantGrown := Build(130, append(base.Items(), newItems...), append(base.Actions(), newActs...))
+	if !reflect.DeepEqual(wantGrown, grown) {
+		t.Fatal("Merge diverges from Build under user growth")
+	}
+	// Duplicate item ids fall back to Build semantics.
+	dup := Merge(base, 100, []Item{{ID: 0}}, nil)
+	wantDup := Build(100, append(base.Items(), Item{ID: 0}), base.Actions())
+	if !reflect.DeepEqual(wantDup, dup) {
+		t.Fatal("duplicate-item Merge diverges from Build")
+	}
+}

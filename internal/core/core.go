@@ -59,6 +59,12 @@ type Config struct {
 	// knob is a runtime tuning, not part of the model: snapshots do not
 	// persist it.
 	Workers int
+	// FoldMaxDirtyFrac caps how large a fraction of the nodes the dirty
+	// set of an incremental Fold may reach before it gives up with
+	// ErrFoldDeltaTooLarge (a full rebuild amortizes better past that
+	// point). 0 means the default 0.25. Like Workers it is a runtime
+	// tuning, not part of the model: snapshots do not persist it.
+	FoldMaxDirtyFrac float64
 }
 
 // System is a fully built OCTOPUS instance.
@@ -157,6 +163,19 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 func Assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.Model,
 	otimIdx *otim.Index, tagsIdx *tags.Index, cfg Config) (*System, error) {
 
+	s, err := assemble(g, log, prop, words, otimIdx, tagsIdx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.finish()
+	return s, nil
+}
+
+// assemble validates the pieces and builds the System shell; the caller
+// runs finish or finishFrom to derive stage 3.
+func assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.Model,
+	otimIdx *otim.Index, tagsIdx *tags.Index, cfg Config) (*System, error) {
+
 	if g == nil || g.NumNodes() == 0 {
 		return nil, fmt.Errorf("core: empty graph")
 	}
@@ -176,10 +195,8 @@ func Assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.
 	if log == nil {
 		log = actionlog.Build(g.NumNodes(), nil, nil)
 	}
-	s := &System{g: g, log: log, cfg: cfg, prop: prop, words: words,
-		otimIdx: otimIdx, tagsIdx: tagsIdx}
-	s.finish()
-	return s, nil
+	return &System{g: g, log: log, cfg: cfg, prop: prop, words: words,
+		otimIdx: otimIdx, tagsIdx: tagsIdx}, nil
 }
 
 // finish builds stage 3 — the derived structures every construction
@@ -188,16 +205,32 @@ func Assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.
 // snapshot fold and on every snapshot load, so the keyword pools are
 // computed over interned keyword ids (one string-map pass for the whole
 // log) rather than per-user string maps.
-func (s *System) finish() {
+func (s *System) finish() { s.finishFrom(nil) }
+
+// finishFrom is finish with structure reuse from a predecessor system:
+// the keyword pools are shared when the action log is the same object
+// (an edges-only fold), and the completion trie when the graph is (an
+// action-only fold — the trie ranks by out-degree, so any edge growth
+// invalidates it). Reused structures are immutable and identical to
+// what a fresh build computes, keeping folds query-for-query equal to
+// full rebuilds while the derived-structure cost scales with the delta.
+func (s *System) finishFrom(old *System) {
 	g, log := s.g, s.log
-	userItems := log.UserItems()
-	s.userKeywords = buildUserKeywords(log, userItems, g.NumNodes())
+	if old != nil && old.log == log {
+		s.userKeywords = old.userKeywords
+	} else {
+		s.userKeywords = buildUserKeywords(log, log.UserItems(), g.NumNodes())
+	}
 	s.sugg = tags.NewSuggester(s.tagsIdx, s.words, s.userKeywords)
 
-	s.names = &trie.Trie{}
-	for u := 0; u < g.NumNodes(); u++ {
-		if nm := g.Name(graph.NodeID(u)); nm != "" {
-			s.names.Insert(nm, int32(u), float64(g.OutDegree(graph.NodeID(u))))
+	if old != nil && old.g == g {
+		s.names = old.names
+	} else {
+		s.names = &trie.Trie{}
+		for u := 0; u < g.NumNodes(); u++ {
+			if nm := g.Name(graph.NodeID(u)); nm != "" {
+				s.names.Insert(nm, int32(u), float64(g.OutDegree(graph.NodeID(u))))
+			}
 		}
 	}
 

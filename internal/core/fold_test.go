@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+	"octopus/internal/tic"
+)
+
+// foldWorld splits a generated dataset into a base system missing every
+// 25th edge and the held-out edge list, mimicking a live system about
+// to fold a streamed delta.
+func foldWorld(t *testing.T) (*System, *datagen.Dataset, [][2]graph.NodeID) {
+	t.Helper()
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors: 350, Topics: 4, Papers: 500, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(ds.Graph.NumNodes())
+	var held [][2]graph.NodeID
+	i := 0
+	ds.Graph.EachEdge(func(_ graph.EdgeID, u, v graph.NodeID) {
+		if i%25 == 24 {
+			held = append(held, [2]graph.NodeID{u, v})
+		} else {
+			b.AddEdge(u, v)
+		}
+		i++
+	})
+	for u, nm := range ds.Graph.Names() {
+		if nm != "" {
+			b.SetName(graph.NodeID(u), nm)
+		}
+	}
+	baseG := b.Build()
+	baseModel, err := tic.Remap(ds.Truth, baseG, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(baseG, ds.Log, Config{
+		GroundTruth:      baseModel,
+		GroundTruthWords: ds.TruthWords,
+		TopicNames:       ds.TopicNames,
+		OTIM:             otim.BuildOptions{Samples: 8, SampleK: 5},
+		Seed:             21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, ds, held
+}
+
+// grow merges a prefix of the held edges back in, remapping the model
+// with the ground-truth probabilities as the "prior" for new edges.
+func grow(t *testing.T, base *System, ds *datagen.Dataset, delta [][2]graph.NodeID) (*graph.Graph, *tic.Model) {
+	t.Helper()
+	b := graph.NewBuilder(base.Graph().NumNodes())
+	b.AddGraph(base.Graph())
+	for _, e := range delta {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	prop, err := tic.Remap(base.Propagation(), g, func(u, v graph.NodeID) []float64 {
+		if e, ok := ds.Graph.FindEdge(u, v); ok {
+			probs := make([]float64, ds.Truth.NumTopics())
+			ds.Truth.EdgeTopics(e, func(z int, p float64) { probs[z] = p })
+			return probs
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, prop
+}
+
+// requireSystemsEqual compares two systems query-by-query across every
+// analysis service.
+func requireSystemsEqual(t *testing.T, a, b *System) {
+	t.Helper()
+	if sa, sb := a.Stats(), b.Stats(); sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for _, q := range [][]string{{"mining"}, {"data", "learning"}, {"network", "social"}} {
+		for _, useSamples := range []bool{false, true} {
+			ra, err1 := a.DiscoverInfluencers(q, DiscoverOptions{K: 6, UseSamples: useSamples})
+			rb, err2 := b.DiscoverInfluencers(q, DiscoverOptions{K: 6, UseSamples: useSamples})
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("query %v (samples=%v) differs:\n%+v\nvs\n%+v", q, useSamples, ra, rb)
+			}
+		}
+	}
+	checked := 0
+	for u := 0; u < a.Graph().NumNodes() && checked < 5; u++ {
+		if len(a.UserKeywords(graph.NodeID(u))) < 3 {
+			continue
+		}
+		checked++
+		ka, err1 := a.RankUserKeywords(graph.NodeID(u), 5)
+		kb, err2 := b.RankUserKeywords(graph.NodeID(u), 5)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !reflect.DeepEqual(ka, kb) {
+			t.Fatalf("keyword ranks of %d differ: %+v vs %+v", u, ka, kb)
+		}
+	}
+	for u := 0; u < a.Graph().NumNodes(); u += 97 {
+		pa, err1 := a.InfluencePaths(graph.NodeID(u), PathOptions{Theta: 0.01, MaxNodes: 60})
+		pb, err2 := b.InfluencePaths(graph.NodeID(u), PathOptions{Theta: 0.01, MaxNodes: 60})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("paths of %d differ", u)
+		}
+	}
+}
+
+// The system-level tentpole guarantee: Fold is query-for-query
+// identical to Build at the same seed, for every analysis service.
+func TestFoldMatchesBuild(t *testing.T) {
+	base, ds, held := foldWorld(t)
+	for _, deltaSize := range []int{1, len(held) / 2, len(held)} {
+		delta := held[:deltaSize]
+		g, prop := grow(t, base, ds, delta)
+		cfg := base.BuildConfig()
+		cfg.FoldMaxDirtyFrac = 1 // equality is the point here, not the cap
+		srcs := make([]graph.NodeID, len(delta))
+		dsts := make([]graph.NodeID, len(delta))
+		for i, e := range delta {
+			srcs[i], dsts[i] = e[0], e[1]
+		}
+		folded, fs, err := Fold(base, g, ds.Log, prop, srcs, dsts, cfg)
+		if err != nil {
+			t.Fatalf("delta=%d: %v", deltaSize, err)
+		}
+		if fs.DirtyNodes == 0 || fs.AddedEdges != len(delta) {
+			t.Fatalf("delta=%d: fold stats %+v", deltaSize, fs)
+		}
+
+		cfg.GroundTruth = prop
+		cfg.GroundTruthWords = base.Keywords()
+		full, err := Build(g, ds.Log, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSystemsEqual(t, full, folded)
+	}
+}
+
+// Folding twice in a row (each fold's output is the next fold's base)
+// must still match a single Build over the union — the live system
+// folds repeatedly against folded bases.
+func TestFoldChains(t *testing.T) {
+	base, ds, held := foldWorld(t)
+	mid := len(held) / 2
+
+	fold := func(from *System, delta [][2]graph.NodeID) *System {
+		g, prop := grow(t, from, ds, delta)
+		srcs := make([]graph.NodeID, len(delta))
+		dsts := make([]graph.NodeID, len(delta))
+		for i, e := range delta {
+			srcs[i], dsts[i] = e[0], e[1]
+		}
+		cfg := from.BuildConfig()
+		cfg.FoldMaxDirtyFrac = 1
+		sys, _, err := Fold(from, g, ds.Log, prop, srcs, dsts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	step1 := fold(base, held[:mid])
+	step2 := fold(step1, held[mid:])
+
+	g, prop := grow(t, base, ds, held)
+	cfg := base.BuildConfig()
+	cfg.GroundTruth = prop
+	cfg.GroundTruthWords = base.Keywords()
+	full, err := Build(g, ds.Log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSystemsEqual(t, full, step2)
+}
+
+func TestFoldDeltaTooLarge(t *testing.T) {
+	base, ds, held := foldWorld(t)
+	g, prop := grow(t, base, ds, held)
+	cfg := base.BuildConfig()
+	cfg.FoldMaxDirtyFrac = 1e-9 // every node is over this cap
+	srcs := make([]graph.NodeID, len(held))
+	dsts := make([]graph.NodeID, len(held))
+	for i, e := range held {
+		srcs[i], dsts[i] = e[0], e[1]
+	}
+	_, fs, err := Fold(base, g, ds.Log, prop, srcs, dsts, cfg)
+	if !errors.Is(err, ErrFoldDeltaTooLarge) {
+		t.Fatalf("err = %v, want ErrFoldDeltaTooLarge", err)
+	}
+	if fs.DirtyNodes == 0 {
+		t.Fatal("refusal must still report the dirty size")
+	}
+}
+
+func TestFoldRejectsNodeGrowth(t *testing.T) {
+	base, ds, _ := foldWorld(t)
+	n := graph.NodeID(base.Graph().NumNodes())
+	b := graph.NewBuilder(int(n))
+	b.AddGraph(base.Graph())
+	b.AddEdge(0, n) // introduces node n
+	g := b.Build()
+	prop, err := tic.Remap(base.Propagation(), g, func(u, v graph.NodeID) []float64 {
+		return []float64{0.1, 0.1, 0.1, 0.1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Fold(base, g, ds.Log, prop, []graph.NodeID{0}, []graph.NodeID{n}, base.BuildConfig()); err == nil {
+		t.Fatal("fold across node growth must be refused")
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"octopus/internal/topic"
 )
 
-// Binary payload format (version 1): the precomputed bound arrays and
-// topic samples. Loading re-binds them to a TIC model instead of
-// repeating the per-node MIA precomputation.
-const otimBinaryVersion = 1
+// Binary payload format (version 2): the precomputed bound arrays and
+// topic samples, including each sample's pruning frontier (version 2),
+// so a loaded index folds as selectively as a freshly built one.
+// Loading re-binds them to a TIC model instead of repeating the
+// per-node MIA precomputation.
+const otimBinaryVersion = 2
 
 // WriteBinary serializes the index arrays. The model is serialized
 // separately; ReadBinary re-binds to it.
@@ -22,6 +24,7 @@ func WriteBinary(w io.Writer, ix *Index) error {
 	bw.F64(ix.thetaPre)
 	bw.F64(ix.delta)
 	bw.F64s(ix.sigmaMax)
+	bw.I32s(ix.treeSize)
 	bw.F64s(ix.aggr)
 	bw.F64s(ix.wdeg)
 	bw.U64(uint64(len(ix.samples)))
@@ -29,6 +32,18 @@ func WriteBinary(w io.Writer, ix *Index) error {
 		bw.F64s(s.Gamma)
 		bw.I32s(s.Seeds)
 		bw.F64s(s.Spreads)
+		bw.F64s(s.Gains)
+	}
+	bw.F64s(ix.sampleStop)
+	ties := make([]int32, len(ix.sampleTie))
+	for i, tie := range ix.sampleTie {
+		if tie {
+			ties[i] = 1
+		}
+	}
+	bw.I32s(ties)
+	for _, ru := range ix.sampleRU {
+		bw.F64s(ru)
 	}
 	return bw.Flush()
 }
@@ -38,12 +53,13 @@ func WriteBinary(w io.Writer, ix *Index) error {
 func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 	br := binio.NewReader(r)
 	if v := br.U8(); br.Err() == nil && v != otimBinaryVersion {
-		return nil, fmt.Errorf("otim: unsupported binary version %d", v)
+		return nil, fmt.Errorf("otim: unsupported binary version %d (want %d): snapshots from older builds must be regenerated, e.g. octopus build", v, otimBinaryVersion)
 	}
 	ix := &Index{model: m}
 	ix.thetaPre = br.F64()
 	ix.delta = br.F64()
 	ix.sigmaMax = br.F64s()
+	ix.treeSize = br.I32s()
 	ix.aggr = br.F64s()
 	ix.wdeg = br.F64s()
 	numSamples := int(br.U64())
@@ -55,8 +71,19 @@ func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 			Gamma:   topic.Dist(br.F64s()),
 			Seeds:   br.I32s(),
 			Spreads: br.F64s(),
+			Gains:   br.F64s(),
 		}
 		ix.samples = append(ix.samples, s)
+	}
+	ix.sampleStop = br.F64s()
+	ties := br.I32s()
+	ix.sampleTie = make([]bool, len(ties))
+	for i, v := range ties {
+		ix.sampleTie[i] = v != 0
+	}
+	ix.sampleRU = make([][]float64, len(ix.samples))
+	for i := 0; i < len(ix.samples) && br.Err() == nil; i++ {
+		ix.sampleRU[i] = br.F64s()
 	}
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("otim: read binary: %w", err)
@@ -65,12 +92,17 @@ func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 	if ix.thetaPre <= 0 || ix.thetaPre >= 1 {
 		return nil, fmt.Errorf("otim: binary payload thetaPre %v out of (0,1)", ix.thetaPre)
 	}
-	if len(ix.sigmaMax) != n || len(ix.aggr) != n*z || len(ix.wdeg) != n*z {
-		return nil, fmt.Errorf("otim: binary payload arrays sized (%d,%d,%d) for n=%d z=%d",
-			len(ix.sigmaMax), len(ix.aggr), len(ix.wdeg), n, z)
+	if len(ix.sigmaMax) != n || len(ix.treeSize) != n || len(ix.aggr) != n*z || len(ix.wdeg) != n*z {
+		return nil, fmt.Errorf("otim: binary payload arrays sized (%d,%d,%d,%d) for n=%d z=%d",
+			len(ix.sigmaMax), len(ix.treeSize), len(ix.aggr), len(ix.wdeg), n, z)
+	}
+	if len(ix.sampleStop) != len(ix.samples) || len(ix.sampleTie) != len(ix.samples) {
+		return nil, fmt.Errorf("otim: binary payload has %d frontiers / %d tie flags for %d samples",
+			len(ix.sampleStop), len(ix.sampleTie), len(ix.samples))
 	}
 	for i, s := range ix.samples {
-		if len(s.Gamma) != z || len(s.Seeds) != len(s.Spreads) {
+		if len(s.Gamma) != z || len(s.Seeds) != len(s.Spreads) || len(s.Gains) != len(s.Seeds) ||
+			len(ix.sampleRU[i]) != len(s.Seeds) {
 			return nil, fmt.Errorf("otim: binary payload sample %d malformed", i)
 		}
 		for _, u := range s.Seeds {

@@ -3,6 +3,7 @@ package otim
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"octopus/internal/graph"
 	"octopus/internal/heaps"
@@ -108,13 +109,39 @@ type Stats struct {
 	Pruned      int // users never refined beyond the cheap bound
 	SampleHit   bool
 	SampleDist  float64 // L1 distance to the nearest sample (-1 if none)
+	// StopKey is the smallest heap key the best-effort loop ever popped
+	// (0 when the query was answered without refinement, e.g. from a
+	// topic sample). With exact greedy (ε = 0) it equals the last
+	// seed's marginal gain — the selection bar no new candidate can
+	// cross without a gain of at least this much. Candidates whose
+	// bounds stay strictly below it can never alter the seed set, the
+	// pruning frontier incremental index folds use to decide whether a
+	// precomputed sample must be re-run.
+	StopKey float64
+	// SelectionTie reports that some seed was selected while another
+	// heap entry carried a bitwise-equal key (or via the ε-approximate
+	// early pick): the choice was made by heap order, not by value, so
+	// the result is not provably a pure function of gains. Incremental
+	// folds refuse to reuse tie-decided samples whenever the index
+	// changed at all.
+	SelectionTie bool
 }
 
 // Result is the answer to a keyword-IM query.
 type Result struct {
 	Seeds   []graph.NodeID
 	Spreads []float64 // MIA spread after each seed
-	Stats   Stats
+	// Gains is each seed's exact marginal gain at selection time — the
+	// bitwise selection bar of its round (Spreads deltas re-associate
+	// the float additions and are not exact).
+	Gains []float64
+	// RunnerUps is, per round, the largest heap key remaining right
+	// after the seed was selected: a sound upper bound on every
+	// non-selected candidate's marginal gain that round. The gap to
+	// Gains is the selection margin incremental folds certify repaired
+	// samples against.
+	RunnerUps []float64
+	Stats     Stats
 }
 
 // Engine answers topic-aware IM queries against an Index. Not safe for
@@ -254,6 +281,7 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 	cover := mia.NewCover()
 	chosen := make([]bool, n)
 	round := 0
+	minPopped := math.Inf(1)
 	// Within one query γ is fixed, so a candidate's MIA tree never
 	// changes across seed rounds — only the cover does. Cache trees so
 	// stale re-evaluations are O(tree) gain walks instead of Dijkstras.
@@ -280,6 +308,12 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 		cover.Add(tree)
 		res.Seeds = append(res.Seeds, id)
 		res.Spreads = append(res.Spreads, cover.Spread())
+		res.Gains = append(res.Gains, gain)
+		ru := 0.0
+		if h.Len() > 0 {
+			ru = h.Peek().Key
+		}
+		res.RunnerUps = append(res.RunnerUps, ru)
 		round++
 		bestFreshID, bestFreshGain, bestFreshTree = -1, -1, nil
 	}
@@ -289,6 +323,9 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 			return // cancelled: return seeds found so far
 		}
 		top := h.Pop()
+		if top.Key < minPopped {
+			minPopped = top.Key
+		}
 		if chosen[top.ID] {
 			continue // stale entry of an already-selected seed
 		}
@@ -298,13 +335,19 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 		// dominates (1−ε)·(best remaining upper bound).
 		if opt.Epsilon > 0 && bestFreshID >= 0 && bestFreshID != top.ID &&
 			bestFreshGain >= (1-opt.Epsilon)*top.Key {
-			h.Push(top) // put the candidate back
+			h.Push(top)                   // put the candidate back
+			res.Stats.SelectionTie = true // ε picks are order-, not value-determined
 			selectSeed(bestFreshID, bestFreshGain, bestFreshTree)
 			continue
 		}
 
 		switch {
 		case topTier == tierExact && topRound == round:
+			// A bitwise-equal runner-up key means heap order, not the
+			// gain, decided this pick.
+			if h.Len() > 0 && h.Peek().Key == top.Key {
+				res.Stats.SelectionTie = true
+			}
 			selectSeed(top.ID, top.Key, nil)
 
 		case topTier == tierExact: // stale marginal gain: rewalk cached tree
@@ -335,6 +378,10 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 			h.Push(heaps.Item{ID: top.ID, Key: gain, Round: pack(round, tierExact)})
 			e.markTier(top.ID, tierExact)
 		}
+	}
+
+	if !math.IsInf(minPopped, 1) {
+		res.Stats.StopKey = minPopped
 	}
 
 	// Pruned = users whose refinement never went past the cheap bound.

@@ -1,0 +1,318 @@
+package otim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// growModel extends m's graph with the given new edges and remaps the
+// model onto it, assigning each new edge the paired probability vector —
+// exactly the transformation a streaming fold applies.
+func growModel(t testing.TB, m *tic.Model, added [][2]graph.NodeID, probs [][]float64) *tic.Model {
+	t.Helper()
+	g := m.Graph()
+	b := graph.NewBuilder(g.NumNodes())
+	b.AddGraph(g)
+	prior := make(map[[2]graph.NodeID][]float64, len(added))
+	for i, e := range added {
+		if _, ok := g.FindEdge(e[0], e[1]); ok {
+			t.Fatalf("test delta edge %v already in the base graph", e)
+		}
+		b.AddEdge(e[0], e[1])
+		prior[e] = probs[i]
+	}
+	ng := b.Build()
+	nm, err := tic.Remap(m, ng, func(u, v graph.NodeID) []float64 {
+		return prior[[2]graph.NodeID{u, v}]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+// testDelta builds a deterministic small delta over m's graph: count
+// new edges (absent from the graph) with mixed-topic priors.
+func testDelta(m *tic.Model, count int, seed uint64) ([][2]graph.NodeID, [][]float64) {
+	g := m.Graph()
+	n := g.NumNodes()
+	r := rng.New(seed)
+	var added [][2]graph.NodeID
+	var probs [][]float64
+	seen := map[[2]graph.NodeID]bool{}
+	for len(added) < count {
+		e := [2]graph.NodeID{graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))}
+		if e[0] == e[1] || seen[e] {
+			continue
+		}
+		if _, ok := g.FindEdge(e[0], e[1]); ok {
+			continue
+		}
+		seen[e] = true
+		added = append(added, e)
+		probs = append(probs, []float64{0.1 + 0.3*r.Float64(), 0.1 + 0.3*r.Float64()})
+	}
+	return added, probs
+}
+
+func requireIndexEqual(t *testing.T, full, fold *Index) {
+	t.Helper()
+	if !reflect.DeepEqual(full.sigmaMax, fold.sigmaMax) {
+		for i := range full.sigmaMax {
+			if full.sigmaMax[i] != fold.sigmaMax[i] {
+				t.Fatalf("sigmaMax[%d]: full %v, fold %v", i, full.sigmaMax[i], fold.sigmaMax[i])
+			}
+		}
+	}
+	if full.delta != fold.delta {
+		t.Fatalf("delta: full %v, fold %v", full.delta, fold.delta)
+	}
+	if !reflect.DeepEqual(full.treeSize, fold.treeSize) {
+		t.Fatal("tree-size cost model differs")
+	}
+	if !reflect.DeepEqual(full.aggr, fold.aggr) {
+		t.Fatal("aggr rows differ")
+	}
+	if !reflect.DeepEqual(full.wdeg, fold.wdeg) {
+		t.Fatal("wdeg rows differ")
+	}
+	if !reflect.DeepEqual(full.samples, fold.samples) {
+		t.Fatalf("topic samples differ:\nfull %+v\nfold %+v", full.samples, fold.samples)
+	}
+	if !reflect.DeepEqual(full.sampleStop, fold.sampleStop) {
+		t.Fatalf("sample frontiers differ: full %v, fold %v", full.sampleStop, fold.sampleStop)
+	}
+	if !reflect.DeepEqual(full.sampleTie, fold.sampleTie) {
+		t.Fatalf("sample tie certificates differ: full %v, fold %v", full.sampleTie, fold.sampleTie)
+	}
+}
+
+// The tentpole guarantee: folding a small delta into an index produces
+// exactly what a from-scratch BuildIndex at the same seed produces —
+// arrays bitwise, samples seed-for-seed, queries answer-for-answer.
+func TestFoldMatchesFullRebuild(t *testing.T) {
+	const n = 300
+	opt := BuildOptions{ThetaPre: 0.001, Samples: 8, SampleK: 5, Seed: 9, FoldMaxCostFrac: 1}
+	m0 := testWorld(t, n, 4, 11)
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deltaEdges := range []int{1, 5, 40} {
+		added, probs := testDelta(m0, deltaEdges, uint64(100+deltaEdges))
+		m1 := growModel(t, m0, added, probs)
+
+		full, err := BuildIndex(m1, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := make([]graph.NodeID, len(added))
+		for i, e := range added {
+			srcs[i] = e[0]
+		}
+		dirty := DirtySet(m1, srcs, ix0.ThetaPre())
+		if len(dirty) == 0 {
+			t.Fatalf("delta=%d: empty dirty set for %d new edges", deltaEdges, len(added))
+		}
+		dsts := make([]graph.NodeID, len(added))
+		for i, e := range added {
+			dsts[i] = e[1]
+		}
+		fold, err := ix0.Fold(m1, dirty, srcs, dsts, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIndexEqual(t, full, fold)
+
+		// Query-level equality across representative distributions.
+		ef, eg := NewEngine(full), NewEngine(fold)
+		for _, gamma := range []topic.Dist{{1, 0}, {0, 1}, {0.5, 0.5}, {0.8, 0.2}} {
+			for _, q := range []QueryOptions{
+				{K: 5, Theta: 0.01},
+				{K: 3, Theta: 0.02, Epsilon: 0.1},
+				{K: 5, Theta: 0.01, UseSamples: true},
+			} {
+				rf, err1 := ef.Query(gamma, q)
+				rg, err2 := eg.Query(gamma, q)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if !reflect.DeepEqual(rf, rg) {
+					t.Fatalf("delta=%d γ=%v: query diverged\nfull %+v\nfold %+v", deltaEdges, gamma, rf, rg)
+				}
+			}
+		}
+	}
+}
+
+// clusteredWorld is a world whose delta stays local: nodes 0..9 form a
+// weak chain (an island of low-probability edges, disconnected from the
+// rest), nodes 10.. form the dense strong world of testWorld. A new
+// edge inside the island dirties only island nodes, whose bounds stay
+// far below any query's pruning frontier.
+func clusteredWorld(t testing.TB, n int, seed uint64) *tic.Model {
+	r := rng.New(seed)
+	gb := graph.NewBuilder(n)
+	for v := int32(0); v < 9; v++ {
+		gb.AddEdge(v, v+1)
+	}
+	for i := 0; i < (n-10)*4; i++ {
+		gb.AddEdge(int32(10+r.Intn(n-10)), int32(10+r.Intn(n-10)))
+	}
+	g := gb.Build()
+	mb := tic.NewBuilder(g, 2)
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.Src(graph.EdgeID(e)) < 10 {
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.02, 0.02})
+		} else if r.Bool() {
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.2 + 0.4*r.Float64(), 0.02 * r.Float64()})
+		} else {
+			_ = mb.SetProbs(graph.EdgeID(e), []float64{0.02 * r.Float64(), 0.2 + 0.4*r.Float64()})
+		}
+	}
+	return mb.Build()
+}
+
+// A fold must keep every sample whose pruning frontier the delta never
+// reaches — otherwise swap latency degenerates to rebuild cost. A weak
+// island-local edge must leave every sample reused (shared Seeds
+// backing array ⇒ not re-run) and still match the full rebuild.
+func TestFoldReusesUntouchedSamples(t *testing.T) {
+	const n = 200
+	opt := BuildOptions{ThetaPre: 0.001, Samples: 8, SampleK: 5, Seed: 9}
+	m0 := clusteredWorld(t, n, 11)
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := [][2]graph.NodeID{{2, 7}}
+	m1 := growModel(t, m0, added, [][]float64{{0.02, 0.02}})
+	dirty := DirtySet(m1, []graph.NodeID{2}, ix0.ThetaPre())
+	for _, u := range dirty {
+		if u >= 10 {
+			t.Fatalf("island delta dirtied mainland node %d", u)
+		}
+	}
+	fold, err := ix0.Fold(m1, dirty, []graph.NodeID{2}, []graph.NodeID{7}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildIndex(m1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIndexEqual(t, full, fold)
+	for i := range fold.samples {
+		if &fold.samples[i].Seeds[0] != &ix0.samples[i].Seeds[0] {
+			t.Fatalf("sample %d was re-run for an island-local delta", i)
+		}
+	}
+}
+
+func TestFoldValidation(t *testing.T) {
+	opt := BuildOptions{ThetaPre: 0.001, Samples: 4, SampleK: 3, Seed: 2}
+	m0 := testWorld(t, 60, 3, 3)
+	ix, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, probs := testDelta(m0, 2, 5)
+	m1 := growModel(t, m0, added, probs)
+
+	cases := []struct {
+		name string
+		m    *tic.Model
+		opt  BuildOptions
+		want string
+	}{
+		{"theta mismatch", m1, BuildOptions{ThetaPre: 0.01, Samples: 4, SampleK: 3, Seed: 2}, "ThetaPre"},
+		{"sample mismatch", m1, BuildOptions{ThetaPre: 0.001, Samples: 6, SampleK: 3, Seed: 2}, "Samples"},
+		{"node growth", growModelWithNode(t, m0), opt, "node count"},
+	}
+	for _, tc := range cases {
+		if _, err := ix.Fold(tc.m, nil, nil, nil, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := ix.Fold(m1, []graph.NodeID{-1}, nil, nil, opt); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad dirty node: err = %v", err)
+	}
+}
+
+// growModelWithNode grows the graph by one node (id n) with one edge.
+func growModelWithNode(t testing.TB, m *tic.Model) *tic.Model {
+	t.Helper()
+	g := m.Graph()
+	n := graph.NodeID(g.NumNodes())
+	b := graph.NewBuilder(g.NumNodes())
+	b.AddGraph(g)
+	b.AddEdge(0, n)
+	nm, err := tic.Remap(m, b.Build(), func(u, v graph.NodeID) []float64 {
+		return []float64{0.1, 0.1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+func TestFoldWorkerEquivalence(t *testing.T) {
+	const n = 200
+	opt := BuildOptions{ThetaPre: 0.001, Samples: 6, SampleK: 4, Seed: 4, FoldMaxCostFrac: 1}
+	m0 := testWorld(t, n, 4, 21)
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, probs := testDelta(m0, 10, 77)
+	m1 := growModel(t, m0, added, probs)
+	srcs := make([]graph.NodeID, len(added))
+	for i, e := range added {
+		srcs[i] = e[0]
+	}
+	dirty := DirtySet(m1, srcs, ix0.ThetaPre())
+
+	fold := func(workers int) *Index {
+		o := opt
+		o.Workers = workers
+		dsts := make([]graph.NodeID, len(added))
+		for i, e := range added {
+			dsts[i] = e[1]
+		}
+		ix, err := ix0.Fold(m1, dirty, srcs, dsts, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	base := fold(1)
+	for _, w := range []int{2, 4, 8} {
+		requireIndexEqual(t, base, fold(w))
+	}
+}
+
+// DirtySet must contain every source (it is in its own reverse ball)
+// and dedupe repeated sources.
+func TestDirtySetContainsSources(t *testing.T) {
+	m := testWorld(t, 80, 3, 5)
+	srcs := []graph.NodeID{3, 17, 3, 17, 42}
+	dirty := DirtySet(m, srcs, 0.001)
+	in := map[graph.NodeID]bool{}
+	for _, u := range dirty {
+		if in[u] {
+			t.Fatalf("dirty set repeats node %d", u)
+		}
+		in[u] = true
+	}
+	for _, s := range []graph.NodeID{3, 17, 42} {
+		if !in[s] {
+			t.Fatalf("dirty set missing source %d", s)
+		}
+	}
+}

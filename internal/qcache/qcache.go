@@ -32,6 +32,7 @@ package qcache
 
 import (
 	"container/list"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -386,6 +387,31 @@ func (m *Metrics) StaleEvict(endpoint string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.get(endpoint).stale++
+}
+
+// RetryAfterSeconds derives a shed-response backoff hint from the
+// endpoint's observed service time: the live p99 latency (never below
+// the p50), rounded up to whole seconds, floored at 1s and capped at
+// 60s. A fast endpoint tells shed clients to come back in a second; a
+// slow one pushes them out proportionally to how long its answers
+// actually take, so retries land when a slot is plausibly free.
+func (m *Metrics) RetryAfterSeconds(endpoint string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.endpoints[endpoint]
+	if !ok {
+		return 1
+	}
+	p99 := s.lat.quantile(0.99)
+	secs := int(math.Ceil(p99 / 1e9))
+	switch {
+	case secs < 1:
+		return 1
+	case secs > 60:
+		return 60
+	default:
+		return secs
+	}
 }
 
 // EndpointSnapshot is the JSON-ready per-endpoint report.

@@ -303,6 +303,33 @@ func TestMetricsEmptyReport(t *testing.T) {
 	}
 }
 
+func TestRetryAfterSecondsDerived(t *testing.T) {
+	m := NewMetrics()
+	// No observations yet: the floor.
+	if got := m.RetryAfterSeconds("im"); got != 1 {
+		t.Fatalf("cold retry-after = %d, want 1", got)
+	}
+	// A fast endpoint stays at the 1s floor.
+	for i := 0; i < 100; i++ {
+		m.Observe("im", StateMiss, 200, 5*time.Millisecond)
+	}
+	if got := m.RetryAfterSeconds("im"); got != 1 {
+		t.Fatalf("fast retry-after = %d, want 1", got)
+	}
+	// A slow endpoint pushes clients out ≈ its p99, rounded up.
+	for i := 0; i < 100; i++ {
+		m.Observe("slow", StateMiss, 200, 2500*time.Millisecond)
+	}
+	if got := m.RetryAfterSeconds("slow"); got != 3 {
+		t.Fatalf("slow retry-after = %d, want 3 (⌈2.5s⌉)", got)
+	}
+	// Pathological latencies are capped so the hint stays actionable.
+	m.Observe("stuck", StateMiss, 200, 10*time.Minute)
+	if got := m.RetryAfterSeconds("stuck"); got != 60 {
+		t.Fatalf("capped retry-after = %d, want 60", got)
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := New(64)
 	var wg sync.WaitGroup

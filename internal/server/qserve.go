@@ -146,7 +146,7 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 func (s *Server) compute(endpoint string, h queryHandler, sys *core.System, r *http.Request) *qcache.Entry {
 	if !s.gate.TryAcquire() {
 		s.metrics.Shed(endpoint)
-		return shedEntry()
+		return s.shedEntry(endpoint)
 	}
 	defer s.gate.Release()
 	rec := newRecorder()
@@ -154,9 +154,13 @@ func (s *Server) compute(endpoint string, h queryHandler, sys *core.System, r *h
 	return rec.entry()
 }
 
-func shedEntry() *qcache.Entry {
+// shedEntry renders the 429 shed response. Retry-After is derived from
+// the endpoint's live p50/p99 latency (rounded up, floor 1s), so
+// clients back off proportionally to the actual service time instead
+// of hammering a slow endpoint every second.
+func (s *Server) shedEntry(endpoint string) *qcache.Entry {
 	rec := newRecorder()
-	rec.Header().Set("Retry-After", "1")
+	rec.Header().Set("Retry-After", strconv.Itoa(s.metrics.RetryAfterSeconds(endpoint)))
 	writeErr(rec, http.StatusTooManyRequests,
 		errors.New("server over capacity: in-flight query bound reached; retry"))
 	return rec.entry()
@@ -455,7 +459,7 @@ func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.gate.TryAcquire() {
 		s.metrics.Shed("targeted")
-		replayEntry(w, shedEntry(), qcache.StateShed, gen)
+		replayEntry(w, s.shedEntry("targeted"), qcache.StateShed, gen)
 		return
 	}
 	defer s.gate.Release()

@@ -9,9 +9,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"octopus/internal/core"
 	"octopus/internal/datagen"
+	"octopus/internal/qcache"
 )
 
 // freshServer builds a small dedicated server so cache and metrics
@@ -187,8 +189,22 @@ func TestAdmissionControlSheds(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", rec.Code)
 	}
-	if rec.Header().Get("Retry-After") == "" {
-		t.Fatal("shed response missing Retry-After")
+	// With no latency history the hint sits at the 1s floor.
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("cold Retry-After = %q, want 1", ra)
+	}
+	// Feed the endpoint a slow service-time history: the hint must grow
+	// to the observed p99, rounded up — clients back off proportionally
+	// to what the work actually costs.
+	for i := 0; i < 50; i++ {
+		s.metrics.Observe("im", qcache.StateMiss, http.StatusOK, 2500*time.Millisecond)
+	}
+	recSlow, _ := get(t, s, "/api/im?q=data&k=4")
+	if recSlow.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", recSlow.Code)
+	}
+	if ra := recSlow.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("derived Retry-After = %q, want 3 (⌈p99⌉)", ra)
 	}
 	if msg, _ := body["error"].(string); !strings.Contains(msg, "capacity") {
 		t.Fatalf("shed error payload = %v", body)
@@ -208,8 +224,8 @@ func TestAdmissionControlSheds(t *testing.T) {
 	// The sheds are visible in the metrics.
 	_, m := get(t, s, "/api/metrics")
 	eps := m["endpoints"].(map[string]any)
-	if shed := eps["im"].(map[string]any)["shed"].(float64); shed != 1 {
-		t.Fatalf("im shed = %v, want 1", shed)
+	if shed := eps["im"].(map[string]any)["shed"].(float64); shed != 2 {
+		t.Fatalf("im shed = %v, want 2", shed)
 	}
 	if shed := eps["targeted"].(map[string]any)["shed"].(float64); shed != 1 {
 		t.Fatalf("targeted shed = %v, want 1", shed)

@@ -29,9 +29,14 @@
 //     the apply goroutine folds it into a fresh core.System: the graph is
 //     re-CSR'd with the new edges, the TIC model is remapped onto the new
 //     edge ids (tic.Remap) with overlay priors filling the new edges, the
-//     action log is re-built with the new items/actions, and the OTIM and
-//     tags indexes are rebuilt with the tuning of the base system. The
-//     finished snapshot is installed with a single atomic.Pointer store.
+//     action log is merged with the new items/actions
+//     (actionlog.Merge, cost proportional to the delta), and the OTIM
+//     and tags indexes are either delta-maintained (core.Fold, with
+//     Config.IncrementalFold — query-for-query identical to a rebuild
+//     at the same seed, falling back to a full rebuild when node count
+//     grows or the dirty caps trip) or rebuilt with the tuning of the
+//     base system. The finished snapshot is installed with a single
+//     atomic.Pointer store.
 //
 // # Concurrency and the staleness model
 //
@@ -49,7 +54,11 @@
 //   - It becomes *visible to the analysis services* (DiscoverInfluencers,
 //     SuggestKeywords, InfluencePaths) at the next snapshot fold, i.e.
 //     after at most RebuildEvents further events or RebuildInterval of
-//     wall-clock time, plus one rebuild duration.
+//     wall-clock time, plus one rebuild duration. The interval bound is
+//     exact: the fold deadline is armed from the oldest pending event's
+//     arrival, so a quiet overlay folds at RebuildInterval — not at the
+//     up-to-1.5× a coarser periodic check would allow. (Only a failing
+//     fold stretches it: retries are then paced one interval apart.)
 //   - Keyword vocabulary is the one dimension that stays frozen across
 //     carry-over folds: the topic model is reused, so keywords unseen at
 //     build time remain "unknown" to gamma inference until a fold with

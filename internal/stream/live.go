@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,23 @@ type Config struct {
 	// snapshot-swap latency; a serving host sharing cores with queries
 	// may want fewer than a dedicated builder.
 	Workers int
+	// IncrementalFold delta-maintains the OTIM and influencer indexes at
+	// fold time (core.Fold) instead of rebuilding them from scratch, so
+	// swap latency scales with the delta rather than the corpus. The
+	// folded snapshot is query-for-query identical to a full rebuild at
+	// the same seed; the fold silently falls back to a full rebuild (and
+	// counts it in Stats.FoldFallbacks) when the delta grows the node
+	// count, the dirty set exceeds FoldMaxDirtyFrac of the nodes, or
+	// RelearnEM is set.
+	IncrementalFold bool
+	// FoldMaxDirtyFrac overrides core.Config.FoldMaxDirtyFrac for
+	// incremental folds (0 inherits the base system's setting, default
+	// 0.25).
+	FoldMaxDirtyFrac float64
+	// foldHook, when non-nil, runs at the start of every fold rebuild
+	// and aborts it by returning an error — the failure-injection seam
+	// fold-retry tests use.
+	foldHook func() error
 	// Store, when non-nil, makes the ingester durable: every drained
 	// batch is appended to the write-ahead log and fsynced (group
 	// commit) before it is acknowledged, every snapshot swap checkpoints
@@ -116,6 +134,14 @@ type Stats struct {
 	LastSwapMillis  float64   `json:"lastSwapMillis"`
 	TotalSwapMillis float64   `json:"totalSwapMillis"`
 	LastSwapAt      time.Time `json:"lastSwapAt,omitempty"`
+	// IncrementalFolds counts snapshot swaps served by the
+	// delta-maintenance path; FoldFallbacks counts the incremental
+	// attempts that fell back to a full rebuild (node growth, dirty set
+	// over the cap). LastFoldDirtyNodes is the dirty-set size of the
+	// most recent incremental fold.
+	IncrementalFolds   uint64 `json:"incrementalFolds"`
+	FoldFallbacks      uint64 `json:"foldFallbacks"`
+	LastFoldDirtyNodes int64  `json:"lastFoldDirtyNodes"`
 
 	// Durability counters (zero-valued unless Config.Store is set).
 	Durable               bool   `json:"durable"`
@@ -137,17 +163,29 @@ type LiveSystem struct {
 	cur atomic.Pointer[Snapshot]
 
 	mu      sync.RWMutex
-	ov      *overlay           // accumulating delta since the last fold
-	folding *overlay           // delta currently being folded (peeks still see it)
-	itemIDs map[int32]struct{} // every item id known to base log or stream
-	since   time.Time          // arrival of ov's oldest event
-	lastErr error              // last fold failure, if any
+	ov      *overlay // accumulating delta since the last fold
+	folding *overlay // delta currently being folded (peeks still see it)
+	// Item dedup is two-tiered so its memory stays bounded by the live
+	// state instead of the process history: baseItems is the sorted item
+	// ids of the serving snapshot's action log (rebuilt per fold),
+	// itemIDs holds only the pending overlays' items and is re-derived
+	// when a fold retires them into the base.
+	baseItems []int32
+	itemIDs   map[int32]struct{}
+	since     time.Time // arrival of ov's oldest event
+	lastErr   error     // last fold failure, if any
 	// walFailure (apply goroutine only) is the sticky durability gap: a
 	// WAL append/sync failed, so some applied events are not on disk.
 	// Flush and ForceSnapshot surface it until a successful checkpoint
 	// persists the full state (snapshot includes the overlay), which
 	// closes the gap and clears it.
 	walFailure error
+	// foldRetryAt (apply goroutine only) paces automatic retries after a
+	// failed fold: the restored delta keeps tripping its thresholds, so
+	// without a floor every batch arrival or deadline recheck would
+	// re-run the expensive failing rebuild. Explicit ForceSnapshot
+	// bypasses it; any successful fold clears it.
+	foldRetryAt time.Time
 
 	ch        chan []event
 	closed    chan struct{}
@@ -157,10 +195,11 @@ type LiveSystem struct {
 
 	accepted, dropped, invalid, duplicates atomic.Uint64
 	applied, snapshots, foldFailures       atomic.Uint64
+	incrementalFolds, foldFallbacks        atomic.Uint64
 	walErrors                              atomic.Uint64
 	buffered                               atomic.Int64
 	lastSwapNanos, totalSwapNanos          atomic.Int64
-	lastSwapAtNanos                        atomic.Int64
+	lastSwapAtNanos, lastFoldDirty         atomic.Int64
 }
 
 // NewLiveSystem wraps a built base system. The background apply
@@ -171,14 +210,12 @@ func NewLiveSystem(sys *core.System, cfg Config) (*LiveSystem, error) {
 	}
 	cfg.fill(sys)
 	ls := &LiveSystem{
-		cfg:     cfg,
-		ov:      newOverlay(),
-		itemIDs: make(map[int32]struct{}, len(sys.ActionLog().Episodes)),
-		ch:      make(chan []event, cfg.BufferBatches),
-		closed:  make(chan struct{}),
-	}
-	for _, ep := range sys.ActionLog().Episodes {
-		ls.itemIDs[ep.Item.ID] = struct{}{}
+		cfg:       cfg,
+		ov:        newOverlay(),
+		baseItems: baseItemIDs(sys.ActionLog()),
+		itemIDs:   make(map[int32]struct{}),
+		ch:        make(chan []event, cfg.BufferBatches),
+		closed:    make(chan struct{}),
 	}
 	version := uint64(1)
 	if st := cfg.Store; st != nil {
@@ -392,6 +429,10 @@ func (ls *LiveSystem) Stats() Stats {
 		FoldFailures:    ls.foldFailures.Load(),
 		LastSwapMillis:  float64(ls.lastSwapNanos.Load()) / 1e6,
 		TotalSwapMillis: float64(ls.totalSwapNanos.Load()) / 1e6,
+
+		IncrementalFolds:   ls.incrementalFolds.Load(),
+		FoldFallbacks:      ls.foldFallbacks.Load(),
+		LastFoldDirtyNodes: ls.lastFoldDirty.Load(),
 	}
 	if at := ls.lastSwapAtNanos.Load(); at != 0 {
 		st.LastSwapAt = time.Unix(0, at)
@@ -417,18 +458,55 @@ func (ls *LiveSystem) LastFoldError() error {
 }
 
 // run is the background apply loop: drain the buffer, apply events to
-// the overlay, and fold when a threshold trips.
+// the overlay, and fold when a threshold trips. The staleness bound is
+// a deadline armed from ls.since — the arrival of the oldest pending
+// event — so a quiet overlay folds after exactly RebuildInterval, not
+// at the whim of a coarser ticker phase (the previous half-interval
+// ticker let worst-case staleness reach 1.5× the configured bound).
 func (ls *LiveSystem) run() {
 	defer ls.wg.Done()
-	var tickC <-chan time.Time
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	var armed time.Time // deadline the timer is set for; zero = disarmed
 	if ls.cfg.RebuildInterval > 0 {
-		period := ls.cfg.RebuildInterval / 2
-		if period < 10*time.Millisecond {
-			period = 10 * time.Millisecond
+		timer = time.NewTimer(time.Hour)
+		timer.Stop()
+		timerC = timer.C
+		defer timer.Stop()
+	}
+	// rearm points the deadline timer at since+RebuildInterval whenever
+	// events are pending, and disarms it otherwise. After a failed fold
+	// the restored delta's deadline is already in the past, so the
+	// deadline is floored at the retry pace instead of re-arming an
+	// immediate (and expensive) retry on every batch arrival.
+	rearm := func() {
+		if timer == nil {
+			return
 		}
-		t := time.NewTicker(period)
-		defer t.Stop()
-		tickC = t.C
+		ls.mu.RLock()
+		pending := ls.ov.events
+		since := ls.since
+		ls.mu.RUnlock()
+		if pending == 0 {
+			if !armed.IsZero() {
+				armed = time.Time{}
+				timer.Stop()
+			}
+			return
+		}
+		deadline := since.Add(ls.cfg.RebuildInterval)
+		if deadline.Before(ls.foldRetryAt) {
+			deadline = ls.foldRetryAt
+		}
+		if armed.Equal(deadline) {
+			return
+		}
+		armed = deadline
+		d := time.Until(deadline)
+		if d < 0 {
+			d = 0
+		}
+		timer.Reset(d)
 	}
 	for {
 		select {
@@ -438,12 +516,26 @@ func (ls *LiveSystem) run() {
 		case batch := <-ls.ch:
 			batches := ls.drainMore([][]event{batch})
 			ls.process(batches)
-		case <-tickC:
+			rearm()
+		case <-timerC:
+			armed = time.Time{}
 			ls.mu.RLock()
 			stale := ls.ov.events > 0 && time.Since(ls.since) >= ls.cfg.RebuildInterval
 			ls.mu.RUnlock()
+			var err error
 			if stale {
-				_ = ls.fold() // failure is recorded in stats; delta retained
+				err = ls.fold() // failure is recorded in stats; delta retained
+			}
+			if err != nil {
+				// The delta was restored with its original arrival time, so
+				// since+interval is already in the past: pace the retry one
+				// full interval out instead of spinning on the failure (and
+				// keep batch-arrival rearms from undercutting the floor).
+				ls.foldRetryAt = time.Now().Add(ls.retryBackoff())
+				armed = ls.foldRetryAt
+				timer.Reset(time.Until(armed))
+			} else {
+				rearm()
 			}
 		}
 	}
@@ -453,6 +545,15 @@ func (ls *LiveSystem) pendingEvents() int {
 	ls.mu.RLock()
 	defer ls.mu.RUnlock()
 	return ls.ov.events
+}
+
+// retryBackoff is the pause between automatic retries of a failing
+// fold: the staleness interval when one is configured, else a second.
+func (ls *LiveSystem) retryBackoff() time.Duration {
+	if ls.cfg.RebuildInterval > 0 {
+		return ls.cfg.RebuildInterval
+	}
+	return time.Second
 }
 
 // drainMore opportunistically pulls additional already-buffered batches
@@ -479,8 +580,11 @@ func (ls *LiveSystem) process(batches [][]event) {
 	forceFold, markers, recs := ls.applyBatches(batches)
 	ls.logRecords(recs)
 	var foldErr error
-	if forceFold || ls.pendingEvents() >= ls.cfg.RebuildEvents {
+	if forceFold || (ls.pendingEvents() >= ls.cfg.RebuildEvents && time.Now().After(ls.foldRetryAt)) {
 		foldErr = ls.fold()
+		if foldErr != nil && !forceFold {
+			ls.foldRetryAt = time.Now().Add(ls.retryBackoff())
+		}
 	}
 	for _, m := range markers {
 		switch {
@@ -620,12 +724,67 @@ func (ls *LiveSystem) applyEdge(base *core.System, ev EdgeEvent) (store.Record, 
 	}, true
 }
 
+// baseItemIDs returns the sorted distinct item ids of a log — the
+// compact dedup tier for items already folded into the serving base.
+func baseItemIDs(log *actionlog.Log) []int32 {
+	ids := make([]int32, 0, len(log.Episodes))
+	for _, ep := range log.Episodes {
+		ids = append(ids, ep.Item.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// mergeItemIDs merges the folded overlay's item ids into the sorted
+// base tier — O(base + delta log delta). Overlay items are unique and
+// disjoint from the base by the apply-time dedup.
+func mergeItemIDs(base []int32, items []actionlog.Item) []int32 {
+	if len(items) == 0 {
+		return base
+	}
+	add := make([]int32, 0, len(items))
+	for _, it := range items {
+		add = append(add, it.ID)
+	}
+	sort.Slice(add, func(i, j int) bool { return add[i] < add[j] })
+	out := make([]int32, 0, len(base)+len(add))
+	i, j := 0, 0
+	for i < len(base) && j < len(add) {
+		if base[i] <= add[j] {
+			out = append(out, base[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	out = append(out, base[i:]...)
+	out = append(out, add[j:]...)
+	return out
+}
+
+// hasItem reports whether an item id is known to the base log or a
+// pending overlay; caller holds mu.
+func (ls *LiveSystem) hasItem(id int32) bool {
+	if _, ok := ls.itemIDs[id]; ok {
+		return true
+	}
+	i := sort.Search(len(ls.baseItems), func(i int) bool { return ls.baseItems[i] >= id })
+	return i < len(ls.baseItems) && ls.baseItems[i] == id
+}
+
 func (ls *LiveSystem) applyItem(it actionlog.Item) (store.Record, bool) {
 	if it.ID < 0 {
 		ls.invalid.Add(1)
 		return store.Record{}, false
 	}
-	if _, ok := ls.itemIDs[it.ID]; ok {
+	if ls.hasItem(it.ID) {
 		ls.duplicates.Add(1)
 		return store.Record{}, false
 	}
@@ -645,7 +804,7 @@ func (ls *LiveSystem) applyAction(base *core.System, a actionlog.Action) (store.
 		ls.invalid.Add(1)
 		return store.Record{}, false
 	}
-	if _, ok := ls.itemIDs[a.Item]; !ok {
+	if !ls.hasItem(a.Item) {
 		ls.invalid.Add(1)
 		return store.Record{}, false
 	}
@@ -679,7 +838,7 @@ func (ls *LiveSystem) fold() error {
 
 	start := time.Now()
 	old := ls.cur.Load()
-	sys, err := ls.rebuild(old, ov)
+	sys, incremental, err := ls.rebuild(old, ov)
 	if err != nil {
 		ls.foldFailures.Add(1)
 		ls.mu.Lock()
@@ -695,6 +854,11 @@ func (ls *LiveSystem) fold() error {
 		return err
 	}
 	elapsed := time.Since(start)
+	// The folded items now live in the base log: merge them into the
+	// compact sorted base tier (outside the lock — only this goroutine
+	// mutates it) so the fold's dedup upkeep is O(delta), not a re-sort
+	// of the corpus.
+	merged := mergeItemIDs(ls.baseItems, ov.items)
 	// Publish the snapshot and retire the folded delta in one critical
 	// section so locked readers (Stats, PendingOutEdges) never see the
 	// same events both in the new snapshot and as pending.
@@ -706,8 +870,20 @@ func (ls *LiveSystem) fold() error {
 		SwapLatency: elapsed,
 	})
 	ls.folding = nil
+	// Shrink the overlay-item map back to whatever the replacement
+	// overlay holds (normally nothing — applies and folds share this
+	// goroutine).
+	ls.baseItems = merged
+	ls.itemIDs = make(map[int32]struct{}, len(ls.ov.items))
+	for _, it := range ls.ov.items {
+		ls.itemIDs[it.ID] = struct{}{}
+	}
 	ls.mu.Unlock()
+	ls.foldRetryAt = time.Time{} // a success ends any retry pacing
 	ls.snapshots.Add(1)
+	if incremental {
+		ls.incrementalFolds.Add(1)
+	}
 	ls.lastSwapNanos.Store(int64(elapsed))
 	ls.totalSwapNanos.Add(int64(elapsed))
 	ls.lastSwapAtNanos.Store(time.Now().UnixNano())
@@ -733,31 +909,47 @@ func (ls *LiveSystem) fold() error {
 }
 
 // rebuild merges the overlay into the old snapshot's graph, model and
-// log, and builds a fresh system with the base index tuning.
-func (ls *LiveSystem) rebuild(old *Snapshot, ov *overlay) (*core.System, error) {
+// log, and produces the next system with the base index tuning — via
+// incremental index maintenance (core.Fold) when Config.IncrementalFold
+// allows it, falling back to a full core.Build otherwise. The second
+// return reports which path built the snapshot.
+func (ls *LiveSystem) rebuild(old *Snapshot, ov *overlay) (*core.System, bool, error) {
+	if h := ls.cfg.foldHook; h != nil {
+		if err := h(); err != nil {
+			return nil, false, err
+		}
+	}
 	oldSys := old.Sys
 	oldG := oldSys.Graph()
 
-	b := graph.NewBuilder(oldG.NumNodes())
-	b.AddGraph(oldG)
-	for key := range ov.edges {
-		b.AddEdge(key.u, key.v)
-	}
-	for u, nm := range ov.names {
-		if int(u) >= oldG.NumNodes() || oldG.Name(u) == "" {
-			b.SetName(u, nm)
+	// Graph fast path: an action/item-only delta leaves the graph — and
+	// therefore the model and both indexes — untouched.
+	newG := oldG
+	if len(ov.edges) > 0 || len(ov.names) > 0 {
+		b := graph.NewBuilder(oldG.NumNodes())
+		b.AddGraph(oldG)
+		for key := range ov.edges {
+			b.AddEdge(key.u, key.v)
 		}
+		for u, nm := range ov.names {
+			if int(u) >= oldG.NumNodes() || oldG.Name(u) == "" {
+				b.SetName(u, nm)
+			}
+		}
+		newG = b.Build()
 	}
-	newG := b.Build()
 
-	items := append(oldSys.ActionLog().Items(), ov.items...)
-	acts := append(oldSys.ActionLog().Actions(), ov.acts...)
-	newLog := actionlog.Build(newG.NumNodes(), items, acts)
+	// Merge the delta into the log instead of rebuilding it from every
+	// action ever seen — identical output, cost proportional to the
+	// overlay.
+	newLog := actionlog.Merge(oldSys.ActionLog(), newG.NumNodes(), ov.items, ov.acts)
 
 	cfg := oldSys.BuildConfig()
-	cfg.Seed ^= (old.Version + 1) * 0x9e3779b97f4a7c15
 	if ls.cfg.Workers != 0 {
 		cfg.Workers = ls.cfg.Workers
+	}
+	if ls.cfg.FoldMaxDirtyFrac != 0 {
+		cfg.FoldMaxDirtyFrac = ls.cfg.FoldMaxDirtyFrac
 	}
 	// Carry-over folds share the keyword model with serving snapshots, so
 	// its topic names must never be re-touched from the fold goroutine;
@@ -765,27 +957,77 @@ func (ls *LiveSystem) rebuild(old *Snapshot, ov *overlay) (*core.System, error) 
 	// would mislabel (and a changed Topics count would reject them).
 	cfg.TopicNames = nil
 	if ls.cfg.RelearnEM {
+		if ls.cfg.IncrementalFold {
+			// The documented contract: RelearnEM always takes the full
+			// pipeline, and an enabled-but-bypassed incremental path counts
+			// as a fallback so operators can see it never engages.
+			ls.foldFallbacks.Add(1)
+		}
+		cfg.Seed ^= (old.Version + 1) * 0x9e3779b97f4a7c15
 		cfg.GroundTruth, cfg.GroundTruthWords = nil, nil
 		cfg.Topics = ls.cfg.Topics
-	} else {
-		// Carry the learned model onto the grown graph, overlay priors
-		// filling the new edges. (RelearnEM skips this: EM relearns every
-		// edge from the merged log anyway.)
-		model, err := tic.Remap(oldSys.Propagation(), newG, func(u, v graph.NodeID) []float64 {
+		sys, err := core.Build(newG, newLog, cfg)
+		if err != nil {
+			return nil, false, fmt.Errorf("stream: fold rebuild: %w", err)
+		}
+		return sys, false, nil
+	}
+
+	// Carry the learned model onto the grown graph, overlay priors
+	// filling the new edges. (RelearnEM skips this: EM relearns every
+	// edge from the merged log anyway.)
+	model := oldSys.Propagation()
+	if newG != oldG {
+		var err error
+		model, err = tic.Remap(model, newG, func(u, v graph.NodeID) []float64 {
 			if probs, ok := ov.edges[edgeKey{u, v}]; ok {
 				return probs
 			}
 			return nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("stream: fold model: %w", err)
+			return nil, false, fmt.Errorf("stream: fold model: %w", err)
 		}
-		cfg.GroundTruth = model
-		cfg.GroundTruthWords = oldSys.Keywords()
 	}
+
+	// Incremental path: delta-maintain the indexes. The seed is NOT
+	// perturbed — the fold reuses per-sample and per-poll state drawn
+	// from the seed the current indexes were built with, and the result
+	// is query-for-query identical to a full rebuild at that same seed.
+	if ls.cfg.IncrementalFold {
+		if newG.NumNodes() == oldG.NumNodes() {
+			srcs := make([]graph.NodeID, 0, len(ov.edges))
+			dsts := make([]graph.NodeID, 0, len(ov.edges))
+			for key := range ov.edges {
+				srcs = append(srcs, key.u)
+				dsts = append(dsts, key.v)
+			}
+			sys, fs, err := core.Fold(oldSys, newG, newLog, model, srcs, dsts, cfg)
+			if err == nil {
+				ls.lastFoldDirty.Store(int64(fs.DirtyNodes))
+				return sys, true, nil
+			}
+			if !errors.Is(err, core.ErrFoldDeltaTooLarge) {
+				// Over-the-cap refusals are routine policy; anything else
+				// (seed/shape mismatch) means the incremental path is broken
+				// and deserves surfacing, not just a fallback counter.
+				ls.mu.Lock()
+				ls.lastErr = fmt.Errorf("stream: incremental fold fell back: %w", err)
+				ls.mu.Unlock()
+			}
+		}
+		// Any fold refusal — node growth, dirty set over the caps, shape
+		// mismatch — falls back to the full pipeline below; the delta is
+		// never lost.
+		ls.foldFallbacks.Add(1)
+	}
+
+	cfg.Seed ^= (old.Version + 1) * 0x9e3779b97f4a7c15
+	cfg.GroundTruth = model
+	cfg.GroundTruthWords = oldSys.Keywords()
 	sys, err := core.Build(newG, newLog, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("stream: fold rebuild: %w", err)
+		return nil, false, fmt.Errorf("stream: fold rebuild: %w", err)
 	}
-	return sys, nil
+	return sys, false, nil
 }

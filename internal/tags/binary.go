@@ -9,22 +9,24 @@ import (
 	"octopus/internal/tic"
 )
 
-// Binary payload format (version 1): the poll roots and stored reverse
-// trees with their materialized coins. Loading re-binds them to a TIC
-// model instead of re-sampling, so query results over the loaded index
-// are identical to the saved one's (the coins ARE the index).
-const tagsBinaryVersion = 1
+// Binary payload format (version 2): the poll roots and stored reverse
+// trees with their materialized coins, plus the per-poll flipped-coin
+// counts (version 2) incremental folds need to keep totals exact while
+// regrowing only dirty polls. Loading re-binds the trees to a TIC model
+// instead of re-sampling, so query results over the loaded index are
+// identical to the saved one's (the coins ARE the index).
+const tagsBinaryVersion = 2
 
 // WriteBinary serializes the influencer index. The model is serialized
 // separately; ReadBinary re-binds to it.
 func WriteBinary(w io.Writer, ix *Index) error {
 	bw := binio.NewWriter(w)
 	bw.U8(tagsBinaryVersion)
-	bw.U64(uint64(ix.coins))
 	bw.U64(uint64(len(ix.trees)))
 	for ti := range ix.trees {
 		t := &ix.trees[ti]
 		bw.I32(ix.polls[ti])
+		bw.I32(ix.pollCoins[ti])
 		bw.I32s(t.nodes)
 		for _, edges := range t.inEdges {
 			bw.U64(uint64(len(edges)))
@@ -45,21 +47,24 @@ func WriteBinary(w io.Writer, ix *Index) error {
 func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 	br := binio.NewReader(r)
 	if v := br.U8(); br.Err() == nil && v != tagsBinaryVersion {
-		return nil, fmt.Errorf("tags: unsupported binary version %d", v)
+		return nil, fmt.Errorf("tags: unsupported binary version %d (want %d): snapshots from older builds must be regenerated, e.g. octopus build", v, tagsBinaryVersion)
 	}
 	g := m.Graph()
 	n, numEdges := g.NumNodes(), g.NumEdges()
 	ix := &Index{m: m, contains: make([][]int32, n)}
-	ix.coins = int(br.U64())
 	numTrees := int(br.U64())
 	if br.Err() == nil && (numTrees <= 0 || numTrees > binio.MaxLen) {
 		return nil, fmt.Errorf("tags: binary payload poll count %d out of range", numTrees)
 	}
 	for p := 0; p < numTrees && br.Err() == nil; p++ {
 		root := br.I32()
+		pollCoins := br.I32()
 		t := revTree{nodes: br.I32s()}
 		if br.Err() != nil {
 			break
+		}
+		if pollCoins < 0 {
+			return nil, fmt.Errorf("tags: binary payload poll %d coin count negative", p)
 		}
 		if len(t.nodes) == 0 || t.nodes[0] != root {
 			return nil, fmt.Errorf("tags: binary payload tree %d does not start at its root", p)
@@ -100,6 +105,8 @@ func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 		}
 		ix.polls = append(ix.polls, root)
 		ix.trees = append(ix.trees, t)
+		ix.pollCoins = append(ix.pollCoins, pollCoins)
+		ix.coins += int(pollCoins)
 		for _, v := range t.nodes {
 			ix.contains[v] = append(ix.contains[v], int32(p))
 		}

@@ -1,0 +1,154 @@
+package tags
+
+import (
+	"fmt"
+
+	"octopus/internal/graph"
+	"octopus/internal/par"
+	"octopus/internal/rng"
+	"octopus/internal/tic"
+)
+
+// Fold incrementally maintains the influencer index onto a grown model:
+// m must be ix's model extended with new edges only (same node count,
+// existing per-edge probabilities carried over exactly), dirty must
+// list the destinations of the new edges — the only nodes whose
+// in-edge slots, and therefore whose coin-flip sequence during tree
+// growth, changed — and opt must equal the options the index was
+// originally built with (the poll roots and per-poll RNG seeds are
+// re-derived from opt.Seed and verified against the stored polls).
+//
+// Only polls whose stored tree reaches a dirty node are regrown; every
+// other tree's traversal provably enumerates the exact same in-edges in
+// the exact same order, so its structure and coins are reused verbatim
+// and only its graph edge ids are re-bound to the grown CSR. The folded
+// index is therefore identical to BuildIndex(m, opt) at the same seed.
+func (ix *Index) Fold(m *tic.Model, dirty []graph.NodeID, opt IndexOptions) (*Index, error) {
+	opt.fill()
+	g := m.Graph()
+	n := g.NumNodes()
+	oldG := ix.m.Graph()
+	switch {
+	case oldG.NumNodes() != n:
+		return nil, fmt.Errorf("tags: fold: node count changed %d → %d (rebuild required)", oldG.NumNodes(), n)
+	case opt.Polls != len(ix.polls):
+		return nil, fmt.Errorf("tags: fold: Polls %d does not match the %d stored polls", opt.Polls, len(ix.polls))
+	case len(ix.pollCoins) != len(ix.polls):
+		return nil, fmt.Errorf("tags: fold: index lacks per-poll coin counts (rebuild required)")
+	}
+
+	// Re-derive the serial pre-draw; it depends only on (Seed, Polls, n),
+	// all unchanged. A root mismatch means opt.Seed is not the seed the
+	// index was built with — refuse rather than silently diverge.
+	r := rng.New(opt.Seed)
+	roots := make([]graph.NodeID, opt.Polls)
+	seeds := make([]uint64, opt.Polls)
+	for p := range roots {
+		roots[p] = graph.NodeID(r.Intn(n))
+		seeds[p] = r.Uint64()
+	}
+	for p, root := range roots {
+		if root != ix.polls[p] {
+			return nil, fmt.Errorf("tags: fold: poll %d root mismatch (index built with a different seed)", p)
+		}
+	}
+
+	regrow := make([]bool, opt.Polls)
+	for _, v := range dirty {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("tags: fold: dirty node %d out of range", v)
+		}
+		for _, pi := range ix.contains[v] {
+			regrow[pi] = true
+		}
+	}
+
+	nix := &Index{m: m, contains: make([][]int32, n), polls: ix.polls}
+	nix.trees = make([]revTree, opt.Polls)
+	sameGraph := oldG == g
+	var oldToNew []graph.EdgeID
+	if !sameGraph {
+		var err error
+		if oldToNew, err = edgeTranslation(oldG, g); err != nil {
+			return nil, fmt.Errorf("tags: fold: %w", err)
+		}
+	}
+	edges := make([]int, opt.Polls)
+	coins := make([]int, opt.Polls)
+	par.Each(opt.Workers, opt.Polls, func(_, p int) {
+		switch {
+		case regrow[p]:
+			nix.trees[p], edges[p], coins[p] = growTree(m, roots[p], rng.New(seeds[p]), opt)
+		case sameGraph:
+			nix.trees[p], edges[p], coins[p] = ix.trees[p], treeEdges(&ix.trees[p]), int(ix.pollCoins[p])
+		default:
+			nix.trees[p], edges[p] = remapTree(&ix.trees[p], oldToNew)
+			coins[p] = int(ix.pollCoins[p])
+		}
+	})
+	nix.pollCoins = make([]int32, opt.Polls)
+	for p := range nix.trees {
+		nix.edges += edges[p]
+		nix.coins += coins[p]
+		nix.pollCoins[p] = int32(coins[p])
+		for _, v := range nix.trees[p].nodes {
+			nix.contains[v] = append(nix.contains[v], int32(p))
+		}
+	}
+	return nix, nil
+}
+
+func treeEdges(t *revTree) int {
+	n := 0
+	for _, es := range t.inEdges {
+		n += len(es)
+	}
+	return n
+}
+
+// edgeTranslation maps every old edge id to its id in the grown graph
+// by merge-walking the two sorted CSRs once — O(E), no per-edge binary
+// search. Every old edge must survive into the new graph.
+func edgeTranslation(oldG, newG *graph.Graph) ([]graph.EdgeID, error) {
+	if newG.NumNodes() < oldG.NumNodes() {
+		return nil, fmt.Errorf("new graph has fewer nodes")
+	}
+	table := make([]graph.EdgeID, oldG.NumEdges())
+	for u := graph.NodeID(0); int(u) < oldG.NumNodes(); u++ {
+		olo, ohi := oldG.OutEdges(u)
+		nlo, nhi := newG.OutEdges(u)
+		for e := olo; e < ohi; e++ {
+			v := oldG.Dst(e)
+			for nlo < nhi && newG.Dst(nlo) < v {
+				nlo++
+			}
+			if nlo >= nhi || newG.Dst(nlo) != v {
+				return nil, fmt.Errorf("edge %d→%d missing from the grown graph", u, v)
+			}
+			table[e] = nlo
+			nlo++
+		}
+	}
+	return table, nil
+}
+
+// remapTree re-binds one reused reverse tree to a grown graph: the node
+// set, coin thresholds and structure are shared with the old tree
+// (immutable), only the stored graph edge ids — which shift when the
+// CSR absorbs new edges — are translated.
+func remapTree(t *revTree, oldToNew []graph.EdgeID) (revTree, int) {
+	nt := revTree{nodes: t.nodes, local: t.local, inEdges: make([][]revEdge, len(t.nodes))}
+	count := 0
+	for i, es := range t.inEdges {
+		if len(es) == 0 {
+			continue
+		}
+		out := make([]revEdge, len(es))
+		for k, e := range es {
+			out[k] = revEdge{From: e.From, To: e.To, Lambda: e.Lambda, Edge: oldToNew[e.Edge]}
+		}
+		nt.inEdges[i] = out
+		count += len(out)
+	}
+	return nt, count
+}

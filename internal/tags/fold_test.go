@@ -1,0 +1,191 @@
+package tags
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// growWorld extends m's graph with new edges and remaps the model,
+// giving each new edge the paired probabilities.
+func growWorld(t testing.TB, m *tic.Model, added [][2]graph.NodeID, probs [][]float64) *tic.Model {
+	t.Helper()
+	g := m.Graph()
+	b := graph.NewBuilder(g.NumNodes())
+	b.AddGraph(g)
+	prior := make(map[[2]graph.NodeID][]float64, len(added))
+	for i, e := range added {
+		if _, ok := g.FindEdge(e[0], e[1]); ok {
+			t.Fatalf("test delta edge %v already in the base graph", e)
+		}
+		b.AddEdge(e[0], e[1])
+		prior[e] = probs[i]
+	}
+	nm, err := tic.Remap(m, b.Build(), func(u, v graph.NodeID) []float64 {
+		return prior[[2]graph.NodeID{u, v}]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+func requireTagsEqual(t *testing.T, full, fold *Index) {
+	t.Helper()
+	if !reflect.DeepEqual(full.polls, fold.polls) {
+		t.Fatal("poll roots differ")
+	}
+	if full.edges != fold.edges || full.coins != fold.coins {
+		t.Fatalf("edges/coins: full %d/%d, fold %d/%d", full.edges, full.coins, fold.edges, fold.coins)
+	}
+	if !reflect.DeepEqual(full.pollCoins, fold.pollCoins) {
+		t.Fatal("per-poll coin counts differ")
+	}
+	if !reflect.DeepEqual(full.trees, fold.trees) {
+		t.Fatal("reverse trees differ")
+	}
+	if !reflect.DeepEqual(full.contains, fold.contains) {
+		t.Fatal("contains lists differ")
+	}
+}
+
+// The tentpole guarantee on the influencer index: folding a delta
+// produces exactly the index BuildIndex grows from scratch at the same
+// seed — trees, coins and every derived spread estimate.
+func TestTagsFoldMatchesFullRebuild(t *testing.T) {
+	m0, _ := world(t)
+	opt := IndexOptions{Polls: 600, Seed: 42}
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := [][2]graph.NodeID{{3, 30}, {25, 5}, {0, 39}}
+	probs := [][]float64{{0.4, 0.1}, {0.1, 0.4}, {0.3, 0.3}}
+	m1 := growWorld(t, m0, added, probs)
+
+	full, err := BuildIndex(m1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := []graph.NodeID{30, 5, 39}
+	fold, err := ix0.Fold(m1, dsts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTagsEqual(t, full, fold)
+
+	gammas := []topic.Dist{{1, 0}, {0, 1}, {0.5, 0.5}}
+	for u := 0; u < m1.Graph().NumNodes(); u++ {
+		for _, gamma := range gammas {
+			a := full.SpreadEstimate(graph.NodeID(u), gamma)
+			b := fold.SpreadEstimate(graph.NodeID(u), gamma)
+			if a != b {
+				t.Fatalf("spread estimate of %d under %v: full %v, fold %v", u, gamma, a, b)
+			}
+		}
+	}
+}
+
+// Polls whose stored tree never reaches a new edge's destination must
+// be reused (shared nodes backing array), not regrown.
+func TestTagsFoldReusesCleanPolls(t *testing.T) {
+	m0, _ := world(t)
+	opt := IndexOptions{Polls: 400, Seed: 7}
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := [][2]graph.NodeID{{4, 33}}
+	m1 := growWorld(t, m0, added, [][]float64{{0.2, 0.2}})
+	fold, err := ix0.Fold(m1, []graph.NodeID{33}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, regrown := 0, 0
+	for p := range fold.trees {
+		if len(fold.trees[p].nodes) > 0 && len(ix0.trees[p].nodes) > 0 &&
+			&fold.trees[p].nodes[0] == &ix0.trees[p].nodes[0] {
+			reused++
+		} else {
+			regrown++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("no poll tree was reused")
+	}
+	if regrown != len(ix0.contains[33]) {
+		t.Fatalf("regrown %d polls, want exactly the %d containing the dirty node",
+			regrown, len(ix0.contains[33]))
+	}
+}
+
+// An action-only fold leaves the graph pointer unchanged; the index
+// must then be reusable wholesale — same trees, same edge ids.
+func TestTagsFoldSameGraphSharesTrees(t *testing.T) {
+	m0, _ := world(t)
+	opt := IndexOptions{Polls: 200, Seed: 3}
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold, err := ix0.Fold(m0, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTagsEqual(t, ix0, fold)
+	for p := range fold.trees {
+		if len(fold.trees[p].nodes) > 0 && &fold.trees[p].nodes[0] != &ix0.trees[p].nodes[0] {
+			t.Fatalf("poll %d tree not shared on a same-graph fold", p)
+		}
+	}
+}
+
+func TestTagsFoldValidation(t *testing.T) {
+	m0, _ := world(t)
+	opt := IndexOptions{Polls: 100, Seed: 5}
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix0.Fold(m0, nil, IndexOptions{Polls: 50, Seed: 5}); err == nil ||
+		!strings.Contains(err.Error(), "Polls") {
+		t.Fatalf("poll mismatch: err = %v", err)
+	}
+	if _, err := ix0.Fold(m0, nil, IndexOptions{Polls: 100, Seed: 6}); err == nil ||
+		!strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed mismatch: err = %v", err)
+	}
+	if _, err := ix0.Fold(m0, []graph.NodeID{99}, opt); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad dirty node: err = %v", err)
+	}
+}
+
+func TestTagsFoldWorkerEquivalence(t *testing.T) {
+	m0, _ := world(t)
+	opt := IndexOptions{Polls: 400, Seed: 12}
+	ix0, err := BuildIndex(m0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := [][2]graph.NodeID{{2, 28}, {31, 8}}
+	m1 := growWorld(t, m0, added, [][]float64{{0.3, 0.1}, {0.1, 0.3}})
+	dsts := []graph.NodeID{28, 8}
+	fold := func(workers int) *Index {
+		o := opt
+		o.Workers = workers
+		ix, err := ix0.Fold(m1, dsts, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	base := fold(1)
+	for _, w := range []int{2, 4, 8} {
+		requireTagsEqual(t, base, fold(w))
+	}
+}

@@ -92,6 +92,10 @@ type Index struct {
 	contains [][]int32
 	edges    int // total materialized coins
 	coins    int // total coins flipped during build (incl. pruned edges)
+	// pollCoins[p] = coins flipped growing poll p's tree. Incremental
+	// folds need the per-poll split to keep the totals exact while
+	// regrowing only a subset of the polls.
+	pollCoins []int32
 }
 
 // BuildIndex samples M poll users and grows their reverse trees under
@@ -127,9 +131,11 @@ func BuildIndex(m *tic.Model, opt IndexOptions) (*Index, error) {
 	})
 	// Merge contributions in poll order so each user's contains list —
 	// and every derived estimate — is reproducible.
+	ix.pollCoins = make([]int32, opt.Polls)
 	for p := range ix.trees {
 		ix.edges += edges[p]
 		ix.coins += coins[p]
+		ix.pollCoins[p] = int32(coins[p])
 		for _, v := range ix.trees[p].nodes {
 			ix.contains[v] = append(ix.contains[v], int32(p))
 		}

@@ -194,27 +194,47 @@ func Remap(m *Model, newG *graph.Graph, fallback func(u, v graph.NodeID) []float
 	oldN := graph.NodeID(oldG.NumNodes())
 	b := NewBuilder(newG, m.z)
 	var err error
-	newG.EachEdge(func(e graph.EdgeID, u, v graph.NodeID) {
-		if err != nil {
-			return
-		}
-		if u < oldN && v < oldN {
-			if oe, ok := oldG.FindEdge(u, v); ok {
-				m.EdgeTopics(oe, func(z int, p float64) {
-					if err == nil {
-						err = b.SetProb(e, z, p)
-					}
-				})
-				return
-			}
-		}
+	fill := func(e graph.EdgeID, u, v graph.NodeID) {
 		if fallback == nil {
 			return
 		}
 		if probs := fallback(u, v); probs != nil {
 			err = b.SetProbs(e, probs)
 		}
-	})
+	}
+	// Per-source merge walk: both CSRs keep a node's out-neighbors
+	// sorted ascending, so matching edges by endpoints is a linear scan
+	// — no per-edge binary search over the old graph.
+	newN := graph.NodeID(newG.NumNodes())
+	for u := graph.NodeID(0); u < newN && err == nil; u++ {
+		lo, hi := newG.OutEdges(u)
+		if u >= oldN {
+			for e := lo; e < hi; e++ {
+				fill(e, u, newG.Dst(e))
+				if err != nil {
+					break
+				}
+			}
+			continue
+		}
+		olo, ohi := oldG.OutEdges(u)
+		for e := lo; e < hi && err == nil; e++ {
+			v := newG.Dst(e)
+			for olo < ohi && oldG.Dst(olo) < v {
+				olo++ // old edge absent from newG: dropped
+			}
+			if olo < ohi && oldG.Dst(olo) == v {
+				m.EdgeTopics(olo, func(z int, p float64) {
+					if err == nil {
+						err = b.SetProb(e, z, p)
+					}
+				})
+				olo++
+				continue
+			}
+			fill(e, u, v)
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("tic: remap: %w", err)
 	}

@@ -15,6 +15,9 @@ type env struct {
 	sizes sizes
 	seed  uint64
 	out   io.Writer
+	// extras collects the numbers the running experiment wants persisted
+	// in its BENCH_<id>.json record (reset by the runner per experiment).
+	extras map[string]any
 
 	citation  *datagen.Dataset
 	citSystem *core.System
@@ -113,6 +116,15 @@ func (e *env) socialDS() (*datagen.Dataset, error) {
 			ds.Graph.NumNodes(), ds.Graph.NumEdges())
 	}
 	return e.social, nil
+}
+
+// record stashes a result value for the experiment's BENCH_<id>.json
+// record (a no-op when -json is not set before the runner allocates the
+// map).
+func (e *env) record(key string, v any) {
+	if e.extras != nil {
+		e.extras[key] = v
+	}
 }
 
 // hubOf returns the highest weighted-out-degree node — the canonical

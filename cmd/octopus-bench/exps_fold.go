@@ -170,6 +170,15 @@ func runE17(e *env) error {
 		fmt.Fprintf(e.out, "%-14s %-8d %-8d %-10.1f %-10.1f %-8.1f yes\n",
 			dc.name, len(dc.edges), fs.DirtyNodes,
 			float64(fullDur.Microseconds())/1e3, float64(inc.Microseconds())/1e3, speedup)
+		e.record("fold_"+dc.name, map[string]any{
+			"edges": len(dc.edges), "dirtyNodes": fs.DirtyNodes,
+			"fullMillis":        float64(fullDur.Microseconds()) / 1e3,
+			"incrementalMillis": float64(inc.Microseconds()) / 1e3,
+			"speedupX":          speedup,
+			"otimFoldMillis":    float64(fs.Timings.OTIM.Microseconds()) / 1e3,
+			"tagsFoldMillis":    float64(fs.Timings.Tags.Microseconds()) / 1e3,
+			"derivedMillis":     float64(fs.Timings.Derived.Microseconds()) / 1e3,
+		})
 		if dc.assert5x && speedup < 5 {
 			return fmt.Errorf("E17 %s: incremental fold speedup %.1f× below the 5× bar", dc.name, speedup)
 		}

@@ -11,17 +11,26 @@
 //
 // Usage:
 //
-//	octopus-bench [-quick] [-only E1,E4] [-seed N]
+//	octopus-bench [-quick] [-only E1,E4] [-seed N] [-json DIR]
 //
-// -quick shrinks dataset sizes for fast smoke runs.
+// -quick shrinks dataset sizes for fast smoke runs. -json DIR
+// additionally writes one BENCH_<id>.json per experiment: id, title,
+// wall time, the runtime-observability delta over the run (allocation,
+// GC cycles and pause time, goroutines) and any numbers the experiment
+// chose to record — so a changed result can be read together with the
+// runtime context that produced it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
+
+	"octopus/internal/bench"
 )
 
 type sizes struct {
@@ -94,8 +103,15 @@ func main() {
 	quick := flag.Bool("quick", false, "use small datasets for a fast smoke run")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	jsonDir := flag.String("json", "", "directory for per-experiment BENCH_<id>.json result records")
 	flag.Parse()
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	e := &env{sizes: defaultSizes(*quick), seed: *seed, out: os.Stdout}
 	experiments := []experiment{
 		{"E1", "Keyword-based influential user discovery (Scenario 1 / Fig. 1)", runE1},
@@ -132,16 +148,53 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(e.out, "\n######## %s — %s\n", ex.id, ex.title)
+		e.extras = map[string]any{}
+		before := bench.ReadObs()
 		start := time.Now()
-		if err := ex.run(e); err != nil {
+		err := ex.run(e)
+		elapsed := time.Since(start)
+		delta := bench.Delta(before, bench.ReadObs())
+		if err != nil {
 			failed++
 			fmt.Fprintf(e.out, "%s FAILED: %v\n", ex.id, err)
-			continue
+		} else {
+			fmt.Fprintf(e.out, "[%s completed in %s]\n", ex.id, elapsed.Round(time.Millisecond))
 		}
-		fmt.Fprintf(e.out, "[%s completed in %s]\n", ex.id, time.Since(start).Round(time.Millisecond))
+		if *jsonDir != "" {
+			writeRecord(*jsonDir, ex, *quick, *seed, err, delta, e.extras)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(e.out, "\n%d experiment(s) failed\n", failed)
 		os.Exit(1)
+	}
+}
+
+// benchRecord is the schema of one BENCH_<id>.json file.
+type benchRecord struct {
+	ID      string         `json:"id"`
+	Title   string         `json:"title"`
+	Quick   bool           `json:"quick"`
+	Seed    uint64         `json:"seed"`
+	OK      bool           `json:"ok"`
+	Error   string         `json:"error,omitempty"`
+	Obs     bench.ObsDelta `json:"obs"`
+	Results map[string]any `json:"results,omitempty"`
+}
+
+func writeRecord(dir string, ex experiment, quick bool, seed uint64, runErr error, delta bench.ObsDelta, extras map[string]any) {
+	rec := benchRecord{
+		ID: ex.id, Title: ex.title, Quick: quick, Seed: seed,
+		OK: runErr == nil, Obs: delta, Results: extras,
+	}
+	if runErr != nil {
+		rec.Error = runErr.Error()
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(dir, "BENCH_"+ex.id+".json"), append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s record: %v\n", ex.id, err)
 	}
 }

@@ -9,7 +9,9 @@
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em] [-workers W]
 //	octopus serve [-addr :8080] [-load model.oct] [-ingest] [-wal DIR]
 //	              [-rebuild-events N] [-rebuild-interval D] [-incremental-fold]
-//	              [-cache-entries N] [-max-inflight N] [same dataset flags]
+//	              [-cache-entries N] [-max-inflight N] [-admin-addr 127.0.0.1:6060]
+//	              [-slow-query D] [-trace-ring N] [-log-format text|json]
+//	              [same dataset flags]
 //	octopus query [-q "data mining"] [-k 10] [-load model.oct] [same dataset flags]
 //	octopus train [-out models/] [same dataset flags]   # EM + persist text models
 //	octopus build [-o model.oct] [same dataset flags]   # build + binary snapshot
@@ -44,6 +46,13 @@
 // requests are shed with 429 + Retry-After). GET /api/metrics reports
 // per-endpoint latency quantiles and cache/shed counters; POST
 // /api/batch answers many queries in one round trip.
+//
+// Observability: GET /metrics serves the Prometheus text exposition,
+// every response carries an X-Octopus-Trace id resolvable at GET
+// /api/debug/traces, -slow-query D logs slower requests with their
+// span breakdown, and -admin-addr binds a separate operator listener
+// with net/http/pprof. serve logs are structured (-log-format json for
+// machine ingestion).
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -96,6 +106,11 @@ type options struct {
 
 	cacheEntries int
 	maxInflight  int
+
+	adminAddr string
+	slowQuery time.Duration
+	traceRing int
+	logFormat string
 }
 
 func main() {
@@ -125,6 +140,10 @@ func main() {
 	fs.BoolVar(&opt.incrementalFold, "incremental-fold", true, "delta-maintain the indexes at fold time so swap latency scales with the delta; query-identical to a full rebuild, which large deltas automatically fall back to (serve -ingest)")
 	fs.IntVar(&opt.cacheEntries, "cache-entries", server.DefaultCacheEntries, "result-cache entries, invalidated per snapshot generation; negative disables the cache (serve)")
 	fs.IntVar(&opt.maxInflight, "max-inflight", 4*runtime.GOMAXPROCS(0), "concurrent query-engine bound; excess requests get 429 + Retry-After, 0 = unlimited (serve)")
+	fs.StringVar(&opt.adminAddr, "admin-addr", "", "optional operator listener for pprof + /metrics + /api/debug/traces; keep it loopback or firewalled, e.g. 127.0.0.1:6060 (serve)")
+	fs.DurationVar(&opt.slowQuery, "slow-query", 0, "log requests slower than this with their span breakdown; 0 disables (serve)")
+	fs.IntVar(&opt.traceRing, "trace-ring", 0, "recent request traces kept for /api/debug/traces; 0 = default, negative disables tracing (serve)")
+	fs.StringVar(&opt.logFormat, "log-format", "text", "structured log encoding: text or json (serve)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -305,12 +324,24 @@ func serveMain(opt options) {
 	}
 }
 
+// newLogger builds the serve path's structured logger.
+func newLogger(opt options) *slog.Logger {
+	if opt.logFormat == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
 func serve(opt options, sys *core.System, dir *store.Dir) error {
-	var handler http.Handler
+	logger := newLogger(opt)
+	var srv *server.Server
 	var live *stream.LiveSystem
 	srvOpt := server.Options{
 		CacheEntries: opt.cacheEntries,
 		MaxInflight:  opt.maxInflight,
+		TraceRing:    opt.traceRing,
+		SlowQuery:    opt.slowQuery,
+		Logger:       logger,
 	}
 	if opt.ingest {
 		ls, err := stream.NewLiveSystem(sys, stream.Config{
@@ -319,21 +350,22 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 			Workers:         opt.workers,
 			IncrementalFold: opt.incrementalFold,
 			Store:           dir,
+			Logger:          logger,
 		})
 		if err != nil {
 			return err
 		}
 		live = ls
-		handler = server.NewLiveWith(ls, srvOpt)
+		srv = server.NewLiveWith(ls, srvOpt)
 		durable := ""
 		if dir != nil {
-			durable = fmt.Sprintf(", durable in %s", dir.Path())
+			durable = dir.Path()
 		}
-		fmt.Printf("OCTOPUS (live%s) listening on %s — POST /api/ingest/{actions,edges}, GET /api/ingest/stats\n",
-			durable, opt.addr)
+		logger.Info("listening", slog.String("addr", opt.addr), slog.Bool("live", true),
+			slog.String("durable", durable))
 	} else {
-		handler = server.NewWith(sys, srvOpt)
-		fmt.Printf("OCTOPUS listening on %s — try /api/im?q=data+mining&k=10\n", opt.addr)
+		srv = server.NewWith(sys, srvOpt)
+		logger.Info("listening", slog.String("addr", opt.addr), slog.Bool("live", false))
 	}
 	// Report the effective settings (0 cache entries means the default
 	// size; only a negative value disables the cache).
@@ -343,18 +375,36 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 	} else if opt.cacheEntries < 0 {
 		cacheDesc = "off"
 	}
-	fmt.Printf("serving layer: cache-entries=%s max-inflight=%d — GET /api/metrics, POST /api/batch\n",
-		cacheDesc, opt.maxInflight)
+	logger.Info("serving layer", slog.String("cacheEntries", cacheDesc),
+		slog.Int("maxInflight", opt.maxInflight),
+		slog.Duration("slowQuery", opt.slowQuery))
 
 	httpSrv := &http.Server{
 		Addr:    opt.addr,
-		Handler: handler,
+		Handler: srv,
 		// Never rely on the zero-value (unbounded) timeouts: slowloris
 		// headers and stuck request bodies must not pin connections.
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// The operator surface gets its own listener so pprof and raw metric
+	// dumps are never exposed on the public port by accident.
+	var adminSrv *http.Server
+	if opt.adminAddr != "" {
+		adminSrv = &http.Server{
+			Addr:              opt.adminAddr,
+			Handler:           srv.AdminHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("admin listening", slog.String("addr", opt.adminAddr))
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin server", slog.Any("error", err))
+			}
+		}()
 	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain in-flight
@@ -372,22 +422,26 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 		}
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "shutting down...")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if adminSrv != nil {
+			_ = adminSrv.Shutdown(shutdownCtx)
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+			logger.Error("http shutdown", slog.Any("error", err))
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "http server: %v\n", err)
+			logger.Error("http server", slog.Any("error", err))
 		}
 		if live != nil {
 			if err := live.Close(); err != nil {
 				return fmt.Errorf("closing ingester: %w", err)
 			}
 			if dir != nil {
-				fmt.Fprintf(os.Stderr, "final checkpoint v%d written to %s\n",
-					dir.LastCheckpointVersion(), dir.Path())
+				logger.Info("final checkpoint",
+					slog.Uint64("version", dir.LastCheckpointVersion()),
+					slog.String("dir", dir.Path()))
 			}
 		}
 		return nil

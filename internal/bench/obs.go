@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// ObsSnapshot is a point-in-time capture of the Go runtime state the
+// observability layer also exports at /metrics. The experiment runner
+// takes one before and one after each experiment so a BENCH_*.json
+// records not just the number but the runtime context that produced it
+// (allocation pressure, GC pauses) — the difference between "the fold
+// got slower" and "the fold ran during a GC storm".
+type ObsSnapshot struct {
+	At           time.Time `json:"at"`
+	Goroutines   int       `json:"goroutines"`
+	HeapAllocMB  float64   `json:"heapAllocMB"`
+	HeapObjects  uint64    `json:"heapObjects"`
+	TotalAllocMB float64   `json:"totalAllocMB"`
+	GCCycles     uint32    `json:"gcCycles"`
+	GCPauseTotal float64   `json:"gcPauseTotalSeconds"`
+}
+
+// ReadObs captures the current runtime state.
+func ReadObs() ObsSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ObsSnapshot{
+		At:           time.Now(),
+		Goroutines:   runtime.NumGoroutine(),
+		HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
+		HeapObjects:  ms.HeapObjects,
+		TotalAllocMB: float64(ms.TotalAlloc) / (1 << 20),
+		GCCycles:     ms.NumGC,
+		GCPauseTotal: float64(ms.PauseTotalNs) / 1e9,
+	}
+}
+
+// ObsDelta is the runtime cost of one experiment: what changed between
+// its start and end snapshots. Cumulative counters are differenced;
+// gauges report the end state.
+type ObsDelta struct {
+	WallSeconds    float64 `json:"wallSeconds"`
+	AllocMB        float64 `json:"allocMB"`
+	GCCycles       uint32  `json:"gcCycles"`
+	GCPauseSeconds float64 `json:"gcPauseSeconds"`
+	Goroutines     int     `json:"goroutinesAtEnd"`
+	HeapAllocMB    float64 `json:"heapAllocMBAtEnd"`
+}
+
+// Delta returns the runtime cost between snapshot a (before) and b
+// (after).
+func Delta(a, b ObsSnapshot) ObsDelta {
+	return ObsDelta{
+		WallSeconds:    b.At.Sub(a.At).Seconds(),
+		AllocMB:        b.TotalAllocMB - a.TotalAllocMB,
+		GCCycles:       b.GCCycles - a.GCCycles,
+		GCPauseSeconds: b.GCPauseTotal - a.GCPauseTotal,
+		Goroutines:     b.Goroutines,
+		HeapAllocMB:    b.HeapAllocMB,
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"octopus/internal/actionlog"
 	"octopus/internal/em"
@@ -81,7 +82,8 @@ type System struct {
 
 	userKeywords [][]string
 
-	cfg Config // the configuration this system was built with
+	cfg     Config // the configuration this system was built with
+	timings BuildTimings
 
 	engines sync.Pool // *otim.Engine
 	calcs   sync.Pool // *mia.Calc
@@ -99,8 +101,10 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 		log = actionlog.Build(g.NumNodes(), nil, nil)
 	}
 	s := &System{g: g, log: log, cfg: cfg}
+	buildStart := time.Now()
 
 	// Stage 1: topic-aware influence modeling (Section II-B).
+	stageStart := time.Now()
 	if cfg.GroundTruth != nil && cfg.GroundTruthWords != nil {
 		s.prop = cfg.GroundTruth
 		s.words = cfg.GroundTruthWords
@@ -128,7 +132,10 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 		}
 	}
 
+	s.timings.Model = time.Since(stageStart)
+
 	// Stage 2: online indexes.
+	stageStart = time.Now()
 	otimOpt := cfg.OTIM
 	otimOpt.Seed = cfg.Seed ^ 0x9e37
 	if otimOpt.Workers == 0 {
@@ -139,7 +146,9 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: otim index: %w", err)
 	}
 	s.otimIdx = oix
+	s.timings.OTIM = time.Since(stageStart)
 
+	stageStart = time.Now()
 	tagsOpt := cfg.Tags
 	tagsOpt.Seed = cfg.Seed ^ 0x79b9
 	if tagsOpt.Workers == 0 {
@@ -150,8 +159,12 @@ func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: tags index: %w", err)
 	}
 	s.tagsIdx = tix
+	s.timings.Tags = time.Since(stageStart)
 
+	stageStart = time.Now()
 	s.finish()
+	s.timings.Derived = time.Since(stageStart)
+	s.timings.Total = time.Since(buildStart)
 	return s, nil
 }
 
@@ -167,7 +180,10 @@ func Assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.
 	if err != nil {
 		return nil, err
 	}
+	stageStart := time.Now()
 	s.finish()
+	s.timings.Derived = time.Since(stageStart)
+	s.timings.Total = s.timings.Derived
 	return s, nil
 }
 

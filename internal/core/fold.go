@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"octopus/internal/actionlog"
 	"octopus/internal/graph"
@@ -28,6 +29,9 @@ type FoldStats struct {
 	DirtyNodes int
 	// AddedEdges is the number of distinct new edges folded in.
 	AddedEdges int
+	// Timings breaks the fold down by stage (OTIM/Tags index folds,
+	// Derived rebuild); also available as the folded system's Timings.
+	Timings BuildTimings
 }
 
 // Fold builds the next System from an old one plus a small graph delta,
@@ -52,6 +56,8 @@ func Fold(old *System, g *graph.Graph, log *actionlog.Log, prop *tic.Model,
 	addedSrcs, addedDsts []graph.NodeID, cfg Config) (*System, FoldStats, error) {
 
 	var fs FoldStats
+	fs.Timings.Incremental = true
+	foldStart := time.Now()
 	if old == nil {
 		return nil, fs, fmt.Errorf("core: fold from nil system")
 	}
@@ -75,7 +81,11 @@ func Fold(old *System, g *graph.Graph, log *actionlog.Log, prop *tic.Model,
 		if err != nil {
 			return nil, fs, err
 		}
+		stageStart := time.Now()
 		sys.finishFrom(old)
+		fs.Timings.Derived = time.Since(stageStart)
+		fs.Timings.Total = time.Since(foldStart)
+		sys.timings = fs.Timings
 		return sys, fs, nil
 	}
 
@@ -112,6 +122,7 @@ func Fold(old *System, g *graph.Graph, log *actionlog.Log, prop *tic.Model,
 	// The same knob also caps the genuine recompute mass inside the
 	// index fold — the node-count ball above is only the coarse guard.
 	otimOpt.FoldMaxCostFrac = maxFrac
+	stageStart := time.Now()
 	oix, err := old.otimIdx.Fold(prop, dirty, addedSrcs, addedDsts, otimOpt)
 	if err != nil {
 		if errors.Is(err, otim.ErrDeltaTooLarge) {
@@ -119,10 +130,13 @@ func Fold(old *System, g *graph.Graph, log *actionlog.Log, prop *tic.Model,
 		}
 		return nil, fs, err
 	}
+	fs.Timings.OTIM = time.Since(stageStart)
+	stageStart = time.Now()
 	tix, err := old.tagsIdx.Fold(prop, addedDsts, tagsOpt)
 	if err != nil {
 		return nil, fs, err
 	}
+	fs.Timings.Tags = time.Since(stageStart)
 	// Record the adopted models in the stored config, exactly as a full
 	// carry-over Build(g, log, cfg) would have seen them — the folded
 	// system's BuildConfig stays a valid basis for the next fold or a
@@ -133,6 +147,10 @@ func Fold(old *System, g *graph.Graph, log *actionlog.Log, prop *tic.Model,
 	if err != nil {
 		return nil, fs, err
 	}
+	stageStart = time.Now()
 	sys.finishFrom(old)
+	fs.Timings.Derived = time.Since(stageStart)
+	fs.Timings.Total = time.Since(foldStart)
+	sys.timings = fs.Timings
 	return sys, fs, nil
 }

@@ -1,0 +1,30 @@
+package core
+
+import "time"
+
+// BuildTimings records where construction time went, stage by stage —
+// the numbers behind the fold-pipeline metrics in /metrics and the
+// bench harness's BENCH_*.json context. For a full Build the stages are
+// EM learning (Model), the two index builds (OTIM, Tags) and the
+// derived structures (Derived); for an incremental Fold the same slots
+// hold the delta-maintenance costs and Incremental is true. Assemble
+// (the snapshot load path) only pays Derived.
+type BuildTimings struct {
+	// Model is the EM learning stage (≈0 when ground truth was adopted
+	// or a fold carried the model over).
+	Model time.Duration
+	// OTIM is the keyword-IM index build or fold.
+	OTIM time.Duration
+	// Tags is the influencer index build or fold.
+	Tags time.Duration
+	// Derived is stage 3: keyword pools, suggester, completion trie.
+	Derived time.Duration
+	// Total is wall-clock for the whole construction.
+	Total time.Duration
+	// Incremental reports whether the system came from Fold rather than
+	// Build/Assemble.
+	Incremental bool
+}
+
+// Timings reports where this system's construction time went.
+func (s *System) Timings() BuildTimings { return s.timings }

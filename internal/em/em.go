@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"octopus/internal/actionlog"
 	"octopus/internal/graph"
@@ -116,6 +117,9 @@ type Result struct {
 	LogLikelihood []float64
 	// Responsibilities[i] is the final topic posterior of episode i.
 	Responsibilities []topic.Dist
+	// Elapsed is the wall-clock learning time (across all restarts when
+	// Restarts > 1) — a stage timer for the observability layer.
+	Elapsed time.Duration
 }
 
 // trial data extracted once from the log.
@@ -372,6 +376,7 @@ func Learn(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	learnStart := time.Now()
 	if cfg.Restarts > 1 {
 		var best *Result
 		for r := 0; r < cfg.Restarts; r++ {
@@ -388,6 +393,7 @@ func Learn(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 				best = res
 			}
 		}
+		best.Elapsed = time.Since(learnStart)
 		return best, nil
 	}
 	if log.NumUsers != g.NumNodes() {
@@ -579,6 +585,7 @@ func Learn(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 		Keywords:         km,
 		LogLikelihood:    llHist,
 		Responsibilities: resp,
+		Elapsed:          time.Since(learnStart),
 	}, nil
 }
 

@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family from a text exposition.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Help    string
+	Samples []Sample
+}
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name including any _bucket/_sum/_count
+	// suffix.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseExposition parses (and lints) Prometheus text exposition format.
+// It is deliberately strict about the properties our own renderer and
+// the CI smoke step care about: names and label keys must be legal,
+// label values well-quoted, values parseable, every sample must belong
+// to a family announced by a preceding # TYPE line, and histogram
+// families must have nondecreasing cumulative buckets ending in a +Inf
+// bucket that agrees with _count. Families are returned sorted by name.
+func ParseExposition(text string) ([]Family, error) {
+	fams := make(map[string]*Family)
+	var order []string
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams, &order); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := parseSample(line, fams); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		f := fams[name]
+		if f.Type == "histogram" {
+			if err := lintHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func parseComment(line string, fams map[string]*Family, order *[]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		f := getFamily(fams, order, name)
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		f := getFamily(fams, order, name)
+		if f.Type != "" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+func getFamily(fams map[string]*Family, order *[]string, name string) *Family {
+	f, ok := fams[name]
+	if !ok {
+		f = &Family{Name: name}
+		fams[name] = f
+		*order = append(*order, name)
+	}
+	return f
+}
+
+func parseSample(line string, fams map[string]*Family) error {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return fmt.Errorf("malformed sample line %q", line)
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid sample name %q", name)
+	}
+	labels := map[string]string{}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest, labels)
+		if err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// An optional timestamp may follow the value.
+	valueField := rest
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		valueField = rest[:j]
+	}
+	value, err := parseValue(valueField)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	f := findFamily(fams, name)
+	if f == nil {
+		return fmt.Errorf("sample %s has no preceding # TYPE", name)
+	}
+	f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	return nil
+}
+
+// findFamily resolves a sample name to its family: exact match first,
+// then the histogram/summary suffixes.
+func findFamily(fams map[string]*Family, name string) *Family {
+	if f, ok := fams[name]; ok && f.Type != "" {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, found := fams[base]; found && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseLabels(s string, out map[string]string) (rest string, err error) {
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, ",")
+		if s == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return "", fmt.Errorf("unquoted value for label %q", key)
+		}
+		s = s[1:]
+		var b strings.Builder
+		for {
+			if s == "" {
+				return "", fmt.Errorf("unterminated value for label %q", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[0] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("bad escape \\%c in label %q", s[0], key)
+				}
+				s = s[1:]
+				continue
+			}
+			b.WriteByte(c)
+		}
+		if _, dup := out[key]; dup {
+			return "", fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = b.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// lintHistogram checks each label-set's bucket series: cumulative
+// counts nondecreasing as le increases, a +Inf bucket present, and
+// _count equal to the +Inf bucket.
+func lintHistogram(f *Family) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		inf    float64
+		hasInf bool
+		count  float64
+	}
+	bySet := map[string]*series{}
+	key := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := key(labels)
+		s, ok := bySet[k]
+		if !ok {
+			s = &series{}
+			bySet[k] = s
+		}
+		return s
+	}
+	for _, smp := range f.Samples {
+		switch smp.Name {
+		case f.Name + "_bucket":
+			le, ok := smp.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s_bucket sample without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s_bucket: bad le %q", f.Name, le)
+			}
+			s := get(smp.Labels)
+			if math.IsInf(bound, 1) {
+				s.inf, s.hasInf = smp.Value, true
+				continue
+			}
+			s.les = append(s.les, bound)
+			s.counts = append(s.counts, smp.Value)
+		case f.Name + "_count":
+			get(smp.Labels).count = smp.Value
+		}
+	}
+	for k, s := range bySet {
+		if !s.hasInf {
+			return fmt.Errorf("histogram %s{%s} missing +Inf bucket", f.Name, k)
+		}
+		type bk struct{ le, n float64 }
+		bks := make([]bk, len(s.les))
+		for i := range s.les {
+			bks[i] = bk{s.les[i], s.counts[i]}
+		}
+		sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+		prev := 0.0
+		for _, b := range bks {
+			if b.n < prev {
+				return fmt.Errorf("histogram %s{%s}: bucket counts decrease at le=%g", f.Name, k, b.le)
+			}
+			prev = b.n
+		}
+		if s.inf < prev {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket below last finite bucket", f.Name, k)
+		}
+		if s.count != s.inf {
+			return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", f.Name, k, s.count, s.inf)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Collector writes its current samples into a MetricWriter. Collect
+// is called at scrape time under no registry lock ordering guarantees,
+// so collectors must do their own synchronization (read atomics, take
+// histogram snapshots).
+type Collector interface {
+	Collect(w *MetricWriter)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(w *MetricWriter)
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect(w *MetricWriter) { f(w) }
+
+// Registry is a pull-model metrics registry: a set of collectors,
+// scraped and rendered on demand. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector. Nil collectors are ignored.
+func (r *Registry) Register(c Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// RegisterFunc adds a collector function.
+func (r *Registry) RegisterFunc(f func(w *MetricWriter)) { r.Register(CollectorFunc(f)) }
+
+// WritePrometheus scrapes every collector and renders the combined
+// families in the Prometheus text exposition format (version 0.0.4):
+// families sorted by name, each preceded by # HELP and # TYPE, samples
+// in collection order within a family. Samples contributed to the same
+// family name by different collectors are merged under one header.
+func (r *Registry) WritePrometheus(out io.Writer) error {
+	r.mu.Lock()
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	w := NewMetricWriter()
+	for _, c := range collectors {
+		c.Collect(w)
+	}
+	return w.render(out)
+}
+
+// metricType is a Prometheus metric family type.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+type sample struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels string // pre-rendered `{k="v",...}` or ""
+	value  float64
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	samples []sample
+}
+
+// MetricWriter buffers metric families during a scrape so samples from
+// independent collectors group correctly under a single # TYPE header
+// before rendering. Not safe for concurrent use; each scrape gets its
+// own writer.
+type MetricWriter struct {
+	fams map[string]*family
+}
+
+// NewMetricWriter creates an empty writer.
+func NewMetricWriter() *MetricWriter { return &MetricWriter{fams: make(map[string]*family)} }
+
+func (w *MetricWriter) fam(name, help string, typ metricType) *family {
+	f, ok := w.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		w.fams[name] = f
+	}
+	return f
+}
+
+// Counter writes one cumulative counter sample. Labels are alternating
+// key, value pairs.
+func (w *MetricWriter) Counter(name, help string, value float64, labels ...string) {
+	f := w.fam(name, help, typeCounter)
+	f.samples = append(f.samples, sample{labels: renderLabels(labels), value: value})
+}
+
+// Gauge writes one gauge sample. Labels are alternating key, value
+// pairs.
+func (w *MetricWriter) Gauge(name, help string, value float64, labels ...string) {
+	f := w.fam(name, help, typeGauge)
+	f.samples = append(f.samples, sample{labels: renderLabels(labels), value: value})
+}
+
+// Histogram writes one histogram series (cumulative le buckets, _sum,
+// _count) from a snapshot. Nanosecond bucket edges and sums are
+// converted to seconds, the Prometheus base unit for time. Only buckets
+// up to the highest populated one are emitted (plus +Inf), keeping the
+// exposition compact while staying cumulative and parseable.
+func (w *MetricWriter) Histogram(name, help string, snap HistSnapshot, labels ...string) {
+	f := w.fam(name, help, typeHistogram)
+	top := -1
+	for b, n := range snap.Buckets {
+		if n != 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= top && b < HistBuckets-1; b++ {
+		cum += snap.Buckets[b]
+		le := float64(uint64(1)<<(b+1)) / 1e9
+		f.samples = append(f.samples, sample{
+			suffix: "_bucket",
+			labels: renderLabels(append(labels, "le", formatFloat(le))),
+			value:  float64(cum),
+		})
+	}
+	f.samples = append(f.samples,
+		sample{suffix: "_bucket", labels: renderLabels(append(labels, "le", "+Inf")), value: float64(snap.Count)},
+		sample{suffix: "_sum", labels: renderLabels(labels), value: float64(snap.SumNs) / 1e9},
+		sample{suffix: "_count", labels: renderLabels(labels), value: float64(snap.Count)},
+	)
+}
+
+// renderLabels renders alternating key, value pairs as `{k="v",...}`.
+// A dangling key is dropped rather than emitting invalid exposition.
+func renderLabels(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (w *MetricWriter) render(out io.Writer) error {
+	names := make([]string, 0, len(w.fams))
+	for name := range w.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := w.fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, s.labels, formatFloat(s.value))
+		}
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}

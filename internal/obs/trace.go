@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage inside a request trace. Offsets are relative
+// to the trace start, so a span tree renders without clock math.
+type Span struct {
+	Name           string  `json:"name"`
+	OffsetMicros   float64 `json:"offsetMicros"`
+	DurationMicros float64 `json:"durationMicros"`
+}
+
+// Trace is one completed request: what /api/debug/traces serves and
+// what the slow-query log emits.
+type Trace struct {
+	ID             string    `json:"id"`
+	Endpoint       string    `json:"endpoint"`
+	Start          time.Time `json:"start"`
+	DurationMillis float64   `json:"durationMillis"`
+	Status         int       `json:"status"`
+	Generation     uint64    `json:"generation"`
+	Cache          string    `json:"cache"`
+	Spans          []Span    `json:"spans"`
+}
+
+// Tracer assigns ids to requests, collects their spans, keeps the last
+// ringSize completed traces in memory, and logs traces slower than the
+// slow threshold as structured records. A nil Tracer is valid and
+// records nothing — the disabled state.
+type Tracer struct {
+	ringSize int
+	slow     time.Duration
+	logger   *slog.Logger
+
+	seq  atomic.Uint64
+	base uint64
+
+	mu   sync.Mutex
+	ring []*Trace // oldest-first circular buffer
+	next int      // ring insertion point
+	n    int      // traces stored (≤ ringSize)
+}
+
+// NewTracer creates a tracer keeping the last ringSize traces
+// (minimum 1). Traces that take slow or longer are logged through
+// logger at level WARN; slow <= 0 disables the slow-query log, a nil
+// logger falls back to NopLogger.
+func NewTracer(ringSize int, slow time.Duration, logger *slog.Logger) *Tracer {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	if logger == nil {
+		logger = NopLogger()
+	}
+	return &Tracer{
+		ringSize: ringSize,
+		slow:     slow,
+		logger:   logger,
+		base:     splitmix64(uint64(time.Now().UnixNano())),
+		ring:     make([]*Trace, ringSize),
+	}
+}
+
+// splitmix64 scrambles a counter into a well-mixed 64-bit id.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Start opens a trace for one request. Returns nil on a nil tracer, and
+// every ActiveTrace method is nil-receiver safe, so call sites need no
+// enabled-checks.
+func (t *Tracer) Start(endpoint string) *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	a := &ActiveTrace{tracer: t, start: time.Now()}
+	a.t.ID = strconv.FormatUint(splitmix64(t.base^t.seq.Add(1)), 16)
+	a.t.Endpoint = endpoint
+	a.t.Start = a.start
+	return a
+}
+
+// Recent returns up to n completed traces, newest first. n <= 0 means
+// the whole ring. Safe to call on a nil tracer (returns an empty
+// slice).
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil {
+		return []Trace{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		// next-1 is the newest entry; walk backwards.
+		idx := (t.next - 1 - i + t.ringSize*2) % t.ringSize
+		out = append(out, *t.ring[idx])
+	}
+	return out
+}
+
+// RingSize returns the ring capacity (0 for a nil tracer).
+func (t *Tracer) RingSize() int {
+	if t == nil {
+		return 0
+	}
+	return t.ringSize
+}
+
+func (t *Tracer) finish(tr *Trace) {
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % t.ringSize
+	if t.n < t.ringSize {
+		t.n++
+	}
+	t.mu.Unlock()
+	if t.slow > 0 && tr.DurationMillis >= float64(t.slow)/1e6 {
+		attrs := []any{
+			slog.String("trace", tr.ID),
+			slog.String("endpoint", tr.Endpoint),
+			slog.Float64("millis", tr.DurationMillis),
+			slog.Int("status", tr.Status),
+			slog.Uint64("generation", tr.Generation),
+			slog.String("cache", tr.Cache),
+		}
+		for _, sp := range tr.Spans {
+			attrs = append(attrs, slog.Float64("span_"+sp.Name+"_micros", sp.DurationMicros))
+		}
+		t.logger.Warn("slow query", attrs...)
+	}
+}
+
+// maxSpans bounds the spans a single trace keeps; the serving path uses
+// four (cache, coalesce, gate, engine).
+const maxSpans = 8
+
+// ActiveTrace is a trace being built by one in-flight request. It is
+// owned by that request's goroutine and is not safe for concurrent use
+// — the serving path hands it down through the request context, never
+// across requests. All methods are nil-receiver safe.
+type ActiveTrace struct {
+	tracer *Tracer
+	start  time.Time
+	t      Trace
+	spans  [maxSpans]Span
+	nspans int
+	done   bool
+}
+
+// ID returns the trace id ("" on nil).
+func (a *ActiveTrace) ID() string {
+	if a == nil {
+		return ""
+	}
+	return a.t.ID
+}
+
+// Span opens a named span and returns the closure that ends it. Spans
+// past the per-trace bound are dropped.
+func (a *ActiveTrace) Span(name string) func() {
+	if a == nil || a.nspans >= maxSpans {
+		return func() {}
+	}
+	i := a.nspans
+	a.nspans++
+	t0 := time.Now()
+	a.spans[i].Name = name
+	a.spans[i].OffsetMicros = float64(t0.Sub(a.start).Nanoseconds()) / 1e3
+	return func() {
+		a.spans[i].DurationMicros = float64(time.Since(t0).Nanoseconds()) / 1e3
+	}
+}
+
+// SetGeneration records the snapshot generation the request was pinned
+// to.
+func (a *ActiveTrace) SetGeneration(gen uint64) {
+	if a != nil {
+		a.t.Generation = gen
+	}
+}
+
+// SetCache records how the response was produced (hit, miss, ...).
+func (a *ActiveTrace) SetCache(state string) {
+	if a != nil {
+		a.t.Cache = state
+	}
+}
+
+// End completes the trace with the response status and publishes it to
+// the tracer's ring (and the slow-query log when it qualifies). Only
+// the first End takes effect.
+func (a *ActiveTrace) End(status int) {
+	if a == nil || a.done {
+		return
+	}
+	a.done = true
+	a.t.Status = status
+	a.t.DurationMillis = float64(time.Since(a.start).Nanoseconds()) / 1e6
+	a.t.Spans = append([]Span(nil), a.spans[:a.nspans]...)
+	a.tracer.finish(&a.t)
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches an active trace to a request context.
+func WithTrace(ctx context.Context, a *ActiveTrace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, a)
+}
+
+// TraceFrom extracts the active trace from a context (nil if absent,
+// which every ActiveTrace method tolerates).
+func TraceFrom(ctx context.Context) *ActiveTrace {
+	a, _ := ctx.Value(traceCtxKey{}).(*ActiveTrace)
+	return a
+}

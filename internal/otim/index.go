@@ -24,6 +24,7 @@ package otim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"octopus/internal/graph"
 	"octopus/internal/mia"
@@ -122,7 +123,23 @@ type Index struct {
 	// index may carry looser (older) bounds than a from-scratch build
 	// without affecting any answer.
 	sampleRU [][]float64
+
+	// buildStats records per-pass build durations (zero on folded or
+	// deserialized indexes — only BuildIndex fills it).
+	buildStats BuildStats
 }
+
+// BuildStats breaks a from-scratch BuildIndex down by pass: the
+// upper-envelope spread sweep (Sigma), the per-topic aggregate rows
+// (Aggr), and the topic-sample precomputation (Samples).
+type BuildStats struct {
+	Sigma   time.Duration
+	Aggr    time.Duration
+	Samples time.Duration
+}
+
+// BuildStats reports the per-pass durations of a from-scratch build.
+func (ix *Index) BuildStats() BuildStats { return ix.buildStats }
 
 // TopicSample is one precomputed entry of the topic-sample index.
 type TopicSample struct {
@@ -176,6 +193,7 @@ func BuildIndex(m *tic.Model, opt BuildOptions) (*Index, error) {
 	// Pass 1: σ̄max via MIOA under p̄ for every node. Each worker owns a
 	// mia.Calc (the Dijkstra scratch is not shareable); sigmaMax writes
 	// are disjoint per node, and the delta reduction runs serially after.
+	passStart := time.Now()
 	maxProb := func(e graph.EdgeID) float64 { return m.MaxProb(e) }
 	calcs := make([]*mia.Calc, par.Resolve(opt.Workers))
 	par.Each(opt.Workers, n, func(w, v int) {
@@ -193,10 +211,13 @@ func BuildIndex(m *tic.Model, opt BuildOptions) (*Index, error) {
 			ix.delta = s
 		}
 	}
+	ix.buildStats.Sigma = time.Since(passStart)
 
 	// Pass 2: per-topic aggregates, sharded by node — each iteration
 	// writes only u's own aggr/wdeg rows.
+	passStart = time.Now()
 	par.Each(opt.Workers, n, func(_, u int) { ix.computeRow(u) })
+	ix.buildStats.Aggr = time.Since(passStart)
 
 	// Pass 3: topic samples, seeded with the pure topics so every
 	// single-topic query has an exact-match sample. Mixtures are drawn
@@ -204,6 +225,7 @@ func BuildIndex(m *tic.Model, opt BuildOptions) (*Index, error) {
 	// depends on worker count); the per-sample queries are deterministic
 	// given γ and run concurrently on per-worker engines, each writing
 	// its own samples slot.
+	passStart = time.Now()
 	if opt.Samples > 0 {
 		r := newSampleRNG(opt.Seed)
 		gammas := make([]topic.Dist, opt.Samples)
@@ -234,6 +256,7 @@ func BuildIndex(m *tic.Model, opt BuildOptions) (*Index, error) {
 			}
 		}
 	}
+	ix.buildStats.Samples = time.Since(passStart)
 	return ix, nil
 }
 

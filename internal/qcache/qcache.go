@@ -37,6 +37,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"octopus/internal/obs"
 )
 
 // Entry is one rendered response: what the handler wrote, replayable
@@ -238,65 +240,11 @@ func (g *Gate) Capacity() int {
 
 // ---- Metrics ----
 
-// latency histogram: power-of-two buckets over nanoseconds with linear
-// interpolation inside a bucket — coarse (≤2× error) but constant-size,
-// allocation-free and mergeable, which is all a /api/metrics endpoint
-// needs. Exact client-side percentiles belong to the bench harness.
-const histBuckets = 64
-
-type hist struct {
-	count   uint64
-	sumNs   uint64
-	maxNs   uint64
-	buckets [histBuckets]uint64
-}
-
-func (h *hist) observe(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	h.count++
-	h.sumNs += ns
-	if ns > h.maxNs {
-		h.maxNs = ns
-	}
-	b := 0
-	for v := ns; v > 1; v >>= 1 {
-		b++
-	}
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	h.buckets[b]++
-}
-
-// quantile estimates the q-th (0..1) latency in nanoseconds.
-func (h *hist) quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	rank := q * float64(h.count)
-	var seen float64
-	for b, n := range h.buckets {
-		if n == 0 {
-			continue
-		}
-		lo := float64(uint64(1) << b)
-		if b == 0 {
-			lo = 0
-		}
-		hi := float64(uint64(1) << (b + 1))
-		if seen+float64(n) >= rank {
-			frac := (rank - seen) / float64(n)
-			v := lo + frac*(hi-lo)
-			if m := float64(h.maxNs); v > m {
-				v = m
-			}
-			return v
-		}
-		seen += float64(n)
-	}
-	return float64(h.maxNs)
-}
-
+// Latencies use obs.Histogram: power-of-two buckets over nanoseconds
+// with linear interpolation inside a bucket — coarse but constant-size
+// and mergeable, which is all /api/metrics and Retry-After need. Exact
+// client-side percentiles belong to the bench harness; the same
+// histograms feed the Prometheus exposition through Collect.
 type endpointStats struct {
 	count     uint64
 	errors    uint64 // responses with status >= 400
@@ -305,7 +253,7 @@ type endpointStats struct {
 	stale     uint64
 	coalesced uint64
 	shed      uint64
-	lat       hist
+	lat       obs.Histogram
 }
 
 // Metrics aggregates per-endpoint serving statistics. Safe for
@@ -372,7 +320,7 @@ func (m *Metrics) Observe(endpoint string, state CacheState, status int, d time.
 	case StateCoalesced:
 		s.coalesced++
 	}
-	s.lat.observe(d)
+	s.lat.Observe(d)
 }
 
 // Shed records one admission-control rejection for the endpoint.
@@ -402,7 +350,7 @@ func (m *Metrics) RetryAfterSeconds(endpoint string) int {
 	if !ok {
 		return 1
 	}
-	p99 := s.lat.quantile(0.99)
+	p99 := s.lat.Quantile(0.99)
 	secs := int(math.Ceil(p99 / 1e9))
 	switch {
 	case secs < 1:
@@ -449,6 +397,7 @@ func (m *Metrics) Report() Snapshot {
 		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for name, s := range m.endpoints {
+		lat := s.lat.Snapshot()
 		ep := EndpointSnapshot{
 			Count:     s.count,
 			Errors:    s.errors,
@@ -457,12 +406,12 @@ func (m *Metrics) Report() Snapshot {
 			Stale:     s.stale,
 			Coalesced: s.coalesced,
 			Shed:      s.shed,
-			P50Ms:     s.lat.quantile(0.50) / 1e6,
-			P99Ms:     s.lat.quantile(0.99) / 1e6,
-			MaxMs:     float64(s.maxNs()) / 1e6,
+			P50Ms:     lat.Quantile(0.50) / 1e6,
+			P99Ms:     lat.Quantile(0.99) / 1e6,
+			MaxMs:     float64(lat.MaxNs) / 1e6,
 		}
 		if s.count > 0 {
-			ep.MeanMs = float64(s.sumNs()) / float64(s.count) / 1e6
+			ep.MeanMs = float64(lat.SumNs) / float64(s.count) / 1e6
 		}
 		out.Endpoints[name] = ep
 		out.EndpointNames = append(out.EndpointNames, name)
@@ -473,5 +422,42 @@ func (m *Metrics) Report() Snapshot {
 	return out
 }
 
-func (s *endpointStats) maxNs() uint64 { return s.lat.maxNs }
-func (s *endpointStats) sumNs() uint64 { return s.lat.sumNs }
+// Collect writes the per-endpoint serving counters and latency
+// histograms into a Prometheus scrape — the same numbers /api/metrics
+// reports as JSON, under stable metric names. Register a Metrics on an
+// obs.Registry to expose them.
+func (m *Metrics) Collect(w *obs.MetricWriter) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type row struct {
+		name                                                string
+		count, errors, hits, misses, stale, coalesced, shed uint64
+		lat                                                 obs.HistSnapshot
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		s := m.endpoints[name]
+		rows = append(rows, row{
+			name: name, count: s.count, errors: s.errors, hits: s.hits,
+			misses: s.misses, stale: s.stale, coalesced: s.coalesced,
+			shed: s.shed, lat: s.lat.Snapshot(),
+		})
+	}
+	m.mu.Unlock()
+
+	for _, r := range rows {
+		l := []string{"endpoint", r.name}
+		w.Counter("octopus_requests_total", "Requests served, by endpoint.", float64(r.count), l...)
+		w.Counter("octopus_request_errors_total", "Responses with status >= 400, by endpoint.", float64(r.errors), l...)
+		w.Counter("octopus_cache_hits_total", "Cache hits at the current generation, by endpoint.", float64(r.hits), l...)
+		w.Counter("octopus_cache_misses_total", "Cache misses (including stale recomputes), by endpoint.", float64(r.misses), l...)
+		w.Counter("octopus_cache_stale_evictions_total", "Generation-mismatch evictions, by endpoint.", float64(r.stale), l...)
+		w.Counter("octopus_coalesced_total", "Requests served from a concurrent identical run, by endpoint.", float64(r.coalesced), l...)
+		w.Counter("octopus_shed_total", "Requests refused by the admission gate (429), by endpoint.", float64(r.shed), l...)
+		w.Histogram("octopus_request_duration_seconds", "Request latency, by endpoint.", r.lat, l...)
+	}
+}

@@ -158,6 +158,21 @@ func conformanceCases() []confCase {
 			keys: []string{"endpoints", "requests", "generation", "uptimeSeconds"}},
 		{name: "metrics 405", method: "POST", path: confPath("/api/metrics"), want: 405, allow: "GET"},
 
+		// ---- /metrics (Prometheus exposition; the one non-JSON API route) ----
+		{name: "prom metrics ok", method: "GET", path: confPath("/metrics"), want: 200},
+		{name: "prom metrics 405", method: "POST", path: confPath("/metrics"), want: 405, allow: "GET"},
+
+		// ---- /api/debug/traces ----
+		{name: "traces ok", method: "GET", path: confPath("/api/debug/traces"), want: 200,
+			keys: []string{"traces"}},
+		{name: "traces bounded", method: "GET", path: confPath("/api/debug/traces?n=2"), want: 200,
+			keys: []string{"traces"}},
+		{name: "traces malformed n", method: "GET", path: confPath("/api/debug/traces?n=many"),
+			want: 400, errSub: "n"},
+		{name: "traces negative n", method: "GET", path: confPath("/api/debug/traces?n=-1"),
+			want: 400, errSub: "n"},
+		{name: "traces 405", method: "DELETE", path: confPath("/api/debug/traces"), want: 405, allow: "GET"},
+
 		// ---- /api/batch ----
 		{name: "batch ok", method: "POST", path: confPath("/api/batch"),
 			body: `{"queries":[{"endpoint":"complete","params":{"prefix":"A"}}]}`,
@@ -306,7 +321,8 @@ func TestConformanceCasesCoverEveryRoute(t *testing.T) {
 	for _, route := range []string{
 		"/api/status", "/api/im", "/api/suggest", "/api/keywords", "/api/radar",
 		"/api/paths", "/api/complete", "/api/metrics", "/api/batch", "/api/im/targeted",
-		"/api/ingest/actions", "/api/ingest/edges", "/api/ingest/stats", "/",
+		"/api/ingest/actions", "/api/ingest/edges", "/api/ingest/stats",
+		"/metrics", "/api/debug/traces", "/",
 	} {
 		if !covered[route] {
 			t.Errorf("route %s has no conformance cases", route)

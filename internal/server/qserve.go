@@ -26,6 +26,7 @@ import (
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/qcache"
 )
 
@@ -36,18 +37,33 @@ const maxBatchQueries = 256
 // client may demand from POST /api/im/targeted.
 const maxTargetedRRSamples = 200_000
 
-// instrument wraps a route with per-endpoint metrics: request count,
-// error count, latency histogram, and — read back from the
-// X-Octopus-Cache header the cached path stamps — the cache outcome.
+// instrument wraps a route with per-endpoint metrics — request count,
+// error count, latency histogram, and (read back from the
+// X-Octopus-Cache header the cached path stamps) the cache outcome —
+// and with request tracing: a trace is started, stamped on the
+// response as X-Octopus-Trace, threaded through the request context so
+// downstream layers can attach spans, and finished with the final
+// status. With tracing disabled every trace call is a nil-receiver
+// no-op.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := s.tracer.Start(endpoint)
+		if tr != nil {
+			traceHeader(w, tr)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		state := qcache.CacheState(sw.Header().Get("X-Octopus-Cache"))
 		if state == "" {
 			state = qcache.StateBypass
 		}
+		tr.SetCache(string(state))
+		if gen, ok := genFromHeader(sw.Header()); ok {
+			tr.SetGeneration(gen)
+		}
+		tr.End(sw.status())
 		s.metrics.Observe(endpoint, state, sw.status(), time.Since(start))
 	}
 }
@@ -85,13 +101,17 @@ func (s *Server) cachedQuery(endpoint string, h queryHandler) http.HandlerFunc {
 // concurrent misses, compute behind the admission gate, store, replay.
 func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWriter, r *http.Request) {
 	sys, gen := s.snap()
+	tr := obs.TraceFrom(r.Context())
+	tr.SetGeneration(gen)
 	if s.cache == nil {
 		replayEntry(w, s.compute(endpoint, h, sys, r), qcache.StateBypass, gen)
 		return
 	}
+	endCache := tr.Span("cache")
 	key := s.cacheKey(endpoint, sys, r.URL.Query())
 	state := qcache.StateMiss
 	if e, out := s.cache.Get(key, gen); out == qcache.Hit {
+		endCache()
 		replayEntry(w, e, qcache.StateHit, gen)
 		return
 	} else if out == qcache.Stale {
@@ -100,9 +120,11 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 		state = qcache.StateStale
 		s.metrics.StaleEvict(endpoint)
 	}
+	endCache()
 	// Coalesce on (generation, key): concurrent identical misses share
 	// one engine run; a leader pinned before a swap is never joined by a
 	// request pinned after it.
+	endCoalesce := tr.Span("coalesce")
 	fkey := strconv.FormatUint(gen, 10) + "|" + key
 	e, shared := s.flight.Do(fkey, func() *qcache.Entry {
 		// The leader's result is shared by every coalesced waiter, so the
@@ -118,6 +140,7 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 		}
 		return e
 	})
+	endCoalesce()
 	if e == nil {
 		// The flight leader panicked mid-run (recovered by net/http);
 		// don't replay nothing at the waiters.
@@ -144,11 +167,17 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 // response. When the gate is full the request is shed immediately —
 // 429 + Retry-After — rather than queued.
 func (s *Server) compute(endpoint string, h queryHandler, sys *core.System, r *http.Request) *qcache.Entry {
+	tr := obs.TraceFrom(r.Context())
+	endGate := tr.Span("gate")
 	if !s.gate.TryAcquire() {
+		endGate()
 		s.metrics.Shed(endpoint)
 		return s.shedEntry(endpoint)
 	}
+	endGate()
 	defer s.gate.Release()
+	endEngine := tr.Span("engine")
+	defer endEngine()
 	rec := newRecorder()
 	h(sys, rec, r)
 	return rec.entry()
@@ -457,13 +486,19 @@ func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
 	for i, u := range req.Audience {
 		audience[i] = u
 	}
+	tr := obs.TraceFrom(r.Context())
+	endGate := tr.Span("gate")
 	if !s.gate.TryAcquire() {
+		endGate()
 		s.metrics.Shed("targeted")
 		replayEntry(w, s.shedEntry("targeted"), qcache.StateShed, gen)
 		return
 	}
+	endGate()
 	defer s.gate.Release()
+	endEngine := tr.Span("engine")
 	res, err := sys.DiscoverTargetedInfluencers(keywords, audience, k, req.RRSamples, seed)
+	endEngine()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

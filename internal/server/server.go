@@ -14,7 +14,9 @@
 //	GET  /api/complete?prefix=P&k=10         user-name auto-completion
 //	POST /api/im/targeted                    targeted IM over an audience (JSON body)
 //	POST /api/batch                          many queries in one round trip (JSON body)
-//	GET  /api/metrics                        serving-layer statistics
+//	GET  /api/metrics                        serving-layer statistics (JSON)
+//	GET  /metrics                            Prometheus text exposition
+//	GET  /api/debug/traces?n=50              recent request traces, newest first
 //
 // A Server created with NewLive additionally accepts streaming events
 // (the live-ingestion subsystem of internal/stream):
@@ -44,6 +46,17 @@
 // rejected with 400 and an error payload naming the parameter. Ingest
 // endpoints return 503 when the bounded ingest buffer is full (retry
 // with backoff) and 404 on a static (non-live) server.
+//
+// # Observability
+//
+// Every response carries X-Octopus-Trace: a per-request trace follows
+// the serving layers (cache, coalesce, gate, engine spans) with the
+// pinned generation and cache outcome attached, lands in a bounded
+// ring served at /api/debug/traces, and — past Options.SlowQuery — is
+// logged as a structured slow-query record. /metrics exposes the
+// serving counters plus ingest/fold/WAL/runtime instruments in
+// Prometheus text format; AdminHandler returns the operator-only
+// pprof surface for a separate listener. See obs.go.
 package server
 
 import (
@@ -51,6 +64,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -59,6 +73,7 @@ import (
 
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
+	"octopus/internal/obs"
 	"octopus/internal/qcache"
 	"octopus/internal/stream"
 	"octopus/internal/tags"
@@ -79,6 +94,18 @@ type Options struct {
 	// requests are shed with 429 + Retry-After instead of queueing.
 	// 0 (default) admits everything.
 	MaxInflight int
+	// TraceRing bounds the in-memory ring of recent request traces
+	// served at /api/debug/traces (default DefaultTraceRing; negative
+	// disables tracing entirely, removing the per-request span
+	// bookkeeping from the hot path).
+	TraceRing int
+	// SlowQuery, when positive, logs every request slower than this
+	// threshold as a structured slow-query record with its span
+	// breakdown.
+	SlowQuery time.Duration
+	// Logger receives the server's structured log records (slow
+	// queries). nil discards them.
+	Logger *slog.Logger
 }
 
 func (o *Options) fill() {
@@ -87,6 +114,9 @@ func (o *Options) fill() {
 	}
 	if o.CacheEntries == 0 {
 		o.CacheEntries = DefaultCacheEntries
+	}
+	if o.TraceRing == 0 {
+		o.TraceRing = DefaultTraceRing
 	}
 }
 
@@ -114,6 +144,9 @@ type Server struct {
 	gate          *qcache.Gate
 	metrics       *qcache.Metrics
 	queryHandlers map[string]queryHandler // batch dispatch table
+
+	tracer   *obs.Tracer   // nil when tracing is disabled
+	registry *obs.Registry // Prometheus exposition at /metrics
 }
 
 // New creates a Server for a static (immutable) system with default
@@ -160,6 +193,10 @@ func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt 
 	if opt.CacheEntries > 0 {
 		s.cache = qcache.New(opt.CacheEntries)
 	}
+	if opt.TraceRing > 0 {
+		s.tracer = obs.NewTracer(opt.TraceRing, opt.SlowQuery, opt.Logger)
+	}
+	s.registry = s.newRegistry()
 	for _, q := range []struct {
 		name string
 		h    queryHandler
@@ -182,6 +219,8 @@ func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt 
 	s.mux.HandleFunc("/api/ingest/actions", s.instrument("ingest/actions", allow(http.MethodPost, s.handleIngestActions)))
 	s.mux.HandleFunc("/api/ingest/edges", s.instrument("ingest/edges", allow(http.MethodPost, s.handleIngestEdges)))
 	s.mux.HandleFunc("/api/ingest/stats", s.instrument("ingest/stats", allow(http.MethodGet, s.handleIngestStats)))
+	s.mux.HandleFunc("/metrics", s.instrument("prom", allow(http.MethodGet, s.handlePromMetrics)))
+	s.mux.HandleFunc("/api/debug/traces", s.instrument("debug/traces", allow(http.MethodGet, s.handleTraces)))
 	s.mux.HandleFunc("/", s.handleUI)
 	return s
 }

@@ -6,10 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/tic"
 )
 
@@ -33,6 +35,11 @@ type Dir struct {
 	wal         *WAL
 	checkpoints atomic.Uint64
 	lastVersion atomic.Uint64
+
+	// Observability: checkpoint cost and size, plus the WAL's latency
+	// instruments surfaced through accessors.
+	checkpointLat  obs.Histogram
+	lastCheckpoint atomic.Int64 // snapshot bytes written by the latest checkpoint
 }
 
 // Open opens (creating if needed) a durability directory and prepares
@@ -98,11 +105,16 @@ func (d *Dir) Sync() error { return d.wal.Sync() }
 // the WAL. A crash between the two steps is safe: recovery replays the
 // stale WAL records over the new snapshot and deduplicates them.
 func (d *Dir) Checkpoint(sys *core.System, version uint64) error {
+	start := time.Now()
 	if err := saveVersion(d.SnapshotPath(), sys, version); err != nil {
 		return err
 	}
 	if err := d.wal.Rotate(); err != nil {
 		return err
+	}
+	d.checkpointLat.ObserveSince(start)
+	if st, err := os.Stat(d.SnapshotPath()); err == nil {
+		d.lastCheckpoint.Store(st.Size())
 	}
 	d.checkpoints.Add(1)
 	d.lastVersion.Store(version)
@@ -127,6 +139,20 @@ func (d *Dir) WALSize() int64 { return d.wal.Size() }
 
 // WALBytesLogged returns the bytes appended across all rotations.
 func (d *Dir) WALBytesLogged() int64 { return d.wal.TotalBytes() }
+
+// WALAppendLatency returns the WAL append-call latency histogram.
+func (d *Dir) WALAppendLatency() *obs.Histogram { return d.wal.AppendLatency() }
+
+// WALSyncLatency returns the WAL fsync latency histogram.
+func (d *Dir) WALSyncLatency() *obs.Histogram { return d.wal.SyncLatency() }
+
+// CheckpointLatency returns the checkpoint duration histogram
+// (snapshot write + WAL rotation).
+func (d *Dir) CheckpointLatency() *obs.Histogram { return &d.checkpointLat }
+
+// LastCheckpointBytes returns the snapshot size written by the latest
+// checkpoint (0 if none this session).
+func (d *Dir) LastCheckpointBytes() int64 { return d.lastCheckpoint.Load() }
 
 // Close syncs and closes the WAL.
 func (d *Dir) Close() error { return d.wal.Close() }

@@ -10,9 +10,11 @@ import (
 	"io"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"octopus/internal/binio"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 )
 
 // WAL file layout:
@@ -128,6 +130,10 @@ type WAL struct {
 	// Cumulative across rotations (observability only).
 	totalRecords atomic.Uint64
 	totalBytes   atomic.Int64
+	// Latency instruments (observability only; safe to read from any
+	// goroutine while the apply loop writes).
+	appendLat obs.Histogram
+	syncLat   obs.Histogram
 }
 
 // OpenWAL opens (creating if absent) the log at path for appending. An
@@ -193,6 +199,12 @@ func (w *WAL) TotalRecords() uint64 { return w.totalRecords.Load() }
 // TotalBytes returns the bytes appended across all rotations.
 func (w *WAL) TotalBytes() int64 { return w.totalBytes.Load() }
 
+// AppendLatency returns the append-call latency histogram.
+func (w *WAL) AppendLatency() *obs.Histogram { return &w.appendLat }
+
+// SyncLatency returns the fsync (group commit) latency histogram.
+func (w *WAL) SyncLatency() *obs.Histogram { return &w.syncLat }
+
 // Append writes recs to the log buffer. Call Sync to make them durable.
 // A failed write is rolled back to the last record boundary so the next
 // append does not land after a torn frame (which would make every later
@@ -201,6 +213,7 @@ func (w *WAL) Append(recs []Record) error {
 	if w.broken {
 		return fmt.Errorf("store: WAL broken by an earlier failed append")
 	}
+	defer w.appendLat.ObserveSince(time.Now())
 	var frame bytes.Buffer
 	var body bytes.Buffer
 	for i := range recs {
@@ -236,9 +249,11 @@ func (w *WAL) Append(recs []Record) error {
 
 // Sync fsyncs appended records (group commit).
 func (w *WAL) Sync() error {
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("store: WAL sync: %w", err)
 	}
+	w.syncLat.ObserveSince(start)
 	w.syncs.Add(1)
 	return nil
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"octopus/internal/actionlog"
 	"octopus/internal/core"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/store"
 	"octopus/internal/tic"
 )
@@ -72,6 +74,10 @@ type Config struct {
 	// and aborts it by returning an error — the failure-injection seam
 	// fold-retry tests use.
 	foldHook func() error
+	// Logger, when non-nil, receives structured pipeline events: fold
+	// completions with per-stage timings, fold failures, WAL and
+	// checkpoint errors. nil discards them.
+	Logger *slog.Logger
 	// Store, when non-nil, makes the ingester durable: every drained
 	// batch is appended to the write-ahead log and fsynced (group
 	// commit) before it is acknowledged, every snapshot swap checkpoints
@@ -97,6 +103,9 @@ func (c *Config) fill(base *core.System) {
 	}
 	if c.Topics <= 0 {
 		c.Topics = base.Keywords().NumTopics()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 }
 
@@ -142,6 +151,17 @@ type Stats struct {
 	IncrementalFolds   uint64 `json:"incrementalFolds"`
 	FoldFallbacks      uint64 `json:"foldFallbacks"`
 	LastFoldDirtyNodes int64  `json:"lastFoldDirtyNodes"`
+	// Per-stage durations of the last fold's construction (model
+	// carry-over/relearn, index maintenance, derived structures) — where
+	// the swap latency went.
+	LastFoldModelMillis   float64 `json:"lastFoldModelMillis"`
+	LastFoldOTIMMillis    float64 `json:"lastFoldOtimMillis"`
+	LastFoldTagsMillis    float64 `json:"lastFoldTagsMillis"`
+	LastFoldDerivedMillis float64 `json:"lastFoldDerivedMillis"`
+	// StalenessMillis is the age of the oldest event applied to the
+	// overlay but not yet folded into a serving snapshot (0 when none
+	// are pending).
+	StalenessMillis float64 `json:"stalenessMillis"`
 
 	// Durability counters (zero-valued unless Config.Store is set).
 	Durable               bool   `json:"durable"`
@@ -200,6 +220,8 @@ type LiveSystem struct {
 	buffered                               atomic.Int64
 	lastSwapNanos, totalSwapNanos          atomic.Int64
 	lastSwapAtNanos, lastFoldDirty         atomic.Int64
+	lastFoldModelNanos, lastFoldOTIMNanos  atomic.Int64
+	lastFoldTagsNanos, lastFoldDerivNanos  atomic.Int64
 }
 
 // NewLiveSystem wraps a built base system. The background apply
@@ -412,6 +434,10 @@ func (ls *LiveSystem) Stats() Stats {
 	if ls.folding != nil {
 		pending += ls.folding.events
 	}
+	var staleness time.Duration
+	if pending > 0 && !ls.since.IsZero() {
+		staleness = time.Since(ls.since)
+	}
 	ls.mu.RUnlock()
 	st := Stats{
 		Version:         snap.Version,
@@ -429,10 +455,16 @@ func (ls *LiveSystem) Stats() Stats {
 		FoldFailures:    ls.foldFailures.Load(),
 		LastSwapMillis:  float64(ls.lastSwapNanos.Load()) / 1e6,
 		TotalSwapMillis: float64(ls.totalSwapNanos.Load()) / 1e6,
+		StalenessMillis: float64(staleness) / 1e6,
 
 		IncrementalFolds:   ls.incrementalFolds.Load(),
 		FoldFallbacks:      ls.foldFallbacks.Load(),
 		LastFoldDirtyNodes: ls.lastFoldDirty.Load(),
+
+		LastFoldModelMillis:   float64(ls.lastFoldModelNanos.Load()) / 1e6,
+		LastFoldOTIMMillis:    float64(ls.lastFoldOTIMNanos.Load()) / 1e6,
+		LastFoldTagsMillis:    float64(ls.lastFoldTagsNanos.Load()) / 1e6,
+		LastFoldDerivedMillis: float64(ls.lastFoldDerivNanos.Load()) / 1e6,
 	}
 	if at := ls.lastSwapAtNanos.Load(); at != 0 {
 		st.LastSwapAt = time.Unix(0, at)
@@ -449,6 +481,11 @@ func (ls *LiveSystem) Stats() Stats {
 	}
 	return st
 }
+
+// Store returns the durability directory backing this system (nil when
+// not durable) — the handle observability collectors read WAL and
+// checkpoint instruments from.
+func (ls *LiveSystem) Store() *store.Dir { return ls.cfg.Store }
 
 // LastFoldError returns the most recent fold failure (nil if none).
 func (ls *LiveSystem) LastFoldError() error {
@@ -648,6 +685,7 @@ func (ls *LiveSystem) logRecords(recs []store.Record) {
 	if err != nil {
 		ls.walErrors.Add(1)
 		ls.walFailure = err
+		ls.cfg.Logger.Error("wal write failed", slog.Int("records", len(recs)), slog.Any("error", err))
 		ls.mu.Lock()
 		ls.lastErr = err
 		ls.mu.Unlock()
@@ -841,6 +879,10 @@ func (ls *LiveSystem) fold() error {
 	sys, incremental, err := ls.rebuild(old, ov)
 	if err != nil {
 		ls.foldFailures.Add(1)
+		ls.cfg.Logger.Error("fold failed",
+			slog.Uint64("version", old.Version),
+			slog.Int("pendingEvents", ov.events),
+			slog.Any("error", err))
 		ls.mu.Lock()
 		ls.lastErr = err
 		ls.folding = nil
@@ -887,6 +929,21 @@ func (ls *LiveSystem) fold() error {
 	ls.lastSwapNanos.Store(int64(elapsed))
 	ls.totalSwapNanos.Add(int64(elapsed))
 	ls.lastSwapAtNanos.Store(time.Now().UnixNano())
+	timings := sys.Timings()
+	ls.lastFoldModelNanos.Store(int64(timings.Model))
+	ls.lastFoldOTIMNanos.Store(int64(timings.OTIM))
+	ls.lastFoldTagsNanos.Store(int64(timings.Tags))
+	ls.lastFoldDerivNanos.Store(int64(timings.Derived))
+	ls.cfg.Logger.Info("fold",
+		slog.Uint64("version", old.Version+1),
+		slog.Int("events", ov.events),
+		slog.Bool("incremental", incremental),
+		slog.Int64("dirtyNodes", ls.lastFoldDirty.Load()),
+		slog.Duration("swap", elapsed),
+		slog.Duration("model", timings.Model),
+		slog.Duration("otim", timings.OTIM),
+		slog.Duration("tags", timings.Tags),
+		slog.Duration("derived", timings.Derived))
 	if st := ls.cfg.Store; st != nil {
 		// Checkpoint: persist the freshly folded snapshot, then rotate the
 		// WAL (Checkpoint only rotates after the snapshot landed, so a
@@ -896,10 +953,14 @@ func (ls *LiveSystem) fold() error {
 			// Compaction failed, but nothing durable was lost: the WAL still
 			// holds the logged tail, so walFailure is left as-is.
 			ls.walErrors.Add(1)
+			ls.cfg.Logger.Error("checkpoint failed", slog.Uint64("version", old.Version+1), slog.Any("error", err))
 			ls.mu.Lock()
 			ls.lastErr = err
 			ls.mu.Unlock()
 		} else {
+			ls.cfg.Logger.Info("checkpoint",
+				slog.Uint64("version", old.Version+1),
+				slog.Int64("bytes", st.LastCheckpointBytes()))
 			// The snapshot persists everything applied so far, including any
 			// events a failed WAL write left off disk — durability restored.
 			ls.walFailure = nil

@@ -29,6 +29,7 @@ package tags
 
 import (
 	"fmt"
+	"time"
 
 	"octopus/internal/graph"
 	"octopus/internal/par"
@@ -96,7 +97,21 @@ type Index struct {
 	// folds need the per-poll split to keep the totals exact while
 	// regrowing only a subset of the polls.
 	pollCoins []int32
+
+	// buildStats records the build-pass durations (zero on folded or
+	// deserialized indexes — only BuildIndex fills it).
+	buildStats BuildStats
 }
+
+// BuildStats breaks a from-scratch BuildIndex down by pass: parallel
+// poll-tree growth (Grow) and the serial contribution merge (Merge).
+type BuildStats struct {
+	Grow  time.Duration
+	Merge time.Duration
+}
+
+// BuildStats reports the per-pass durations of a from-scratch build.
+func (ix *Index) BuildStats() BuildStats { return ix.buildStats }
 
 // BuildIndex samples M poll users and grows their reverse trees under
 // p̄. Each poll's root and coin stream derive from values drawn
@@ -126,11 +141,14 @@ func BuildIndex(m *tic.Model, opt IndexOptions) (*Index, error) {
 	ix.trees = make([]revTree, opt.Polls)
 	edges := make([]int, opt.Polls)
 	coins := make([]int, opt.Polls)
+	passStart := time.Now()
 	par.Each(opt.Workers, opt.Polls, func(_, p int) {
 		ix.trees[p], edges[p], coins[p] = growTree(m, roots[p], rng.New(seeds[p]), opt)
 	})
+	ix.buildStats.Grow = time.Since(passStart)
 	// Merge contributions in poll order so each user's contains list —
 	// and every derived estimate — is reproducible.
+	passStart = time.Now()
 	ix.pollCoins = make([]int32, opt.Polls)
 	for p := range ix.trees {
 		ix.edges += edges[p]
@@ -140,6 +158,7 @@ func BuildIndex(m *tic.Model, opt IndexOptions) (*Index, error) {
 			ix.contains[v] = append(ix.contains[v], int32(p))
 		}
 	}
+	ix.buildStats.Merge = time.Since(passStart)
 	return ix, nil
 }
 

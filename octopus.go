@@ -102,8 +102,9 @@ type (
 type Server = server.Server
 
 // ServerOptions tunes the query-serving layer of a Server: result-cache
-// size (generation-tagged, so snapshot swaps invalidate implicitly) and
-// the in-flight query bound past which requests are shed with 429.
+// size (generation-tagged, so snapshot swaps invalidate implicitly),
+// the in-flight query bound past which requests are shed with 429, and
+// the observability knobs (trace ring, slow-query threshold, logger).
 type ServerOptions = server.Options
 
 // Streaming ingestion types (live systems).

@@ -73,8 +73,9 @@ type serveRun struct {
 
 // serveLoad drives clients closed-loop client goroutines against the
 // base URL, each issuing perClient IM queries drawn Zipf-skewed from
-// the pool, and folds in the server's own /api/metrics counters.
-func serveLoad(base string, pool []string, clients, perClient int, seed uint64) (*serveRun, error) {
+// the pool, and folds in the server's own /api/metrics counters. extra
+// is appended verbatim to every query string (e.g. "&explain=1").
+func serveLoad(base string, pool []string, clients, perClient int, seed uint64, extra string) (*serveRun, error) {
 	hc := &http.Client{Timeout: 30 * time.Second}
 	timers := make([]bench.Timer, clients)
 	errs := make([]int, clients)
@@ -93,7 +94,7 @@ func serveLoad(base string, pool []string, clients, perClient int, seed uint64) 
 			for i := 0; i < perClient; i++ {
 				q := pool[zipf.Uint64()]
 				t0 := time.Now()
-				resp, err := hc.Get(base + "/api/im?q=" + url.QueryEscape(q) + "&k=5")
+				resp, err := hc.Get(base + "/api/im?q=" + url.QueryEscape(q) + "&k=5" + extra)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -252,16 +253,27 @@ func runE16(e *env) error {
 
 	// 1. Cache off: every request pays a full engine run.
 	srvOff := httptest.NewServer(server.NewWith(sys, server.Options{CacheEntries: -1}))
-	off, err := serveLoad(srvOff.URL, pool, clients, perClient, e.seed)
+	off, err := serveLoad(srvOff.URL, pool, clients, perClient, e.seed, "")
 	srvOff.Close()
 	if err != nil {
 		return err
 	}
 	row("cache off", off)
 
+	// 1b. Cache off, explain on: the same uncached workload with per-query
+	// cost accounting and the JSON breakdown spliced into every response
+	// measures what ?explain=1 costs on top of a full engine run.
+	srvExp := httptest.NewServer(server.NewWith(sys, server.Options{CacheEntries: -1}))
+	explain, err := serveLoad(srvExp.URL, pool, clients, perClient, e.seed, "&explain=1")
+	srvExp.Close()
+	if err != nil {
+		return err
+	}
+	row("cache off, explain on", explain)
+
 	// 2. Cache on: repeated popular queries hit.
 	srvOn := httptest.NewServer(server.NewWith(sys, server.Options{}))
-	on, err := serveLoad(srvOn.URL, pool, clients, perClient, e.seed)
+	on, err := serveLoad(srvOn.URL, pool, clients, perClient, e.seed, "")
 	srvOn.Close()
 	if err != nil {
 		return err
@@ -273,7 +285,7 @@ func runE16(e *env) error {
 	// path (target ≤5% p50; the hard bar below is generous because p50
 	// here is microseconds and host noise dominates).
 	srvNT := httptest.NewServer(server.NewWith(sys, server.Options{TraceRing: -1}))
-	noTrace, err := serveLoad(srvNT.URL, pool, clients, perClient, e.seed)
+	noTrace, err := serveLoad(srvNT.URL, pool, clients, perClient, e.seed, "")
 	srvNT.Close()
 	if err != nil {
 		return err
@@ -319,7 +331,7 @@ func runE16(e *env) error {
 			swaps++
 		}
 	}()
-	live, err := serveLoad(srvLive.URL, pool, clients, perClient, e.seed)
+	live, err := serveLoad(srvLive.URL, pool, clients, perClient, e.seed, "")
 	close(stopFeed)
 	feedWG.Wait()
 	srvLive.Close()
@@ -359,9 +371,14 @@ func runE16(e *env) error {
 	overhead := float64(p50On)/float64(p50NT) - 1
 	fmt.Fprintf(e.out, "tracing overhead on cached hits: %+.1f%% p50 (%s traced vs %s untraced; target ≤5%%)\n",
 		100*overhead, p50On, p50NT)
+	p50Exp := explain.lat.Percentile(50)
+	expOverhead := float64(p50Exp)/float64(p50Off) - 1
+	fmt.Fprintf(e.out, "explain overhead on uncached queries: %+.1f%% p50 (%s explained vs %s plain; target ≤5%%)\n",
+		100*expOverhead, p50Exp, p50Off)
 	e.record("cacheP50SpeedupX", speedup)
 	e.record("cacheHitRate", float64(on.hits)/float64(on.reqs))
 	e.record("tracingOverheadP50Frac", overhead)
+	e.record("explainOverheadP50Frac", expOverhead)
 	e.record("shed429", shed429)
 	e.record("liveSwapStaleEvictions", live.stale)
 	if speedup < 5 {
@@ -375,6 +392,14 @@ func runE16(e *env) error {
 	// scheduler noise alone. Regressions that matter clear 25% easily.
 	if overhead > 0.25 {
 		return fmt.Errorf("tracing overhead %.0f%% p50 exceeds the 25%% hard bar", 100*overhead)
+	}
+	if explain.errs > 0 {
+		return fmt.Errorf("explain run recorded %d non-200/429 responses", explain.errs)
+	}
+	// Same generous hard bar as tracing: the counters are plain adds on
+	// work the engine does anyway, so anything past 25% is a real leak.
+	if expOverhead > 0.25 {
+		return fmt.Errorf("explain overhead %.0f%% p50 exceeds the 25%% hard bar", 100*expOverhead)
 	}
 	if shed429 == 0 {
 		return fmt.Errorf("max-inflight=1 run shed no requests")

@@ -11,6 +11,8 @@
 //	              [-rebuild-events N] [-rebuild-interval D] [-incremental-fold]
 //	              [-cache-entries N] [-max-inflight N] [-admin-addr 127.0.0.1:6060]
 //	              [-slow-query D] [-trace-ring N] [-log-format text|json]
+//	              [-slo-availability F] [-slo-p99 D] [-slo-staleness D]
+//	              [-diag-dir DIR] [-diag-interval D]
 //	              [same dataset flags]
 //	octopus query [-q "data mining"] [-k 10] [-load model.oct] [same dataset flags]
 //	octopus train [-out models/] [same dataset flags]   # EM + persist text models
@@ -53,6 +55,13 @@
 // span breakdown, and -admin-addr binds a separate operator listener
 // with net/http/pprof. serve logs are structured (-log-format json for
 // machine ingestion).
+//
+// Every query endpoint answers ?explain=1 with a per-stage engine cost
+// breakdown (bound hits, samples mixed, nodes walked). GET /api/health
+// reports ready|degraded|failing from multi-window SLO burn rates over
+// the -slo-* objectives; with -diag-dir, a crossed burn threshold
+// auto-captures a rate-limited diagnostics bundle (profiles, traces,
+// metrics) listed at GET /api/debug/diag.
 package main
 
 import (
@@ -75,6 +84,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/datagen"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/otim"
 	"octopus/internal/server"
 	"octopus/internal/store"
@@ -111,6 +121,12 @@ type options struct {
 	slowQuery time.Duration
 	traceRing int
 	logFormat string
+
+	diagDir         string
+	diagInterval    time.Duration
+	sloAvailability float64
+	sloP99          time.Duration
+	sloStaleness    time.Duration
 }
 
 func main() {
@@ -144,6 +160,11 @@ func main() {
 	fs.DurationVar(&opt.slowQuery, "slow-query", 0, "log requests slower than this with their span breakdown; 0 disables (serve)")
 	fs.IntVar(&opt.traceRing, "trace-ring", 0, "recent request traces kept for /api/debug/traces; 0 = default, negative disables tracing (serve)")
 	fs.StringVar(&opt.logFormat, "log-format", "text", "structured log encoding: text or json (serve)")
+	fs.StringVar(&opt.diagDir, "diag-dir", "", "directory for auto-captured diagnostics bundles when an SLO burn threshold is crossed; empty disables the watchdog (serve)")
+	fs.DurationVar(&opt.diagInterval, "diag-interval", 10*time.Minute, "minimum interval between diagnostics bundles (serve)")
+	fs.Float64Var(&opt.sloAvailability, "slo-availability", 0.99, "availability objective: target fraction of non-error responses (serve)")
+	fs.DurationVar(&opt.sloP99, "slo-p99", 2*time.Second, "latency objective: requests slower than this count against the p99 budget (serve)")
+	fs.DurationVar(&opt.sloStaleness, "slo-staleness", 0, "ingest-staleness objective for serve -ingest; 0 disables (serve)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -342,6 +363,13 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 		TraceRing:    opt.traceRing,
 		SlowQuery:    opt.slowQuery,
 		Logger:       logger,
+		SLO: obs.SLOConfig{
+			Availability:  opt.sloAvailability,
+			LatencyTarget: opt.sloP99,
+			Staleness:     opt.sloStaleness,
+		},
+		DiagDir:         opt.diagDir,
+		DiagMinInterval: opt.diagInterval,
 	}
 	if opt.ingest {
 		ls, err := stream.NewLiveSystem(sys, stream.Config{
@@ -417,12 +445,14 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 
 	select {
 	case err := <-errCh:
+		srv.Close()
 		if live != nil {
 			_ = live.Close()
 		}
 		return err
 	case <-ctx.Done():
 		logger.Info("shutting down")
+		srv.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if adminSrv != nil {

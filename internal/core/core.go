@@ -20,6 +20,7 @@ import (
 	"octopus/internal/em"
 	"octopus/internal/graph"
 	"octopus/internal/mia"
+	"octopus/internal/obs"
 	"octopus/internal/otim"
 	"octopus/internal/ris"
 	"octopus/internal/rng"
@@ -390,6 +391,9 @@ type DiscoverOptions struct {
 	Epsilon    float64 // ε-approximate selection (default 0 = exact)
 	UseSamples bool    // consult the topic-sample index
 	Context    context.Context
+	// Cost, when non-nil, accumulates engine work counters for the query
+	// (nil, the default, skips all accounting).
+	Cost *obs.Cost
 }
 
 // DiscoverResult is the full answer to Scenario 1.
@@ -416,6 +420,7 @@ func (s *System) DiscoverInfluencers(keywords []string, opt DiscoverOptions) (*D
 		Epsilon:    opt.Epsilon,
 		UseSamples: opt.UseSamples,
 		Context:    opt.Context,
+		Cost:       opt.Cost,
 	})
 	if err != nil {
 		return nil, err
@@ -468,6 +473,13 @@ type TargetedResult struct {
 // estimated with reverse-reachable sets rooted in the audience.
 func (s *System) DiscoverTargetedInfluencers(keywords []string, audience []graph.NodeID,
 	k, rrSamples int, seed uint64) (*TargetedResult, error) {
+	return s.DiscoverTargetedInfluencersCost(keywords, audience, k, rrSamples, seed, nil)
+}
+
+// DiscoverTargetedInfluencersCost is DiscoverTargetedInfluencers with
+// RR-sampling work accounted into cost (nil disables it).
+func (s *System) DiscoverTargetedInfluencersCost(keywords []string, audience []graph.NodeID,
+	k, rrSamples int, seed uint64, cost *obs.Cost) (*TargetedResult, error) {
 
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive")
@@ -484,7 +496,7 @@ func (s *System) DiscoverTargetedInfluencers(keywords []string, audience []graph
 		rrSamples = 20000
 	}
 	gamma, _ := s.words.InferGamma(keywords)
-	col := ris.GenerateTargeted(s.prop, gamma, audience, rrSamples, rng.New(seed))
+	col := ris.GenerateTargetedCost(s.prop, gamma, audience, rrSamples, rng.New(seed), cost)
 	seeds, spread := col.SelectSeeds(k)
 	res := &TargetedResult{Gamma: gamma, AudienceSpread: spread}
 	for _, u := range seeds {
@@ -512,10 +524,16 @@ func (s *System) SuggestKeywords(user graph.NodeID, k int, opt tags.SuggestOptio
 
 // RankUserKeywords lists a user's keywords by estimated influence.
 func (s *System) RankUserKeywords(user graph.NodeID, limit int) ([]tags.KeywordScore, error) {
+	return s.RankUserKeywordsCost(user, limit, nil)
+}
+
+// RankUserKeywordsCost is RankUserKeywords with index-work accounting
+// into cost (nil disables it).
+func (s *System) RankUserKeywordsCost(user graph.NodeID, limit int, cost *obs.Cost) ([]tags.KeywordScore, error) {
 	if int(user) < 0 || int(user) >= s.g.NumNodes() {
 		return nil, fmt.Errorf("core: user %d out of range", user)
 	}
-	return s.sugg.RankKeywords(user, limit), nil
+	return s.sugg.RankKeywordsCost(user, limit, cost), nil
 }
 
 // Radar returns the per-topic profile of one keyword with display names
@@ -571,6 +589,9 @@ type PathOptions struct {
 	Theta    float64  // prune threshold (default 0.01)
 	MaxNodes int      // cap payload size (default 200)
 	Reverse  bool     // explore who influences the user instead
+	// Cost, when non-nil, accumulates ball-walk work for the query (nil,
+	// the default, skips all accounting).
+	Cost *obs.Cost
 }
 
 // InfluencePaths implements influential path visualization and
@@ -595,6 +616,10 @@ func (s *System) InfluencePaths(user graph.NodeID, opt PathOptions) (*PathGraph,
 
 	calc := s.calcs.Get().(*mia.Calc)
 	defer s.calcs.Put(calc)
+	if opt.Cost != nil {
+		calc.SetCost(opt.Cost)
+		defer calc.SetCost(nil) // Calc returns to the pool
+	}
 	var tree *mia.Tree
 	if opt.Reverse {
 		tree = calc.MIIA(prob, user, opt.Theta, opt.MaxNodes)

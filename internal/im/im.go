@@ -13,6 +13,7 @@ import (
 
 	"octopus/internal/graph"
 	"octopus/internal/heaps"
+	"octopus/internal/obs"
 	"octopus/internal/rng"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
@@ -235,6 +236,13 @@ type CELFResult struct {
 // algorithm; it is far too slow for online use, which is the gap the
 // best-effort engine closes.
 func CELFGreedy(m *tic.Model, gamma topic.Dist, k, samples int, r *rng.Source) (*CELFResult, error) {
+	return CELFGreedyCost(m, gamma, k, samples, r, nil)
+}
+
+// CELFGreedyCost is CELFGreedy with work accounting into cost (nil
+// disables it): one SpreadEvals per Monte-Carlo spread evaluation, one
+// Cascades per simulated cascade.
+func CELFGreedyCost(m *tic.Model, gamma topic.Dist, k, samples int, r *rng.Source, cost *obs.Cost) (*CELFResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("im: k must be positive")
 	}
@@ -250,6 +258,10 @@ func CELFGreedy(m *tic.Model, gamma topic.Dist, k, samples int, r *rng.Source) (
 	res := &CELFResult{}
 	evalSeed := r.Uint64()
 	eval := func(seeds []graph.NodeID) float64 {
+		if cost != nil {
+			cost.IM.SpreadEvals++
+			cost.IM.Cascades += uint64(samples)
+		}
 		// Common random numbers across evaluations reduce comparison noise.
 		return sim.EstimateSpread(seeds, gamma, samples, rng.New(evalSeed))
 	}

@@ -23,6 +23,7 @@ import (
 
 	"octopus/internal/graph"
 	"octopus/internal/heaps"
+	"octopus/internal/obs"
 )
 
 // EdgeProb supplies the activation probability of an edge (typically a
@@ -124,6 +125,10 @@ type Calc struct {
 	// needed. Reusing the slice removes the per-build map allocation
 	// that dominated small-tree builds.
 	popAt []int32
+	// cost, when non-nil, accumulates ball-walk work (trees built, nodes
+	// popped, edges examined) for the query that owns this Calc. Set per
+	// query with SetCost and cleared afterwards — Calcs are pooled.
+	cost *obs.Cost
 }
 
 // NewCalc returns a Calc for graph g.
@@ -139,6 +144,11 @@ func NewCalc(g *graph.Graph) *Calc {
 		popAt:  make([]int32, n),
 	}
 }
+
+// SetCost directs ball-walk accounting into c's counters (nil
+// disables, the default). The cost pointer must be cleared before the
+// Calc returns to a pool.
+func (c *Calc) SetCost(cost *obs.Cost) { c.cost = cost }
 
 // MIOA builds the maximum influence out-arborescence of root: all nodes
 // reachable with max path probability ≥ theta, capped at maxNodes nodes
@@ -171,6 +181,7 @@ func (c *Calc) build(prob EdgeProb, root graph.NodeID, theta float64, maxNodes i
 	c.stamp[root] = c.epoch
 	c.heap.Push(root, 1)
 
+	var edges uint64
 	for c.heap.Len() > 0 {
 		u, p := c.heap.PopMax()
 		if p < theta {
@@ -191,17 +202,24 @@ func (c *Calc) build(prob EdgeProb, root graph.NodeID, theta float64, maxNodes i
 		}
 		if forward {
 			lo, hi := c.g.OutEdges(u)
+			edges += uint64(hi - lo)
 			for e := lo; e < hi; e++ {
 				c.relax(u, c.g.Dst(e), e, p*prob(e), theta)
 			}
 		} else {
 			lo, hi := c.g.InSlots(u)
+			edges += uint64(hi - lo)
 			for s := lo; s < hi; s++ {
 				c.relax(u, c.g.InSrc(s), c.g.InEdgeID(s), p*prob(c.g.InEdgeID(s)), theta)
 			}
 		}
 	}
 	c.heap.Clear()
+	if c.cost != nil {
+		c.cost.MIA.Trees++
+		c.cost.MIA.Nodes += uint64(len(t.Nodes))
+		c.cost.MIA.Edges += edges
+	}
 	return t
 }
 

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strconv"
+)
+
+// Cost accumulates the engine-level work performed by one query: how
+// many upper-bound evaluations the OTIM heap burned versus full exact
+// evaluations, how many nodes and edges the MIA ball walks touched,
+// how many stored polls the influencer index scanned, and how many
+// reverse-reachable or Monte-Carlo samples were mixed. A nil *Cost is
+// the disabled state — every producer guards its increments with a nil
+// check, so queries that did not ask for accounting allocate nothing
+// and pay only an untaken branch.
+//
+// Counters are plain uint64 fields incremented by exactly one
+// goroutine (the engine runs a query serially), so no atomics are
+// needed; a query that fans work out must give each worker its own
+// Cost and Merge them deterministically.
+//
+// All counted stages are deterministic for a fixed seed: the counters
+// are bit-identical across runs and across systems built with any
+// Workers setting (the build is worker-count independent, and the
+// query path is serial).
+type Cost struct {
+	OTIM OTIMCost `json:"otim"`
+	MIA  MIACost  `json:"mia"`
+	Tags TagsCost `json:"tags"`
+	RIS  RISCost  `json:"ris"`
+	IM   IMCost   `json:"im"`
+}
+
+// OTIMCost is the best-effort keyword-IM engine's ledger: the three
+// evaluation tiers of the lazy heap, its push/pop traffic, and the
+// topic-sample index consultations.
+type OTIMCost struct {
+	CheapBounds  uint64 `json:"cheapBounds"`
+	LocalBounds  uint64 `json:"localBounds"`
+	ExactEvals   uint64 `json:"exactEvals"`
+	HeapOps      uint64 `json:"heapOps"`
+	SamplesMixed uint64 `json:"samplesMixed"`
+}
+
+// MIACost counts maximum-influence-arborescence work: ball walks
+// (max-probability Dijkstras) and the nodes popped / edges relaxed
+// inside them.
+type MIACost struct {
+	Trees uint64 `json:"trees"`
+	Nodes uint64 `json:"nodes"`
+	Edges uint64 `json:"edges"`
+}
+
+// TagsCost counts influencer-index work: stored polls scanned, poll
+// trees walked (each walk re-mixes one stored sample under γ), and
+// stored coins tested against λ thresholds.
+type TagsCost struct {
+	Polls uint64 `json:"polls"`
+	Trees uint64 `json:"trees"`
+	Coins uint64 `json:"coins"`
+}
+
+// RISCost counts reverse-reachable sampling work.
+type RISCost struct {
+	Samples uint64 `json:"samples"`
+	Nodes   uint64 `json:"nodes"`
+	Edges   uint64 `json:"edges"`
+}
+
+// IMCost counts classical-baseline work: CELF spread evaluations and
+// the Monte-Carlo cascades behind them.
+type IMCost struct {
+	SpreadEvals uint64 `json:"spreadEvals"`
+	Cascades    uint64 `json:"cascades"`
+}
+
+// Merge adds d's counters into c. Both nils are tolerated.
+func (c *Cost) Merge(d *Cost) {
+	if c == nil || d == nil {
+		return
+	}
+	c.OTIM.CheapBounds += d.OTIM.CheapBounds
+	c.OTIM.LocalBounds += d.OTIM.LocalBounds
+	c.OTIM.ExactEvals += d.OTIM.ExactEvals
+	c.OTIM.HeapOps += d.OTIM.HeapOps
+	c.OTIM.SamplesMixed += d.OTIM.SamplesMixed
+	c.MIA.Trees += d.MIA.Trees
+	c.MIA.Nodes += d.MIA.Nodes
+	c.MIA.Edges += d.MIA.Edges
+	c.Tags.Polls += d.Tags.Polls
+	c.Tags.Trees += d.Tags.Trees
+	c.Tags.Coins += d.Tags.Coins
+	c.RIS.Samples += d.RIS.Samples
+	c.RIS.Nodes += d.RIS.Nodes
+	c.RIS.Edges += d.RIS.Edges
+	c.IM.SpreadEvals += d.IM.SpreadEvals
+	c.IM.Cascades += d.IM.Cascades
+}
+
+// IsZero reports whether no work was recorded.
+func (c *Cost) IsZero() bool {
+	return c == nil || *c == Cost{}
+}
+
+// NodesTouched is the total graph-node traffic of the query — the
+// cost-distribution dimension exported per endpoint by the registry.
+func (c *Cost) NodesTouched() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.MIA.Nodes + c.RIS.Nodes
+}
+
+// SamplesMixed is the total sample traffic of the query: topic-sample
+// consultations, poll-tree walks and RR/MC sample draws.
+func (c *Cost) SamplesMixed() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.OTIM.SamplesMixed + c.Tags.Trees + c.RIS.Samples + c.IM.Cascades
+}
+
+// Compact renders the non-zero counters as space-separated
+// stage.field=value pairs in a fixed order — the X-Octopus-Cost
+// response header. An all-zero cost renders as "none".
+func (c *Cost) Compact() string {
+	if c.IsZero() {
+		return "none"
+	}
+	b := make([]byte, 0, 128)
+	app := func(key string, v uint64) {
+		if v == 0 {
+			return
+		}
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, key...)
+		b = append(b, '=')
+		b = strconv.AppendUint(b, v, 10)
+	}
+	app("otim.cheap", c.OTIM.CheapBounds)
+	app("otim.local", c.OTIM.LocalBounds)
+	app("otim.exact", c.OTIM.ExactEvals)
+	app("otim.heap", c.OTIM.HeapOps)
+	app("otim.samples", c.OTIM.SamplesMixed)
+	app("mia.trees", c.MIA.Trees)
+	app("mia.nodes", c.MIA.Nodes)
+	app("mia.edges", c.MIA.Edges)
+	app("tags.polls", c.Tags.Polls)
+	app("tags.trees", c.Tags.Trees)
+	app("tags.coins", c.Tags.Coins)
+	app("ris.samples", c.RIS.Samples)
+	app("ris.nodes", c.RIS.Nodes)
+	app("ris.edges", c.RIS.Edges)
+	app("im.evals", c.IM.SpreadEvals)
+	app("im.cascades", c.IM.Cascades)
+	return string(b)
+}

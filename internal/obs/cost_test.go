@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleCost() *Cost {
+	return &Cost{
+		OTIM: OTIMCost{CheapBounds: 300, LocalBounds: 40, ExactEvals: 7, HeapOps: 350, SamplesMixed: 12},
+		MIA:  MIACost{Trees: 7, Nodes: 210, Edges: 940},
+		Tags: TagsCost{Polls: 64, Trees: 128, Coins: 4096},
+		RIS:  RISCost{Samples: 1000, Nodes: 5200, Edges: 17000},
+		IM:   IMCost{SpreadEvals: 9, Cascades: 1800},
+	}
+}
+
+func TestCostIsZero(t *testing.T) {
+	var nilCost *Cost
+	if !nilCost.IsZero() {
+		t.Error("nil cost not zero")
+	}
+	if !(&Cost{}).IsZero() {
+		t.Error("empty cost not zero")
+	}
+	if sampleCost().IsZero() {
+		t.Error("populated cost reported zero")
+	}
+}
+
+func TestCostMerge(t *testing.T) {
+	c := sampleCost()
+	c.Merge(sampleCost())
+	if c.OTIM.CheapBounds != 600 || c.MIA.Edges != 1880 || c.RIS.Samples != 2000 || c.IM.Cascades != 3600 {
+		t.Errorf("merge did not double counters: %+v", c)
+	}
+	// Nil receiver and nil argument are both no-ops, not panics.
+	var nilCost *Cost
+	nilCost.Merge(sampleCost())
+	before := *c
+	c.Merge(nil)
+	if *c != before {
+		t.Error("merging nil changed the receiver")
+	}
+}
+
+func TestCostTotals(t *testing.T) {
+	c := sampleCost()
+	if got, want := c.NodesTouched(), uint64(210+5200); got != want {
+		t.Errorf("NodesTouched = %d, want %d", got, want)
+	}
+	if got, want := c.SamplesMixed(), uint64(12+128+1000+1800); got != want {
+		t.Errorf("SamplesMixed = %d, want %d", got, want)
+	}
+	var nilCost *Cost
+	if nilCost.NodesTouched() != 0 || nilCost.SamplesMixed() != 0 {
+		t.Error("nil cost totals not zero")
+	}
+}
+
+func TestCostCompact(t *testing.T) {
+	if got := (&Cost{}).Compact(); got != "none" {
+		t.Errorf("zero cost Compact = %q, want none", got)
+	}
+	c := &Cost{
+		OTIM: OTIMCost{CheapBounds: 300, ExactEvals: 7},
+		MIA:  MIACost{Trees: 7, Nodes: 210},
+	}
+	want := "otim.cheap=300 otim.exact=7 mia.trees=7 mia.nodes=210"
+	if got := c.Compact(); got != want {
+		t.Errorf("Compact = %q, want %q", got, want)
+	}
+	// Every field renders, in the documented fixed order.
+	full := sampleCost().Compact()
+	order := []string{
+		"otim.cheap=", "otim.local=", "otim.exact=", "otim.heap=", "otim.samples=",
+		"mia.trees=", "mia.nodes=", "mia.edges=",
+		"tags.polls=", "tags.trees=", "tags.coins=",
+		"ris.samples=", "ris.nodes=", "ris.edges=",
+		"im.evals=", "im.cascades=",
+	}
+	pos := -1
+	for _, key := range order {
+		i := strings.Index(full, key)
+		if i < 0 {
+			t.Fatalf("Compact missing %q: %s", key, full)
+		}
+		if i < pos {
+			t.Fatalf("Compact out of order at %q: %s", key, full)
+		}
+		pos = i
+	}
+}
+
+func TestCostJSONShape(t *testing.T) {
+	data, err := json.Marshal(sampleCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]uint64
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("cost JSON is not two-level numeric: %v\n%s", err, data)
+	}
+	if doc["otim"]["cheapBounds"] != 300 || doc["ris"]["samples"] != 1000 || doc["im"]["cascades"] != 1800 {
+		t.Errorf("unexpected JSON values: %s", data)
+	}
+	var back Cost
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *sampleCost() {
+		t.Errorf("JSON round-trip lost fields: %+v", back)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Watchdog captures diagnostics bundles — goroutine dump, heap
+// profile, plus whatever the caller supplies (trace-ring snapshot,
+// registry dump, health report) — into a directory, at most one per
+// MinInterval. It exists so that by the time an operator looks at a
+// burning SLO, the evidence from the moment the burn crossed the
+// threshold is already on disk. A nil *Watchdog is the disabled state.
+type Watchdog struct {
+	dir string
+	min time.Duration
+	log *slog.Logger
+	now func() time.Time
+
+	mu       sync.Mutex
+	last     time.Time
+	captures uint64
+}
+
+// NewWatchdog builds a watchdog writing bundles under dir. minInterval
+// rate-limits captures (default 10m when <= 0). The directory is
+// created on first capture.
+func NewWatchdog(dir string, minInterval time.Duration, logger *slog.Logger) *Watchdog {
+	if dir == "" {
+		return nil
+	}
+	if minInterval <= 0 {
+		minInterval = 10 * time.Minute
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Watchdog{dir: dir, min: minInterval, log: logger, now: time.Now}
+}
+
+// diagMeta is the schema of a bundle's meta.json.
+type diagMeta struct {
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+}
+
+// DiagBundle describes one captured bundle for the /api/debug/diag
+// listing.
+type DiagBundle struct {
+	Name   string    `json:"name"`
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+	Files  []string  `json:"files"`
+}
+
+// Capture writes one diagnostics bundle, unless a capture happened
+// less than MinInterval ago. extras maps file names to contents and is
+// written verbatim next to the goroutine/heap profiles. It returns the
+// bundle directory and whether a bundle was written; write errors are
+// logged, never fatal — diagnostics must not take the server down.
+func (w *Watchdog) Capture(reason string, extras map[string][]byte) (string, bool) {
+	if w == nil {
+		return "", false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	if !w.last.IsZero() && now.Sub(w.last) < w.min {
+		return "", false
+	}
+	w.last = now
+	w.captures++
+	name := fmt.Sprintf("bundle-%06d-%s", w.captures, now.UTC().Format("20060102T150405Z"))
+	dir := filepath.Join(w.dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		w.log.Error("diag bundle mkdir failed", "dir", dir, "err", err)
+		return "", false
+	}
+	write := func(file string, f func(*os.File) error) {
+		fh, err := os.Create(filepath.Join(dir, file))
+		if err == nil {
+			err = f(fh)
+			if cerr := fh.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			w.log.Error("diag bundle write failed", "file", file, "err", err)
+		}
+	}
+	write("meta.json", func(f *os.File) error {
+		return json.NewEncoder(f).Encode(diagMeta{Time: now.UTC(), Reason: reason})
+	})
+	write("goroutines.txt", func(f *os.File) error {
+		return pprof.Lookup("goroutine").WriteTo(f, 1)
+	})
+	write("heap.pprof", func(f *os.File) error {
+		return pprof.Lookup("heap").WriteTo(f, 0)
+	})
+	names := make([]string, 0, len(extras))
+	for file := range extras {
+		names = append(names, file)
+	}
+	sort.Strings(names)
+	for _, file := range names {
+		data := extras[file]
+		write(file, func(f *os.File) error {
+			_, err := f.Write(data)
+			return err
+		})
+	}
+	w.log.Warn("diagnostics bundle captured", "dir", dir, "reason", reason)
+	return dir, true
+}
+
+// List enumerates captured bundles, newest first.
+func (w *Watchdog) List() []DiagBundle {
+	if w == nil {
+		return nil
+	}
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil
+	}
+	var out []DiagBundle
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		b := DiagBundle{Name: e.Name()}
+		dir := filepath.Join(w.dir, e.Name())
+		if data, err := os.ReadFile(filepath.Join(dir, "meta.json")); err == nil {
+			var m diagMeta
+			if json.Unmarshal(data, &m) == nil {
+				b.Time, b.Reason = m.Time, m.Reason
+			}
+		}
+		if files, err := os.ReadDir(dir); err == nil {
+			for _, f := range files {
+				b.Files = append(b.Files, f.Name())
+			}
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name > out[j].Name })
+	return out
+}

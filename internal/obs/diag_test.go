@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newTestWatchdog(t *testing.T, minInterval time.Duration) (*Watchdog, *testClock, string) {
+	t.Helper()
+	dir := t.TempDir()
+	w := NewWatchdog(dir, minInterval, slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	if w == nil {
+		t.Fatal("watchdog with a directory must not be nil")
+	}
+	clk := newTestClock()
+	w.now = clk.now
+	return w, clk, dir
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	if w := NewWatchdog("", time.Minute, nil); w != nil {
+		t.Fatal("empty dir must disable the watchdog")
+	}
+	var w *Watchdog
+	if dir, ok := w.Capture("x", nil); ok || dir != "" {
+		t.Error("nil watchdog captured")
+	}
+	if w.List() != nil {
+		t.Error("nil watchdog listed bundles")
+	}
+}
+
+func TestWatchdogCapture(t *testing.T) {
+	w, _, root := newTestWatchdog(t, time.Minute)
+	dir, ok := w.Capture("slo failing: availability burn", map[string][]byte{
+		"traces.json": []byte(`[]`),
+	})
+	if !ok {
+		t.Fatal("first capture refused")
+	}
+	for _, f := range []string{"meta.json", "goroutines.txt", "heap.pprof", "traces.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("bundle missing %s: %v", f, err)
+		}
+	}
+	var meta struct {
+		Reason string `json:"reason"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason != "slo failing: availability burn" {
+		t.Errorf("meta reason = %q", meta.Reason)
+	}
+	if parent := filepath.Dir(dir); parent != root {
+		t.Errorf("bundle written to %s, want under %s", dir, root)
+	}
+}
+
+func TestWatchdogRateLimit(t *testing.T) {
+	w, clk, _ := newTestWatchdog(t, time.Minute)
+	if _, ok := w.Capture("first", nil); !ok {
+		t.Fatal("first capture refused")
+	}
+	for i := 0; i < 5; i++ {
+		clk.advance(time.Second)
+		if _, ok := w.Capture("too soon", nil); ok {
+			t.Fatal("capture inside the rate-limit window")
+		}
+	}
+	clk.advance(2 * time.Minute)
+	if _, ok := w.Capture("second", nil); !ok {
+		t.Fatal("capture after the interval refused")
+	}
+	if got := len(w.List()); got != 2 {
+		t.Errorf("bundles = %d, want 2", got)
+	}
+}
+
+func TestWatchdogListNewestFirst(t *testing.T) {
+	w, clk, _ := newTestWatchdog(t, time.Minute)
+	w.Capture("one", nil)
+	clk.advance(2 * time.Minute)
+	w.Capture("two", map[string][]byte{"extra.txt": []byte("x")})
+	list := w.List()
+	if len(list) != 2 {
+		t.Fatalf("bundles = %d, want 2", len(list))
+	}
+	if list[0].Reason != "two" || list[1].Reason != "one" {
+		t.Errorf("not newest-first: %+v", list)
+	}
+	found := false
+	for _, f := range list[0].Files {
+		if f == "extra.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("extra file missing from listing: %+v", list[0].Files)
+	}
+	if list[0].Time.IsZero() {
+		t.Error("bundle time not parsed from meta.json")
+	}
+}

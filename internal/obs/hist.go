@@ -43,17 +43,25 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ns := uint64(d.Nanoseconds())
+	h.ObserveValue(uint64(d.Nanoseconds()))
+}
+
+// ObserveValue records one raw value. The bucket layout is unit-less —
+// powers of two of whatever the caller observes — so the same type
+// serves nanosecond latencies (Observe, rendered in seconds by
+// MetricWriter.Histogram) and dimensionless counts such as per-query
+// cost counters (rendered raw by MetricWriter.CountHistogram).
+func (h *Histogram) ObserveValue(v uint64) {
 	h.mu.Lock()
-	if h.count == 0 || ns < h.minNs {
-		h.minNs = ns
+	if h.count == 0 || v < h.minNs {
+		h.minNs = v
 	}
-	if ns > h.maxNs {
-		h.maxNs = ns
+	if v > h.maxNs {
+		h.maxNs = v
 	}
 	h.count++
-	h.sumNs += ns
-	h.buckets[histBucket(ns)]++
+	h.sumNs += v
+	h.buckets[histBucket(v)]++
 	h.mu.Unlock()
 }
 

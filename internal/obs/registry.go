@@ -151,6 +151,36 @@ func (w *MetricWriter) Histogram(name, help string, snap HistSnapshot, labels ..
 	)
 }
 
+// CountHistogram writes one histogram series from a snapshot of raw
+// (dimensionless) observations — per-query cost counters rather than
+// durations. Unlike Histogram, bucket edges and the sum stay in raw
+// units; everything else (cumulative le buckets up to the top
+// populated one, +Inf, _sum, _count) matches.
+func (w *MetricWriter) CountHistogram(name, help string, snap HistSnapshot, labels ...string) {
+	f := w.fam(name, help, typeHistogram)
+	top := -1
+	for b, n := range snap.Buckets {
+		if n != 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= top && b < HistBuckets-1; b++ {
+		cum += snap.Buckets[b]
+		le := float64(uint64(1) << (b + 1))
+		f.samples = append(f.samples, sample{
+			suffix: "_bucket",
+			labels: renderLabels(append(labels, "le", formatFloat(le))),
+			value:  float64(cum),
+		})
+	}
+	f.samples = append(f.samples,
+		sample{suffix: "_bucket", labels: renderLabels(append(labels, "le", "+Inf")), value: float64(snap.Count)},
+		sample{suffix: "_sum", labels: renderLabels(labels), value: float64(snap.SumNs)},
+		sample{suffix: "_count", labels: renderLabels(labels), value: float64(snap.Count)},
+	)
+}
+
 // renderLabels renders alternating key, value pairs as `{k="v",...}`.
 // A dangling key is dropped rather than emitting invalid exposition.
 func renderLabels(kv []string) string {

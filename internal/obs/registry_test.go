@@ -117,6 +117,54 @@ func TestRuntimeCollector(t *testing.T) {
 	}
 }
 
+// TestCountHistogramExposition covers the raw-unit histogram writer the
+// per-endpoint cost distributions use: bucket edges and _sum must be in
+// counts, not seconds, and the output must parse as a valid histogram.
+func TestCountHistogramExposition(t *testing.T) {
+	var h Histogram
+	h.ObserveValue(3)
+	h.ObserveValue(100)
+	h.ObserveValue(5000)
+	r := NewRegistry()
+	r.RegisterFunc(func(w *MetricWriter) {
+		w.CountHistogram("octopus_test_nodes_touched", "Nodes per query.", h.Snapshot(), "endpoint", "im")
+	})
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(buf.String())
+	if err != nil {
+		t.Fatalf("count-histogram exposition does not parse: %v\n%s", err, buf.String())
+	}
+	fam := fams[0]
+	if fam.Type != "histogram" {
+		t.Fatalf("family type = %q, want histogram", fam.Type)
+	}
+	var sum, count float64
+	covered := false
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case "octopus_test_nodes_touched_sum":
+			sum = s.Value
+		case "octopus_test_nodes_touched_count":
+			count = s.Value
+		case "octopus_test_nodes_touched_bucket":
+			// Raw units: an edge of 4 (not 4e-9s) must already cover the
+			// first observation.
+			if s.Labels["le"] == "4" && s.Value >= 1 {
+				covered = true
+			}
+		}
+	}
+	if sum != 5103 || count != 3 {
+		t.Errorf("sum = %g count = %g, want raw 5103 and 3", sum, count)
+	}
+	if !covered {
+		t.Errorf("no raw-unit bucket edge 4 covering the first sample:\n%s", buf.String())
+	}
+}
+
 func TestParseExpositionRejects(t *testing.T) {
 	cases := map[string]string{
 		"sample without TYPE":   "orphan_metric 1\n",

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an injectable, manually advanced time source.
+type testClock struct{ t time.Time }
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker(cfg SLOConfig) (*SLOTracker, *testClock) {
+	tr := NewSLOTracker(cfg)
+	clk := newTestClock()
+	tr.now = clk.now
+	return tr, clk
+}
+
+func objByName(t *testing.T, rep SLOReport, name string) ObjectiveReport {
+	t.Helper()
+	for _, o := range rep.Objectives {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("objective %q missing from report %+v", name, rep)
+	return ObjectiveReport{}
+}
+
+func TestSLODefaults(t *testing.T) {
+	cfg := SLOConfig{}.fill()
+	if cfg.Availability != 0.99 || cfg.LatencyTarget != 2*time.Second ||
+		cfg.LatencyQuantile != 0.99 || cfg.ShortWindow != 5*time.Minute ||
+		cfg.LongWindow != time.Hour || cfg.BurnThreshold != 2 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	var nilTracker *SLOTracker
+	nilTracker.Observe(500, time.Second) // must not panic
+	if rep := nilTracker.Report(0); rep.State != StateReady {
+		t.Errorf("nil tracker state = %q, want ready", rep.State)
+	}
+}
+
+func TestSLOReadyUnderCleanTraffic(t *testing.T) {
+	tr, clk := newTestTracker(SLOConfig{})
+	for i := 0; i < 1000; i++ {
+		tr.Observe(200, 5*time.Millisecond)
+		clk.advance(time.Millisecond)
+	}
+	rep := tr.Report(0)
+	if rep.State != StateReady {
+		t.Fatalf("state = %q, want ready: %+v", rep.State, rep)
+	}
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("static config should report 2 objectives, got %+v", rep.Objectives)
+	}
+	if got := burnFor(rep, "availability", 0); got != 0 {
+		t.Errorf("availability burn = %g, want 0", got)
+	}
+}
+
+func burnFor(rep SLOReport, name string, window int) float64 {
+	for _, o := range rep.Objectives {
+		if o.Name == name {
+			return o.Windows[window].BurnRate
+		}
+	}
+	return -1
+}
+
+// TestSLOBurnTransitions drives the tracker through ready → degraded →
+// failing and back toward ready as the short window forgets the burn.
+func TestSLOBurnTransitions(t *testing.T) {
+	tr, clk := newTestTracker(SLOConfig{
+		Availability: 0.9, // 10% error budget
+		ShortWindow:  time.Minute,
+		LongWindow:   time.Hour,
+	})
+
+	// Phase 1: an hour of clean traffic fills the long window.
+	for i := 0; i < 3600; i++ {
+		tr.Observe(200, time.Millisecond)
+		clk.advance(time.Second)
+	}
+	if rep := tr.Report(0); rep.State != StateReady {
+		t.Fatalf("after clean hour: state = %q, want ready", rep.State)
+	}
+
+	// Phase 2: one minute of 50% errors. Short-window burn = 0.5/0.1 = 5
+	// ≥ threshold 2; the long window still dilutes it below threshold →
+	// degraded, with a machine-readable reason.
+	for i := 0; i < 60; i++ {
+		status := 200
+		if i%2 == 0 {
+			status = 500
+		}
+		tr.Observe(status, time.Millisecond)
+		clk.advance(time.Second)
+	}
+	rep := tr.Report(0)
+	if rep.State != StateDegraded {
+		t.Fatalf("after short burn: state = %q, want degraded: %+v", rep.State, rep)
+	}
+	avail := objByName(t, rep, "availability")
+	if avail.State != StateDegraded || avail.Reason == "" {
+		t.Errorf("availability objective = %+v, want degraded with reason", avail)
+	}
+
+	// Phase 3: sustained total outage. Both windows burn → failing.
+	tr2, clk2 := newTestTracker(SLOConfig{
+		Availability: 0.9,
+		ShortWindow:  time.Minute,
+		LongWindow:   2 * time.Minute,
+	})
+	for i := 0; i < 240; i++ {
+		tr2.Observe(503, time.Millisecond)
+		clk2.advance(time.Second)
+	}
+	rep2 := tr2.Report(0)
+	if rep2.State != StateFailing {
+		t.Fatalf("under outage: state = %q, want failing: %+v", rep2.State, rep2)
+	}
+
+	// Phase 4: recovery. Clean traffic long enough for both windows to
+	// roll the outage out again.
+	for i := 0; i < 300; i++ {
+		tr2.Observe(200, time.Millisecond)
+		clk2.advance(time.Second)
+	}
+	if rep := tr2.Report(0); rep.State != StateReady {
+		t.Fatalf("after recovery: state = %q, want ready: %+v", rep.State, rep)
+	}
+}
+
+func TestSLOShedCountsAgainstAvailability(t *testing.T) {
+	tr, clk := newTestTracker(SLOConfig{Availability: 0.9, ShortWindow: time.Minute, LongWindow: time.Minute})
+	for i := 0; i < 100; i++ {
+		tr.Observe(429, time.Millisecond)
+		clk.advance(100 * time.Millisecond)
+	}
+	if rep := tr.Report(0); rep.State != StateFailing {
+		t.Errorf("sustained shedding state = %q, want failing", rep.State)
+	}
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	tr, clk := newTestTracker(SLOConfig{
+		LatencyTarget:   10 * time.Millisecond,
+		LatencyQuantile: 0.9, // 10% slow budget
+		ShortWindow:     time.Minute,
+		LongWindow:      time.Minute,
+	})
+	// 50% of requests slower than target → burn 5 ≥ 2 on both windows.
+	for i := 0; i < 100; i++ {
+		d := time.Millisecond
+		if i%2 == 0 {
+			d = 50 * time.Millisecond
+		}
+		tr.Observe(200, d)
+		clk.advance(100 * time.Millisecond)
+	}
+	rep := tr.Report(0)
+	lat := objByName(t, rep, "latency_p99")
+	if lat.State != StateFailing {
+		t.Errorf("latency objective = %+v, want failing", lat)
+	}
+	avail := objByName(t, rep, "availability")
+	if avail.State != StateReady {
+		t.Errorf("availability objective = %+v, want ready (no errors)", avail)
+	}
+}
+
+func TestSLOStalenessObjective(t *testing.T) {
+	tr, _ := newTestTracker(SLOConfig{Staleness: 30 * time.Second})
+	rep := tr.Report(5 * time.Second)
+	if len(rep.Objectives) != 3 {
+		t.Fatalf("staleness config should report 3 objectives, got %d", len(rep.Objectives))
+	}
+	if st := objByName(t, rep, "ingest_staleness"); st.State != StateReady {
+		t.Errorf("fresh ingest = %+v, want ready", st)
+	}
+	// Staleness at 2× the objective burns at rate 2 on both windows.
+	rep = tr.Report(60 * time.Second)
+	st := objByName(t, rep, "ingest_staleness")
+	if st.State != StateFailing {
+		t.Errorf("stale ingest = %+v, want failing", st)
+	}
+	if rep.State != StateFailing {
+		t.Errorf("report state = %q, want failing", rep.State)
+	}
+}
+
+func TestSLOWindowForgets(t *testing.T) {
+	tr, clk := newTestTracker(SLOConfig{Availability: 0.9, ShortWindow: time.Minute, LongWindow: time.Minute})
+	for i := 0; i < 50; i++ {
+		tr.Observe(500, time.Millisecond)
+	}
+	if rep := tr.Report(0); rep.State == StateReady {
+		t.Fatal("burst of errors did not register")
+	}
+	// Two full window widths later the ring has forgotten the burst.
+	clk.advance(2 * time.Minute)
+	rep := tr.Report(0)
+	if rep.State != StateReady {
+		t.Errorf("state after window rolled = %q, want ready: %+v", rep.State, rep)
+	}
+	if got := burnFor(rep, "availability", 0); got != 0 {
+		t.Errorf("availability burn after roll = %g, want 0", got)
+	}
+}
+
+func TestSLOObserveAllocationFree(t *testing.T) {
+	tr, _ := newTestTracker(SLOConfig{})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Observe(200, time.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}

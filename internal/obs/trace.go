@@ -10,11 +10,14 @@ import (
 )
 
 // Span is one timed stage inside a request trace. Offsets are relative
-// to the trace start, so a span tree renders without clock math.
+// to the trace start, so a span tree renders without clock math. The
+// engine span additionally carries the query's cost counters when the
+// request accounted for them.
 type Span struct {
 	Name           string  `json:"name"`
 	OffsetMicros   float64 `json:"offsetMicros"`
 	DurationMicros float64 `json:"durationMicros"`
+	Cost           *Cost   `json:"cost,omitempty"`
 }
 
 // Trace is one completed request: what /api/debug/traces serves and
@@ -182,6 +185,17 @@ func (a *ActiveTrace) Span(name string) func() {
 	return func() {
 		a.spans[i].DurationMicros = float64(time.Since(t0).Nanoseconds()) / 1e3
 	}
+}
+
+// AttachCost hangs the query's cost counters on the most recently
+// opened span (the engine span on the serving path). The pointer is
+// retained by the published trace, so callers must not reuse the Cost
+// for another request.
+func (a *ActiveTrace) AttachCost(c *Cost) {
+	if a == nil || c == nil || a.nspans == 0 {
+		return
+	}
+	a.spans[a.nspans-1].Cost = c
 }
 
 // SetGeneration records the snapshot generation the request was pinned

@@ -8,6 +8,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/heaps"
 	"octopus/internal/mia"
+	"octopus/internal/obs"
 	"octopus/internal/rng"
 	"octopus/internal/topic"
 )
@@ -73,6 +74,10 @@ type QueryOptions struct {
 	SampleTolerance float64
 	// Context cancels long queries between refinement steps.
 	Context context.Context
+	// Cost, when non-nil, accumulates the query's engine work (bound
+	// tiers, heap traffic, sample consultations, and — through the MIA
+	// calculator — ball-walk nodes/edges). Nil skips all accounting.
+	Cost *obs.Cost
 }
 
 func (o *QueryOptions) fill() error {
@@ -198,11 +203,19 @@ func (e *Engine) Query(gamma topic.Dist, opt QueryOptions) (*Result, error) {
 			opt.Theta, e.ix.thetaPre)
 	}
 	res := &Result{Stats: Stats{SampleDist: -1}}
+	if opt.Cost != nil {
+		e.calc.SetCost(opt.Cost)
+		defer e.calc.SetCost(nil)
+	}
 
 	// Topic-sample fast path.
 	if opt.UseSamples && len(e.ix.samples) > 0 {
 		si, dist := e.ix.NearestSample(gamma)
 		res.Stats.SampleDist = dist
+		if opt.Cost != nil {
+			// NearestSample scans every stored sample mixture.
+			opt.Cost.OTIM.SamplesMixed += uint64(len(e.ix.samples))
+		}
 		if si >= 0 && dist <= opt.SampleTolerance && len(e.ix.samples[si].Seeds) >= opt.K {
 			s := e.ix.samples[si]
 			res.Stats.SampleHit = true
@@ -247,6 +260,18 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 	z := m.NumTopics()
 	prob := func(ed graph.EdgeID) float64 { return m.EdgeProb(ed, gamma) }
 
+	var heapOps uint64
+	if opt.Cost != nil {
+		// The tier counters land in res.Stats as the loop runs; fold the
+		// final values into the accumulator on every exit path.
+		defer func() {
+			opt.Cost.OTIM.CheapBounds += uint64(res.Stats.CheapBounds)
+			opt.Cost.OTIM.LocalBounds += uint64(res.Stats.LocalBounds)
+			opt.Cost.OTIM.ExactEvals += uint64(res.Stats.ExactEvals)
+			opt.Cost.OTIM.HeapOps += heapOps
+		}()
+	}
+
 	e.curGen++
 	if e.curGen == 0 {
 		for i := range e.tierGen {
@@ -276,6 +301,7 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 		}
 		h.Push(heaps.Item{ID: int32(u), Key: 1 + ub, Round: pack(0, tierCheap)})
 	}
+	heapOps += uint64(n)
 	res.Stats.CheapBounds = n
 
 	cover := mia.NewCover()
@@ -323,6 +349,7 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 			return // cancelled: return seeds found so far
 		}
 		top := h.Pop()
+		heapOps++
 		if top.Key < minPopped {
 			minPopped = top.Key
 		}
@@ -335,7 +362,8 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 		// dominates (1−ε)·(best remaining upper bound).
 		if opt.Epsilon > 0 && bestFreshID >= 0 && bestFreshID != top.ID &&
 			bestFreshGain >= (1-opt.Epsilon)*top.Key {
-			h.Push(top)                   // put the candidate back
+			h.Push(top) // put the candidate back
+			heapOps++
 			res.Stats.SelectionTie = true // ε picks are order-, not value-determined
 			selectSeed(bestFreshID, bestFreshGain, bestFreshTree)
 			continue
@@ -358,6 +386,7 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 				bestFreshID, bestFreshGain, bestFreshTree = top.ID, gain, tree
 			}
 			h.Push(heaps.Item{ID: top.ID, Key: gain, Round: pack(round, tierExact)})
+			heapOps++
 
 		case topTier == tierCheap && !opt.SkipLocalBound:
 			ub := e.localBound(gamma, top.ID)
@@ -366,6 +395,7 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 				ub = top.Key // bounds only tighten
 			}
 			h.Push(heaps.Item{ID: top.ID, Key: ub, Round: pack(round, tierLocal)})
+			heapOps++
 			e.markTier(top.ID, tierLocal)
 
 		default: // cheap (skipping local) or local: escalate to exact
@@ -376,6 +406,7 @@ func (e *Engine) bestEffort(gamma topic.Dist, opt QueryOptions, res *Result) {
 				bestFreshID, bestFreshGain, bestFreshTree = top.ID, gain, tree
 			}
 			h.Push(heaps.Item{ID: top.ID, Key: gain, Round: pack(round, tierExact)})
+			heapOps++
 			e.markTier(top.ID, tierExact)
 		}
 	}

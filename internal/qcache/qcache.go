@@ -364,13 +364,18 @@ func (m *Metrics) RetryAfterSeconds(endpoint string) int {
 
 // EndpointSnapshot is the JSON-ready per-endpoint report.
 type EndpointSnapshot struct {
-	Count     uint64  `json:"count"`
-	Errors    uint64  `json:"errors"`
-	Hits      uint64  `json:"cacheHits"`
-	Misses    uint64  `json:"cacheMisses"`
-	Stale     uint64  `json:"cacheStale"`
-	Coalesced uint64  `json:"coalesced"`
-	Shed      uint64  `json:"shed"`
+	Count     uint64 `json:"count"`
+	Errors    uint64 `json:"errors"`
+	Hits      uint64 `json:"cacheHits"`
+	Misses    uint64 `json:"cacheMisses"`
+	Stale     uint64 `json:"cacheStale"`
+	Coalesced uint64 `json:"coalesced"`
+	Shed      uint64 `json:"shed"`
+	// HitRatio and ShedRatio are derived directly (hits/count and
+	// shed/count, 0 when no requests were seen), so dashboards don't
+	// re-divide raw counters.
+	HitRatio  float64 `json:"cacheHitRatio"`
+	ShedRatio float64 `json:"shedRatio"`
 	MeanMs    float64 `json:"meanMillis"`
 	P50Ms     float64 `json:"p50Millis"`
 	P99Ms     float64 `json:"p99Millis"`
@@ -379,10 +384,14 @@ type EndpointSnapshot struct {
 
 // Snapshot is the JSON-ready full metrics report.
 type Snapshot struct {
-	UptimeSeconds float64                     `json:"uptimeSeconds"`
-	Requests      uint64                      `json:"requests"`
-	Shed          uint64                      `json:"shed"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Requests      uint64  `json:"requests"`
+	Shed          uint64  `json:"shed"`
+	// HitRatio and ShedRatio aggregate across all endpoints (0 when no
+	// requests were seen).
+	HitRatio  float64                     `json:"cacheHitRatio"`
+	ShedRatio float64                     `json:"shedRatio"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 	// EndpointNames lists the endpoints sorted, so renderers have a
 	// stable iteration order.
 	EndpointNames []string `json:"endpointNames"`
@@ -412,11 +421,20 @@ func (m *Metrics) Report() Snapshot {
 		}
 		if s.count > 0 {
 			ep.MeanMs = float64(lat.SumNs) / float64(s.count) / 1e6
+			ep.HitRatio = float64(s.hits) / float64(s.count)
+			ep.ShedRatio = float64(s.shed) / float64(s.count)
 		}
 		out.Endpoints[name] = ep
 		out.EndpointNames = append(out.EndpointNames, name)
 		out.Requests += s.count
 		out.Shed += s.shed
+		out.HitRatio += float64(s.hits)
+	}
+	if out.Requests > 0 {
+		out.HitRatio /= float64(out.Requests)
+		out.ShedRatio = float64(out.Shed) / float64(out.Requests)
+	} else {
+		out.HitRatio = 0
 	}
 	sort.Strings(out.EndpointNames)
 	return out

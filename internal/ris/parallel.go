@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/rng"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
@@ -52,12 +53,20 @@ func GenerateParallel(m *tic.Model, gamma topic.Dist, count, workers int, seed u
 // users scaled by |targets| instead of n.
 func GenerateTargeted(m *tic.Model, gamma topic.Dist, targets []graph.NodeID,
 	count int, r *rng.Source) *Collection {
+	return GenerateTargetedCost(m, gamma, targets, count, r, nil)
+}
+
+// GenerateTargetedCost is GenerateTargeted with sampling-work accounting
+// into cost (nil disables it).
+func GenerateTargetedCost(m *tic.Model, gamma topic.Dist, targets []graph.NodeID,
+	count int, r *rng.Source, cost *obs.Cost) *Collection {
 
 	if len(targets) == 0 {
 		return &Collection{n: 0, scale: 0}
 	}
 	g := m.Graph()
 	s := newSampler(g)
+	s.cost = cost
 	prob := func(e graph.EdgeID) float64 { return m.EdgeProb(e, gamma) }
 	c := &Collection{n: g.NumNodes(), scale: len(targets), sets: make([][]graph.NodeID, 0, count)}
 	for i := 0; i < count; i++ {

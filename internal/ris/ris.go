@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/rng"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
@@ -60,6 +61,9 @@ type sampler struct {
 	stamp []uint32
 	epoch uint32
 	queue []graph.NodeID
+	// cost, when non-nil, accumulates sampling work (RR sets grown,
+	// nodes reached, in-edges examined).
+	cost *obs.Cost
 }
 
 func newSampler(g *graph.Graph) *sampler {
@@ -79,9 +83,11 @@ func (s *sampler) sampleRR(root graph.NodeID, prob func(graph.EdgeID) float64, r
 	q := s.queue[:0]
 	s.stamp[root] = s.epoch
 	q = append(q, root)
+	var edges uint64
 	for i := 0; i < len(q); i++ {
 		v := q[i]
 		lo, hi := s.g.InSlots(v)
+		edges += uint64(hi - lo)
 		for slot := lo; slot < hi; slot++ {
 			u := s.g.InSrc(slot)
 			if s.stamp[u] == s.epoch {
@@ -94,6 +100,11 @@ func (s *sampler) sampleRR(root graph.NodeID, prob func(graph.EdgeID) float64, r
 		}
 	}
 	s.queue = q
+	if s.cost != nil {
+		s.cost.RIS.Samples++
+		s.cost.RIS.Nodes += uint64(len(q))
+		s.cost.RIS.Edges += edges
+	}
 	out := make([]graph.NodeID, len(q))
 	copy(out, q)
 	return out

@@ -162,6 +162,36 @@ func conformanceCases() []confCase {
 		{name: "prom metrics ok", method: "GET", path: confPath("/metrics"), want: 200},
 		{name: "prom metrics 405", method: "POST", path: confPath("/metrics"), want: 405, allow: "GET"},
 
+		// ---- ?explain=1 cost accounting (every read endpoint) ----
+		{name: "im explain ok", method: "GET",
+			path: func(s *core.System) string { return "/api/im?q=" + kw(s) + "&k=3&explain=1" },
+			want: 200, keys: []string{"result", "cost"}},
+		{name: "im explain off is plain", method: "GET",
+			path: func(s *core.System) string { return "/api/im?q=" + kw(s) + "&k=3&explain=0" },
+			want: 200, keys: []string{"query", "gamma", "seeds"}},
+		{name: "im malformed explain", method: "GET",
+			path: func(s *core.System) string { return "/api/im?q=" + kw(s) + "&explain=yes" },
+			want: 400, errSub: "explain"},
+		{name: "suggest explain ok", method: "GET",
+			path: func(s *core.System) string { return "/api/suggest?user=" + user(s) + "&k=2&explain=1" },
+			want: 200, keys: []string{"result", "cost"}},
+		{name: "paths explain ok", method: "GET",
+			path: func(s *core.System) string { return "/api/paths?user=" + hub(s) + "&explain=1" },
+			want: 200, keys: []string{"result", "cost"}},
+		{name: "paths malformed explain", method: "GET",
+			path: func(s *core.System) string { return "/api/paths?user=" + hub(s) + "&explain=2" },
+			want: 400, errSub: "explain"},
+
+		// ---- /api/health ----
+		{name: "health ok", method: "GET", path: confPath("/api/health"), want: 200,
+			keys: []string{"state", "generation", "burnThreshold", "reasons", "objectives"}},
+		{name: "health 405", method: "POST", path: confPath("/api/health"), want: 405, allow: "GET"},
+
+		// ---- /api/debug/diag ----
+		{name: "diag ok", method: "GET", path: confPath("/api/debug/diag"), want: 200,
+			keys: []string{"bundles"}},
+		{name: "diag 405", method: "DELETE", path: confPath("/api/debug/diag"), want: 405, allow: "GET"},
+
 		// ---- /api/debug/traces ----
 		{name: "traces ok", method: "GET", path: confPath("/api/debug/traces"), want: 200,
 			keys: []string{"traces"}},
@@ -322,7 +352,7 @@ func TestConformanceCasesCoverEveryRoute(t *testing.T) {
 		"/api/status", "/api/im", "/api/suggest", "/api/keywords", "/api/radar",
 		"/api/paths", "/api/complete", "/api/metrics", "/api/batch", "/api/im/targeted",
 		"/api/ingest/actions", "/api/ingest/edges", "/api/ingest/stats",
-		"/metrics", "/api/debug/traces", "/",
+		"/metrics", "/api/health", "/api/debug/traces", "/api/debug/diag", "/",
 	} {
 		if !covered[route] {
 			t.Errorf("route %s has no conformance cases", route)

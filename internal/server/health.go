@@ -1,0 +1,146 @@
+// health.go is the server's SLO surface: GET /api/health reports
+// ready | degraded | failing from multi-window burn rates over the
+// serving objectives (availability, p99 latency, ingest staleness),
+// and a diagnostics watchdog captures a rate-limited bundle (goroutine
+// + heap profiles, recent traces, a registry dump) into Options.DiagDir
+// whenever a burn threshold is crossed. GET /api/debug/diag lists the
+// captured bundles.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"octopus/internal/obs"
+)
+
+// watchdogPoll is how often the background watchdog re-evaluates the
+// SLO report when a diagnostics directory is configured.
+const watchdogPoll = 15 * time.Second
+
+// healthResponse is the GET /api/health payload. Reasons is the
+// machine-readable list of every objective currently burning.
+type healthResponse struct {
+	State           string                `json:"state"`
+	Generation      uint64                `json:"generation"`
+	StalenessMillis float64               `json:"stalenessMillis"`
+	CacheHitRatio   float64               `json:"cacheHitRatio"`
+	ShedRatio       float64               `json:"shedRatio"`
+	BurnThreshold   float64               `json:"burnThreshold"`
+	Reasons         []string              `json:"reasons"`
+	Objectives      []obs.ObjectiveReport `json:"objectives"`
+}
+
+// staleness returns the ingest staleness of a live server (0 on a
+// static one, where snapshots cannot age).
+func (s *Server) staleness() time.Duration {
+	if s.live == nil {
+		return 0
+	}
+	return s.live.Staleness()
+}
+
+// handleHealth reports the SLO state. ready and degraded answer 200 so
+// load balancers keep routing while one window burns; failing answers
+// 503. A non-ready state also triggers the (rate-limited) diagnostics
+// watchdog, so the first probe that sees a burn captures the evidence.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	_, gen := s.snap()
+	stale := s.staleness()
+	rep := s.slo.Report(stale)
+	m := s.metrics.Report()
+	resp := healthResponse{
+		State:           rep.State,
+		Generation:      gen,
+		StalenessMillis: float64(stale) / 1e6,
+		CacheHitRatio:   m.HitRatio,
+		ShedRatio:       m.ShedRatio,
+		BurnThreshold:   rep.BurnThreshold,
+		Reasons:         burnReasons(rep),
+		Objectives:      rep.Objectives,
+	}
+	if rep.State != obs.StateReady {
+		s.captureDiag("slo " + rep.State + ": " + strings.Join(resp.Reasons, "; "))
+	}
+	status := http.StatusOK
+	if rep.State == obs.StateFailing {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// burnReasons lists every non-ready objective's reason. Always
+// non-nil, so the JSON field is [] rather than null when healthy.
+func burnReasons(rep obs.SLOReport) []string {
+	reasons := []string{}
+	for _, o := range rep.Objectives {
+		if o.State != obs.StateReady && o.Reason != "" {
+			reasons = append(reasons, o.Reason)
+		}
+	}
+	return reasons
+}
+
+// captureDiag asks the watchdog for a bundle, attaching the trace ring
+// and a registry dump to the runtime profiles it captures itself. The
+// watchdog rate-limits internally, so callers fire on every trigger.
+func (s *Server) captureDiag(reason string) {
+	if s.watchdog == nil {
+		return
+	}
+	extras := make(map[string][]byte, 2)
+	if s.tracer != nil {
+		if tj, err := json.MarshalIndent(s.tracer.Recent(0), "", "  "); err == nil {
+			extras["traces.json"] = tj
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.registry.WritePrometheus(&buf); err == nil {
+		extras["metrics.prom"] = buf.Bytes()
+	}
+	s.watchdog.Capture(reason, extras)
+}
+
+// watchLoop is the background half of the watchdog: even with no
+// health probes hitting the server, a sustained burn still produces a
+// bundle. Runs only when a diagnostics directory is configured; stops
+// at Close.
+func (s *Server) watchLoop() {
+	t := time.NewTicker(watchdogPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			rep := s.slo.Report(s.staleness())
+			if rep.State != obs.StateReady {
+				s.captureDiag("slo " + rep.State + ": " + strings.Join(burnReasons(rep), "; "))
+			}
+		}
+	}
+}
+
+// Close stops the server's background goroutines (the watchdog loop).
+// Safe to call multiple times and on servers that never started any.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+type diagResponse struct {
+	Bundles []obs.DiagBundle `json:"bundles"`
+}
+
+// handleDiag lists captured diagnostics bundles, newest first. An
+// empty list (no watchdog configured, or nothing captured yet) is a
+// normal 200.
+func (s *Server) handleDiag(w http.ResponseWriter, r *http.Request) {
+	resp := diagResponse{Bundles: []obs.DiagBundle{}}
+	if s.watchdog != nil {
+		resp.Bundles = s.watchdog.List()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"octopus/internal/obs"
+)
+
+func TestHealthReadyByDefault(t *testing.T) {
+	s, _ := freshServer(t, Options{})
+	rec, body := get(t, s, "/api/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["state"] != "ready" {
+		t.Fatalf("state = %v, want ready: %s", body["state"], rec.Body.String())
+	}
+	if reasons, ok := body["reasons"].([]any); !ok || len(reasons) != 0 {
+		t.Errorf("reasons = %v, want empty list", body["reasons"])
+	}
+	objs, ok := body["objectives"].([]any)
+	if !ok || len(objs) != 2 {
+		t.Fatalf("static server should report 2 objectives: %v", body["objectives"])
+	}
+}
+
+// burnSLO feeds the tracker enough synthetic errors that both windows
+// burn far past any threshold.
+func burnSLO(s *Server) {
+	for i := 0; i < 200; i++ {
+		s.slo.Observe(http.StatusInternalServerError, time.Millisecond)
+	}
+}
+
+// TestHealthBurnCapturesOneBundle drives ready → failing under a forced
+// availability burn and asserts the watchdog captures exactly one
+// rate-limited diagnostics bundle however many probes see the burn.
+func TestHealthBurnCapturesOneBundle(t *testing.T) {
+	diagDir := t.TempDir()
+	s, _ := freshServer(t, Options{
+		SLO:             obs.SLOConfig{Availability: 0.9, ShortWindow: time.Minute, LongWindow: time.Minute},
+		DiagDir:         diagDir,
+		DiagMinInterval: time.Hour,
+	})
+	defer s.Close()
+
+	rec, body := get(t, s, "/api/health")
+	if rec.Code != http.StatusOK || body["state"] != "ready" {
+		t.Fatalf("pre-burn health = %d %v", rec.Code, body["state"])
+	}
+	if entries, _ := os.ReadDir(diagDir); len(entries) != 0 {
+		t.Fatalf("bundle captured before any burn: %v", entries)
+	}
+
+	burnSLO(s)
+	for i := 0; i < 3; i++ {
+		rec, body = get(t, s, "/api/health")
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("probe %d under burn: status = %d, want 503", i, rec.Code)
+		}
+		if body["state"] != "failing" {
+			t.Fatalf("state = %v, want failing", body["state"])
+		}
+		reasons := body["reasons"].([]any)
+		if len(reasons) == 0 {
+			t.Fatal("failing state with no reasons")
+		}
+	}
+	entries, err := os.ReadDir(diagDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("bundles after repeated probes = %d, want exactly 1 (rate limit)", len(entries))
+	}
+
+	// The listing endpoint reports it, with the burn reason and the
+	// profile files the watchdog wrote.
+	drec, _ := get(t, s, "/api/debug/diag")
+	var listing struct {
+		Bundles []obs.DiagBundle `json:"bundles"`
+	}
+	if err := json.Unmarshal(drec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Bundles) != 1 {
+		t.Fatalf("diag listing = %+v, want 1 bundle", listing.Bundles)
+	}
+	b := listing.Bundles[0]
+	if b.Reason == "" || b.Name != entries[0].Name() {
+		t.Errorf("bundle listing = %+v", b)
+	}
+	files := map[string]bool{}
+	for _, f := range b.Files {
+		files[f] = true
+	}
+	for _, want := range []string{"meta.json", "goroutines.txt", "heap.pprof", "traces.json", "metrics.prom"} {
+		if !files[want] {
+			t.Errorf("bundle missing %s (files: %v)", want, b.Files)
+		}
+	}
+}
+
+// TestHealthDegradedWhenOneWindowBurns: a short-window burn over a
+// diluting long history degrades without failing, and /api/health stays
+// 200 so load balancers keep routing while only one window burns.
+func TestHealthDegradedWhenOneWindowBurns(t *testing.T) {
+	s, _ := freshServer(t, Options{
+		SLO: obs.SLOConfig{Availability: 0.9, ShortWindow: time.Second, LongWindow: time.Hour},
+	})
+	// A clean history, then a real second and a half so it ages out of
+	// the 1s short window (the long window keeps it for an hour)...
+	for i := 0; i < 4000; i++ {
+		s.slo.Observe(http.StatusOK, time.Millisecond)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	// ...then a burst of errors: the short window is now 100% errors
+	// (burn 10 ≥ 2), the long window 100/4100 ≈ 2.4% (burn 0.24 < 2).
+	for i := 0; i < 100; i++ {
+		s.slo.Observe(http.StatusInternalServerError, time.Millisecond)
+	}
+	rec, body := get(t, s, "/api/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded health status = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	if body["state"] != "degraded" {
+		t.Fatalf("state = %v, want degraded: %s", body["state"], rec.Body.String())
+	}
+	if reasons := body["reasons"].([]any); len(reasons) == 0 {
+		t.Fatal("degraded state with no reasons")
+	}
+}
+
+// TestHealthProbesDoNotFeedSLO: the health endpoint's own responses —
+// including failing 503s — must not count against availability, or a
+// failing state would sustain itself.
+func TestHealthProbesDoNotFeedSLO(t *testing.T) {
+	s, _ := freshServer(t, Options{
+		SLO: obs.SLOConfig{Availability: 0.9, ShortWindow: time.Minute, LongWindow: time.Minute},
+	})
+	burnSLO(s)
+	before := s.slo.Report(0)
+	for i := 0; i < 10; i++ {
+		if rec, _ := get(t, s, "/api/health"); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("health under burn = %d, want 503", rec.Code)
+		}
+	}
+	after := s.slo.Report(0)
+	bReq := before.Objectives[0].Windows[0].Requests
+	aReq := after.Objectives[0].Windows[0].Requests
+	if aReq != bReq {
+		t.Errorf("health probes fed the SLO windows: %d → %d requests", bReq, aReq)
+	}
+}
+
+// TestMetricsJSONRatios: /api/metrics reports cache hit and shed ratios
+// directly, per endpoint and in aggregate.
+func TestMetricsJSONRatios(t *testing.T) {
+	s, sys := freshServer(t, Options{})
+	kw := vocabKeyword(sys)
+	get(t, s, "/api/im?q="+kw+"&k=3") // miss
+	get(t, s, "/api/im?q="+kw+"&k=3") // hit
+	_, body := get(t, s, "/api/metrics")
+	if _, ok := body["cacheHitRatio"]; !ok {
+		t.Fatalf("aggregate cacheHitRatio missing: %v", mapKeys(body))
+	}
+	if _, ok := body["shedRatio"]; !ok {
+		t.Fatal("aggregate shedRatio missing")
+	}
+	im := body["endpoints"].(map[string]any)["im"].(map[string]any)
+	if got := im["cacheHitRatio"].(float64); got != 0.5 {
+		t.Errorf("im cacheHitRatio = %g, want 0.5 (1 miss + 1 hit)", got)
+	}
+	if got := im["shedRatio"].(float64); got != 0 {
+		t.Errorf("im shedRatio = %g, want 0", got)
+	}
+}
+
+// TestServerCloseIdempotent: Close is safe repeatedly and on servers
+// with no watchdog goroutine.
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := freshServer(t, Options{})
+	s.Close()
+	s.Close()
+	s2, _ := freshServer(t, Options{DiagDir: t.TempDir()})
+	s2.Close()
+	s2.Close()
+}

@@ -31,11 +31,38 @@ func (s *Server) newRegistry() *obs.Registry {
 	reg := obs.NewRegistry()
 	reg.Register(obs.RuntimeCollector())
 	reg.Register(s.metrics)
+	reg.Register(s.costs)
 	reg.RegisterFunc(s.collectServing)
+	reg.RegisterFunc(s.collectSLO)
 	if s.live != nil {
 		reg.RegisterFunc(s.collectLive)
 	}
 	return reg
+}
+
+// collectSLO emits the burn-rate gauges behind /api/health: per
+// objective and window, the bad-event fraction and its burn rate, plus
+// the overall state as a 0/1/2 gauge (ready/degraded/failing).
+func (s *Server) collectSLO(w *obs.MetricWriter) {
+	rep := s.slo.Report(s.staleness())
+	state := 0.0
+	switch rep.State {
+	case obs.StateDegraded:
+		state = 1
+	case obs.StateFailing:
+		state = 2
+	}
+	w.Gauge("octopus_slo_state", "SLO state: 0 ready, 1 degraded, 2 failing.", state)
+	for _, o := range rep.Objectives {
+		for _, win := range o.Windows {
+			l := []string{"objective", o.Name, "window", win.Window}
+			w.Gauge("octopus_slo_bad_fraction", "Bad-event fraction over the window, by objective.", win.Value, l...)
+			w.Gauge("octopus_slo_burn_rate", "Error-budget burn rate over the window, by objective.", win.BurnRate, l...)
+		}
+	}
+	if s.watchdog != nil {
+		w.Gauge("octopus_diag_bundles", "Diagnostics bundles captured so far.", float64(len(s.watchdog.List())))
+	}
 }
 
 // collectServing emits the serving-layer gauges: pinned generation,
@@ -145,7 +172,9 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", allow(http.MethodGet, s.handlePromMetrics))
+	mux.HandleFunc("/api/health", allow(http.MethodGet, s.handleHealth))
 	mux.HandleFunc("/api/debug/traces", allow(http.MethodGet, s.handleTraces))
+	mux.HandleFunc("/api/debug/diag", allow(http.MethodGet, s.handleDiag))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			writeErr(w, http.StatusNotFound, errors.New("unknown admin route"))
@@ -155,7 +184,9 @@ func (s *Server) AdminHandler() http.Handler {
 		_, _ = w.Write([]byte("octopus admin surface\n\n" +
 			"  /debug/pprof/       profiler index\n" +
 			"  /metrics            Prometheus exposition\n" +
-			"  /api/debug/traces   recent request traces (JSON)\n"))
+			"  /api/health         SLO burn-rate state (JSON)\n" +
+			"  /api/debug/traces   recent request traces (JSON)\n" +
+			"  /api/debug/diag     captured diagnostics bundles (JSON)\n"))
 	})
 	return mux
 }

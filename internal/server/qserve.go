@@ -53,7 +53,8 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			traceHeader(w, tr)
 			r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		}
-		sw := &statusWriter{ResponseWriter: w}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.code = w, 0
 		h(sw, r)
 		state := qcache.CacheState(sw.Header().Get("X-Octopus-Cache"))
 		if state == "" {
@@ -63,16 +64,29 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		if gen, ok := genFromHeader(sw.Header()); ok {
 			tr.SetGeneration(gen)
 		}
-		tr.End(sw.status())
-		s.metrics.Observe(endpoint, state, sw.status(), time.Since(start))
+		status := sw.status()
+		sw.ResponseWriter = nil
+		swPool.Put(sw)
+		tr.End(status)
+		dur := time.Since(start)
+		s.metrics.Observe(endpoint, state, status, dur)
+		// Health probes don't feed the SLO windows: a failing state must
+		// not sustain itself through its own 503s.
+		if endpoint != "health" {
+			s.slo.Observe(status, dur)
+		}
 	}
 }
 
 // statusWriter remembers the response status for the metrics layer.
+// Instances are pooled: with tracing disabled the serve hot path must
+// not allocate, and the wrapper was its last per-request allocation.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
 }
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (sw *statusWriter) WriteHeader(code int) {
 	if sw.code == 0 {
@@ -103,6 +117,19 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 	sys, gen := s.snap()
 	tr := obs.TraceFrom(r.Context())
 	tr.SetGeneration(gen)
+	// Parse the explain flag before touching the cache: a malformed
+	// value is a 400, never a cache key. The cost carrier exists only
+	// when the request accounts cost (explain, or tracing so the engine
+	// span can carry the counters) — otherwise the engines see nil and
+	// skip accounting entirely.
+	q := params(r)
+	explain := q.Flag("explain")
+	if q.bad(w) {
+		return
+	}
+	if explain || s.tracer != nil {
+		r = r.WithContext(withQueryCost(r.Context(), &queryCost{explain: explain}))
+	}
 	if s.cache == nil {
 		replayEntry(w, s.compute(endpoint, h, sys, r), qcache.StateBypass, gen)
 		return
@@ -168,31 +195,49 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 // 429 + Retry-After — rather than queued.
 func (s *Server) compute(endpoint string, h queryHandler, sys *core.System, r *http.Request) *qcache.Entry {
 	tr := obs.TraceFrom(r.Context())
+	qc := queryCostFrom(r.Context())
 	endGate := tr.Span("gate")
 	if !s.gate.TryAcquire() {
 		endGate()
 		s.metrics.Shed(endpoint)
-		return s.shedEntry(endpoint)
+		return s.shedEntry(endpoint, qc)
 	}
 	endGate()
 	defer s.gate.Release()
 	endEngine := tr.Span("engine")
-	defer endEngine()
 	rec := newRecorder()
 	h(sys, rec, r)
-	return rec.entry()
+	endEngine()
+	e := rec.entry()
+	if qc != nil {
+		// The engine span stays the most recently opened span, so the
+		// counters land on it; the pointer is owned by this request and
+		// never reused.
+		tr.AttachCost(&qc.cost)
+		s.costs.Observe(endpoint, &qc.cost)
+		if qc.explain {
+			e = explainEntry(e, &qc.cost)
+		}
+	}
+	return e
 }
 
 // shedEntry renders the 429 shed response. Retry-After is derived from
 // the endpoint's live p50/p99 latency (rounded up, floor 1s), so
 // clients back off proportionally to the actual service time instead
-// of hammering a slow endpoint every second.
-func (s *Server) shedEntry(endpoint string) *qcache.Entry {
+// of hammering a slow endpoint every second. An explain request keeps
+// its Retry-After — explainEntry only adds the cost header on non-200s,
+// it never drops headers.
+func (s *Server) shedEntry(endpoint string, qc *queryCost) *qcache.Entry {
 	rec := newRecorder()
 	rec.Header().Set("Retry-After", strconv.Itoa(s.metrics.RetryAfterSeconds(endpoint)))
 	writeErr(rec, http.StatusTooManyRequests,
 		errors.New("server over capacity: in-flight query bound reached; retry"))
-	return rec.entry()
+	e := rec.entry()
+	if qc != nil && qc.explain {
+		e = explainEntry(e, &qc.cost)
+	}
+	return e
 }
 
 // cacheKey builds the canonical cache key: endpoint, the normalized
@@ -220,6 +265,13 @@ func (s *Server) cacheKey(endpoint string, sys *core.System, q url.Values) strin
 			continue
 		}
 		switch {
+		case name == "explain":
+			// explain=0 is byte-identical to an absent flag, so it must
+			// share the cache entry; explain=1 produces a wrapped body and
+			// keys separately.
+			if v != "1" {
+				continue
+			}
 		case name == "q" && (endpoint == "im" || endpoint == "paths"):
 			words := tok.Tokenize(v)
 			v = strings.Join(words, " ")
@@ -451,6 +503,15 @@ type targetedResponse struct {
 func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
 	sys, gen := s.snap()
 	w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
+	qp := params(r)
+	explain := qp.Flag("explain")
+	if qp.bad(w) {
+		return
+	}
+	var qc *queryCost
+	if explain || s.tracer != nil {
+		qc = &queryCost{explain: explain}
+	}
 	var req targetedRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
@@ -491,14 +552,22 @@ func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
 	if !s.gate.TryAcquire() {
 		endGate()
 		s.metrics.Shed("targeted")
-		replayEntry(w, s.shedEntry("targeted"), qcache.StateShed, gen)
+		replayEntry(w, s.shedEntry("targeted", qc), qcache.StateShed, gen)
 		return
 	}
 	endGate()
 	defer s.gate.Release()
+	var cost *obs.Cost
+	if qc != nil {
+		cost = &qc.cost
+	}
 	endEngine := tr.Span("engine")
-	res, err := sys.DiscoverTargetedInfluencers(keywords, audience, k, req.RRSamples, seed)
+	res, err := sys.DiscoverTargetedInfluencersCost(keywords, audience, k, req.RRSamples, seed, cost)
 	endEngine()
+	if qc != nil {
+		tr.AttachCost(&qc.cost)
+		s.costs.Observe("targeted", &qc.cost)
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -519,6 +588,16 @@ func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
 		resp.Seeds = append(resp.Seeds, imSeed{
 			ID: seed.User, Name: seed.Name, Spread: seed.Spread, Aspect: seed.TopTopicName,
 		})
+	}
+	if explain {
+		// Same envelope shape as the cached read endpoints produce via
+		// explainEntry.
+		w.Header().Set("X-Octopus-Cost", qc.cost.Compact())
+		writeJSON(w, http.StatusOK, struct {
+			Result targetedResponse `json:"result"`
+			Cost   *obs.Cost        `json:"cost"`
+		}{resp, &qc.cost})
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

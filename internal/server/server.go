@@ -15,8 +15,10 @@
 //	POST /api/im/targeted                    targeted IM over an audience (JSON body)
 //	POST /api/batch                          many queries in one round trip (JSON body)
 //	GET  /api/metrics                        serving-layer statistics (JSON)
+//	GET  /api/health                         SLO state (ready | degraded | failing)
 //	GET  /metrics                            Prometheus text exposition
 //	GET  /api/debug/traces?n=50              recent request traces, newest first
+//	GET  /api/debug/diag                     captured diagnostics bundles
 //
 // A Server created with NewLive additionally accepts streaming events
 // (the live-ingestion subsystem of internal/stream):
@@ -57,6 +59,15 @@
 // serving counters plus ingest/fold/WAL/runtime instruments in
 // Prometheus text format; AdminHandler returns the operator-only
 // pprof surface for a separate listener. See obs.go.
+//
+// Every read endpoint accepts ?explain=1: the response is wrapped as
+// {"result":...,"cost":...} with the engine's per-stage cost counters
+// (bound checks, exact evaluations, nodes and edges walked, samples
+// mixed), a compact X-Octopus-Cost header summarizes them, and the
+// same counters feed per-endpoint cost histograms on /metrics and the
+// engine span in /api/debug/traces. GET /api/health reports the SLO
+// burn-rate state; a configured diagnostics directory turns burn
+// crossings into rate-limited capture bundles. See cost.go, health.go.
 package server
 
 import (
@@ -69,6 +80,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"octopus/internal/actionlog"
@@ -104,8 +116,19 @@ type Options struct {
 	// breakdown.
 	SlowQuery time.Duration
 	// Logger receives the server's structured log records (slow
-	// queries). nil discards them.
+	// queries, diagnostics captures). nil discards them.
 	Logger *slog.Logger
+	// SLO configures the burn-rate tracker behind GET /api/health.
+	// The zero value uses the obs.SLOConfig defaults (99% availability,
+	// 2s p99, 5m/1h windows, burn threshold 2).
+	SLO obs.SLOConfig
+	// DiagDir, when set, enables the diagnostics watchdog: a burn
+	// threshold crossing captures a bundle (goroutine + heap profiles,
+	// recent traces, registry dump) into this directory, listed at GET
+	// /api/debug/diag.
+	DiagDir string
+	// DiagMinInterval rate-limits bundle captures (default 10m).
+	DiagMinInterval time.Duration
 }
 
 func (o *Options) fill() {
@@ -147,6 +170,12 @@ type Server struct {
 
 	tracer   *obs.Tracer   // nil when tracing is disabled
 	registry *obs.Registry // Prometheus exposition at /metrics
+	costs    *costMetrics  // per-endpoint query-cost distributions
+	slo      *obs.SLOTracker
+	watchdog *obs.Watchdog // nil when no DiagDir is configured
+
+	closeOnce sync.Once
+	done      chan struct{}
 }
 
 // New creates a Server for a static (immutable) system with default
@@ -189,6 +218,10 @@ func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt 
 		gate:          qcache.NewGate(opt.MaxInflight),
 		metrics:       qcache.NewMetrics(),
 		queryHandlers: make(map[string]queryHandler),
+		costs:         newCostMetrics(),
+		slo:           obs.NewSLOTracker(opt.SLO),
+		watchdog:      obs.NewWatchdog(opt.DiagDir, opt.DiagMinInterval, opt.Logger),
+		done:          make(chan struct{}),
 	}
 	if opt.CacheEntries > 0 {
 		s.cache = qcache.New(opt.CacheEntries)
@@ -197,6 +230,9 @@ func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt 
 		s.tracer = obs.NewTracer(opt.TraceRing, opt.SlowQuery, opt.Logger)
 	}
 	s.registry = s.newRegistry()
+	if s.watchdog != nil {
+		go s.watchLoop()
+	}
 	for _, q := range []struct {
 		name string
 		h    queryHandler
@@ -220,7 +256,9 @@ func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt 
 	s.mux.HandleFunc("/api/ingest/edges", s.instrument("ingest/edges", allow(http.MethodPost, s.handleIngestEdges)))
 	s.mux.HandleFunc("/api/ingest/stats", s.instrument("ingest/stats", allow(http.MethodGet, s.handleIngestStats)))
 	s.mux.HandleFunc("/metrics", s.instrument("prom", allow(http.MethodGet, s.handlePromMetrics)))
+	s.mux.HandleFunc("/api/health", s.instrument("health", allow(http.MethodGet, s.handleHealth)))
 	s.mux.HandleFunc("/api/debug/traces", s.instrument("debug/traces", allow(http.MethodGet, s.handleTraces)))
+	s.mux.HandleFunc("/api/debug/diag", s.instrument("debug/diag", allow(http.MethodGet, s.handleDiag)))
 	s.mux.HandleFunc("/", s.handleUI)
 	return s
 }
@@ -297,6 +335,20 @@ func (q *qparams) Int(name string, def int) int {
 	return n
 }
 
+// Flag reads a boolean flag parameter: absent or "0" is false, "1" is
+// true, anything else is malformed (rejected via bad()).
+func (q *qparams) Flag(name string) bool {
+	switch v := q.q.Get(name); v {
+	case "", "0":
+		return false
+	case "1":
+		return true
+	default:
+		q.fail(name, "flag", v)
+		return false
+	}
+}
+
 func (q *qparams) Float(name string, def float64) float64 {
 	v := q.q.Get(name)
 	if v == "" {
@@ -364,6 +416,7 @@ func (s *Server) handleIM(sys *core.System, w http.ResponseWriter, r *http.Reque
 		Theta:      theta,
 		UseSamples: r.URL.Query().Get("samples") == "1",
 		Context:    ctx,
+		Cost:       costFrom(r),
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -428,6 +481,7 @@ func (s *Server) handleSuggest(sys *core.System, w http.ResponseWriter, r *http.
 	}
 	sug, err := sys.SuggestKeywords(id, k, tags.SuggestOptions{
 		MinCoherence: coherence,
+		Cost:         costFrom(r),
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -458,7 +512,7 @@ func (s *Server) handleKeywords(sys *core.System, w http.ResponseWriter, r *http
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	ranked, err := sys.RankUserKeywords(id, limit)
+	ranked, err := sys.RankUserKeywordsCost(id, limit, costFrom(r))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -504,6 +558,7 @@ func (s *Server) handlePaths(sys *core.System, w http.ResponseWriter, r *http.Re
 		Theta:    theta,
 		MaxNodes: maxNodes,
 		Reverse:  r.URL.Query().Get("reverse") == "1",
+		Cost:     costFrom(r),
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)

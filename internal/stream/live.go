@@ -425,6 +425,30 @@ func (ls *LiveSystem) PendingOutEdges(u graph.NodeID) []OverlayEdge {
 	return ls.ov.appendOutEdges(u, out)
 }
 
+// Staleness returns the age of the oldest event applied to the live
+// overlay but not yet visible in a snapshot, or 0 when the overlay is
+// drained. It is the cheap accessor behind the SLO ingest-staleness
+// objective: health probes and the diagnostics watchdog call it on
+// every evaluation, so it takes only the read lock and skips the full
+// Stats assembly.
+func (ls *LiveSystem) Staleness() time.Duration {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.stalenessLocked()
+}
+
+// stalenessLocked computes the pending-event age; callers hold ls.mu.
+func (ls *LiveSystem) stalenessLocked() time.Duration {
+	pending := ls.ov.events
+	if ls.folding != nil {
+		pending += ls.folding.events
+	}
+	if pending == 0 || ls.since.IsZero() {
+		return 0
+	}
+	return time.Since(ls.since)
+}
+
 // Stats reports pipeline counters and current-snapshot dimensions.
 func (ls *LiveSystem) Stats() Stats {
 	snap := ls.cur.Load()
@@ -434,10 +458,7 @@ func (ls *LiveSystem) Stats() Stats {
 	if ls.folding != nil {
 		pending += ls.folding.events
 	}
-	var staleness time.Duration
-	if pending > 0 && !ls.since.IsZero() {
-		staleness = time.Since(ls.since)
-	}
+	staleness := ls.stalenessLocked()
 	ls.mu.RUnlock()
 	st := Stats{
 		Version:         snap.Version,

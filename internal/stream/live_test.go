@@ -401,11 +401,23 @@ func TestStalenessTimerFold(t *testing.T) {
 	if err := ls.IngestEdges([]EdgeEvent{{Src: 0, Dst: graph.NodeID(sys.Graph().NumNodes() - 1)}}); err != nil {
 		t.Fatal(err)
 	}
+	if err := ls.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Staleness before version, so a fold completing between the two
+	// reads cannot fake a zero-staleness pending event.
+	stale := ls.Staleness()
+	if ls.Version() < 2 && stale <= 0 {
+		t.Error("applied pending event reports zero staleness")
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for ls.Version() < 2 {
 		if time.Now().After(deadline) {
 			t.Fatalf("staleness fold never happened (stats %+v)", ls.Stats())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	if st := ls.Staleness(); st != 0 {
+		t.Errorf("staleness after drain fold = %v, want 0", st)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/par"
 	"octopus/internal/rng"
 	"octopus/internal/tic"
@@ -237,6 +238,16 @@ func (ix *Index) CoinsFlipped() int { return ix.coins }
 // from the poll root walking stored edges whose λ < p(γ). The BFS stops
 // as soon as target is proven live (delayed materialization).
 func (ix *Index) pollLive(pi int32, target graph.NodeID, gamma topic.Dist) bool {
+	return ix.pollLiveCost(pi, target, gamma, nil)
+}
+
+// pollLiveCost is pollLive with per-query accounting: each call scans
+// one poll, a call that walks the stored tree re-mixes one sample, and
+// every λ-vs-p(γ) comparison tests one stored coin.
+func (ix *Index) pollLiveCost(pi int32, target graph.NodeID, gamma topic.Dist, cost *obs.Cost) bool {
+	if cost != nil {
+		cost.Tags.Polls++
+	}
 	t := &ix.trees[pi]
 	ti, ok := t.local[target]
 	if !ok {
@@ -244,6 +255,11 @@ func (ix *Index) pollLive(pi int32, target graph.NodeID, gamma topic.Dist) bool 
 	}
 	if ti == 0 {
 		return true // target is the poll root
+	}
+	var coins uint64
+	if cost != nil {
+		cost.Tags.Trees++
+		defer func() { cost.Tags.Coins += coins }()
 	}
 	live := make([]bool, len(t.nodes))
 	live[0] = true
@@ -255,6 +271,7 @@ func (ix *Index) pollLive(pi int32, target graph.NodeID, gamma topic.Dist) bool 
 			if live[e.From] {
 				continue
 			}
+			coins++
 			if float64(e.Lambda) < ix.m.EdgeProb(e.Edge, gamma) {
 				if e.From == ti {
 					return true
@@ -269,9 +286,15 @@ func (ix *Index) pollLive(pi int32, target graph.NodeID, gamma topic.Dist) bool 
 
 // SpreadEstimate returns σ̂_γ({u}) = n/M · #{polls where u is live}.
 func (ix *Index) SpreadEstimate(u graph.NodeID, gamma topic.Dist) float64 {
+	return ix.SpreadEstimateCost(u, gamma, nil)
+}
+
+// SpreadEstimateCost is SpreadEstimate accumulating scan work into
+// cost (nil disables accounting).
+func (ix *Index) SpreadEstimateCost(u graph.NodeID, gamma topic.Dist, cost *obs.Cost) float64 {
 	hits := 0
 	for _, pi := range ix.contains[u] {
-		if ix.pollLive(pi, u, gamma) {
+		if ix.pollLiveCost(pi, u, gamma, cost) {
 			hits++
 		}
 	}
@@ -290,6 +313,12 @@ func (ix *Index) MaxSpreadEstimate(u graph.NodeID) float64 {
 // SpreadEstimateSet returns σ̂_γ(S) for a seed set (a poll counts if any
 // member of S is live in it).
 func (ix *Index) SpreadEstimateSet(seeds []graph.NodeID, gamma topic.Dist) float64 {
+	return ix.SpreadEstimateSetCost(seeds, gamma, nil)
+}
+
+// SpreadEstimateSetCost is SpreadEstimateSet accumulating scan work
+// into cost (nil disables accounting).
+func (ix *Index) SpreadEstimateSetCost(seeds []graph.NodeID, gamma topic.Dist, cost *obs.Cost) float64 {
 	if len(seeds) == 0 {
 		return 0
 	}
@@ -302,7 +331,7 @@ func (ix *Index) SpreadEstimateSet(seeds []graph.NodeID, gamma topic.Dist) float
 	hits := 0
 	for pi := range pollSet {
 		for _, u := range seeds {
-			if ix.pollLive(pi, u, gamma) {
+			if ix.pollLiveCost(pi, u, gamma, cost) {
 				hits++
 				break
 			}

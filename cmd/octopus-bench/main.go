@@ -1,4 +1,4 @@
-// Command octopus-bench runs the experiment suite E1–E17 defined in
+// Command octopus-bench runs the experiment suite E1–E18 defined in
 // DESIGN.md §4 and prints one table per experiment — the reproduction of
 // every figure/scenario of the OCTOPUS demo paper plus the engine claims
 // it builds on (E13: streaming ingestion; E14: persistence and
@@ -6,8 +6,9 @@
 // query-serving layer — result cache, request coalescing and admission
 // control under a Zipf-skewed closed-loop workload; E17: incremental
 // snapshot folds — swap latency vs delta size with a query-level
-// identity check against full rebuilds). EXPERIMENTS.md records a
-// reference run.
+// identity check against full rebuilds; E18: zero-copy mapped snapshot
+// serving — cold-start-to-first-query, memory deltas and a mapped-vs-
+// heap query identity check). EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
@@ -44,6 +45,7 @@ type sizes struct {
 	streamAuthors   int   // ingest-replay experiment dataset size
 	streamBatch     int   // events per replayed ingest batch
 	snapshotNodes   []int // cold-start experiment dataset sizes
+	mmapNodes       []int // zero-copy serving experiment dataset sizes
 	parAuthors      int   // build-parallelism experiment dataset size
 	serveAuthors    int   // query-serving experiment dataset size
 	serveClients    int   // closed-loop load-generator clients
@@ -65,6 +67,7 @@ func defaultSizes(quick bool) sizes {
 			streamAuthors:   800,
 			streamBatch:     128,
 			snapshotNodes:   []int{1000, 2000},
+			mmapNodes:       []int{2000},
 			parAuthors:      700,
 			serveAuthors:    800,
 			serveClients:    4,
@@ -84,6 +87,7 @@ func defaultSizes(quick bool) sizes {
 		streamAuthors:   3000,
 		streamBatch:     256,
 		snapshotNodes:   []int{3000, 8000},
+		mmapNodes:       []int{8000, 20000},
 		parAuthors:      2500,
 		serveAuthors:    2500,
 		serveClients:    8,
@@ -131,6 +135,7 @@ func main() {
 		{"E15", "Build/fold parallelism: pipeline speedup vs workers, determinism check", runE15},
 		{"E16", "Query-serving layer: result cache, coalescing, admission control under Zipf load", runE16},
 		{"E17", "Incremental snapshot folds: swap latency vs delta size, identity vs full rebuild", runE17},
+		{"E18", "Zero-copy snapshot serving: mapped vs heap cold-start-to-first-query, memory, identity", runE18},
 	}
 
 	want := map[string]bool{}

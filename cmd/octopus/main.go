@@ -7,21 +7,27 @@
 // Usage:
 //
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em] [-workers W]
-//	octopus serve [-addr :8080] [-load model.oct] [-ingest] [-wal DIR]
+//	octopus serve [-addr :8080] [-load model.oct] [-mmap] [-ingest] [-wal DIR]
 //	              [-rebuild-events N] [-rebuild-interval D] [-incremental-fold]
 //	              [-cache-entries N] [-max-inflight N] [-admin-addr 127.0.0.1:6060]
 //	              [-slow-query D] [-trace-ring N] [-log-format text|json]
 //	              [-slo-availability F] [-slo-p99 D] [-slo-staleness D]
 //	              [-diag-dir DIR] [-diag-interval D]
 //	              [same dataset flags]
-//	octopus query [-q "data mining"] [-k 10] [-load model.oct] [same dataset flags]
+//	octopus query [-q "data mining"] [-k 10] [-load model.oct] [-mmap] [same dataset flags]
 //	octopus train [-out models/] [same dataset flags]   # EM + persist text models
 //	octopus build [-o model.oct] [same dataset flags]   # build + binary snapshot
 //
 // build serializes the complete built system (graph, action log,
 // learned models, config) into one checksummed binary snapshot; serve
 // and query accept it via -load and cold-start in milliseconds instead
-// of re-running EM and data generation.
+// of re-running EM and data generation. Adding -mmap serves the
+// snapshot in place: the file is memory-mapped read-only, the bulk
+// arrays alias the mapped bytes instead of being copied onto the heap,
+// and the action log decodes lazily on first use — cold start is
+// bounded by validation, and memory is shared page cache other
+// processes mapping the same file reuse. Query results are identical
+// either way. OCTOPUS_MMAP=off forces the copying path.
 //
 // -workers bounds the parallelism of the offline build pipeline (EM +
 // index precomputation) and of streaming fold rebuilds; for a fixed
@@ -106,6 +112,7 @@ type options struct {
 	k       int
 	out     string
 	load    string
+	mmap    bool
 	snapOut string
 
 	ingest          bool
@@ -148,6 +155,7 @@ func main() {
 	fs.IntVar(&opt.k, "k", 10, "seed count (query)")
 	fs.StringVar(&opt.out, "out", "models", "output directory (train)")
 	fs.StringVar(&opt.load, "load", "", "load a binary system snapshot instead of generating + building")
+	fs.BoolVar(&opt.mmap, "mmap", false, "with -load: serve the snapshot zero-copy via mmap instead of decoding it onto the heap (OCTOPUS_MMAP=off forces the copying path)")
 	fs.StringVar(&opt.snapOut, "o", "model.oct", "snapshot output path (build)")
 	fs.BoolVar(&opt.ingest, "ingest", false, "enable streaming ingestion endpoints (serve)")
 	fs.StringVar(&opt.walDir, "wal", "", "durability directory for serve -ingest: WAL + checkpoint snapshots, with crash recovery on start")
@@ -247,26 +255,43 @@ func train(opt options, sys *core.System, ds *datagen.Dataset) error {
 }
 
 func run(opt options, fn func(options, *core.System, *datagen.Dataset) error) {
-	sys, ds, err := buildSystem(opt)
+	sys, mapped, ds, err := buildSystem(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := fn(opt, sys, ds); err != nil {
 		log.Fatal(err)
 	}
+	if mapped != nil {
+		mapped.Close()
+	}
 }
 
-func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
+func buildSystem(opt options) (*core.System, *store.Mapped, *datagen.Dataset, error) {
 	if opt.load != "" {
 		start := time.Now()
+		if opt.mmap {
+			sys, mapped, err := store.Map(opt.load, store.MapOptions{})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			// Deliberately no sys.Stats() here: it would decode the deferred
+			// action log and forfeit the lazy cold start. Graph dimensions
+			// are already materialized.
+			ms := mapped.Stats()
+			fmt.Fprintf(os.Stderr, "mapped snapshot %s in %s: %s, %.1f MiB, %d nodes, %d edges, %d copy fallbacks\n",
+				opt.load, time.Since(start).Round(time.Millisecond), ms.Backing,
+				float64(ms.FileSize)/(1<<20), sys.Graph().NumNodes(), sys.Graph().NumEdges(), ms.CopyFallbacks)
+			return sys, mapped, nil, nil
+		}
 		sys, err := store.Load(opt.load)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		st := sys.Stats()
 		fmt.Fprintf(os.Stderr, "loaded snapshot %s in %s: %d nodes, %d edges, %d topics, %d keywords\n",
 			opt.load, time.Since(start).Round(time.Millisecond), st.Nodes, st.Edges, st.Topics, st.Vocabulary)
-		return sys, nil, nil
+		return sys, nil, nil, nil
 	}
 	var ds *datagen.Dataset
 	var err error
@@ -282,10 +307,10 @@ func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
 			Users: opt.n, Topics: opt.topics, Seed: opt.seed,
 		})
 	default:
-		return nil, nil, fmt.Errorf("unknown dataset %q", opt.dataset)
+		return nil, nil, nil, fmt.Errorf("unknown dataset %q", opt.dataset)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cfg := core.Config{
 		TopicNames: ds.TopicNames,
@@ -303,12 +328,12 @@ func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
 	fmt.Fprintln(os.Stderr, "building indexes...")
 	sys, err := core.Build(ds.Graph, ds.Log, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	st := sys.Stats()
 	fmt.Fprintf(os.Stderr, "ready: %d nodes, %d edges, %d topics, %d keywords, %d polls\n",
 		st.Nodes, st.Edges, st.Topics, st.Vocabulary, st.InfluencerPolls)
-	return sys, ds, nil
+	return sys, nil, ds, nil
 }
 
 // serveMain builds (or loads, or recovers) the system and serves it.
@@ -318,6 +343,7 @@ func buildSystem(opt options) (*core.System, *datagen.Dataset, error) {
 func serveMain(opt options) {
 	var dir *store.Dir
 	var sys *core.System
+	var mapped *store.Mapped
 	if opt.walDir != "" {
 		if !opt.ingest {
 			log.Fatal("serve: -wal requires -ingest")
@@ -336,11 +362,11 @@ func serveMain(opt options) {
 	}
 	if sys == nil {
 		var err error
-		if sys, _, err = buildSystem(opt); err != nil {
+		if sys, mapped, _, err = buildSystem(opt); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := serve(opt, sys, dir); err != nil {
+	if err := serve(opt, sys, mapped, dir); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -353,8 +379,15 @@ func newLogger(opt options) *slog.Logger {
 	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
-func serve(opt options, sys *core.System, dir *store.Dir) error {
+func serve(opt options, sys *core.System, mapped *store.Mapped, dir *store.Dir) error {
 	logger := newLogger(opt)
+	if mapped != nil {
+		// The mapping's owning reference drops only after the HTTP server
+		// has drained (serve returns post-Shutdown), so late in-flight
+		// requests never touch unmapped memory. Folded generations hold
+		// their own retained references via the snapshot backing chain.
+		defer mapped.Close()
+	}
 	var srv *server.Server
 	var live *stream.LiveSystem
 	srvOpt := server.Options{
@@ -370,6 +403,9 @@ func serve(opt options, sys *core.System, dir *store.Dir) error {
 		},
 		DiagDir:         opt.diagDir,
 		DiagMinInterval: opt.diagInterval,
+	}
+	if mapped != nil {
+		srvOpt.StoreStats = mapped.Stats
 	}
 	if opt.ingest {
 		ls, err := stream.NewLiveSystem(sys, stream.Config{

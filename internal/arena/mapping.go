@@ -1,0 +1,88 @@
+// mapping.go owns the lifetime of a byte range that outlives a single
+// decode: a refcounted handle over either an mmap'd file (zero-copy
+// serving) or an ordinary heap buffer (the fallback, so callers keep
+// one code path). The refcount exists because snapshot generations
+// retire asynchronously — a fold publishes a successor while queries
+// are still pinned to the predecessor, and the predecessor's pages may
+// only be unmapped once the last pinned reader releases.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Mapping is a refcounted read-only byte range. It starts with one
+// reference owned by whoever created it; Retain/Release adjust the
+// count and the backing pages are unmapped when it reaches zero.
+// Heap-backed mappings go through the same lifecycle (release is a
+// no-op beyond the bookkeeping), so ownership code never branches on
+// the backing kind.
+type Mapping struct {
+	data   []byte
+	refs   atomic.Int64
+	mapped bool // true when data came from mmap and needs munmap
+}
+
+// NewHeapMapping wraps an ordinary heap buffer in the Mapping
+// lifecycle, for the copy-fallback path and for tests.
+func NewHeapMapping(data []byte) *Mapping {
+	m := &Mapping{data: data}
+	m.refs.Store(1)
+	return m
+}
+
+// Bytes returns the mapped range. Callers must hold a reference.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Len returns the size of the mapped range in bytes.
+func (m *Mapping) Len() int { return len(m.data) }
+
+// Mapped reports whether the range is an actual file mapping (as
+// opposed to the heap fallback).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Refs returns the current reference count, for tests and stats.
+func (m *Mapping) Refs() int64 { return m.refs.Load() }
+
+// Retain adds a reference. It must only be called while holding
+// another reference (a zero count is final).
+func (m *Mapping) Retain() {
+	if m.refs.Add(1) <= 1 {
+		panic("arena: Retain on released Mapping")
+	}
+}
+
+// Release drops a reference; the last release unmaps the pages. After
+// that, every slice decoded out of this mapping is poison — the
+// snapshot pin protocol in internal/stream exists precisely so no
+// reader can still hold one.
+func (m *Mapping) Release() {
+	n := m.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("arena: Release on released Mapping")
+	}
+	data := m.data
+	m.data = nil
+	if m.mapped && len(data) > 0 {
+		if err := munmap(data); err != nil {
+			// Unmap can only fail on a corrupted address range; losing
+			// pages is not an option we can handle gracefully.
+			panic(fmt.Sprintf("arena: munmap: %v", err))
+		}
+	}
+}
+
+// Resident estimates how many bytes of the mapping are currently in
+// physical memory (via mincore where available). Returns -1 when the
+// platform cannot tell or the mapping is heap-backed (heap bytes are
+// trivially resident).
+func (m *Mapping) Resident() int64 {
+	if !m.mapped || len(m.data) == 0 {
+		return -1
+	}
+	return resident(m.data)
+}

@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package arena
+
+import (
+	"fmt"
+	"os"
+)
+
+// MapSupported reports whether this platform can mmap snapshot files.
+func MapSupported() bool { return false }
+
+// MapFile is unavailable on this platform; callers fall back to the
+// copying load path.
+func MapFile(f *os.File) (*Mapping, error) {
+	return nil, fmt.Errorf("arena: mmap not supported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

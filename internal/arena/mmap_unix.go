@@ -1,0 +1,40 @@
+//go:build linux || darwin
+
+package arena
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapSupported reports whether this platform can mmap snapshot files.
+func MapSupported() bool { return true }
+
+// MapFile maps the whole of f read-only and returns it as a Mapping
+// holding one reference. MAP_SHARED keeps the pages in the kernel page
+// cache, so every process serving the same snapshot file on a host
+// shares one physical copy. Empty files map to an empty heap Mapping
+// (mmap rejects zero-length ranges).
+func MapFile(f *os.File) (*Mapping, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return NewHeapMapping(nil), nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("arena: file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("arena: mmap %s: %w", f.Name(), err)
+	}
+	m := &Mapping{data: data, mapped: true}
+	m.refs.Store(1)
+	return m, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,32 @@
+//go:build linux
+
+package arena
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// resident counts the bytes of data backed by physical pages right
+// now, via mincore(2). Best-effort: -1 when the syscall fails.
+func resident(data []byte) int64 {
+	page := os.Getpagesize()
+	pages := (len(data) + page - 1) / page
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return -1
+	}
+	var n int64
+	for _, v := range vec {
+		if v&1 != 0 {
+			n += int64(page)
+		}
+	}
+	if max := int64(len(data)); n > max {
+		n = max
+	}
+	return n
+}

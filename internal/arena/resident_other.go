@@ -1,0 +1,6 @@
+//go:build !linux
+
+package arena
+
+// resident is unavailable off Linux; mapping stats report -1.
+func resident(data []byte) int64 { return -1 }

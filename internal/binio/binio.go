@@ -30,6 +30,7 @@ type Writer struct {
 	w   *bufio.Writer
 	buf [8]byte
 	err error
+	pos int64
 }
 
 // NewWriter wraps w in a buffered binary writer.
@@ -37,6 +38,21 @@ func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
 
 // Err returns the first error encountered.
 func (w *Writer) Err() error { return w.err }
+
+// Pos returns the bytes successfully encoded so far. The aligned
+// snapshot codecs use it to place bulk arrays on 8-byte boundaries.
+func (w *Writer) Pos() int64 { return w.pos }
+
+// Align8 emits zero bytes up to the next 8-byte boundary (relative to
+// the start of this Writer). Readers skip the same padding with
+// arena.Reader.Align8, letting bulk arrays be aliased in place when
+// the enclosing section is itself 8-aligned in the file.
+func (w *Writer) Align8() {
+	var zeros [8]byte
+	if pad := int((8 - w.pos%8) % 8); pad != 0 {
+		w.write(zeros[:pad])
+	}
+}
 
 // Flush flushes buffered output and returns the first error.
 func (w *Writer) Flush() error {
@@ -52,6 +68,9 @@ func (w *Writer) write(b []byte) {
 		return
 	}
 	_, w.err = w.w.Write(b)
+	if w.err == nil {
+		w.pos += int64(len(b))
+	}
 }
 
 // U8 writes one byte.
@@ -95,6 +114,9 @@ func (w *Writer) Str(s string) {
 	w.U32(uint32(len(s)))
 	if w.err == nil {
 		_, w.err = w.w.WriteString(s)
+		if w.err == nil {
+			w.pos += int64(len(s))
+		}
 	}
 }
 

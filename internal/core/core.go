@@ -89,9 +89,50 @@ type System struct {
 	engines sync.Pool // *otim.Engine
 	calcs   sync.Pool // *mia.Calc
 
+	// logFn, when set, decodes the action log on first use instead of at
+	// assembly — the mapped cold-start path (AssembleDeferred): pure
+	// IM/path queries never touch the log, so a mapped process answers
+	// its first query before the largest snapshot section is parsed.
+	logFn   func() (*actionlog.Log, error)
+	logOnce sync.Once
+
+	// The stage-3 derived structures build lazily, each behind its own
+	// once: scratch pools need only the indexes, the completion trie only
+	// the graph, and the keyword pools the (possibly deferred) log.
+	// Eager construction paths force all three before returning.
+	enginesOnce sync.Once
+	namesOnce   sync.Once
+	poolsOnce   sync.Once
+
+	// backing, when non-nil, is the mapped snapshot the hot arrays alias
+	// (arena.Mapping). The System holds an unowned pointer only — it is
+	// the snapshot-swap manager (internal/stream) and store.Mapped that
+	// retain/release references; see SetBacking.
+	backing Backing
+
 	// Learning diagnostics (nil when ground truth was adopted).
 	LearnDiag []float64
 }
+
+// Backing is a refcounted resource the system's arrays alias — in
+// practice an *arena.Mapping over an mmap'd snapshot file. Whoever
+// publishes a System for concurrent use retains a reference for the
+// publication's lifetime and releases it when the last reader is gone;
+// the System itself never does.
+type Backing interface {
+	Retain()
+	Release()
+}
+
+// Backing returns the mapped backing of the hot arrays, or nil for a
+// fully heap-backed system.
+func (s *System) Backing() Backing { return s.backing }
+
+// SetBacking records (without retaining) the backing of the hot
+// arrays. Fold paths propagate it from predecessor to successor
+// conservatively: folds share undirtied arrays wholesale, so any
+// descendant of a mapped system may still alias mapped bytes.
+func (s *System) SetBacking(b Backing) { s.backing = b }
 
 // Build constructs the system from a graph and an action log.
 func Build(g *graph.Graph, log *actionlog.Log, cfg Config) (*System, error) {
@@ -188,6 +229,27 @@ func Assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.
 	return s, nil
 }
 
+// AssembleDeferred is Assemble for the mapped serve path: the action
+// log decodes on first use via logFn (nil means an empty log) and the
+// stage-3 derived structures build lazily behind their onces, so
+// cold-start cost is bounded by what the first query actually touches
+// instead of the snapshot size. Every accessor forces what it needs;
+// results are identical to an eager Assemble of the same parts.
+func AssembleDeferred(g *graph.Graph, logFn func() (*actionlog.Log, error),
+	prop *tic.Model, words *topic.Model,
+	otimIdx *otim.Index, tagsIdx *tags.Index, cfg Config) (*System, error) {
+
+	s, err := assemble(g, nil, prop, words, otimIdx, tagsIdx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if logFn != nil {
+		s.log = nil
+		s.logFn = logFn
+	}
+	return s, nil
+}
+
 // assemble validates the pieces and builds the System shell; the caller
 // runs finish or finishFrom to derive stage 3.
 func assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.Model,
@@ -219,9 +281,10 @@ func assemble(g *graph.Graph, log *actionlog.Log, prop *tic.Model, words *topic.
 // finish builds stage 3 — the derived structures every construction
 // path shares: user keyword pools, the suggestion engine, the
 // completion trie, and the per-query scratch pools. It runs on every
-// snapshot fold and on every snapshot load, so the keyword pools are
-// computed over interned keyword ids (one string-map pass for the whole
-// log) rather than per-user string maps.
+// snapshot fold and on every eager snapshot load, so the keyword pools
+// are computed over interned keyword ids (one string-map pass for the
+// whole log) rather than per-user string maps. Systems assembled with
+// AssembleDeferred reach the same state piecewise, on first use.
 func (s *System) finish() { s.finishFrom(nil) }
 
 // finishFrom is finish with structure reuse from a predecessor system:
@@ -232,28 +295,71 @@ func (s *System) finish() { s.finishFrom(nil) }
 // what a fresh build computes, keeping folds query-for-query equal to
 // full rebuilds while the derived-structure cost scales with the delta.
 func (s *System) finishFrom(old *System) {
-	g, log := s.g, s.log
-	if old != nil && old.log == log {
-		s.userKeywords = old.userKeywords
-	} else {
-		s.userKeywords = buildUserKeywords(log, log.UserItems(), g.NumNodes())
-	}
-	s.sugg = tags.NewSuggester(s.tagsIdx, s.words, s.userKeywords)
+	s.ensureEngines()
+	s.ensureNames(old)
+	s.ensureKeywordPools(old)
+}
 
-	if old != nil && old.g == g {
-		s.names = old.names
-	} else {
+// ensureEngines arms the per-query scratch pools (index-bound only —
+// no log access, so a deferred system's first IM or path query pays
+// nothing beyond the engine it uses).
+func (s *System) ensureEngines() {
+	s.enginesOnce.Do(func() {
+		oix, g := s.otimIdx, s.g
+		s.engines.New = func() any { return otim.NewEngine(oix) }
+		s.calcs.New = func() any { return mia.NewCalc(g) }
+	})
+}
+
+// ensureNames builds (or adopts from old) the name-completion trie.
+func (s *System) ensureNames(old *System) {
+	s.namesOnce.Do(func() {
+		g := s.g
+		if old != nil && old.g == g && old.names != nil {
+			s.names = old.names
+			return
+		}
 		s.names = &trie.Trie{}
 		for u := 0; u < g.NumNodes(); u++ {
 			if nm := g.Name(graph.NodeID(u)); nm != "" {
 				s.names.Insert(nm, int32(u), float64(g.OutDegree(graph.NodeID(u))))
 			}
 		}
-	}
+	})
+}
 
-	oix := s.otimIdx
-	s.engines.New = func() any { return otim.NewEngine(oix) }
-	s.calcs.New = func() any { return mia.NewCalc(g) }
+// ensureKeywordPools builds (or adopts from old) the per-user keyword
+// pools and the suggestion engine. This is the one derived stage that
+// needs the action log, so on a deferred system it is what triggers
+// the lazy log decode.
+func (s *System) ensureKeywordPools(old *System) {
+	s.poolsOnce.Do(func() {
+		log := s.ensureLog()
+		if old != nil && old.ensureLog() == log && old.userKeywords != nil {
+			s.userKeywords = old.userKeywords
+		} else {
+			s.userKeywords = buildUserKeywords(log, log.UserItems(), s.g.NumNodes())
+		}
+		s.sugg = tags.NewSuggester(s.tagsIdx, s.words, s.userKeywords)
+	})
+}
+
+// ensureLog materializes the action log. Deferred decode cannot
+// return an error through every accessor that transitively needs the
+// log, so a decode failure panics — store.Map guards against this by
+// CRC-verifying the log section at map time, making a failure here a
+// code bug rather than a corrupt file.
+func (s *System) ensureLog() *actionlog.Log {
+	if s.logFn != nil {
+		s.logOnce.Do(func() {
+			lg, err := s.logFn()
+			if err != nil {
+				panic(fmt.Sprintf("core: deferred action-log decode failed: %v", err))
+			}
+			s.log = lg
+		})
+	}
+	return s.log
 }
 
 // buildUserKeywords computes each user's distinct keyword pool (sorted
@@ -317,8 +423,9 @@ func buildUserKeywords(log *actionlog.Log, userItems [][]int32, n int) [][]strin
 // Graph returns the social graph.
 func (s *System) Graph() *graph.Graph { return s.g }
 
-// ActionLog returns the action log the system was built from.
-func (s *System) ActionLog() *actionlog.Log { return s.log }
+// ActionLog returns the action log the system was built from,
+// materializing it first on a deferred (mapped) system.
+func (s *System) ActionLog() *actionlog.Log { return s.ensureLog() }
 
 // BuildConfig returns the Config the system was built with — the basis
 // for rebuilding an extended system with the same index tuning (the
@@ -348,6 +455,7 @@ func (s *System) TagsIndex() *tags.Index { return s.tagsIdx }
 
 // UserKeywords returns the candidate keyword pool of a user.
 func (s *System) UserKeywords(u graph.NodeID) []string {
+	s.ensureKeywordPools(nil)
 	if int(u) >= len(s.userKeywords) {
 		return nil
 	}
@@ -370,6 +478,7 @@ func (s *System) ResolveUser(name string) (graph.NodeID, error) {
 // Complete returns auto-completions for a user-name prefix, ranked by
 // out-degree (Scenario 2's completion box).
 func (s *System) Complete(prefix string, k int) []trie.Completion {
+	s.ensureNames(nil)
 	return s.names.Complete(prefix, k)
 }
 
@@ -412,6 +521,7 @@ func (s *System) DiscoverInfluencers(keywords []string, opt DiscoverOptions) (*D
 		opt.K = 10
 	}
 	gamma, unknown := s.words.InferGamma(keywords)
+	s.ensureEngines()
 	eng := s.engines.Get().(*otim.Engine)
 	defer s.engines.Put(eng)
 	res, err := eng.Query(gamma, otim.QueryOptions{
@@ -519,6 +629,7 @@ func (s *System) SuggestKeywords(user graph.NodeID, k int, opt tags.SuggestOptio
 		return nil, fmt.Errorf("core: user %d out of range", user)
 	}
 	opt.K = k
+	s.ensureKeywordPools(nil)
 	return s.sugg.Suggest(user, opt)
 }
 
@@ -533,6 +644,7 @@ func (s *System) RankUserKeywordsCost(user graph.NodeID, limit int, cost *obs.Co
 	if int(user) < 0 || int(user) >= s.g.NumNodes() {
 		return nil, fmt.Errorf("core: user %d out of range", user)
 	}
+	s.ensureKeywordPools(nil)
 	return s.sugg.RankKeywordsCost(user, limit, cost), nil
 }
 
@@ -614,6 +726,7 @@ func (s *System) InfluencePaths(user graph.NodeID, opt PathOptions) (*PathGraph,
 	}
 	prob := func(e graph.EdgeID) float64 { return s.prop.EdgeProb(e, gamma) }
 
+	s.ensureEngines()
 	calc := s.calcs.Get().(*mia.Calc)
 	defer s.calcs.Put(calc)
 	if opt.Cost != nil {
@@ -700,15 +813,17 @@ type Stats struct {
 	IndexEdges      int
 }
 
-// Stats reports system-level statistics.
+// Stats reports system-level statistics. On a deferred (mapped)
+// system the episode/action counts force the lazy log decode.
 func (s *System) Stats() Stats {
+	log := s.ensureLog()
 	return Stats{
 		Nodes:           s.g.NumNodes(),
 		Edges:           s.g.NumEdges(),
 		Topics:          s.prop.NumTopics(),
 		Vocabulary:      s.words.VocabSize(),
-		Episodes:        len(s.log.Episodes),
-		Actions:         s.log.NumActions(),
+		Episodes:        len(log.Episodes),
+		Actions:         log.NumActions(),
 		TopicSamples:    s.otimIdx.NumSamples(),
 		InfluencerPolls: s.tagsIdx.NumPolls(),
 		IndexEdges:      s.tagsIdx.EdgesMaterialized(),

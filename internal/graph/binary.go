@@ -4,19 +4,52 @@ import (
 	"fmt"
 	"io"
 
+	"octopus/internal/arena"
 	"octopus/internal/binio"
 )
 
-// Binary payload format (version 1): the forward CSR arrays plus
-// optional display names. The reverse adjacency is reconstructed on
-// load with a linear counting pass — cheaper than re-sorting edges
-// through a Builder and byte-for-byte deterministic.
-const graphBinaryVersion = 1
+// Binary payload format. Version 2 lays every CSR array on an 8-byte
+// boundary (relative to the payload start) and serializes the reverse
+// adjacency explicitly, so a zero-copy reader can alias all five
+// arrays straight out of a mapped snapshot section without the O(m)
+// counting rebuild. Version 1 (forward arrays only, reverse rebuilt on
+// load) is still read for old snapshots.
+const (
+	graphBinaryVersion   = 2
+	graphBinaryVersionV1 = 1
+)
 
-// WriteBinary serializes g's CSR representation.
+// WriteBinary serializes g's CSR representation in the current
+// (aligned, version 2) format.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := binio.NewWriter(w)
 	bw.U8(graphBinaryVersion)
+	bw.I32(g.n)
+	bw.Align8()
+	bw.I32s(g.outOff)
+	bw.Align8()
+	bw.I32s(g.outDst)
+	bw.Align8()
+	bw.I32s(g.inOff)
+	bw.Align8()
+	bw.I32s(g.inSrc)
+	bw.Align8()
+	bw.I32s(g.inEdge)
+	if g.names != nil {
+		bw.U8(1)
+		bw.Strs(g.names)
+	} else {
+		bw.U8(0)
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryV1 emits the legacy version-1 payload (forward CSR only,
+// unaligned). Kept for the cross-version compatibility tests and for
+// downgrade tooling.
+func WriteBinaryV1(w io.Writer, g *Graph) error {
+	bw := binio.NewWriter(w)
+	bw.U8(graphBinaryVersionV1)
 	bw.I32(g.n)
 	bw.I32s(g.outOff)
 	bw.I32s(g.outDst)
@@ -29,17 +62,44 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the payload produced by WriteBinary and rebuilds
-// the full graph, validating CSR invariants before returning it.
+// ReadBinary parses a payload produced by WriteBinary (any version)
+// from a stream, always copying onto the heap.
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := binio.NewReader(r)
-	if v := br.U8(); br.Err() == nil && v != graphBinaryVersion {
-		return nil, fmt.Errorf("graph: unsupported binary version %d", v)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read binary: %w", err)
+	}
+	return ReadView(arena.NewReader(data))
+}
+
+// ReadView parses a binary payload through an arena reader. In
+// zero-copy mode the five CSR arrays alias the reader's backing bytes
+// (the caller keeps them alive) and the O(m) content revalidation is
+// skipped in favor of shape checks — mapped snapshots were CRC-framed
+// when written; only name index maps are built on the heap.
+func ReadView(br *arena.Reader) (*Graph, error) {
+	version := br.U8()
+	if br.Err() == nil && version != graphBinaryVersion && version != graphBinaryVersionV1 {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
 	}
 	g := &Graph{}
 	g.n = br.I32()
-	g.outOff = br.I32s()
-	g.outDst = br.I32s()
+	switch version {
+	case graphBinaryVersionV1:
+		g.outOff = br.I32s()
+		g.outDst = br.I32s()
+	default:
+		br.Align8()
+		g.outOff = br.I32s()
+		br.Align8()
+		g.outDst = br.I32s()
+		br.Align8()
+		g.inOff = br.I32s()
+		br.Align8()
+		g.inSrc = br.I32s()
+		br.Align8()
+		g.inEdge = br.I32s()
+	}
 	if hasNames := br.U8(); br.Err() == nil && hasNames == 1 {
 		g.names = br.Strs()
 	}
@@ -53,22 +113,66 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: binary payload has %d names for %d nodes", len(g.names), g.n)
 	}
 	m := len(g.outDst)
-	if g.outOff[0] != 0 || g.outOff[g.n] != int32(m) {
-		return nil, fmt.Errorf("graph: binary payload offsets span [%d,%d] for %d edges",
-			g.outOff[0], g.outOff[g.n], m)
+	if err := checkOffsets("out", g.outOff, g.n, m); err != nil {
+		return nil, err
 	}
-	for u := int32(0); u < g.n; u++ {
-		if g.outOff[u] > g.outOff[u+1] {
-			return nil, fmt.Errorf("graph: binary payload offsets not monotone at node %d", u)
+	if version == graphBinaryVersionV1 {
+		if err := g.rebuildReverse(); err != nil {
+			return nil, err
+		}
+	} else {
+		if len(g.inOff) != int(g.n)+1 || len(g.inSrc) != m || len(g.inEdge) != m {
+			return nil, fmt.Errorf("graph: binary payload reverse arrays sized %d/%d/%d for %d nodes, %d edges",
+				len(g.inOff), len(g.inSrc), len(g.inEdge), g.n, m)
+		}
+		if err := checkOffsets("in", g.inOff, g.n, m); err != nil {
+			return nil, err
 		}
 	}
-	// Rebuild the reverse adjacency with a counting pass.
+	if g.names != nil {
+		g.nameIdx = make(map[string]NodeID, g.n)
+		for i, nm := range g.names {
+			if nm != "" {
+				g.nameIdx[nm] = NodeID(i)
+			}
+		}
+	}
+	// Zero-copy input is a snapshot we (or a peer replica) wrote and
+	// framed with CRCs: the per-edge content validation would fault in
+	// every page of a mapped file, defeating the lazy cold start, so it
+	// only runs on the copying path.
+	if !br.ZeroCopy() {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// checkOffsets validates a CSR offset array's shape: [0,m] span and
+// monotone throughout. O(n) over the offsets only, never the edges.
+func checkOffsets(kind string, off []int32, n int32, m int) error {
+	if off[0] != 0 || off[n] != int32(m) {
+		return fmt.Errorf("graph: binary payload %s-offsets span [%d,%d] for %d edges", kind, off[0], off[n], m)
+	}
+	for u := int32(0); u < n; u++ {
+		if off[u] > off[u+1] {
+			return fmt.Errorf("graph: binary payload %s-offsets not monotone at node %d", kind, u)
+		}
+	}
+	return nil
+}
+
+// rebuildReverse reconstructs the reverse adjacency with a counting
+// pass — the version-1 load path.
+func (g *Graph) rebuildReverse() error {
+	m := len(g.outDst)
 	g.inOff = make([]int32, g.n+1)
 	g.inSrc = make([]NodeID, m)
 	g.inEdge = make([]EdgeID, m)
 	for _, v := range g.outDst {
 		if v < 0 || v >= g.n {
-			return nil, fmt.Errorf("graph: binary payload edge destination %d out of range", v)
+			return fmt.Errorf("graph: binary payload edge destination %d out of range", v)
 		}
 		g.inOff[v+1]++
 	}
@@ -86,16 +190,5 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			g.inEdge[slot] = e
 		}
 	}
-	if g.names != nil {
-		g.nameIdx = make(map[string]NodeID, g.n)
-		for i, nm := range g.names {
-			if nm != "" {
-				g.nameIdx[nm] = NodeID(i)
-			}
-		}
-	}
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
-	}
-	return g, nil
+	return nil
 }

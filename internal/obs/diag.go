@@ -27,6 +27,19 @@ type Watchdog struct {
 	mu       sync.Mutex
 	last     time.Time
 	captures uint64
+	meta     func() map[string]any
+}
+
+// SetMeta registers a callback sampled at capture time; its result is
+// embedded in the bundle's meta.json under "extra" (e.g. snapshot
+// mapping stats). Call before the watchdog starts capturing.
+func (w *Watchdog) SetMeta(fn func() map[string]any) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.meta = fn
+	w.mu.Unlock()
 }
 
 // NewWatchdog builds a watchdog writing bundles under dir. minInterval
@@ -47,8 +60,9 @@ func NewWatchdog(dir string, minInterval time.Duration, logger *slog.Logger) *Wa
 
 // diagMeta is the schema of a bundle's meta.json.
 type diagMeta struct {
-	Time   time.Time `json:"time"`
-	Reason string    `json:"reason"`
+	Time   time.Time      `json:"time"`
+	Reason string         `json:"reason"`
+	Extra  map[string]any `json:"extra,omitempty"`
 }
 
 // DiagBundle describes one captured bundle for the /api/debug/diag
@@ -95,8 +109,12 @@ func (w *Watchdog) Capture(reason string, extras map[string][]byte) (string, boo
 			w.log.Error("diag bundle write failed", "file", file, "err", err)
 		}
 	}
+	meta := diagMeta{Time: now.UTC(), Reason: reason}
+	if w.meta != nil {
+		meta.Extra = w.meta()
+	}
 	write("meta.json", func(f *os.File) error {
-		return json.NewEncoder(f).Encode(diagMeta{Time: now.UTC(), Reason: reason})
+		return json.NewEncoder(f).Encode(meta)
 	})
 	write("goroutines.txt", func(f *os.File) error {
 		return pprof.Lookup("goroutine").WriteTo(f, 1)

@@ -4,36 +4,68 @@ import (
 	"fmt"
 	"io"
 
+	"octopus/internal/arena"
 	"octopus/internal/binio"
 	"octopus/internal/tic"
 	"octopus/internal/topic"
 )
 
-// Binary payload format (version 2): the precomputed bound arrays and
-// topic samples, including each sample's pruning frontier (version 2),
-// so a loaded index folds as selectively as a freshly built one.
-// Loading re-binds them to a TIC model instead of repeating the
-// per-node MIA precomputation.
-const otimBinaryVersion = 2
+// Binary payload format: the precomputed bound arrays and topic
+// samples, including each sample's pruning frontier, so a loaded index
+// folds as selectively as a freshly built one. Loading re-binds them
+// to a TIC model instead of repeating the per-node MIA precomputation.
+// Version 3 places every bulk array (including the per-sample seed and
+// spread metadata) on an 8-byte boundary so a zero-copy reader aliases
+// them out of a mapped snapshot; version 2 (unaligned) is still read
+// for old snapshots.
+const (
+	otimBinaryVersion   = 3
+	otimBinaryVersionV2 = 2
+)
 
-// WriteBinary serializes the index arrays. The model is serialized
-// separately; ReadBinary re-binds to it.
+// WriteBinary serializes the index arrays in the current (aligned,
+// version 3) format. The model is serialized separately; ReadBinary
+// re-binds to it.
 func WriteBinary(w io.Writer, ix *Index) error {
+	return writeBinary(w, ix, otimBinaryVersion)
+}
+
+// WriteBinaryV2 emits the legacy version-2 payload, kept for the
+// cross-version compatibility tests and downgrade tooling.
+func WriteBinaryV2(w io.Writer, ix *Index) error {
+	return writeBinary(w, ix, otimBinaryVersionV2)
+}
+
+func writeBinary(w io.Writer, ix *Index, version uint8) error {
 	bw := binio.NewWriter(w)
-	bw.U8(otimBinaryVersion)
+	align := func() {
+		if version >= otimBinaryVersion {
+			bw.Align8()
+		}
+	}
+	bw.U8(version)
 	bw.F64(ix.thetaPre)
 	bw.F64(ix.delta)
+	align()
 	bw.F64s(ix.sigmaMax)
+	align()
 	bw.I32s(ix.treeSize)
+	align()
 	bw.F64s(ix.aggr)
+	align()
 	bw.F64s(ix.wdeg)
 	bw.U64(uint64(len(ix.samples)))
 	for _, s := range ix.samples {
+		align()
 		bw.F64s(s.Gamma)
+		align()
 		bw.I32s(s.Seeds)
+		align()
 		bw.F64s(s.Spreads)
+		align()
 		bw.F64s(s.Gains)
 	}
+	align()
 	bw.F64s(ix.sampleStop)
 	ties := make([]int32, len(ix.sampleTie))
 	for i, tie := range ix.sampleTie {
@@ -41,48 +73,81 @@ func WriteBinary(w io.Writer, ix *Index) error {
 			ties[i] = 1
 		}
 	}
+	align()
 	bw.I32s(ties)
 	for _, ru := range ix.sampleRU {
+		align()
 		bw.F64s(ru)
 	}
 	return bw.Flush()
 }
 
-// ReadBinary parses the payload produced by WriteBinary and binds the
-// index to model m.
+// ReadBinary parses a payload produced by WriteBinary (any version)
+// from a stream, always copying onto the heap, and binds the index to
+// model m.
 func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
-	br := binio.NewReader(r)
-	if v := br.U8(); br.Err() == nil && v != otimBinaryVersion {
-		return nil, fmt.Errorf("otim: unsupported binary version %d (want %d): snapshots from older builds must be regenerated, e.g. octopus build", v, otimBinaryVersion)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("otim: read binary: %w", err)
+	}
+	return ReadView(arena.NewReader(data), m)
+}
+
+// ReadView parses a binary payload through an arena reader. Zero-copy
+// mode aliases the bound arrays and per-sample metadata into the
+// reader's backing bytes and skips the per-seed range revalidation
+// (shape checks still run), since mapped snapshots were CRC-framed
+// when written. The sampleTie bools are always decoded onto the heap
+// (they are stored widened to int32).
+func ReadView(br *arena.Reader, m *tic.Model) (*Index, error) {
+	version := br.U8()
+	if br.Err() == nil && version != otimBinaryVersion && version != otimBinaryVersionV2 {
+		return nil, fmt.Errorf("otim: unsupported binary version %d (want %d): snapshots from older builds must be regenerated, e.g. octopus build", version, otimBinaryVersion)
+	}
+	align := func() {
+		if version >= otimBinaryVersion {
+			br.Align8()
+		}
 	}
 	ix := &Index{model: m}
 	ix.thetaPre = br.F64()
 	ix.delta = br.F64()
+	align()
 	ix.sigmaMax = br.F64s()
+	align()
 	ix.treeSize = br.I32s()
+	align()
 	ix.aggr = br.F64s()
+	align()
 	ix.wdeg = br.F64s()
 	numSamples := int(br.U64())
 	if br.Err() == nil && (numSamples < 0 || numSamples > binio.MaxLen) {
 		return nil, fmt.Errorf("otim: binary payload sample count out of range")
 	}
 	for i := 0; i < numSamples && br.Err() == nil; i++ {
-		s := TopicSample{
-			Gamma:   topic.Dist(br.F64s()),
-			Seeds:   br.I32s(),
-			Spreads: br.F64s(),
-			Gains:   br.F64s(),
-		}
-		ix.samples = append(ix.samples, s)
+		align()
+		gamma := topic.Dist(br.F64s())
+		align()
+		seeds := br.I32s()
+		align()
+		spreads := br.F64s()
+		align()
+		gains := br.F64s()
+		ix.samples = append(ix.samples, TopicSample{
+			Gamma: gamma, Seeds: seeds, Spreads: spreads, Gains: gains,
+		})
 	}
+	align()
 	ix.sampleStop = br.F64s()
+	align()
 	ties := br.I32s()
 	ix.sampleTie = make([]bool, len(ties))
-	for i, v := range ties {
-		ix.sampleTie[i] = v != 0
+	for i, tv := range ties {
+		ix.sampleTie[i] = tv != 0
 	}
 	ix.sampleRU = make([][]float64, len(ix.samples))
 	for i := 0; i < len(ix.samples) && br.Err() == nil; i++ {
+		align()
 		ix.sampleRU[i] = br.F64s()
 	}
 	if err := br.Err(); err != nil {
@@ -104,6 +169,9 @@ func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 		if len(s.Gamma) != z || len(s.Seeds) != len(s.Spreads) || len(s.Gains) != len(s.Seeds) ||
 			len(ix.sampleRU[i]) != len(s.Seeds) {
 			return nil, fmt.Errorf("otim: binary payload sample %d malformed", i)
+		}
+		if br.ZeroCopy() {
+			continue
 		}
 		for _, u := range s.Seeds {
 			if u < 0 || int(u) >= n {

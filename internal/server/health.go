@@ -48,7 +48,8 @@ func (s *Server) staleness() time.Duration {
 // 503. A non-ready state also triggers the (rate-limited) diagnostics
 // watchdog, so the first probe that sees a burn captures the evidence.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	_, gen := s.snap()
+	_, gen, rel := s.snap()
+	rel()
 	stale := s.staleness()
 	rep := s.slo.Report(stale)
 	m := s.metrics.Report()

@@ -68,8 +68,23 @@ func (s *Server) collectSLO(w *obs.MetricWriter) {
 // collectServing emits the serving-layer gauges: pinned generation,
 // cache occupancy, admission gate state.
 func (s *Server) collectServing(w *obs.MetricWriter) {
-	_, gen := s.snap()
+	_, gen, rel := s.snap()
+	rel()
 	w.Gauge("octopus_snapshot_generation", "Generation of the snapshot queries pin.", float64(gen))
+	if s.storeStats != nil {
+		st := s.storeStats()
+		mapped := 0.0
+		if st.MappedBytes > 0 {
+			mapped = 1
+		}
+		w.Gauge("octopus_store_mmap", "1 when the snapshot file is served zero-copy via mmap.", mapped)
+		w.Gauge("octopus_store_snapshot_bytes", "Size of the snapshot file being served.", float64(st.FileSize))
+		w.Gauge("octopus_store_mapped_bytes", "Bytes of the snapshot currently memory-mapped.", float64(st.MappedBytes))
+		if st.ResidentBytes >= 0 {
+			w.Gauge("octopus_store_resident_bytes", "Mapped snapshot bytes resident in memory (mincore estimate).", float64(st.ResidentBytes))
+		}
+		w.Gauge("octopus_store_copy_fallbacks", "Arrays copied to the heap despite a mapped open (alignment or platform).", float64(st.CopyFallbacks))
+	}
 	if s.cache != nil {
 		w.Gauge("octopus_cache_entries", "Entries in the result cache.", float64(s.cache.Len()))
 	}

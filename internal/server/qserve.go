@@ -114,7 +114,8 @@ func (s *Server) cachedQuery(endpoint string, h queryHandler) http.HandlerFunc {
 // the snapshot and its generation, probe the cache, coalesce identical
 // concurrent misses, compute behind the admission gate, store, replay.
 func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWriter, r *http.Request) {
-	sys, gen := s.snap()
+	sys, gen, rel := s.snap()
+	defer rel()
 	tr := obs.TraceFrom(r.Context())
 	tr.SetGeneration(gen)
 	// Parse the explain flag before touching the cache: a malformed
@@ -460,7 +461,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		InFlight     int    `json:"inFlight"`
 		MaxInflight  int    `json:"maxInflight"`
 	}
-	_, gen := s.snap()
+	_, gen, rel := s.snap()
+	rel()
 	resp := metricsResponse{
 		Snapshot:    s.metrics.Report(),
 		Generation:  gen,
@@ -501,7 +503,8 @@ type targetedResponse struct {
 // the result-cache key space) but the work is admission-controlled like
 // any other engine run.
 func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
-	sys, gen := s.snap()
+	sys, gen, rel := s.snap()
+	defer rel()
 	w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
 	qp := params(r)
 	explain := qp.Flag("explain")

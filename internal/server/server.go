@@ -87,6 +87,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/obs"
 	"octopus/internal/qcache"
+	"octopus/internal/store"
 	"octopus/internal/stream"
 	"octopus/internal/tags"
 )
@@ -129,6 +130,11 @@ type Options struct {
 	DiagDir string
 	// DiagMinInterval rate-limits bundle captures (default 10m).
 	DiagMinInterval time.Duration
+	// StoreStats, when set, reports how the serving snapshot file is
+	// backed (mmap vs heap, resident bytes, copy fallbacks). It is
+	// surfaced on /api/ingest/stats, as octopus_store_* gauges on
+	// /metrics, and in diagnostics bundle metadata.
+	StoreStats func() store.MapStats
 }
 
 func (o *Options) fill() {
@@ -155,10 +161,15 @@ type Server struct {
 	// snap pins the (system, generation) pair a request is answered
 	// from — one atomic load on a live server, a constant on a static
 	// one. Handlers must never re-resolve the system mid-request: the
-	// cache's byte-identical guarantee rests on the single pin.
-	snap func() (*core.System, uint64)
-	live *stream.LiveSystem // nil on a static server
-	mux  *http.ServeMux
+	// cache's byte-identical guarantee rests on the single pin. The
+	// release callback (idempotent, never nil) must be called when the
+	// request is done with the system: on a live server over a mapped
+	// snapshot it holds the pin that keeps a swapped-out generation's
+	// mapping from being unmapped mid-query.
+	snap       func() (*core.System, uint64, func())
+	live       *stream.LiveSystem // nil on a static server
+	storeStats func() store.MapStats
+	mux        *http.ServeMux
 	// QueryTimeout bounds each analysis request (default 10s).
 	QueryTimeout time.Duration
 
@@ -186,8 +197,13 @@ func New(sys *core.System) *Server { return NewWith(sys, Options{}) }
 // options. A static system has exactly one generation (1), so cached
 // entries never go stale.
 func NewWith(sys *core.System, opt Options) *Server {
-	return newServer(func() (*core.System, uint64) { return sys, 1 }, nil, opt)
+	return newServer(func() (*core.System, uint64, func()) { return sys, 1, noopRelease }, nil, opt)
 }
+
+// noopRelease is the release callback of a static server's snap: a
+// static system's arrays live for the whole process, so there is
+// nothing to pin.
+func noopRelease() {}
 
 // NewLive creates a Server over a LiveSystem with default serving
 // options: every query runs against the current snapshot, and the
@@ -199,20 +215,22 @@ func NewLive(ls *stream.LiveSystem) *Server { return NewLiveWith(ls, Options{}) 
 // computed from, so every snapshot swap implicitly invalidates the
 // whole cache.
 func NewLiveWith(ls *stream.LiveSystem, opt Options) *Server {
-	// One atomic snapshot load yields both the system and the generation
-	// (stream.Generation pins the same counter); loading them separately
-	// could tear across a swap.
-	return newServer(func() (*core.System, uint64) {
-		sn := ls.Snapshot()
-		return sn.Sys, sn.Version
+	// One pin yields both the system and the generation (stream.Generation
+	// pins the same counter); loading them separately could tear across a
+	// swap. The pin also keeps a mapped snapshot's backing alive until
+	// the request releases it, even if a fold swaps it out mid-query.
+	return newServer(func() (*core.System, uint64, func()) {
+		sn, rel := ls.Acquire()
+		return sn.Sys, sn.Version, rel
 	}, ls, opt)
 }
 
-func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt Options) *Server {
+func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSystem, opt Options) *Server {
 	opt.fill()
 	s := &Server{
 		snap:          snap,
 		live:          live,
+		storeStats:    opt.StoreStats,
 		mux:           http.NewServeMux(),
 		QueryTimeout:  opt.QueryTimeout,
 		gate:          qcache.NewGate(opt.MaxInflight),
@@ -231,6 +249,11 @@ func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt 
 	}
 	s.registry = s.newRegistry()
 	if s.watchdog != nil {
+		if s.storeStats != nil {
+			s.watchdog.SetMeta(func() map[string]any {
+				return map[string]any{"store": s.storeStats()}
+			})
+		}
 		go s.watchLoop()
 	}
 	for _, q := range []struct {
@@ -267,7 +290,8 @@ func newServer(snap func() (*core.System, uint64), live *stream.LiveSystem, opt 
 // stamp the generation header, run.
 func (s *Server) pinned(h queryHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sys, gen := s.snap()
+		sys, gen, rel := s.snap()
+		defer rel()
 		w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
 		h(sys, w, r)
 	}
@@ -700,10 +724,28 @@ func (s *Server) handleIngestEdges(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
-	if !s.requireLive(w) {
+	// A static server with a mapped snapshot still has mapping stats to
+	// report — only the pure static case (nothing to say) stays a 404.
+	if s.live == nil {
+		if s.storeStats == nil {
+			s.requireLive(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Live  bool           `json:"live"`
+			Store store.MapStats `json:"store"`
+		}{false, s.storeStats()})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.live.Stats())
+	st := s.live.Stats()
+	if s.storeStats == nil {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		stream.Stats
+		Store store.MapStats `json:"store"`
+	}{st, s.storeStats()})
 }
 
 type missingParamError string

@@ -1,0 +1,342 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/arena"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/otim"
+	"octopus/internal/tags"
+	"octopus/internal/tic"
+	"octopus/internal/topic"
+)
+
+// mmapEnv is the environment knob that disables zero-copy mapping.
+// Setting it to "off", "0", "false" or "copy" makes Map/MapParts take
+// the copying path (identical results, heap-backed arrays); anything
+// else, including unset, leaves mapping on. CI runs the short suite
+// under both settings.
+const mmapEnv = "OCTOPUS_MMAP"
+
+func mmapEnabled() bool {
+	switch strings.ToLower(os.Getenv(mmapEnv)) {
+	case "off", "0", "false", "copy":
+		return false
+	}
+	return true
+}
+
+// MapOptions controls a mapped snapshot open.
+type MapOptions struct {
+	// Verify checks every section's CRC at open time. By default only
+	// the META, ALOG and CONF sections are verified eagerly: checksumming
+	// the bulk-array sections would fault every page of the file and
+	// forfeit the lazy cold start that mapping exists to provide. The
+	// bulk sections still pass shape validation at open time, and ALOG —
+	// the one section whose decode is deferred to first use — is always
+	// CRC-verified up front so the deferred decode cannot hit corruption.
+	Verify bool
+}
+
+// MapStats describes how a snapshot is being served, for the ingest
+// stats endpoint, /metrics and the diagnostics bundle.
+type MapStats struct {
+	Path          string `json:"path"`
+	Backing       string `json:"backing"` // "mmap" or "heap (<reason>)"
+	FileSize      int64  `json:"file_size_bytes"`
+	MappedBytes   int64  `json:"mapped_bytes"`   // 0 when heap-backed
+	ResidentBytes int64  `json:"resident_bytes"` // -1 when unknowable
+	CopyFallbacks int    `json:"copy_fallbacks"` // arrays copied despite a mapped open
+	FormatVersion uint32 `json:"format_version"`
+}
+
+// Mapped is the handle that owns a mapped snapshot's lifetime. The
+// systems built over it hold an unowned pointer (core.System.Backing);
+// the reference counting is done by the owners — this handle and, when
+// streaming, each published snapshot generation. Close releases this
+// handle's reference; the underlying mapping is unmapped only when the
+// last reference (e.g. a pinned reader on an old generation) goes away.
+type Mapped struct {
+	mapping   *arena.Mapping
+	path      string
+	fileSize  int64
+	backing   string
+	fallbacks int
+	fv        uint32
+	closeOnce sync.Once
+}
+
+// Mapping exposes the underlying refcounted mapping, for publishers
+// (stream snapshots) that need to take their own references.
+func (m *Mapped) Mapping() *arena.Mapping { return m.mapping }
+
+// Stats reports the current serving state. ResidentBytes is sampled
+// live (mincore), so repeated calls show the page cache warming up.
+func (m *Mapped) Stats() MapStats {
+	s := MapStats{
+		Path:          m.path,
+		Backing:       m.backing,
+		FileSize:      m.fileSize,
+		ResidentBytes: m.mapping.Resident(),
+		CopyFallbacks: m.fallbacks,
+		FormatVersion: m.fv,
+	}
+	if m.mapping.Mapped() {
+		s.MappedBytes = int64(m.mapping.Len())
+	}
+	return s
+}
+
+// Close releases this handle's reference on the mapping. Idempotent.
+// Systems still pinned by in-flight readers keep the mapping alive
+// through their own references; the munmap happens when the last one
+// releases.
+func (m *Mapped) Close() {
+	m.closeOnce.Do(m.mapping.Release)
+}
+
+// mappedSection frames one section out of the mapped bytes, returning
+// the payload as a subslice (no copy) and the offset of the next
+// frame. verify additionally checks the payload CRC.
+func mappedSection(data []byte, pos int64, want [4]byte, verify bool) ([]byte, int64, error) {
+	name := string(want[:])
+	if pos+16 > int64(len(data)) {
+		return nil, 0, fmt.Errorf("store: truncated before %s section", name)
+	}
+	hdr := data[pos : pos+16]
+	var tag [4]byte
+	copy(tag[:], hdr[0:4])
+	if tag != want {
+		return nil, 0, fmt.Errorf("store: expected %s section, found %q", name, tag[:])
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > maxSectionLen || n > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("store: %s section declares %d bytes (limit %d)", name, n, maxSectionLen)
+	}
+	end := pos + sectionFrameLen(int(n), false)
+	if end > int64(len(data)) {
+		return nil, 0, fmt.Errorf("store: truncated %s section", name)
+	}
+	payload := data[pos+16 : pos+16+int64(n) : pos+16+int64(n)]
+	if verify {
+		crcAt := pos + 16 + int64(n) + int64(pad8(int(n)))
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[crcAt:crcAt+4]) {
+			return nil, 0, fmt.Errorf("store: %s section checksum mismatch", name)
+		}
+	}
+	return payload, end, nil
+}
+
+// MapParts opens a snapshot file for in-place serving: the file is
+// mmap'd read-only and the bulk arrays of the decoded parts alias the
+// mapped bytes instead of being copied onto the heap. The returned
+// Mapped handle owns the mapping; keep it (and call Close when done
+// serving). The action log is not decoded — Parts.LogFn decodes it on
+// first use, off the mapped (CRC-verified) bytes.
+//
+// When mapping is unavailable — legacy-format file, unsupported
+// platform, big-endian host, or OCTOPUS_MMAP=off — MapParts falls back
+// to the copying path and returns a heap-backed handle whose Stats
+// name the reason.
+func MapParts(path string, opt MapOptions) (*Parts, *Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: map: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: map: %w", err)
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("store: read magic: %w", err)
+	}
+	fallback := ""
+	switch {
+	case string(magic[:]) == legacyMagic:
+		fallback = "legacy-format"
+	case string(magic[:]) != snapshotMagic:
+		return nil, nil, fmt.Errorf("store: bad magic %q (not a snapshot file)", magic[:])
+	case !mmapEnabled():
+		fallback = "mmap-disabled"
+	case !arena.MapSupported():
+		fallback = "platform-unsupported"
+	case !arena.LittleEndianHost():
+		fallback = "big-endian-host"
+	}
+	if fallback != "" {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, fmt.Errorf("store: map: %w", err)
+		}
+		p, err := ReadParts(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		fv := uint32(formatVersion)
+		if fallback == "legacy-format" {
+			fv = legacyFormatVersion
+		}
+		m := &Mapped{
+			mapping:  arena.NewHeapMapping(nil),
+			path:     path,
+			fileSize: st.Size(),
+			backing:  "heap (" + fallback + ")",
+			fv:       fv,
+		}
+		return p, m, nil
+	}
+
+	mapping, err := arena.MapFile(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: map: %w", err)
+	}
+	p, m, err := mapParts(mapping.Bytes(), opt)
+	if err != nil {
+		mapping.Release()
+		return nil, nil, err
+	}
+	m.mapping = mapping
+	m.path = path
+	m.fileSize = st.Size()
+	m.backing = "mmap"
+	return p, m, nil
+}
+
+// mapParts decodes the aligned framing out of mapped (or any) bytes
+// with zero-copy readers. The returned Mapped has its decode-derived
+// fields set; the caller fills in the mapping and identity.
+func mapParts(data []byte, opt MapOptions) (*Parts, *Mapped, error) {
+	if int64(len(data)) < int64(len(snapshotMagic)) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, nil, fmt.Errorf("store: bad magic (not a snapshot file)")
+	}
+	pos := int64(len(snapshotMagic))
+	fallbacks := 0
+	next := func(want [4]byte, verify bool) ([]byte, int64, error) {
+		start := pos
+		payload, end, err := mappedSection(data, pos, want, verify || opt.Verify)
+		if err == nil {
+			pos = end
+		}
+		return payload, start, err
+	}
+	meta, metaAt, err := next(tagMeta, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	mr := arena.NewReader(meta)
+	fv := mr.U32()
+	version := mr.U64()
+	if err := mr.Err(); err != nil {
+		return nil, nil, decodeErr(tagMeta, metaAt, err)
+	}
+	if fv != formatVersion {
+		return nil, nil, fmt.Errorf("store: unsupported snapshot format version %d (want %d)", fv, formatVersion)
+	}
+	p := &Parts{Version: version}
+	grph, at, err := next(tagGraph, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	gr := arena.NewZeroCopy(grph)
+	if p.Graph, err = graph.ReadView(gr); err != nil {
+		return nil, nil, decodeErr(tagGraph, at, err)
+	}
+	fallbacks += gr.Fallbacks()
+	// The log decode is deferred to first use (core ensures it at most
+	// once); verifying its CRC now — a sequential, allocation-free pass —
+	// guarantees the deferred decode never encounters corruption, which
+	// is what lets core treat a LogFn failure as a programming error.
+	alog, at, err := next(tagLog, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	logAt := at
+	p.LogFn = func() (*actionlog.Log, error) {
+		l, err := readLog(bytes.NewReader(alog))
+		if err != nil {
+			return nil, decodeErr(tagLog, logAt, err)
+		}
+		return l, nil
+	}
+	ticm, at, err := next(tagTIC, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := arena.NewZeroCopy(ticm)
+	if p.Prop, err = tic.ReadView(tr, p.Graph); err != nil {
+		return nil, nil, decodeErr(tagTIC, at, err)
+	}
+	fallbacks += tr.Fallbacks()
+	topc, at, err := next(tagTopic, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	wr := arena.NewZeroCopy(topc)
+	if p.Words, err = topic.ReadView(wr); err != nil {
+		return nil, nil, decodeErr(tagTopic, at, err)
+	}
+	fallbacks += wr.Fallbacks()
+	otimIdx, at, err := next(tagOTIM, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	or := arena.NewZeroCopy(otimIdx)
+	if p.OTIM, err = otim.ReadView(or, p.Prop); err != nil {
+		return nil, nil, decodeErr(tagOTIM, at, err)
+	}
+	fallbacks += or.Fallbacks()
+	tagsIdx, at, err := next(tagTags, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	xr := arena.NewZeroCopy(tagsIdx)
+	if p.Tags, err = tags.ReadView(xr, p.Prop); err != nil {
+		return nil, nil, decodeErr(tagTags, at, err)
+	}
+	fallbacks += xr.Fallbacks()
+	conf, at, err := next(tagConf, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.Config, err = readConfig(bytes.NewReader(conf)); err != nil {
+		return nil, nil, decodeErr(tagConf, at, err)
+	}
+	if _, _, err := next(tagDone, true); err != nil {
+		return nil, nil, err
+	}
+	if p.Prop.NumTopics() != p.Words.NumTopics() {
+		return nil, nil, fmt.Errorf("store: tic model has %d topics, keyword model %d",
+			p.Prop.NumTopics(), p.Words.NumTopics())
+	}
+	return p, &Mapped{fallbacks: fallbacks, fv: fv}, nil
+}
+
+// Map opens a snapshot for in-place serving and builds the system over
+// it. The system's backing is wired to the mapping so snapshot-swap
+// publishers can pin it; the caller owns the returned handle and must
+// Close it when the system is retired.
+func Map(path string, opt MapOptions) (*core.System, *Mapped, error) {
+	p, m, err := MapParts(path, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := p.Build()
+	if err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	if m.mapping.Mapped() {
+		sys.SetBacking(m.mapping)
+	}
+	return sys, m, nil
+}

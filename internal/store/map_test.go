@@ -1,0 +1,337 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"octopus/internal/arena"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/otim"
+)
+
+func TestMapServesIdenticalResults(t *testing.T) {
+	sys := buildSystem(t, 300, 21)
+	path := filepath.Join(t.TempDir(), "model.oct")
+	if err := Save(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	heap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappedSys, m, err := Map(path, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := m.Stats()
+	if arena.MapSupported() && arena.LittleEndianHost() && mmapEnabled() {
+		if st.Backing != "mmap" {
+			t.Fatalf("backing = %q, want mmap", st.Backing)
+		}
+		if st.MappedBytes != st.FileSize {
+			t.Fatalf("mapped %d bytes of a %d-byte file", st.MappedBytes, st.FileSize)
+		}
+		if st.CopyFallbacks != 0 {
+			t.Fatalf("%d arrays fell back to copies on an aligned v3 file", st.CopyFallbacks)
+		}
+	}
+	if st.FormatVersion != formatVersion {
+		t.Fatalf("format version %d, want %d", st.FormatVersion, formatVersion)
+	}
+	// Query-for-query identity: the mapped system must answer exactly
+	// like the heap-decoded one (and like the original).
+	assertSystemsEquivalent(t, sys, mappedSys)
+	assertSystemsEquivalent(t, heap, mappedSys)
+}
+
+func TestMapVerifyOption(t *testing.T) {
+	sys := buildSystem(t, 120, 7)
+	path := filepath.Join(t.TempDir(), "model.oct")
+	if err := Save(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	// Full verification passes on a good file.
+	mappedSys, m, err := Map(path, MapOptions{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	_ = mappedSys
+
+	// A flipped bit in a bulk section goes undetected by the default
+	// (lazy) open if the shape still parses, but Verify catches it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := walkV3(t, data)
+	grph := secs["GRPH"]
+	bad := append([]byte(nil), data...)
+	bad[grph.payloadAt+grph.n-1] ^= 0x01 // low bit of a trailing array value
+	badPath := filepath.Join(t.TempDir(), "bad.oct")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, mm, err := MapParts(badPath, MapOptions{Verify: true}); err == nil {
+		mm.Close()
+		t.Fatal("Verify:true accepted a corrupted bulk section")
+	} else if !strings.Contains(err.Error(), "GRPH") {
+		t.Fatalf("corruption error does not name the section: %v", err)
+	}
+}
+
+func TestMapLegacyFallsBackToCopy(t *testing.T) {
+	sys := buildSystem(t, 200, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.oct")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLegacy(f, sys, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The copying loader accepts it...
+	heap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSystemsEquivalent(t, sys, heap)
+	// ...and the mapping opener falls back to the same copy path.
+	mappedSys, m, err := Map(path, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := m.Stats()
+	if st.Backing != "heap (legacy-format)" {
+		t.Fatalf("backing = %q, want heap (legacy-format)", st.Backing)
+	}
+	if st.MappedBytes != 0 {
+		t.Fatalf("legacy fallback reports %d mapped bytes", st.MappedBytes)
+	}
+	if st.FormatVersion != legacyFormatVersion {
+		t.Fatalf("format version %d, want %d", st.FormatVersion, legacyFormatVersion)
+	}
+	assertSystemsEquivalent(t, sys, mappedSys)
+}
+
+// TestMapReservedV2Loads exercises the version row of the cross-version
+// matrix that never shipped: format version 2 in legacy framing is
+// accepted by the copy path, so a downgrade tool emitting it stays
+// loadable.
+func TestMapReservedV2Loads(t *testing.T) {
+	sys := buildSystem(t, 120, 9)
+	var buf bytes.Buffer
+	if err := WriteLegacy(&buf, sys, 7); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Legacy META frame: 12-byte header at offset 8, payload (fv u32 +
+	// version u64) at 20, crc at 32. Patch fv 1 -> 2 and fix the crc.
+	const payloadAt = 8 + 12
+	if got := binary.LittleEndian.Uint32(data[payloadAt:]); got != legacyFormatVersion {
+		t.Fatalf("legacy META fv = %d, want %d", got, legacyFormatVersion)
+	}
+	binary.LittleEndian.PutUint32(data[payloadAt:], legacyFormatVersion+1)
+	crc := crc32.Checksum(data[payloadAt:payloadAt+12], crcTable)
+	binary.LittleEndian.PutUint32(data[payloadAt+12:], crc)
+
+	sys2, _, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSystemsEquivalent(t, sys, sys2)
+}
+
+func TestMapEnvDisabled(t *testing.T) {
+	t.Setenv(mmapEnv, "off")
+	sys := buildSystem(t, 120, 3)
+	path := filepath.Join(t.TempDir(), "model.oct")
+	if err := Save(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	mappedSys, m, err := Map(path, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if st := m.Stats(); st.Backing != "heap (mmap-disabled)" {
+		t.Fatalf("backing = %q, want heap (mmap-disabled)", st.Backing)
+	}
+	assertSystemsEquivalent(t, sys, mappedSys)
+}
+
+// v3Section describes one frame found by walkV3.
+type v3Section struct {
+	frameAt   int64 // offset of the 16-byte header
+	payloadAt int64 // offset of the payload
+	n         int64 // payload length
+}
+
+// walkV3 walks a current-format snapshot's frames by header arithmetic
+// alone (no decoding), failing the test on any framing inconsistency.
+func walkV3(t *testing.T, data []byte) map[string]v3Section {
+	t.Helper()
+	if string(data[:8]) != snapshotMagic {
+		t.Fatalf("bad magic %q", data[:8])
+	}
+	secs := make(map[string]v3Section)
+	pos := int64(8)
+	order := []string{"META", "GRPH", "ALOG", "TICM", "TOPC", "OTIM", "TAGS", "CONF", "DONE"}
+	for _, want := range order {
+		if pos+16 > int64(len(data)) {
+			t.Fatalf("truncated before %s at %d", want, pos)
+		}
+		tag := string(data[pos : pos+4])
+		if tag != want {
+			t.Fatalf("section %q at offset %d, want %s", tag, pos, want)
+		}
+		n := int64(binary.LittleEndian.Uint64(data[pos+8 : pos+16]))
+		secs[want] = v3Section{frameAt: pos, payloadAt: pos + 16, n: n}
+		pos += sectionFrameLen(int(n), false)
+	}
+	if pos != int64(len(data)) {
+		t.Fatalf("file is %d bytes, frames cover %d", len(data), pos)
+	}
+	return secs
+}
+
+// TestAlignmentGolden pins the v3 framing invariant the zero-copy
+// readers rely on: every section header, payload and frame length is
+// 8-aligned, so in-payload Align8 discipline is enough to give every
+// bulk array an 8-aligned file offset.
+func TestAlignmentGolden(t *testing.T) {
+	sys := buildSystem(t, 300, 21)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, 1); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	secs := walkV3(t, data)
+	for name, s := range secs {
+		if s.frameAt%8 != 0 {
+			t.Errorf("%s header at %d: not 8-aligned", name, s.frameAt)
+		}
+		if s.payloadAt%8 != 0 {
+			t.Errorf("%s payload at %d: not 8-aligned", name, s.payloadAt)
+		}
+		if sectionFrameLen(int(s.n), false)%8 != 0 {
+			t.Errorf("%s frame length %d: not a multiple of 8", name, sectionFrameLen(int(s.n), false))
+		}
+	}
+	// The golden offsets of the fixed-size prefix: META's frame directly
+	// follows the 8-byte magic and spans 40 bytes, so GRPH's payload —
+	// the first bulk array — always starts at byte 64.
+	if s := secs["META"]; s.frameAt != 8 || s.n != 12 {
+		t.Errorf("META frame at %d len %d, want 8 len 12", s.frameAt, s.n)
+	}
+	if s := secs["GRPH"]; s.payloadAt != 64 {
+		t.Errorf("GRPH payload at %d, want 64", s.payloadAt)
+	}
+}
+
+// TestDecodeErrorNamesSectionAndOffset covers the partial-failure
+// contract: a mid-file decode error names the section and the byte
+// offset of its frame, for both the copying and the mapped reader. The
+// corruption recomputes the CRC so it reaches the decoder rather than
+// the checksum.
+func TestDecodeErrorNamesSectionAndOffset(t *testing.T) {
+	sys := buildSystem(t, 120, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, 1); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	secs := walkV3(t, data)
+	g := secs["GRPH"]
+	data[g.payloadAt] = 0xff // impossible codec version byte
+	crcAt := g.payloadAt + g.n + int64(pad8(int(g.n)))
+	crc := crc32.Checksum(data[g.payloadAt:g.payloadAt+g.n], crcTable)
+	binary.LittleEndian.PutUint32(data[crcAt:], crc)
+
+	wantSub := "decode GRPH section at byte offset 48"
+	if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("copying reader accepted a corrupt GRPH payload")
+	} else if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("copying reader error %q does not contain %q", err, wantSub)
+	}
+
+	path := filepath.Join(t.TempDir(), "bad.oct")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, m, err := MapParts(path, MapOptions{}); err == nil {
+		m.Close()
+		t.Fatal("mapped reader accepted a corrupt GRPH payload")
+	} else if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("mapped reader error %q does not contain %q", err, wantSub)
+	}
+}
+
+// FuzzMapParts feeds arbitrary bytes to the mapped opener. The
+// invariants: never panic, never read outside the file, and fail
+// cleanly on torn or truncated input. A successfully opened Parts is
+// additionally asked to decode its deferred log, so the lazy path is
+// fuzzed too.
+func FuzzMapParts(f *testing.F) {
+	ds, err := datagen.Citation(datagen.CitationConfig{Authors: 60, Topics: 4, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+		GroundTruth:      ds.Truth,
+		GroundTruthWords: ds.TruthWords,
+		TopicNames:       ds.TopicNames,
+		OTIM:             otim.BuildOptions{Samples: 4},
+		Seed:             1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, 1); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte(legacyMagic))
+	truncTail := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(truncTail)
+	flipped := append([]byte(nil), valid...)
+	flipped[70] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.oct")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		p, m, err := MapParts(path, MapOptions{Verify: true})
+		if err != nil {
+			return // clean failure is the expected outcome
+		}
+		defer m.Close()
+		if p.Log == nil && p.LogFn != nil {
+			if _, err := p.LogFn(); err != nil {
+				// Verify:true checksums ALOG up front, so the deferred
+				// decode can only fail on inputs that collide CRC32 —
+				// report it, that would break the lazy-decode contract.
+				t.Fatalf("CRC-verified log failed to decode: %v", err)
+			}
+		}
+	})
+}

@@ -16,17 +16,26 @@
 // # Snapshot format
 //
 // A snapshot is a magic header followed by length-prefixed sections,
-// each independently CRC-checksummed:
+// each independently CRC-checksummed. The current format (version 3)
+// keeps every section header, payload and trailer 8-byte aligned in
+// the file so a mapped reader (Map/MapParts) can alias bulk arrays in
+// place:
 //
-//	"OCTSNAP1"
-//	section := tag[4] | payloadLen u64 | payload | crc32c(payload) u32
+//	"OCTSNAP3"
+//	section := tag[4] | pad[4] | payloadLen u64
+//	           | payload | pad to 8 | crc32c(payload) u32 | pad[4]
 //	sections, in order: META GRPH ALOG TICM TOPC OTIM TAGS CONF DONE
+//
+// The previous format ("OCTSNAP1" magic, 12-byte unpadded headers) is
+// still read — the magic selects the framing — but always through the
+// copying path.
 //
 // All integers are little-endian. Section payloads are the binary
 // codecs of the owning packages (graph.WriteBinary, tic.WriteBinary,
 // topic.WriteBinary, otim.WriteBinary, tags.WriteBinary) plus
 // store-local codecs for the action log and the build configuration. A corrupt, truncated or version-skewed file is
-// rejected with a descriptive error; Save writes through a temp file
+// rejected with a descriptive error naming the section and its byte
+// offset; Save writes through a temp file
 // and renames, so a crash mid-save never clobbers the previous
 // snapshot.
 //
@@ -50,6 +59,7 @@ import (
 	"path/filepath"
 
 	"octopus/internal/actionlog"
+	"octopus/internal/arena"
 	"octopus/internal/binio"
 	"octopus/internal/core"
 	"octopus/internal/graph"
@@ -59,11 +69,21 @@ import (
 	"octopus/internal/topic"
 )
 
-// formatVersion is the snapshot format version recorded in META.
-const formatVersion = 1
+// formatVersion is the snapshot format version recorded in META (the
+// aligned, mappable framing). legacyFormatVersion opened every
+// pre-alignment snapshot; such files still load via the copying path.
+const (
+	formatVersion       = 3
+	legacyFormatVersion = 1
+)
 
-// snapshotMagic opens every snapshot file.
-const snapshotMagic = "OCTSNAP1"
+// snapshotMagic opens every current snapshot file; the magic doubles
+// as the framing selector, so legacy files (legacyMagic) are detected
+// before any header is parsed.
+const (
+	snapshotMagic = "OCTSNAP3"
+	legacyMagic   = "OCTSNAP1"
+)
 
 // maxSectionLen bounds a declared section payload length (8 GiB).
 const maxSectionLen = 8 << 30
@@ -83,7 +103,43 @@ var (
 	tagDone  = [4]byte{'D', 'O', 'N', 'E'}
 )
 
+// pad8 returns the zero-byte count that aligns n to 8.
+func pad8(n int) int { return (8 - n%8) % 8 }
+
+// sectionFrameLen returns the on-disk size of one framed section.
+func sectionFrameLen(payloadLen int, legacy bool) int64 {
+	if legacy {
+		return int64(12 + payloadLen + 4)
+	}
+	return int64(16 + payloadLen + pad8(payloadLen) + 8)
+}
+
+// writeSection frames one section: a 16-byte header (tag, 4 pad bytes,
+// payload length), the payload, zero padding to the next 8-byte
+// boundary, the payload CRC and 4 more pad bytes. Since the magic is 8
+// bytes, every header — and therefore every payload — starts at a file
+// offset divisible by 8, which is what lets the mapped reader alias
+// the payloads' bulk arrays in place.
 func writeSection(w io.Writer, tag [4]byte, payload []byte) error {
+	var hdr [16]byte
+	copy(hdr[0:4], tag[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var tail [15]byte // payload pad (0-7) + crc u32 + pad[4]
+	pad := pad8(len(payload))
+	binary.LittleEndian.PutUint32(tail[pad:pad+4], crc32.Checksum(payload, crcTable))
+	_, err := w.Write(tail[:pad+8])
+	return err
+}
+
+// writeSectionLegacy frames one section in the pre-alignment format:
+// a 12-byte header and no padding.
+func writeSectionLegacy(w io.Writer, tag [4]byte, payload []byte) error {
 	var hdr [12]byte
 	copy(hdr[0:4], tag[:])
 	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
@@ -99,13 +155,19 @@ func writeSection(w io.Writer, tag [4]byte, payload []byte) error {
 	return err
 }
 
-// readSection reads one framed section. limit, when non-negative, is
-// the total stream size — an upper bound no honest section can exceed,
-// so a corrupt length field fails before allocating.
-func readSection(r io.Reader, want [4]byte, limit int64) ([]byte, error) {
+// readSection reads one framed section from a stream, picking the
+// framing by the legacy flag. limit, when non-negative, is the total
+// stream size — an upper bound no honest section can exceed, so a
+// corrupt length field fails before allocating.
+func readSection(r io.Reader, want [4]byte, limit int64, legacy bool) ([]byte, error) {
 	name := string(want[:])
-	var hdr [12]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hdrLen := 16
+	if legacy {
+		hdrLen = 12
+	}
+	var hdrBuf [16]byte
+	hdr := hdrBuf[:hdrLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("store: truncated before %s section: %w", name, err)
 	}
 	var tag [4]byte
@@ -113,19 +175,29 @@ func readSection(r io.Reader, want [4]byte, limit int64) ([]byte, error) {
 	if tag != want {
 		return nil, fmt.Errorf("store: expected %s section, found %q", name, tag[:])
 	}
-	n := binary.LittleEndian.Uint64(hdr[4:12])
+	n := binary.LittleEndian.Uint64(hdr[hdrLen-8:])
 	if n > maxSectionLen || (limit >= 0 && n > uint64(limit)) {
 		return nil, fmt.Errorf("store: %s section declares %d bytes (limit %d)", name, n, maxSectionLen)
 	}
-	payload := make([]byte, n)
+	pad := 0
+	if !legacy {
+		pad = pad8(int(n))
+	}
+	payload := make([]byte, int(n)+pad)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("store: truncated %s section: %w", name, err)
 	}
-	var sum [4]byte
-	if _, err := io.ReadFull(r, sum[:]); err != nil {
+	tailLen := 4
+	if !legacy {
+		tailLen = 8
+	}
+	var tailBuf [8]byte
+	tail := tailBuf[:tailLen]
+	if _, err := io.ReadFull(r, tail); err != nil {
 		return nil, fmt.Errorf("store: truncated %s checksum: %w", name, err)
 	}
-	if got := crc32.Checksum(payload, crcTable); got != binary.LittleEndian.Uint32(sum[:]) {
+	payload = payload[:n:n]
+	if got := crc32.Checksum(payload, crcTable); got != binary.LittleEndian.Uint32(tail[:4]) {
 		return nil, fmt.Errorf("store: %s section checksum mismatch", name)
 	}
 	return payload, nil
@@ -199,12 +271,76 @@ func Write(w io.Writer, sys *core.System, version uint64) error {
 	return nil
 }
 
+// WriteLegacy serializes sys in the pre-alignment snapshot format
+// (OCTSNAP1 framing, version-1/2 section codecs) that Map cannot
+// serve zero-copy. It exists for the cross-version compatibility
+// tests and for producing snapshots older deployments can read.
+func WriteLegacy(w io.Writer, sys *core.System, version uint64) error {
+	if _, err := io.WriteString(w, legacyMagic); err != nil {
+		return err
+	}
+	meta, err := section(func(w io.Writer) error {
+		bw := binio.NewWriter(w)
+		bw.U32(legacyFormatVersion)
+		bw.U64(version)
+		return bw.Flush()
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode meta: %w", err)
+	}
+	grph, err := section(func(w io.Writer) error { return graph.WriteBinaryV1(w, sys.Graph()) })
+	if err != nil {
+		return fmt.Errorf("store: encode graph: %w", err)
+	}
+	alog, err := section(func(w io.Writer) error { return writeLog(w, sys.ActionLog()) })
+	if err != nil {
+		return fmt.Errorf("store: encode action log: %w", err)
+	}
+	ticm, err := section(func(w io.Writer) error { return tic.WriteBinaryV1(w, sys.Propagation()) })
+	if err != nil {
+		return fmt.Errorf("store: encode tic model: %w", err)
+	}
+	topc, err := section(func(w io.Writer) error { return topic.WriteBinaryV1(w, sys.Keywords()) })
+	if err != nil {
+		return fmt.Errorf("store: encode topic model: %w", err)
+	}
+	otimIdx, err := section(func(w io.Writer) error { return otim.WriteBinaryV2(w, sys.OTIMIndex()) })
+	if err != nil {
+		return fmt.Errorf("store: encode otim index: %w", err)
+	}
+	tagsIdx, err := section(func(w io.Writer) error { return tags.WriteBinaryV2(w, sys.TagsIndex()) })
+	if err != nil {
+		return fmt.Errorf("store: encode tags index: %w", err)
+	}
+	conf, err := section(func(w io.Writer) error { return writeConfig(w, sys.BuildConfig()) })
+	if err != nil {
+		return fmt.Errorf("store: encode config: %w", err)
+	}
+	for _, s := range []struct {
+		tag     [4]byte
+		payload []byte
+	}{
+		{tagMeta, meta}, {tagGraph, grph}, {tagLog, alog},
+		{tagTIC, ticm}, {tagTopic, topc}, {tagOTIM, otimIdx}, {tagTags, tagsIdx},
+		{tagConf, conf}, {tagDone, nil},
+	} {
+		if err := writeSectionLegacy(w, s.tag, s.payload); err != nil {
+			return fmt.Errorf("store: write %s section: %w", s.tag[:], err)
+		}
+	}
+	return nil
+}
+
 // Parts are the decoded components of a snapshot, before the system is
 // rebuilt from them. Recovery uses them to merge the WAL tail in before
 // paying the single index rebuild.
 type Parts struct {
-	Graph   *graph.Graph
+	Graph *graph.Graph
+	// Log is the decoded action log. On the mapped path it is nil and
+	// LogFn decodes it on first use instead (the log is the largest
+	// section on the cold-start path and pure IM queries never need it).
 	Log     *actionlog.Log
+	LogFn   func() (*actionlog.Log, error)
 	Prop    *tic.Model
 	Words   *topic.Model
 	OTIM    *otim.Index // precomputed keyword-IM index, bound to Prop
@@ -213,8 +349,17 @@ type Parts struct {
 	Version uint64      // snapshot generation recorded at save time
 }
 
+// decodeErr wraps a section-payload decode failure with the section
+// name and the byte offset its frame starts at, so a corrupt snapshot
+// points straight at the bad section.
+func decodeErr(tag [4]byte, start int64, err error) error {
+	return fmt.Errorf("store: decode %s section at byte offset %d: %w", tag[:], start, err)
+}
+
 // ReadParts decodes a snapshot stream into its components without
-// building the system.
+// building the system, accepting both the current aligned framing and
+// the legacy one. Everything is copied onto the heap; the mapped
+// (zero-copy) equivalent is MapParts.
 func ReadParts(r io.Reader) (*Parts, error) {
 	// Total stream size, when knowable — bounds every section's declared
 	// payload length before allocation.
@@ -231,73 +376,96 @@ func ReadParts(r io.Reader) (*Parts, error) {
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("store: read magic: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	var legacy bool
+	switch string(magic) {
+	case snapshotMagic:
+	case legacyMagic:
+		legacy = true
+	default:
 		return nil, fmt.Errorf("store: bad magic %q (not a snapshot file)", magic)
 	}
-	meta, err := readSection(r, tagMeta, limit)
+	// pos tracks the file offset of the next section's frame, purely for
+	// error reporting.
+	pos := int64(len(magic))
+	next := func(want [4]byte) ([]byte, int64, error) {
+		start := pos
+		payload, err := readSection(r, want, limit, legacy)
+		if err == nil {
+			pos += sectionFrameLen(len(payload), legacy)
+		}
+		return payload, start, err
+	}
+	meta, metaAt, err := next(tagMeta)
 	if err != nil {
 		return nil, err
 	}
-	mr := binio.NewReader(bytes.NewReader(meta))
+	mr := arena.NewReader(meta)
 	fv := mr.U32()
 	version := mr.U64()
 	if err := mr.Err(); err != nil {
-		return nil, fmt.Errorf("store: decode meta: %w", err)
+		return nil, decodeErr(tagMeta, metaAt, err)
 	}
-	if fv != formatVersion {
+	// Legacy-framed files may carry META versions 1 or 2 (2 was never
+	// shipped but is reserved for matrix tests); the aligned framing
+	// requires exactly formatVersion.
+	if legacy {
+		if fv != legacyFormatVersion && fv != legacyFormatVersion+1 {
+			return nil, fmt.Errorf("store: unsupported legacy snapshot format version %d", fv)
+		}
+	} else if fv != formatVersion {
 		return nil, fmt.Errorf("store: unsupported snapshot format version %d (want %d)", fv, formatVersion)
 	}
 	p := &Parts{Version: version}
-	grph, err := readSection(r, tagGraph, limit)
+	grph, at, err := next(tagGraph)
 	if err != nil {
 		return nil, err
 	}
-	if p.Graph, err = graph.ReadBinary(bytes.NewReader(grph)); err != nil {
-		return nil, fmt.Errorf("store: decode graph: %w", err)
+	if p.Graph, err = graph.ReadView(arena.NewReader(grph)); err != nil {
+		return nil, decodeErr(tagGraph, at, err)
 	}
-	alog, err := readSection(r, tagLog, limit)
+	alog, at, err := next(tagLog)
 	if err != nil {
 		return nil, err
 	}
 	if p.Log, err = readLog(bytes.NewReader(alog)); err != nil {
-		return nil, fmt.Errorf("store: decode action log: %w", err)
+		return nil, decodeErr(tagLog, at, err)
 	}
-	ticm, err := readSection(r, tagTIC, limit)
+	ticm, at, err := next(tagTIC)
 	if err != nil {
 		return nil, err
 	}
-	if p.Prop, err = tic.ReadBinary(bytes.NewReader(ticm), p.Graph); err != nil {
-		return nil, fmt.Errorf("store: decode tic model: %w", err)
+	if p.Prop, err = tic.ReadView(arena.NewReader(ticm), p.Graph); err != nil {
+		return nil, decodeErr(tagTIC, at, err)
 	}
-	topc, err := readSection(r, tagTopic, limit)
+	topc, at, err := next(tagTopic)
 	if err != nil {
 		return nil, err
 	}
-	if p.Words, err = topic.ReadBinary(bytes.NewReader(topc)); err != nil {
-		return nil, fmt.Errorf("store: decode topic model: %w", err)
+	if p.Words, err = topic.ReadView(arena.NewReader(topc)); err != nil {
+		return nil, decodeErr(tagTopic, at, err)
 	}
-	otimIdx, err := readSection(r, tagOTIM, limit)
+	otimIdx, at, err := next(tagOTIM)
 	if err != nil {
 		return nil, err
 	}
-	if p.OTIM, err = otim.ReadBinary(bytes.NewReader(otimIdx), p.Prop); err != nil {
-		return nil, fmt.Errorf("store: decode otim index: %w", err)
+	if p.OTIM, err = otim.ReadView(arena.NewReader(otimIdx), p.Prop); err != nil {
+		return nil, decodeErr(tagOTIM, at, err)
 	}
-	tagsIdx, err := readSection(r, tagTags, limit)
+	tagsIdx, at, err := next(tagTags)
 	if err != nil {
 		return nil, err
 	}
-	if p.Tags, err = tags.ReadBinary(bytes.NewReader(tagsIdx), p.Prop); err != nil {
-		return nil, fmt.Errorf("store: decode tags index: %w", err)
+	if p.Tags, err = tags.ReadView(arena.NewReader(tagsIdx), p.Prop); err != nil {
+		return nil, decodeErr(tagTags, at, err)
 	}
-	conf, err := readSection(r, tagConf, limit)
+	conf, at, err := next(tagConf)
 	if err != nil {
 		return nil, err
 	}
 	if p.Config, err = readConfig(bytes.NewReader(conf)); err != nil {
-		return nil, fmt.Errorf("store: decode config: %w", err)
+		return nil, decodeErr(tagConf, at, err)
 	}
-	if _, err := readSection(r, tagDone, limit); err != nil {
+	if _, _, err := next(tagDone); err != nil {
 		return nil, err
 	}
 	if p.Prop.NumTopics() != p.Words.NumTopics() {
@@ -309,7 +477,8 @@ func ReadParts(r io.Reader) (*Parts, error) {
 
 // Build assembles the system from decoded parts: no model learning and
 // no index precomputation — the decoded indexes are adopted directly
-// and only the cheap derived structures are reconstructed.
+// and only the cheap derived structures are reconstructed (lazily when
+// the parts carry a deferred log, i.e. came from MapParts).
 func (p *Parts) Build() (*core.System, error) {
 	cfg := p.Config
 	cfg.GroundTruth = p.Prop
@@ -318,7 +487,13 @@ func (p *Parts) Build() (*core.System, error) {
 	// re-applying cfg.TopicNames would be redundant at best and reject a
 	// model whose names were set after the config was captured.
 	cfg.TopicNames = nil
-	sys, err := core.Assemble(p.Graph, p.Log, p.Prop, p.Words, p.OTIM, p.Tags, cfg)
+	var sys *core.System
+	var err error
+	if p.Log == nil && p.LogFn != nil {
+		sys, err = core.AssembleDeferred(p.Graph, p.LogFn, p.Prop, p.Words, p.OTIM, p.Tags, cfg)
+	} else {
+		sys, err = core.Assemble(p.Graph, p.Log, p.Prop, p.Words, p.OTIM, p.Tags, cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("store: rebuild from snapshot: %w", err)
 	}

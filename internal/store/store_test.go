@@ -143,7 +143,9 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 	}
 	// A flipped payload byte inside the graph section must fail its CRC.
 	bad = append([]byte(nil), full...)
-	bad[len(snapshotMagic)+12+24+4+12+100] ^= 0xff // deep inside GRPH payload
+	// magic + META frame (16 hdr + 12 payload + 4 pad + 4 crc + 4 pad) +
+	// GRPH header (16) + 100 bytes into the GRPH payload.
+	bad[len(snapshotMagic)+40+16+100] ^= 0xff
 	if _, _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Fatal("flipped byte accepted")
 	}

@@ -120,6 +120,67 @@ type Snapshot struct {
 	// SwapLatency is the rebuild duration paid off the hot path for this
 	// snapshot (0 for the base snapshot).
 	SwapLatency time.Duration
+
+	// Mapped-backing lifecycle. A snapshot whose system aliases a mapped
+	// snapshot file holds one reference on that backing (taken at
+	// publish); readers pin the snapshot around query evaluation, and
+	// the reference is released — allowing the eventual munmap — only
+	// after the snapshot is retired (swapped out or shut down) AND the
+	// last pin is gone. pins is the live pin count, with -1 as the
+	// released sentinel so late pins fail instead of resurrecting a
+	// released backing.
+	pins    atomic.Int64
+	retired atomic.Bool
+	backing core.Backing
+}
+
+// newSnapshot publishes sys as a serving generation, taking a reference
+// on its mapped backing (if any) for the snapshot's lifetime.
+func newSnapshot(sys *core.System, version uint64, swap time.Duration) *Snapshot {
+	s := &Snapshot{Sys: sys, Version: version, BuiltAt: time.Now(), SwapLatency: swap}
+	if b := sys.Backing(); b != nil {
+		b.Retain()
+		s.backing = b
+	}
+	return s
+}
+
+// tryPin takes a read pin; it fails only when the snapshot's backing
+// reference is already released (retired with no remaining pins).
+func (s *Snapshot) tryPin() bool {
+	for {
+		n := s.pins.Load()
+		if n < 0 {
+			return false
+		}
+		if s.pins.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// unpin drops a read pin, releasing the backing reference if this was
+// the last pin on a retired snapshot.
+func (s *Snapshot) unpin() {
+	if s.pins.Add(-1) == 0 && s.retired.Load() {
+		s.tryRelease()
+	}
+}
+
+// retire marks the snapshot as no longer current; the backing reference
+// is released now if unpinned, else by the last unpin.
+func (s *Snapshot) retire() {
+	s.retired.Store(true)
+	s.tryRelease()
+}
+
+// tryRelease moves pins 0 → released exactly once and drops the backing
+// reference. Snapshots without a backing skip the transition — there is
+// nothing to release, and leaving pins untouched keeps tryPin cheap.
+func (s *Snapshot) tryRelease() {
+	if s.backing != nil && s.pins.CompareAndSwap(0, -1) {
+		s.backing.Release()
+	}
 }
 
 // Stats is a point-in-time view of the ingestion pipeline. Counters are
@@ -189,11 +250,14 @@ type LiveSystem struct {
 	// state instead of the process history: baseItems is the sorted item
 	// ids of the serving snapshot's action log (rebuilt per fold),
 	// itemIDs holds only the pending overlays' items and is re-derived
-	// when a fold retires them into the base.
-	baseItems []int32
-	itemIDs   map[int32]struct{}
-	since     time.Time // arrival of ov's oldest event
-	lastErr   error     // last fold failure, if any
+	// when a fold retires them into the base. baseItems is derived
+	// lazily (baseItemsOK) so wrapping a mapped snapshot does not force
+	// its deferred action-log decode before the first item arrives.
+	baseItems   []int32
+	baseItemsOK bool
+	itemIDs     map[int32]struct{}
+	since       time.Time // arrival of ov's oldest event
+	lastErr     error     // last fold failure, if any
 	// walFailure (apply goroutine only) is the sticky durability gap: a
 	// WAL append/sync failed, so some applied events are not on disk.
 	// Flush and ForceSnapshot surface it until a successful checkpoint
@@ -232,12 +296,11 @@ func NewLiveSystem(sys *core.System, cfg Config) (*LiveSystem, error) {
 	}
 	cfg.fill(sys)
 	ls := &LiveSystem{
-		cfg:       cfg,
-		ov:        newOverlay(),
-		baseItems: baseItemIDs(sys.ActionLog()),
-		itemIDs:   make(map[int32]struct{}),
-		ch:        make(chan []event, cfg.BufferBatches),
-		closed:    make(chan struct{}),
+		cfg:     cfg,
+		ov:      newOverlay(),
+		itemIDs: make(map[int32]struct{}),
+		ch:      make(chan []event, cfg.BufferBatches),
+		closed:  make(chan struct{}),
 	}
 	version := uint64(1)
 	if st := cfg.Store; st != nil {
@@ -253,7 +316,7 @@ func NewLiveSystem(sys *core.System, cfg Config) (*LiveSystem, error) {
 			version = v
 		}
 	}
-	ls.cur.Store(&Snapshot{Sys: sys, Version: version, BuiltAt: time.Now()})
+	ls.cur.Store(newSnapshot(sys, version, 0))
 	ls.wg.Add(1)
 	go ls.run()
 	return ls, nil
@@ -265,6 +328,29 @@ func (ls *LiveSystem) System() *core.System { return ls.cur.Load().Sys }
 
 // Snapshot returns the current serving snapshot.
 func (ls *LiveSystem) Snapshot() *Snapshot { return ls.cur.Load() }
+
+// Acquire pins the current serving snapshot for the duration of a read
+// and returns it with a release callback (idempotent). While any pin is
+// held the snapshot's mapped backing cannot be unmapped, even if a fold
+// swaps the generation out concurrently — the swap only retires it, and
+// the munmap waits for the last release. Callers that miss the pin race
+// against shutdown still get the final snapshot (its arrays remain
+// valid for as long as the process owner keeps the store handle open);
+// the release is then a no-op.
+func (ls *LiveSystem) Acquire() (*Snapshot, func()) {
+	for {
+		s := ls.cur.Load()
+		if s.tryPin() {
+			var once sync.Once
+			return s, func() { once.Do(s.unpin) }
+		}
+		if ls.cur.Load() == s {
+			// Released already (post-shutdown): nothing left to pin.
+			return s, func() {}
+		}
+		// A fold swapped generations mid-race; pin the new one.
+	}
+}
 
 // Version returns the current snapshot version (monotonically
 // increasing, starting at 1). It doubles as the serving generation —
@@ -726,16 +812,20 @@ func (ls *LiveSystem) shutdown() {
 		case batch := <-ls.ch:
 			ls.process([][]event{batch})
 		default:
-			if ls.cfg.Store == nil {
-				return
+			if ls.cfg.Store != nil {
+				_ = ls.fold() // final checkpoint; failure already recorded in stats
+				if err := ls.cfg.Store.Close(); err != nil {
+					ls.walErrors.Add(1)
+					ls.mu.Lock()
+					ls.lastErr = err
+					ls.mu.Unlock()
+				}
 			}
-			_ = ls.fold() // final checkpoint; failure already recorded in stats
-			if err := ls.cfg.Store.Close(); err != nil {
-				ls.walErrors.Add(1)
-				ls.mu.Lock()
-				ls.lastErr = err
-				ls.mu.Unlock()
-			}
+			// Graceful shutdown retires the final snapshot so its mapped
+			// backing reference is dropped once in-flight pins release.
+			// (Kill skips this, like everything else — the process is
+			// pretending to have crashed.)
+			ls.cur.Load().retire()
 			return
 		}
 	}
@@ -828,14 +918,27 @@ func mergeItemIDs(base []int32, items []actionlog.Item) []int32 {
 	return out
 }
 
+// baseItemTier returns the sorted base dedup tier, deriving it from the
+// serving snapshot's action log on first use. Only the apply goroutine
+// calls this (fold and the apply handlers), so the lazy fill needs no
+// extra synchronization beyond mu already excluding locked readers.
+func (ls *LiveSystem) baseItemTier() []int32 {
+	if !ls.baseItemsOK {
+		ls.baseItems = baseItemIDs(ls.cur.Load().Sys.ActionLog())
+		ls.baseItemsOK = true
+	}
+	return ls.baseItems
+}
+
 // hasItem reports whether an item id is known to the base log or a
 // pending overlay; caller holds mu.
 func (ls *LiveSystem) hasItem(id int32) bool {
 	if _, ok := ls.itemIDs[id]; ok {
 		return true
 	}
-	i := sort.Search(len(ls.baseItems), func(i int) bool { return ls.baseItems[i] >= id })
-	return i < len(ls.baseItems) && ls.baseItems[i] == id
+	base := ls.baseItemTier()
+	i := sort.Search(len(base), func(i int) bool { return base[i] >= id })
+	return i < len(base) && base[i] == id
 }
 
 func (ls *LiveSystem) applyItem(it actionlog.Item) (store.Record, bool) {
@@ -917,21 +1020,24 @@ func (ls *LiveSystem) fold() error {
 		return err
 	}
 	elapsed := time.Since(start)
+	// Folded systems share structure with their predecessor (the graph
+	// fast path, carry-over models, incrementally maintained indexes), so
+	// a descendant of a mapped base may still alias mapped arrays.
+	// Propagate the backing pointer conservatively: every generation in
+	// the lineage keeps the mapping alive until it is itself retired.
+	if b := old.Sys.Backing(); b != nil && sys.Backing() == nil {
+		sys.SetBacking(b)
+	}
 	// The folded items now live in the base log: merge them into the
 	// compact sorted base tier (outside the lock — only this goroutine
 	// mutates it) so the fold's dedup upkeep is O(delta), not a re-sort
 	// of the corpus.
-	merged := mergeItemIDs(ls.baseItems, ov.items)
+	merged := mergeItemIDs(ls.baseItemTier(), ov.items)
 	// Publish the snapshot and retire the folded delta in one critical
 	// section so locked readers (Stats, PendingOutEdges) never see the
 	// same events both in the new snapshot and as pending.
 	ls.mu.Lock()
-	ls.cur.Store(&Snapshot{
-		Sys:         sys,
-		Version:     old.Version + 1,
-		BuiltAt:     time.Now(),
-		SwapLatency: elapsed,
-	})
+	ls.cur.Store(newSnapshot(sys, old.Version+1, elapsed))
 	ls.folding = nil
 	// Shrink the overlay-item map back to whatever the replacement
 	// overlay holds (normally nothing — applies and folds share this
@@ -942,6 +1048,9 @@ func (ls *LiveSystem) fold() error {
 		ls.itemIDs[it.ID] = struct{}{}
 	}
 	ls.mu.Unlock()
+	// The old generation is no longer current: drop its backing reference
+	// once its last pinned reader (if any) finishes.
+	old.retire()
 	ls.foldRetryAt = time.Time{} // a success ends any retry pacing
 	ls.snapshots.Add(1)
 	if incremental {

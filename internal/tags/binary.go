@@ -4,24 +4,72 @@ import (
 	"fmt"
 	"io"
 
+	"octopus/internal/arena"
 	"octopus/internal/binio"
 	"octopus/internal/graph"
 	"octopus/internal/tic"
 )
 
-// Binary payload format (version 2): the poll roots and stored reverse
-// trees with their materialized coins, plus the per-poll flipped-coin
-// counts (version 2) incremental folds need to keep totals exact while
-// regrowing only dirty polls. Loading re-binds the trees to a TIC model
-// instead of re-sampling, so query results over the loaded index are
-// identical to the saved one's (the coins ARE the index).
-const tagsBinaryVersion = 2
+// Binary payload format: the poll roots and stored reverse trees with
+// their materialized coins, plus the per-poll flipped-coin counts
+// incremental folds need to keep totals exact while regrowing only
+// dirty polls. Loading re-binds the trees to a TIC model instead of
+// re-sampling, so query results over the loaded index are identical to
+// the saved one's (the coins ARE the index).
+//
+// Version 3 flattens each tree's jagged per-slot edge lists into one
+// 8-aligned pool of fixed 16-byte coin records (From, To, Lambda,
+// Edge — To explicit now) indexed by a per-slot offset array, so a
+// zero-copy reader aliases a whole tree's coins out of a mapped
+// snapshot in one step and the in-memory lists become subslices of the
+// pool. Version 2 (jagged lists, To implicit) is still read for old
+// snapshots.
+const (
+	tagsBinaryVersion   = 3
+	tagsBinaryVersionV2 = 2
+)
 
-// WriteBinary serializes the influencer index. The model is serialized
-// separately; ReadBinary re-binds to it.
+// WriteBinary serializes the influencer index in the current (aligned,
+// version 3) format. The model is serialized separately; ReadBinary
+// re-binds to it.
 func WriteBinary(w io.Writer, ix *Index) error {
 	bw := binio.NewWriter(w)
 	bw.U8(tagsBinaryVersion)
+	bw.U64(uint64(len(ix.trees)))
+	for ti := range ix.trees {
+		t := &ix.trees[ti]
+		bw.I32(ix.polls[ti])
+		bw.I32(ix.pollCoins[ti])
+		bw.Align8()
+		bw.I32s(t.nodes)
+		var total int32
+		edgeOff := make([]int32, len(t.nodes)+1)
+		for i, edges := range t.inEdges {
+			total += int32(len(edges))
+			edgeOff[i+1] = total
+		}
+		bw.Align8()
+		bw.I32s(edgeOff)
+		bw.Align8()
+		bw.U64(uint64(total))
+		for i, edges := range t.inEdges {
+			for _, e := range edges {
+				bw.I32(e.From)
+				bw.I32(int32(i)) // To, explicit in v3
+				bw.F32(e.Lambda)
+				bw.I32(e.Edge)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryV2 emits the legacy version-2 payload (jagged per-slot
+// lists, To implicit), kept for the cross-version compatibility tests
+// and downgrade tooling.
+func WriteBinaryV2(w io.Writer, ix *Index) error {
+	bw := binio.NewWriter(w)
+	bw.U8(tagsBinaryVersionV2)
 	bw.U64(uint64(len(ix.trees)))
 	for ti := range ix.trees {
 		t := &ix.trees[ti]
@@ -31,7 +79,6 @@ func WriteBinary(w io.Writer, ix *Index) error {
 		for _, edges := range t.inEdges {
 			bw.U64(uint64(len(edges)))
 			for _, e := range edges {
-				// To is implicit (the slot index).
 				bw.I32(e.From)
 				bw.F32(e.Lambda)
 				bw.I32(e.Edge)
@@ -41,16 +88,29 @@ func WriteBinary(w io.Writer, ix *Index) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the payload produced by WriteBinary and binds the
-// index to model m, rebuilding the derived lookup structures
-// (tree-local maps and the per-user poll lists).
+// ReadBinary parses a payload produced by WriteBinary (any version)
+// from a stream, always copying onto the heap, and binds the index to
+// model m.
 func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
-	br := binio.NewReader(r)
-	if v := br.U8(); br.Err() == nil && v != tagsBinaryVersion {
-		return nil, fmt.Errorf("tags: unsupported binary version %d (want %d): snapshots from older builds must be regenerated, e.g. octopus build", v, tagsBinaryVersion)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tags: read binary: %w", err)
+	}
+	return ReadView(arena.NewReader(data), m)
+}
+
+// ReadView parses a binary payload through an arena reader, rebuilding
+// the derived lookup structures (tree-local maps and the per-user poll
+// lists) on the heap. Zero-copy mode aliases each tree's coin pool
+// into the reader's backing bytes and skips per-edge content checks
+// (offset-array shape checks still run — they guard the subslicing).
+func ReadView(br *arena.Reader, m *tic.Model) (*Index, error) {
+	version := br.U8()
+	if br.Err() == nil && version != tagsBinaryVersion && version != tagsBinaryVersionV2 {
+		return nil, fmt.Errorf("tags: unsupported binary version %d (want %d): snapshots from older builds must be regenerated, e.g. octopus build", version, tagsBinaryVersion)
 	}
 	g := m.Graph()
-	n, numEdges := g.NumNodes(), g.NumEdges()
+	n := g.NumNodes()
 	ix := &Index{m: m, contains: make([][]int32, n)}
 	numTrees := int(br.U64())
 	if br.Err() == nil && (numTrees <= 0 || numTrees > binio.MaxLen) {
@@ -59,50 +119,24 @@ func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 	for p := 0; p < numTrees && br.Err() == nil; p++ {
 		root := br.I32()
 		pollCoins := br.I32()
-		t := revTree{nodes: br.I32s()}
+		var t revTree
+		var edges int
+		var err error
+		if version == tagsBinaryVersionV2 {
+			t, edges, err = readTreeV2(br, root, p, n, g.NumEdges())
+		} else {
+			t, edges, err = readTreeV3(br, root, p, n, g.NumEdges())
+		}
+		if err != nil {
+			return nil, err
+		}
 		if br.Err() != nil {
 			break
 		}
 		if pollCoins < 0 {
 			return nil, fmt.Errorf("tags: binary payload poll %d coin count negative", p)
 		}
-		if len(t.nodes) == 0 || t.nodes[0] != root {
-			return nil, fmt.Errorf("tags: binary payload tree %d does not start at its root", p)
-		}
-		t.local = make(map[graph.NodeID]int32, len(t.nodes))
-		for i, v := range t.nodes {
-			if v < 0 || int(v) >= n {
-				return nil, fmt.Errorf("tags: binary payload tree %d node %d out of range", p, v)
-			}
-			if _, dup := t.local[v]; dup {
-				return nil, fmt.Errorf("tags: binary payload tree %d repeats node %d", p, v)
-			}
-			t.local[v] = int32(i)
-		}
-		t.inEdges = make([][]revEdge, len(t.nodes))
-		for i := range t.nodes {
-			cnt := int(br.U64())
-			if br.Err() != nil {
-				break
-			}
-			if cnt < 0 || cnt > binio.MaxLen {
-				return nil, fmt.Errorf("tags: binary payload tree %d edge count out of range", p)
-			}
-			for k := 0; k < cnt && br.Err() == nil; k++ {
-				e := revEdge{From: br.I32(), To: int32(i), Lambda: br.F32(), Edge: br.I32()}
-				if br.Err() != nil {
-					break
-				}
-				if e.From < 0 || int(e.From) >= len(t.nodes) {
-					return nil, fmt.Errorf("tags: binary payload tree %d edge source out of range", p)
-				}
-				if e.Edge < 0 || int(e.Edge) >= numEdges {
-					return nil, fmt.Errorf("tags: binary payload tree %d graph edge out of range", p)
-				}
-				t.inEdges[i] = append(t.inEdges[i], e)
-				ix.edges++
-			}
-		}
+		ix.edges += edges
 		ix.polls = append(ix.polls, root)
 		ix.trees = append(ix.trees, t)
 		ix.pollCoins = append(ix.pollCoins, pollCoins)
@@ -115,4 +149,122 @@ func ReadBinary(r io.Reader, m *tic.Model) (*Index, error) {
 		return nil, fmt.Errorf("tags: read binary: %w", err)
 	}
 	return ix, nil
+}
+
+// readNodes decodes and validates one tree's node list and builds its
+// local map (always heap work — the map is a derived structure).
+func readNodes(br *arena.Reader, root int32, p, n int) (revTree, error) {
+	t := revTree{nodes: br.I32s()}
+	if br.Err() != nil {
+		return t, nil
+	}
+	if len(t.nodes) == 0 || t.nodes[0] != root {
+		return t, fmt.Errorf("tags: binary payload tree %d does not start at its root", p)
+	}
+	t.local = make(map[graph.NodeID]int32, len(t.nodes))
+	for i, v := range t.nodes {
+		if v < 0 || int(v) >= n {
+			return t, fmt.Errorf("tags: binary payload tree %d node %d out of range", p, v)
+		}
+		if _, dup := t.local[v]; dup {
+			return t, fmt.Errorf("tags: binary payload tree %d repeats node %d", p, v)
+		}
+		t.local[v] = int32(i)
+	}
+	return t, nil
+}
+
+// readTreeV3 decodes one aligned tree: node list, per-slot offset
+// array, then the flat coin pool (aliased when the reader allows).
+func readTreeV3(br *arena.Reader, root int32, p, n, numEdges int) (revTree, int, error) {
+	br.Align8()
+	t, err := readNodes(br, root, p, n)
+	if err != nil || br.Err() != nil {
+		return t, 0, err
+	}
+	br.Align8()
+	edgeOff := br.I32s()
+	br.Align8()
+	cnt := int(br.U64())
+	if br.Err() != nil {
+		return t, 0, nil
+	}
+	if cnt < 0 || cnt > binio.MaxLen {
+		return t, 0, fmt.Errorf("tags: binary payload tree %d edge count out of range", p)
+	}
+	// The offset array guards the pool subslicing below, so its shape is
+	// validated even on the trusted zero-copy path.
+	if len(edgeOff) != len(t.nodes)+1 || edgeOff[0] != 0 || edgeOff[len(t.nodes)] != int32(cnt) {
+		return t, 0, fmt.Errorf("tags: binary payload tree %d edge offsets malformed", p)
+	}
+	for i := 0; i < len(t.nodes); i++ {
+		if edgeOff[i] > edgeOff[i+1] {
+			return t, 0, fmt.Errorf("tags: binary payload tree %d edge offsets not monotone at slot %d", p, i)
+		}
+	}
+	pool, ok := arena.Structs[revEdge](br, cnt)
+	if !ok {
+		// Big-endian host: field-decode the records.
+		pool = make([]revEdge, cnt)
+		for k := range pool {
+			pool[k] = revEdge{From: br.I32(), To: br.I32(), Lambda: br.F32(), Edge: br.I32()}
+		}
+	}
+	if br.Err() != nil {
+		return t, 0, nil
+	}
+	if !br.ZeroCopy() {
+		for i := 0; i < len(t.nodes); i++ {
+			for _, e := range pool[edgeOff[i]:edgeOff[i+1]] {
+				if e.From < 0 || int(e.From) >= len(t.nodes) {
+					return t, 0, fmt.Errorf("tags: binary payload tree %d edge source out of range", p)
+				}
+				if e.To != int32(i) {
+					return t, 0, fmt.Errorf("tags: binary payload tree %d edge target %d in slot %d", p, e.To, i)
+				}
+				if e.Edge < 0 || int(e.Edge) >= numEdges {
+					return t, 0, fmt.Errorf("tags: binary payload tree %d graph edge out of range", p)
+				}
+			}
+		}
+	}
+	t.inEdges = make([][]revEdge, len(t.nodes))
+	for i := range t.nodes {
+		t.inEdges[i] = pool[edgeOff[i]:edgeOff[i+1]:edgeOff[i+1]]
+	}
+	return t, cnt, nil
+}
+
+// readTreeV2 decodes one legacy jagged tree (To implicit).
+func readTreeV2(br *arena.Reader, root int32, p, n, numEdges int) (revTree, int, error) {
+	t, err := readNodes(br, root, p, n)
+	if err != nil || br.Err() != nil {
+		return t, 0, err
+	}
+	total := 0
+	t.inEdges = make([][]revEdge, len(t.nodes))
+	for i := range t.nodes {
+		cnt := int(br.U64())
+		if br.Err() != nil {
+			break
+		}
+		if cnt < 0 || cnt > binio.MaxLen {
+			return t, 0, fmt.Errorf("tags: binary payload tree %d edge count out of range", p)
+		}
+		for k := 0; k < cnt && br.Err() == nil; k++ {
+			e := revEdge{From: br.I32(), To: int32(i), Lambda: br.F32(), Edge: br.I32()}
+			if br.Err() != nil {
+				break
+			}
+			if e.From < 0 || int(e.From) >= len(t.nodes) {
+				return t, 0, fmt.Errorf("tags: binary payload tree %d edge source out of range", p)
+			}
+			if e.Edge < 0 || int(e.Edge) >= numEdges {
+				return t, 0, fmt.Errorf("tags: binary payload tree %d graph edge out of range", p)
+			}
+			t.inEdges[i] = append(t.inEdges[i], e)
+			total++
+		}
+	}
+	return t, total, nil
 }

@@ -4,19 +4,52 @@ import (
 	"fmt"
 	"io"
 
+	"octopus/internal/arena"
 	"octopus/internal/binio"
 )
 
-// Binary payload format (version 1): vocabulary, per-topic keyword
-// rows, prior and optional topic names. Probabilities round-trip
-// exactly (raw float64 bits), so a model loaded from a snapshot infers
-// byte-identical γ distributions.
-const topicBinaryVersion = 1
+// Binary payload format. Version 2 stores the per-topic keyword rows
+// as one contiguous 8-aligned pool of z×|V| float64s, so a zero-copy
+// reader aliases the whole probability table out of a mapped snapshot
+// and the in-memory rows become subslices of it. Version 1 (one array
+// per row, unaligned) is still read for old snapshots. Probabilities
+// round-trip exactly (raw float64 bits) in both versions, so a model
+// loaded from a snapshot infers byte-identical γ distributions.
+const (
+	topicBinaryVersion   = 2
+	topicBinaryVersionV1 = 1
+)
 
-// WriteBinary serializes the keyword/topic model.
+// WriteBinary serializes the keyword/topic model in the current
+// (aligned, version 2) format.
 func WriteBinary(w io.Writer, m *Model) error {
 	bw := binio.NewWriter(w)
 	bw.U8(topicBinaryVersion)
+	bw.U32(uint32(m.z))
+	bw.Strs(m.vocab)
+	bw.Align8()
+	bw.F64s(m.prior)
+	bw.Align8()
+	bw.U64(uint64(m.z) * uint64(len(m.vocab)))
+	for _, row := range m.pwz {
+		for _, p := range row {
+			bw.F64(p)
+		}
+	}
+	if m.topicNames != nil {
+		bw.U8(1)
+		bw.Strs(m.topicNames)
+	} else {
+		bw.U8(0)
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryV1 emits the legacy version-1 payload, kept for the
+// cross-version compatibility tests and downgrade tooling.
+func WriteBinaryV1(w io.Writer, m *Model) error {
+	bw := binio.NewWriter(w)
+	bw.U8(topicBinaryVersionV1)
 	bw.U32(uint32(m.z))
 	bw.Strs(m.vocab)
 	bw.F64s(m.prior)
@@ -32,24 +65,54 @@ func WriteBinary(w io.Writer, m *Model) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the payload produced by WriteBinary. The model is
-// reassembled directly (no re-normalization), so probabilities are
-// bit-identical to the serialized model's.
+// ReadBinary parses a payload produced by WriteBinary (any version)
+// from a stream, always copying onto the heap.
 func ReadBinary(r io.Reader) (*Model, error) {
-	br := binio.NewReader(r)
-	if v := br.U8(); br.Err() == nil && v != topicBinaryVersion {
-		return nil, fmt.Errorf("topic: unsupported binary version %d", v)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("topic: read binary: %w", err)
+	}
+	return ReadView(arena.NewReader(data))
+}
+
+// ReadView parses a binary payload through an arena reader. Zero-copy
+// mode aliases the p(w|z) pool into the reader's backing bytes and
+// skips the O(z×|V|) probability revalidation; the vocabulary map is
+// always rebuilt on the heap.
+func ReadView(br *arena.Reader) (*Model, error) {
+	version := br.U8()
+	if br.Err() == nil && version != topicBinaryVersion && version != topicBinaryVersionV1 {
+		return nil, fmt.Errorf("topic: unsupported binary version %d", version)
 	}
 	z := int(br.U32())
 	if br.Err() == nil && (z <= 0 || z > 1<<16) {
 		return nil, fmt.Errorf("topic: binary payload topic count %d out of range", z)
 	}
 	vocab := br.Strs()
+	if version == topicBinaryVersion {
+		br.Align8()
+	}
 	prior := Dist(br.F64s())
-	pwz := make([][]float64, 0, z)
+	var pwz [][]float64
 	if br.Err() == nil {
-		for zi := 0; zi < z; zi++ {
-			pwz = append(pwz, br.F64s())
+		if version == topicBinaryVersionV1 {
+			pwz = make([][]float64, 0, z)
+			for zi := 0; zi < z; zi++ {
+				pwz = append(pwz, br.F64s())
+			}
+		} else {
+			br.Align8()
+			pool := br.F64s()
+			if br.Err() == nil {
+				if len(pool) != z*len(vocab) {
+					return nil, fmt.Errorf("topic: binary payload pool has %d entries for %d topics × %d keywords",
+						len(pool), z, len(vocab))
+				}
+				pwz = make([][]float64, z)
+				for zi := 0; zi < z; zi++ {
+					pwz[zi] = pool[zi*len(vocab) : (zi+1)*len(vocab)]
+				}
+			}
 		}
 	}
 	var names []string
@@ -86,9 +149,13 @@ func ReadBinary(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("topic: binary payload row %d has %d entries for %d keywords",
 				zi, len(row), len(vocab))
 		}
-		for wi, p := range row {
-			if !(p >= 0 && p <= 1) { // also rejects NaN
-				return nil, fmt.Errorf("topic: binary payload p(w|z)[%d][%d] = %v invalid", zi, wi, p)
+	}
+	if !br.ZeroCopy() {
+		for zi, row := range pwz {
+			for wi, p := range row {
+				if !(p >= 0 && p <= 1) { // also rejects NaN
+					return nil, fmt.Errorf("topic: binary payload p(w|z)[%d][%d] = %v invalid", zi, wi, p)
+				}
 			}
 		}
 	}

@@ -129,6 +129,11 @@ type (
 	StoreDir = store.Dir
 	// RecoverResult is the outcome of crash recovery.
 	RecoverResult = store.RecoverResult
+	// MappedSystem owns the lifetime of a snapshot served in place via
+	// mmap; see store.Mapped.
+	MappedSystem = store.Mapped
+	// MapStats reports how a mapped snapshot is backed.
+	MapStats = store.MapStats
 )
 
 // Build constructs a System from a social graph and action log. With
@@ -198,6 +203,20 @@ func SaveSystem(path string, sys *System) error {
 // to change it.
 func LoadSystem(path string) (*System, error) {
 	return store.Load(path)
+}
+
+// MapSystem opens a snapshot written by SaveSystem for zero-copy
+// serving: the file is memory-mapped read-only and the system's bulk
+// arrays (graph CSR, model probability tables, index rows) alias the
+// mapped bytes instead of being decoded onto the heap, so cold start
+// is bounded by validation, not by array materialization. The action
+// log decodes lazily on first use. The returned MappedSystem owns the
+// mapping — keep it for the system's lifetime and Close it when done.
+// Falls back transparently to the copying path (heap-backed, identical
+// query results) for legacy-format files, unsupported platforms, or
+// when OCTOPUS_MMAP=off.
+func MapSystem(path string) (*System, *MappedSystem, error) {
+	return store.Map(path, store.MapOptions{})
 }
 
 // OpenStore opens (creating if needed) a durability directory for a

@@ -1,0 +1,88 @@
+// Command unsafecheck enforces the repo's pointer-safety boundary: the
+// only package allowed to import unsafe (or golang.org/x/sys/unix-style
+// raw syscall surfaces) is internal/arena, which owns every aliased
+// view into mapped snapshot bytes. Everything else must consume those
+// views through arena's bounds-checked API, so a grep-level audit of
+// mapped-memory lifetimes only ever has one package to read.
+//
+// Run from the repository root:
+//
+//	go run ./tools/unsafecheck
+//
+// Exits non-zero listing each offending file. Test files are held to
+// the same rule — a test aliasing mapped bytes directly would be just
+// as able to outlive an munmap as production code.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// allowed are the package directories (relative, slash-separated) that
+// may import unsafe.
+var allowed = map[string]bool{
+	"internal/arena": true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var bad []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p != "unsafe" {
+				continue
+			}
+			rel, err := filepath.Rel(root, filepath.Dir(path))
+			if err != nil {
+				rel = filepath.Dir(path)
+			}
+			if !allowed[filepath.ToSlash(rel)] {
+				bad = append(bad, fmt.Sprintf("%s imports unsafe (only internal/arena may)", path))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unsafecheck:", err)
+		os.Exit(1)
+	}
+	if len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "unsafecheck:", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("unsafecheck: ok — unsafe is confined to internal/arena")
+}

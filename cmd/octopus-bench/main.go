@@ -1,4 +1,4 @@
-// Command octopus-bench runs the experiment suite E1–E18 defined in
+// Command octopus-bench runs the experiment suite E1–E19 defined in
 // DESIGN.md §4 and prints one table per experiment — the reproduction of
 // every figure/scenario of the OCTOPUS demo paper plus the engine claims
 // it builds on (E13: streaming ingestion; E14: persistence and
@@ -8,7 +8,10 @@
 // snapshot folds — swap latency vs delta size with a query-level
 // identity check against full rebuilds; E18: zero-copy mapped snapshot
 // serving — cold-start-to-first-query, memory deltas and a mapped-vs-
-// heap query identity check). EXPERIMENTS.md records a reference run.
+// heap query identity check; E19: read-replica fleet — follower
+// catch-up throughput, steady-state replication lag and leader query
+// overhead with followers attached). EXPERIMENTS.md records a
+// reference run.
 //
 // Usage:
 //
@@ -52,6 +55,10 @@ type sizes struct {
 	serveRequests   int   // requests per client per configuration
 	servePool       int   // distinct queries in the Zipf-skewed pool
 	foldAuthors     int   // incremental-fold experiment dataset size
+	replAuthors     int   // replication experiment dataset size
+	replBacklog     int   // feed units (3 WAL records each) in the catch-up backlog
+	replRounds      int   // steady-state lag measurement rounds
+	replQueries     int   // leader queries per overhead window
 }
 
 func defaultSizes(quick bool) sizes {
@@ -74,6 +81,10 @@ func defaultSizes(quick bool) sizes {
 			serveRequests:   150,
 			servePool:       64,
 			foldAuthors:     3000,
+			replAuthors:     800,
+			replBacklog:     500,
+			replRounds:      8,
+			replQueries:     40,
 		}
 	}
 	return sizes{
@@ -94,6 +105,10 @@ func defaultSizes(quick bool) sizes {
 		serveRequests:   400,
 		servePool:       128,
 		foldAuthors:     4000,
+		replAuthors:     2500,
+		replBacklog:     2000,
+		replRounds:      15,
+		replQueries:     120,
 	}
 }
 
@@ -136,6 +151,7 @@ func main() {
 		{"E16", "Query-serving layer: result cache, coalescing, admission control under Zipf load", runE16},
 		{"E17", "Incremental snapshot folds: swap latency vs delta size, identity vs full rebuild", runE17},
 		{"E18", "Zero-copy snapshot serving: mapped vs heap cold-start-to-first-query, memory, identity", runE18},
+		{"E19", "Read-replica fleet: snapshot shipping + WAL tailing — catch-up, lag, leader overhead", runE19},
 	}
 
 	want := map[string]bool{}

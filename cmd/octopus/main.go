@@ -8,6 +8,7 @@
 //
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em] [-workers W]
 //	octopus serve [-addr :8080] [-load model.oct] [-mmap] [-ingest] [-wal DIR]
+//	              [-follow http://leader:8080]
 //	              [-rebuild-events N] [-rebuild-interval D] [-incremental-fold]
 //	              [-cache-entries N] [-max-inflight N] [-admin-addr 127.0.0.1:6060]
 //	              [-slow-query D] [-trace-ring N] [-log-format text|json]
@@ -47,6 +48,20 @@
 // recovers snapshot + WAL tail automatically. SIGINT/SIGTERM trigger a
 // graceful shutdown: the HTTP server drains, then the ingester folds
 // and checkpoints one final time.
+//
+// With -follow, serve runs as a read replica of another octopus serve
+// -ingest -wal instance: it downloads the leader's checkpoint snapshot
+// into its own -wal DIR (resuming partial downloads), maps it in place
+// (zero-copy, like -load -mmap), then tails the leader's WAL over
+// long-poll GET /api/replicate and replays it through the streaming
+// subsystem — folding exactly at the leader's checkpoint fences, so at
+// equal versions replica and leader serve byte-identical answers. The
+// replica serves the same read API; ingest endpoints answer 403 (writes
+// go to the leader), /api/health stays degraded with a replication_lag
+// reason until it has caught up, and a restarted replica resumes from
+// its local state without re-downloading the snapshot. Leader loss is
+// retried with backoff forever; a leader that restarted from crash
+// recovery signals the replica to re-bootstrap automatically.
 //
 // serve always runs the query-serving layer: a generation-tagged result
 // cache (-cache-entries, invalidated implicitly by snapshot swaps),
@@ -92,6 +107,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/obs"
 	"octopus/internal/otim"
+	"octopus/internal/repl"
 	"octopus/internal/server"
 	"octopus/internal/store"
 	"octopus/internal/stream"
@@ -117,6 +133,7 @@ type options struct {
 
 	ingest          bool
 	walDir          string
+	follow          string
 	rebuildEvents   int
 	rebuildInterval time.Duration
 	incrementalFold bool
@@ -158,7 +175,8 @@ func main() {
 	fs.BoolVar(&opt.mmap, "mmap", false, "with -load: serve the snapshot zero-copy via mmap instead of decoding it onto the heap (OCTOPUS_MMAP=off forces the copying path)")
 	fs.StringVar(&opt.snapOut, "o", "model.oct", "snapshot output path (build)")
 	fs.BoolVar(&opt.ingest, "ingest", false, "enable streaming ingestion endpoints (serve)")
-	fs.StringVar(&opt.walDir, "wal", "", "durability directory for serve -ingest: WAL + checkpoint snapshots, with crash recovery on start")
+	fs.StringVar(&opt.walDir, "wal", "", "durability directory for serve -ingest: WAL + checkpoint snapshots, with crash recovery on start (with -follow: the replica's local state)")
+	fs.StringVar(&opt.follow, "follow", "", "serve as a read replica of the leader at this base URL; requires -wal DIR, conflicts with -ingest and -load (serve)")
 	fs.IntVar(&opt.rebuildEvents, "rebuild-events", 4096, "fold the ingest overlay into a new snapshot after this many events (serve -ingest)")
 	fs.DurationVar(&opt.rebuildInterval, "rebuild-interval", 30*time.Second, "also fold when pending events are older than this; 0 disables (serve -ingest)")
 	fs.BoolVar(&opt.incrementalFold, "incremental-fold", true, "delta-maintain the indexes at fold time so swap latency scales with the delta; query-identical to a full rebuild, which large deltas automatically fall back to (serve -ingest)")
@@ -341,6 +359,12 @@ func buildSystem(opt options) (*core.System, *store.Mapped, *datagen.Dataset, er
 // with -wal, a durability directory that already holds state wins over
 // both -load and dataset generation.
 func serveMain(opt options) {
+	if opt.follow != "" {
+		if err := serveFollower(opt); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	var dir *store.Dir
 	var sys *core.System
 	var mapped *store.Mapped
@@ -379,18 +403,10 @@ func newLogger(opt options) *slog.Logger {
 	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
-func serve(opt options, sys *core.System, mapped *store.Mapped, dir *store.Dir) error {
-	logger := newLogger(opt)
-	if mapped != nil {
-		// The mapping's owning reference drops only after the HTTP server
-		// has drained (serve returns post-Shutdown), so late in-flight
-		// requests never touch unmapped memory. Folded generations hold
-		// their own retained references via the snapshot backing chain.
-		defer mapped.Close()
-	}
-	var srv *server.Server
-	var live *stream.LiveSystem
-	srvOpt := server.Options{
+// serverOptions assembles the serving-layer options shared by every
+// serve mode (static, live, replica).
+func serverOptions(opt options, logger *slog.Logger) server.Options {
+	return server.Options{
 		CacheEntries: opt.cacheEntries,
 		MaxInflight:  opt.maxInflight,
 		TraceRing:    opt.traceRing,
@@ -404,6 +420,57 @@ func serve(opt options, sys *core.System, mapped *store.Mapped, dir *store.Dir) 
 		DiagDir:         opt.diagDir,
 		DiagMinInterval: opt.diagInterval,
 	}
+}
+
+// serveFollower runs serve -follow: bootstrap a read replica from the
+// leader's checkpoint snapshot (mapped in place), tail its WAL, and
+// serve the read-only API. -wal names the replica's local state
+// directory; ingestion and dataset construction are the leader's job.
+func serveFollower(opt options) error {
+	if opt.walDir == "" {
+		return errors.New("serve -follow requires -wal DIR for the replica's local state")
+	}
+	if opt.ingest {
+		return errors.New("serve -follow is read-only; -ingest belongs on the leader")
+	}
+	if opt.load != "" {
+		return errors.New("serve -follow bootstraps from the leader's snapshot; drop -load")
+	}
+	logger := newLogger(opt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("bootstrapping replica",
+		slog.String("leader", opt.follow), slog.String("dir", opt.walDir))
+	f, err := repl.Start(ctx, repl.Config{
+		Leader: opt.follow,
+		Dir:    opt.walDir,
+		Stream: stream.Config{Workers: opt.workers},
+		Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	srv := server.NewReplicaWith(f, serverOptions(opt, logger))
+	logger.Info("listening", slog.String("addr", opt.addr),
+		slog.String("mode", "replica"), slog.String("leader", opt.follow))
+	return runHTTP(ctx, opt, logger, srv, func() error {
+		logger.Info("stopping replication", slog.Uint64("version", f.Live().Version()))
+		return f.Close()
+	})
+}
+
+func serve(opt options, sys *core.System, mapped *store.Mapped, dir *store.Dir) error {
+	logger := newLogger(opt)
+	if mapped != nil {
+		// The mapping's owning reference drops only after the HTTP server
+		// has drained (serve returns post-Shutdown), so late in-flight
+		// requests never touch unmapped memory. Folded generations hold
+		// their own retained references via the snapshot backing chain.
+		defer mapped.Close()
+	}
+	var srv *server.Server
+	var live *stream.LiveSystem
+	srvOpt := serverOptions(opt, logger)
 	if mapped != nil {
 		srvOpt.StoreStats = mapped.Stats
 	}
@@ -443,6 +510,31 @@ func serve(opt options, sys *core.System, mapped *store.Mapped, dir *store.Dir) 
 		slog.Int("maxInflight", opt.maxInflight),
 		slog.Duration("slowQuery", opt.slowQuery))
 
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain in-flight
+	// requests (bounded), then drain + checkpoint the live ingester so the
+	// final WAL state flushes cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runHTTP(ctx, opt, logger, srv, func() error {
+		if live != nil {
+			if err := live.Close(); err != nil {
+				return fmt.Errorf("closing ingester: %w", err)
+			}
+			if dir != nil {
+				logger.Info("final checkpoint",
+					slog.Uint64("version", dir.LastCheckpointVersion()),
+					slog.String("dir", dir.Path()))
+			}
+		}
+		return nil
+	})
+}
+
+// runHTTP serves srv on opt.addr with hardened timeouts and the
+// optional admin listener, until ctx ends or the listener fails. On
+// shutdown the HTTP server drains in-flight requests (bounded), then
+// drain runs — closing whatever subsystem feeds the server.
+func runHTTP(ctx context.Context, opt options, logger *slog.Logger, srv *server.Server, drain func() error) error {
 	httpSrv := &http.Server{
 		Addr:    opt.addr,
 		Handler: srv,
@@ -471,20 +563,13 @@ func serve(opt options, sys *core.System, mapped *store.Mapped, dir *store.Dir) 
 		}()
 	}
 
-	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain in-flight
-	// requests (bounded), then drain + checkpoint the live ingester so the
-	// final WAL state flushes cleanly.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errCh:
 		srv.Close()
-		if live != nil {
-			_ = live.Close()
-		}
+		_ = drain()
 		return err
 	case <-ctx.Done():
 		logger.Info("shutting down")
@@ -500,17 +585,7 @@ func serve(opt options, sys *core.System, mapped *store.Mapped, dir *store.Dir) 
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("http server", slog.Any("error", err))
 		}
-		if live != nil {
-			if err := live.Close(); err != nil {
-				return fmt.Errorf("closing ingester: %w", err)
-			}
-			if dir != nil {
-				logger.Info("final checkpoint",
-					slog.Uint64("version", dir.LastCheckpointVersion()),
-					slog.String("dir", dir.Path()))
-			}
-		}
-		return nil
+		return drain()
 	}
 }
 

@@ -1,0 +1,53 @@
+// Package repl implements leader→follower replication for the live
+// OCTOPUS system: snapshot shipping plus WAL tailing, so a fleet of
+// read replicas can serve the paper's query scenarios at near-leader
+// freshness without re-running EM or index builds.
+//
+// # Protocol
+//
+// A leader exposes one endpoint, GET /api/replicate, with three forms:
+//
+//	?what=status    → JSON Status: snapshot version, WAL epoch and
+//	                  durable length, and the FoldConfig a replica
+//	                  must mirror.
+//	?what=snapshot  → the latest checkpoint snapshot file, served with
+//	                  Range support so an interrupted bootstrap resumes
+//	                  where it left off instead of starting over.
+//	?what=wal&epoch=E&offset=O
+//	                → raw WAL frames from epoch E starting at byte O
+//	                  (&wait_ms long-polls when caught up, &max_bytes
+//	                  caps the response). Responses carry the position
+//	                  headers defined in source.go.
+//
+// A position is (epoch, offset): epoch E is the checkpoint version the
+// WAL bytes build on, offset is a byte position past the 8-byte WAL
+// header. The leader's live WAL serves only the fsync'd prefix
+// ([offset, durable)); rotated epochs are retained as sealed wal.<E>.log
+// archives so a follower that is a few checkpoints behind can still
+// catch up record-for-record. When the requested position is not
+// resumable — the epoch was pruned, the leader restarted and rebuilt
+// through recovery (not fold-equivalent to streaming), or the follower
+// claims bytes the leader never wrote — the leader answers with a
+// restart signal (HTTP 409 + X-Octopus-Repl-Restart) and the follower
+// re-bootstraps from the current snapshot.
+//
+// # Follower lifecycle
+//
+// Start fetches the leader's status, downloads (or reuses) the
+// snapshot, opens the local durability directory with store.OpenRaw,
+// maps the snapshot in place with store.Map (zero-copy: the replica
+// serves straight from the page cache), wraps it in a stream.LiveSystem
+// that mirrors the leader's FoldConfig with automatic folds disabled,
+// and then tails the WAL. Data records are replayed through the normal
+// ingest path — edges carry the leader's recorded priors so both sides
+// fold the same model — and fence records trigger ForceSnapshot, so the
+// follower folds exactly at the leader's checkpoint boundaries with the
+// same version numbers. At equal versions, leader and follower serve
+// query-for-query identical answers; the follower's extra staleness is
+// only its replication lag (Follower.Lag), which the serving layer
+// feeds into the health SLOs.
+//
+// Each follower fold checkpoints locally, so a restarted follower
+// resumes from its own snapshot — re-tailing from the last fence —
+// without re-downloading the leader's snapshot.
+package repl

@@ -1,0 +1,507 @@
+package repl_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/graph"
+	"octopus/internal/repl"
+	"octopus/internal/store"
+	"octopus/internal/stream"
+)
+
+func buildBase(tb testing.TB, authors int, seed uint64) *core.System {
+	tb.Helper()
+	ds, err := datagen.Citation(datagen.CitationConfig{Authors: authors, Topics: 4, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := core.Build(ds.Graph, ds.Log, core.Config{
+		GroundTruth:      ds.Truth,
+		GroundTruthWords: ds.TruthWords,
+		TopicNames:       ds.TopicNames,
+		Seed:             seed ^ 0xabc,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// leader bundles a durable live system behind an httptest replication
+// endpoint whose Source can be swapped to simulate a leader restart.
+type leader struct {
+	tb    testing.TB
+	dir   string
+	ls    *stream.LiveSystem
+	src   atomic.Pointer[repl.Source]
+	srv   *httptest.Server
+	nodes graph.NodeID // base node count, for feeding fresh endpoints
+}
+
+func newLeader(tb testing.TB, sys *core.System) *leader {
+	l := &leader{tb: tb, dir: tb.TempDir(), nodes: graph.NodeID(sys.Graph().NumNodes())}
+	l.open(sys)
+	l.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		l.src.Load().ServeHTTP(w, r)
+	}))
+	tb.Cleanup(func() {
+		l.srv.Close()
+		l.ls.Kill()
+		_ = l.ls.Store().Close()
+	})
+	return l
+}
+
+func (l *leader) open(fallback *core.System) {
+	l.tb.Helper()
+	d, res, err := store.Open(l.dir)
+	if err != nil {
+		l.tb.Fatal(err)
+	}
+	sys := fallback
+	if res != nil && res.Sys != nil {
+		sys = res.Sys
+	}
+	ls, err := stream.NewLiveSystem(sys, stream.Config{Store: d, RebuildEvents: 1 << 20, IncrementalFold: true})
+	if err != nil {
+		l.tb.Fatal(err)
+	}
+	src, err := repl.NewSource(ls)
+	if err != nil {
+		l.tb.Fatal(err)
+	}
+	l.ls = ls
+	l.src.Store(src)
+}
+
+// crashRestart kills the leader mid-stream and reopens it through
+// recovery — the scenario that invalidates every follower's lineage.
+func (l *leader) crashRestart() {
+	l.tb.Helper()
+	l.ls.Kill()
+	if err := l.ls.Store().Close(); err != nil {
+		l.tb.Fatal(err)
+	}
+	l.open(nil)
+}
+
+// feed ingests one round of events: an edge to a brand-new node, a new
+// item, and an action on it by an existing user.
+func feed(tb testing.TB, l *leader, round int) {
+	tb.Helper()
+	src := graph.NodeID(round % 20)
+	dst := l.nodes + graph.NodeID(round)
+	if err := l.ls.IngestEdges([]stream.EdgeEvent{
+		{Src: src, Dst: dst, DstName: fmt.Sprintf("user-%d", round)},
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	id := int32(10_000 + round)
+	err := l.ls.IngestActions(
+		[]actionlog.Item{{ID: id, Keywords: []string{"mining", "graphs"}}},
+		[]actionlog.Action{{User: src, Item: id, Time: int64(1000 + round)}},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func force(tb testing.TB, ls *stream.LiveSystem) {
+	tb.Helper()
+	if err := ls.ForceSnapshot(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func waitFor(tb testing.TB, d time.Duration, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	tb.Fatalf("timed out waiting for %s", what)
+}
+
+// fingerprint serializes the answers a server would produce from sys —
+// stats plus exact influence queries — for byte-identical comparison.
+func fingerprint(tb testing.TB, sys *core.System) string {
+	tb.Helper()
+	var sb strings.Builder
+	b, err := json.Marshal(sys.Stats())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sb.Write(b)
+	for _, q := range [][]string{{"mining", "data"}, {"learning"}} {
+		r, err := sys.DiscoverInfluencers(q, core.DiscoverOptions{K: 5})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sb.Write(b)
+	}
+	return sb.String()
+}
+
+func startFollower(tb testing.TB, leaderURL, dir string) *repl.Follower {
+	tb.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f, err := repl.Start(ctx, repl.Config{
+		Leader:       leaderURL,
+		Dir:          dir,
+		PollWait:     200 * time.Millisecond,
+		RetryBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if t, ok := tb.(*testing.T); ok {
+		t.Cleanup(func() { _ = f.Close() }) // idempotent; leak guard
+	}
+	return f
+}
+
+// converged waits until the follower has fetched everything durable and
+// folded to the leader's version.
+func converged(tb testing.TB, f *repl.Follower, l *leader) {
+	tb.Helper()
+	waitFor(tb, 20*time.Second, "follower convergence", func() bool {
+		return f.CaughtUp() && f.Live().Version() == l.ls.Version()
+	})
+}
+
+func TestFollowerBootstrapConverges(t *testing.T) {
+	sys := buildBase(t, 150, 7)
+	l := newLeader(t, sys)
+	for r := 0; r < 5; r++ {
+		feed(t, l, r)
+	}
+	force(t, l.ls) // fence → v2, seals epoch 1
+	for r := 5; r < 8; r++ {
+		feed(t, l, r) // live, unfenced tail
+	}
+	if err := l.ls.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := startFollower(t, l.srv.URL, t.TempDir())
+	defer f.Close()
+	converged(t, f, l)
+
+	fls := f.Live()
+	if v := fls.Version(); v != 2 {
+		t.Fatalf("follower version = %d, want 2", v)
+	}
+	if got, want := fingerprint(t, fls.System()), fingerprint(t, l.ls.System()); got != want {
+		t.Fatalf("answers diverge at version %d:\n got %s\nwant %s", fls.Version(), got, want)
+	}
+	// The unfenced tail must be visible in the follower's overlay with
+	// the leader's recorded priors.
+	if err := fls.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 5; r < 8; r++ {
+		src := graph.NodeID(r % 20)
+		lp, _ := json.Marshal(l.ls.PendingOutEdges(src))
+		fp, _ := json.Marshal(fls.PendingOutEdges(src))
+		if string(lp) != string(fp) {
+			t.Fatalf("overlay for node %d diverges:\n got %s\nwant %s", src, fp, lp)
+		}
+	}
+	// Bootstrap must be zero-copy on the happy path.
+	ms, ok := f.MapStats()
+	if !ok {
+		t.Fatal("no map stats after bootstrap")
+	}
+	if ms.CopyFallbacks != 0 {
+		t.Fatalf("bootstrap mapping had %d copy fallbacks", ms.CopyFallbacks)
+	}
+	if os.Getenv("OCTOPUS_MMAP") != "off" && ms.Backing != "mmap" {
+		t.Fatalf("bootstrap backing = %q, want mmap", ms.Backing)
+	}
+	if st := f.Stats(); st.SnapshotFetches != 1 {
+		t.Fatalf("snapshot fetches = %d, want 1", st.SnapshotFetches)
+	}
+	if lag := f.Lag(); lag != 0 {
+		t.Fatalf("caught-up follower reports lag %v", lag)
+	}
+
+	// The next leader fold reaches the follower through its fence.
+	force(t, l.ls)
+	converged(t, f, l)
+	if v := f.Live().Version(); v != 3 {
+		t.Fatalf("follower version = %d, want 3", v)
+	}
+	if got, want := fingerprint(t, f.Live().System()), fingerprint(t, l.ls.System()); got != want {
+		t.Fatalf("answers diverge at version 3")
+	}
+}
+
+func TestFollowerRestartResumesWithoutRefetch(t *testing.T) {
+	sys := buildBase(t, 150, 9)
+	l := newLeader(t, sys)
+	for r := 0; r < 4; r++ {
+		feed(t, l, r)
+	}
+	force(t, l.ls) // v2
+	fdir := t.TempDir()
+	f := startFollower(t, l.srv.URL, fdir)
+	converged(t, f, l)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The leader moves on while the follower is down.
+	for r := 4; r < 9; r++ {
+		feed(t, l, r)
+	}
+	force(t, l.ls) // v3
+
+	f2 := startFollower(t, l.srv.URL, fdir)
+	defer f2.Close()
+	converged(t, f2, l)
+	if st := f2.Stats(); st.SnapshotFetches != 0 {
+		t.Fatalf("restarted follower refetched the snapshot (%d fetches); want resume from local checkpoint", st.SnapshotFetches)
+	}
+	if got, want := fingerprint(t, f2.Live().System()), fingerprint(t, l.ls.System()); got != want {
+		t.Fatalf("answers diverge after restart:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestLeaderRestartForcesRebootstrap(t *testing.T) {
+	sys := buildBase(t, 150, 11)
+	l := newLeader(t, sys)
+	for r := 0; r < 4; r++ {
+		feed(t, l, r)
+	}
+	force(t, l.ls) // v2
+	f := startFollower(t, l.srv.URL, t.TempDir())
+	defer f.Close()
+	converged(t, f, l)
+
+	// Crash the leader with an unfenced tail: recovery rebuilds (and
+	// compacts) through a path that is not fold-equivalent, so the
+	// follower's lineage is invalid and it must re-bootstrap.
+	for r := 4; r < 7; r++ {
+		feed(t, l, r)
+	}
+	if err := l.ls.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	l.crashRestart()
+
+	waitFor(t, 20*time.Second, "re-bootstrap", func() bool {
+		return f.Stats().Rebootstraps >= 1
+	})
+	converged(t, f, l)
+	if st := f.Stats(); st.SnapshotFetches < 2 {
+		t.Fatalf("snapshot fetches = %d after leader restart, want >= 2", st.SnapshotFetches)
+	}
+	if got, want := fingerprint(t, f.Live().System()), fingerprint(t, l.ls.System()); got != want {
+		t.Fatalf("answers diverge after leader restart:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestFollowerKillRestartSoak streams continuously while the follower
+// is killed and restarted mid-stream, with concurrent readers hammering
+// whatever serving handle is current — the -race soak for the
+// swap-under-read paths. It ends by asserting byte-identical answers at
+// the same version.
+func TestFollowerKillRestartSoak(t *testing.T) {
+	sys := buildBase(t, 150, 13)
+	l := newLeader(t, sys)
+	fdir := t.TempDir()
+
+	var cur atomic.Pointer[repl.Follower]
+	cur.Store(startFollower(t, l.srv.URL, fdir))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ls := cur.Load().Live()
+				snap, release := ls.Acquire()
+				if _, err := snap.Sys.DiscoverInfluencers([]string{"mining"}, core.DiscoverOptions{K: 3}); err != nil {
+					t.Error(err)
+				}
+				release()
+			}
+		}()
+	}
+
+	const rounds = 30
+	for r := 0; r < rounds; r++ {
+		feed(t, l, r)
+		if r%5 == 4 {
+			force(t, l.ls)
+		}
+		if r == 9 || r == 19 {
+			// Kill the follower mid-stream and restart it from its own
+			// checkpoint directory.
+			f := cur.Load()
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			cur.Store(startFollower(t, l.srv.URL, fdir))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	force(t, l.ls)
+
+	f := cur.Load()
+	converged(t, f, l)
+	close(stop)
+	wg.Wait()
+	defer f.Close()
+
+	if !f.Ready() {
+		t.Fatal("follower not ready after convergence")
+	}
+	fv, lv := f.Live().Version(), l.ls.Version()
+	if fv != lv {
+		t.Fatalf("versions diverge: follower %d, leader %d", fv, lv)
+	}
+	if got, want := fingerprint(t, f.Live().System()), fingerprint(t, l.ls.System()); got != want {
+		t.Fatalf("answers diverge at version %d:\n got %s\nwant %s", fv, got, want)
+	}
+	if st := f.Stats(); st.SnapshotFetches != 0 {
+		t.Fatalf("soak restarts refetched the snapshot %d times; want checkpoint resume", st.SnapshotFetches)
+	}
+}
+
+func TestFetchSnapshotResume(t *testing.T) {
+	sys := buildBase(t, 150, 17)
+	l := newLeader(t, sys)
+	want, err := os.ReadFile(store.SnapshotPathIn(l.dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 4096 {
+		t.Fatalf("snapshot too small to test resume: %d bytes", len(want))
+	}
+	ctx := context.Background()
+	c := repl.NewClient(l.srv.URL, nil)
+	dest := filepath.Join(t.TempDir(), "snap.oct")
+
+	// A partial file from an interrupted fetch resumes via Range.
+	if err := os.WriteFile(dest+".partial", want[:1024], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dest+".partial.version", []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, n, resumed, err := c.FetchSnapshot(ctx, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed || v != 1 || n != int64(len(want))-1024 {
+		t.Fatalf("resume: v=%d n=%d resumed=%v (snapshot %d bytes)", v, n, resumed, len(want))
+	}
+	got, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("resumed download differs from the leader's snapshot")
+	}
+
+	// A partial belonging to a superseded snapshot version restarts
+	// from zero instead of splicing incompatible bytes.
+	if err := os.WriteFile(dest+".partial", want[:512], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dest+".partial.version", []byte("999"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, n, resumed, err = c.FetchSnapshot(ctx, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed || v != 1 || n != int64(len(want)) {
+		t.Fatalf("stale resume: v=%d n=%d resumed=%v", v, n, resumed)
+	}
+	if got, _ := os.ReadFile(dest); string(got) != string(want) {
+		t.Fatal("refetched download differs from the leader's snapshot")
+	}
+}
+
+func TestSourceTailSignals(t *testing.T) {
+	sys := buildBase(t, 150, 19)
+	l := newLeader(t, sys)
+	src := l.src.Load()
+	ctx := context.Background()
+	cur := l.ls.Store().WALEpoch()
+
+	// The initial checkpoint sealed epoch 0 (fence only): it serves and
+	// reports Sealed.
+	res, err := src.Tail(ctx, 0, store.WALHeaderLen, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restart || !res.Sealed || len(res.Data) == 0 {
+		t.Fatalf("sealed epoch tail: %+v", res)
+	}
+	recs, n, err := store.ParseWALRecords(res.Data)
+	if err != nil || n != int64(len(res.Data)) || len(recs) != 1 || recs[0].Kind != store.RecFence {
+		t.Fatalf("sealed epoch content: recs=%v n=%d err=%v", recs, n, err)
+	}
+
+	for _, bad := range []struct {
+		name   string
+		epoch  uint64
+		offset int64
+	}{
+		{"future epoch", cur + 5, store.WALHeaderLen},
+		{"offset inside header", cur, 2},
+		{"offset past durable", cur, l.ls.Store().WALDurable() + 100},
+	} {
+		res, err := src.Tail(ctx, bad.epoch, bad.offset, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", bad.name, err)
+		}
+		if !res.Restart {
+			t.Fatalf("%s: want restart signal, got %+v", bad.name, res)
+		}
+	}
+
+	// A pruned (missing) sealed epoch also signals restart.
+	if err := os.Remove(filepath.Join(l.dir, "wal.0.log")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = src.Tail(ctx, 0, store.WALHeaderLen, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Restart {
+		t.Fatalf("missing sealed epoch: want restart, got %+v", res)
+	}
+}

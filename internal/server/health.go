@@ -10,11 +10,13 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
 	"octopus/internal/obs"
+	"octopus/internal/repl"
 )
 
 // watchdogPoll is how often the background watchdog re-evaluates the
@@ -32,15 +34,31 @@ type healthResponse struct {
 	BurnThreshold   float64               `json:"burnThreshold"`
 	Reasons         []string              `json:"reasons"`
 	Objectives      []obs.ObjectiveReport `json:"objectives"`
+	Replication     *repl.Stats           `json:"replication,omitempty"`
 }
 
-// staleness returns the ingest staleness of a live server (0 on a
-// static one, where snapshots cannot age).
+// staleness returns the serving staleness feeding the SLO staleness
+// objective: the ingest staleness of a live server (0 on a static one,
+// where snapshots cannot age), and on a replica the worse of the local
+// ingest staleness and the replication lag — a follower that cannot
+// reach its leader is serving answers that age exactly like a leader
+// whose overlay outruns its folds.
 func (s *Server) staleness() time.Duration {
-	if s.live == nil {
-		return 0
+	var stale time.Duration
+	if s.live != nil {
+		stale = s.live.Staleness()
 	}
-	return s.live.Staleness()
+	if s.follower != nil {
+		if ls := s.follower.Live(); ls != nil {
+			if v := ls.Staleness(); v > stale {
+				stale = v
+			}
+		}
+		if lag := s.follower.Lag(); lag > stale {
+			stale = lag
+		}
+	}
+	return stale
 }
 
 // handleHealth reports the SLO state. ready and degraded answer 200 so
@@ -63,11 +81,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Reasons:         burnReasons(rep),
 		Objectives:      rep.Objectives,
 	}
-	if rep.State != obs.StateReady {
-		s.captureDiag("slo " + rep.State + ": " + strings.Join(resp.Reasons, "; "))
+	// A replica that has not caught up with its leader yet is serving an
+	// arbitrarily old snapshot: never report it ready, whatever the burn
+	// windows say (they need traffic history a fresh replica lacks).
+	if s.follower != nil {
+		fst := s.follower.Stats()
+		resp.Replication = &fst
+		if !fst.Ready {
+			if resp.State == obs.StateReady {
+				resp.State = obs.StateDegraded
+			}
+			resp.Reasons = append(resp.Reasons, fmt.Sprintf(
+				"replication_lag: replica not caught up with %s (%.0fms behind)", fst.Leader, fst.LagMillis))
+		}
+	}
+	if resp.State != obs.StateReady {
+		s.captureDiag("slo " + resp.State + ": " + strings.Join(resp.Reasons, "; "))
 	}
 	status := http.StatusOK
-	if rep.State == obs.StateFailing {
+	if resp.State == obs.StateFailing {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)

@@ -34,10 +34,50 @@ func (s *Server) newRegistry() *obs.Registry {
 	reg.Register(s.costs)
 	reg.RegisterFunc(s.collectServing)
 	reg.RegisterFunc(s.collectSLO)
-	if s.live != nil {
+	if s.live != nil || s.follower != nil {
 		reg.RegisterFunc(s.collectLive)
 	}
+	if s.replSrc != nil || s.follower != nil {
+		reg.RegisterFunc(s.collectRepl)
+	}
 	return reg
+}
+
+// collectRepl emits the octopus_repl_* instruments: source counters on
+// a leader shipping its WAL to followers, pipeline state on a replica.
+func (s *Server) collectRepl(w *obs.MetricWriter) {
+	if s.replSrc != nil {
+		st := s.replSrc.Stats()
+		w.Counter("octopus_repl_tail_requests_total", "WAL tail requests served to followers.", float64(st.TailRequests))
+		w.Counter("octopus_repl_tail_bytes_total", "WAL bytes shipped to followers.", float64(st.TailBytes))
+		w.Counter("octopus_repl_snapshot_requests_total", "Snapshot downloads served to followers.", float64(st.SnapshotRequests))
+		w.Counter("octopus_repl_restarts_total", "Restart signals sent at positions the leader cannot resume.", float64(st.Restarts))
+		w.Gauge("octopus_repl_wal_epoch", "Epoch of the live WAL being shipped.", float64(st.WALEpoch))
+		w.Gauge("octopus_repl_wal_durable_bytes", "Durable (fsync'd) size of the live WAL.", float64(st.WALDurable))
+	}
+	if s.follower != nil {
+		st := s.follower.Stats()
+		w.Gauge("octopus_repl_follower_ready", "1 once the replica has caught up with the leader at least once.", boolGauge(st.Ready))
+		w.Gauge("octopus_repl_follower_caught_up", "1 while no durable leader bytes remain unfetched.", boolGauge(st.CaughtUp))
+		w.Gauge("octopus_repl_follower_lag_seconds", "Time behind the leader's durable frontier (0 while caught up).", st.LagMillis/1e3)
+		w.Gauge("octopus_repl_follower_lag_bytes", "Durable WAL bytes not yet applied locally.", float64(st.LagBytes))
+		w.Gauge("octopus_repl_follower_epoch", "WAL epoch the replica is tailing.", float64(st.Epoch))
+		w.Gauge("octopus_repl_follower_version", "Snapshot version the replica serves.", float64(st.Version))
+		w.Counter("octopus_repl_follower_records_total", "WAL records replayed through the ingest path.", float64(st.RecordsQueued))
+		w.Counter("octopus_repl_follower_bytes_total", "WAL bytes applied.", float64(st.BytesApplied))
+		w.Counter("octopus_repl_follower_folds_total", "Folds executed at leader checkpoint fences.", float64(st.Folds))
+		w.Counter("octopus_repl_follower_reconnects_total", "Tail connections re-established after an error.", float64(st.Reconnects))
+		w.Counter("octopus_repl_follower_rebootstraps_total", "Full re-syncs forced by leader restart signals.", float64(st.Rebootstraps))
+		w.Counter("octopus_repl_follower_snapshot_fetches_total", "Snapshot downloads performed.", float64(st.SnapshotFetches))
+		w.Counter("octopus_repl_follower_snapshot_bytes_total", "Snapshot bytes downloaded.", float64(st.SnapshotBytes))
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // collectSLO emits the burn-rate gauges behind /api/health: per
@@ -96,9 +136,14 @@ func (s *Server) collectServing(w *obs.MetricWriter) {
 }
 
 // collectLive emits the ingestion-pipeline and durability instruments
-// of the underlying LiveSystem.
+// of the underlying LiveSystem — the server's own on a leader, the
+// follower's current one on a replica.
 func (s *Server) collectLive(w *obs.MetricWriter) {
-	st := s.live.Stats()
+	ls := s.liveSys()
+	if ls == nil {
+		return
+	}
+	st := ls.Stats()
 	w.Counter("octopus_ingest_events_total", "Events accepted into the ingest buffer.", float64(st.Accepted), "outcome", "accepted")
 	w.Counter("octopus_ingest_events_total", "Events accepted into the ingest buffer.", float64(st.Dropped), "outcome", "dropped")
 	w.Counter("octopus_ingest_events_total", "Events accepted into the ingest buffer.", float64(st.Invalid), "outcome", "invalid")
@@ -131,7 +176,7 @@ func (s *Server) collectLive(w *obs.MetricWriter) {
 		w.Counter("octopus_wal_errors_total", "WAL or checkpoint failures.", float64(st.WALErrors))
 		w.Gauge("octopus_wal_bytes", "Bytes in the current WAL segment.", float64(st.WALBytes))
 		w.Counter("octopus_checkpoints_total", "Snapshot checkpoints written.", float64(st.Checkpoints))
-		if d := s.live.Store(); d != nil {
+		if d := ls.Store(); d != nil {
 			w.Histogram("octopus_wal_append_duration_seconds", "WAL record append latency.", d.WALAppendLatency().Snapshot())
 			w.Histogram("octopus_wal_fsync_duration_seconds", "WAL fsync latency.", d.WALSyncLatency().Snapshot())
 			w.Histogram("octopus_checkpoint_duration_seconds", "Checkpoint (snapshot write + WAL rotate) duration.", d.CheckpointLatency().Snapshot())

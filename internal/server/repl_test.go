@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"octopus/internal/repl"
+)
+
+// replicaPair builds a durable leader server behind an httptest
+// listener and a follower replicating from it, fronted by a replica
+// Server. The leader has checkpointed once so a snapshot exists to
+// ship.
+func replicaPair(t *testing.T) (leader *Server, replica *Server, f *repl.Follower) {
+	t.Helper()
+	leader, ls := durableLiveServer(t, Options{})
+	if err := ls.ForceSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(leader)
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	f, err := repl.Start(ctx, repl.Config{
+		Leader:       ts.URL,
+		Dir:          t.TempDir(),
+		PollWait:     200 * time.Millisecond,
+		RetryBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return leader, NewReplicaWith(f, Options{}), f
+}
+
+func waitReady(t *testing.T, f *repl.Follower) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !f.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", f.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestReplicateRouteMounting(t *testing.T) {
+	// A durable leader serves the replication handshake...
+	leader, _ := durableLiveServer(t, Options{})
+	rec, body := get(t, leader, "/api/replicate?what=status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("leader /api/replicate = %d body = %v", rec.Code, body)
+	}
+	if _, ok := body["walEpoch"]; !ok {
+		t.Fatalf("status payload missing walEpoch: %v", body)
+	}
+	// ...while a static server, having nothing durable to ship, 404s.
+	static, _ := testServer(t)
+	rec, _ = get(t, static, "/api/replicate?what=status")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("static /api/replicate = %d, want 404", rec.Code)
+	}
+}
+
+func TestReplicaServesQueriesReadOnly(t *testing.T) {
+	_, replica, f := replicaPair(t)
+	waitReady(t, f)
+
+	rec, body := get(t, replica, "/api/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica /api/status = %d body = %v", rec.Code, body)
+	}
+	rec, body = get(t, replica, "/api/im?q=data+mining&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica /api/im = %d body = %v", rec.Code, body)
+	}
+
+	// Writes belong to the leader: 403, not the static server's 404.
+	rec, body = postJSON(t, replica, "/api/ingest/edges", `{"edges":[{"src":0,"dst":1}]}`)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("replica ingest = %d body = %v, want 403", rec.Code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "read-only replica") {
+		t.Fatalf("replica ingest error = %q", body["error"])
+	}
+
+	// The stats endpoint reports the replication pipeline.
+	rec, body = get(t, replica, "/api/ingest/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica /api/ingest/stats = %d", rec.Code)
+	}
+	rp, ok := body["repl"].(map[string]any)
+	if !ok {
+		t.Fatalf("ingest/stats missing repl section: %v", body)
+	}
+	if rp["ready"] != true {
+		t.Fatalf("repl section not ready: %v", rp)
+	}
+}
+
+func TestReplicaHealthAndMetrics(t *testing.T) {
+	leader, replica, f := replicaPair(t)
+	waitReady(t, f)
+
+	rec, body := get(t, replica, "/api/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica /api/health = %d", rec.Code)
+	}
+	if body["state"] != "ready" {
+		t.Fatalf("replica health state = %v (body %v)", body["state"], body)
+	}
+	if _, ok := body["replication"].(map[string]any); !ok {
+		t.Fatalf("replica health missing replication section: %v", body)
+	}
+
+	fams := scrape(t, replica)
+	for _, name := range []string{
+		"octopus_repl_follower_ready",
+		"octopus_repl_follower_lag_seconds",
+		"octopus_ingest_applied_total", // collectLive resolves the follower's system
+	} {
+		if famByName(fams, name) == nil {
+			t.Errorf("replica /metrics missing %s", name)
+		}
+	}
+	fams = scrape(t, leader)
+	for _, name := range []string{
+		"octopus_repl_tail_requests_total",
+		"octopus_repl_wal_durable_bytes",
+	} {
+		if famByName(fams, name) == nil {
+			t.Errorf("leader /metrics missing %s", name)
+		}
+	}
+
+	// The leader's stats endpoint carries its source counters.
+	rec, body = get(t, leader, "/api/ingest/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("leader /api/ingest/stats = %d", rec.Code)
+	}
+	rp, ok := body["repl"].(map[string]any)
+	if !ok {
+		t.Fatalf("leader ingest/stats missing repl section: %v", body)
+	}
+	if v, _ := rp["tailRequests"].(float64); v == 0 {
+		t.Fatalf("leader served no tail requests: %v", rp)
+	}
+}
+
+// TestReplicaHealthGatesOnCatchUp pins the follower behind a leader
+// whose tail endpoint always fails: bootstrap succeeds (status +
+// snapshot work) but the replica can never catch up, so health must
+// refuse to report ready and name replication_lag.
+func TestReplicaHealthGatesOnCatchUp(t *testing.T) {
+	leader, ls := durableLiveServer(t, Options{})
+	if err := ls.ForceSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("what") == "wal" {
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`{"error":"tail disabled for test"}`))
+			return
+		}
+		leader.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	f, err := repl.Start(ctx, repl.Config{
+		Leader:       ts.URL,
+		Dir:          t.TempDir(),
+		PollWait:     100 * time.Millisecond,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	replica := NewReplicaWith(f, Options{})
+
+	rec, body := get(t, replica, "/api/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica /api/health = %d", rec.Code)
+	}
+	if body["state"] != "degraded" {
+		t.Fatalf("stalled replica health state = %v, want degraded (body %v)", body["state"], body)
+	}
+	var reasons []string
+	b, _ := json.Marshal(body["reasons"])
+	_ = json.Unmarshal(b, &reasons)
+	found := false
+	for _, r := range reasons {
+		if strings.HasPrefix(r, "replication_lag:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no replication_lag reason in %v", reasons)
+	}
+	// Queries still work against the bootstrapped snapshot meanwhile.
+	rec, _ = get(t, replica, "/api/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica /api/status while degraded = %d", rec.Code)
+	}
+}

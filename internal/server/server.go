@@ -27,6 +27,17 @@
 //	POST /api/ingest/edges                   new follow edges (JSON body)
 //	GET  /api/ingest/stats                   ingestion pipeline statistics
 //
+// A durable live Server (one whose LiveSystem has a store) additionally
+// serves its snapshot and WAL to read replicas:
+//
+//	GET  /api/replicate                      snapshot shipping + WAL tailing (internal/repl)
+//
+// A Server created with NewReplica fronts a replication follower: the
+// same read endpoints, answered from the follower's replicated system;
+// ingest endpoints return 403 (writes go to the leader); /api/health
+// reports degraded with a replication_lag reason until the follower has
+// caught up, and the follower's lag feeds the staleness objective.
+//
 // # Query serving
 //
 // Every query request pins one immutable (snapshot, generation) pair up
@@ -47,7 +58,8 @@
 // header; malformed numeric query parameters (?k=ten, ?theta=0..5) are
 // rejected with 400 and an error payload naming the parameter. Ingest
 // endpoints return 503 when the bounded ingest buffer is full (retry
-// with backoff) and 404 on a static (non-live) server.
+// with backoff), 404 on a static (non-live) server, and 403 on a
+// read-only replica.
 //
 // # Observability
 //
@@ -87,6 +99,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/obs"
 	"octopus/internal/qcache"
+	"octopus/internal/repl"
 	"octopus/internal/store"
 	"octopus/internal/stream"
 	"octopus/internal/tags"
@@ -167,7 +180,9 @@ type Server struct {
 	// snapshot it holds the pin that keeps a swapped-out generation's
 	// mapping from being unmapped mid-query.
 	snap       func() (*core.System, uint64, func())
-	live       *stream.LiveSystem // nil on a static server
+	live       *stream.LiveSystem // nil on a static or replica server
+	follower   *repl.Follower     // non-nil only on a replica server
+	replSrc    *repl.Source       // non-nil only on a durable leader
 	storeStats func() store.MapStats
 	mux        *http.ServeMux
 	// QueryTimeout bounds each analysis request (default 10s).
@@ -197,7 +212,7 @@ func New(sys *core.System) *Server { return NewWith(sys, Options{}) }
 // options. A static system has exactly one generation (1), so cached
 // entries never go stale.
 func NewWith(sys *core.System, opt Options) *Server {
-	return newServer(func() (*core.System, uint64, func()) { return sys, 1, noopRelease }, nil, opt)
+	return newServer(func() (*core.System, uint64, func()) { return sys, 1, noopRelease }, nil, nil, opt)
 }
 
 // noopRelease is the release callback of a static server's snap: a
@@ -222,14 +237,39 @@ func NewLiveWith(ls *stream.LiveSystem, opt Options) *Server {
 	return newServer(func() (*core.System, uint64, func()) {
 		sn, rel := ls.Acquire()
 		return sn.Sys, sn.Version, rel
-	}, ls, opt)
+	}, ls, nil, opt)
 }
 
-func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSystem, opt Options) *Server {
+// NewReplica creates a read-only Server over a replication follower
+// with default serving options.
+func NewReplica(f *repl.Follower) *Server { return NewReplicaWith(f, Options{}) }
+
+// NewReplicaWith creates a read-only Server over a replication
+// follower. Each query pins the follower's current system — resolved
+// per request, because its identity changes when a leader restart
+// forces a re-bootstrap. Ingest endpoints answer 403 (writes go to the
+// leader), /api/health refuses to report ready until the follower has
+// caught up at least once, and the replication lag feeds the staleness
+// objective so a stalled replica degrades like a stalled leader.
+func NewReplicaWith(f *repl.Follower, opt Options) *Server {
+	if opt.StoreStats == nil {
+		opt.StoreStats = func() store.MapStats {
+			ms, _ := f.MapStats()
+			return ms
+		}
+	}
+	return newServer(func() (*core.System, uint64, func()) {
+		sn, rel := f.Live().Acquire()
+		return sn.Sys, sn.Version, rel
+	}, nil, f, opt)
+}
+
+func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSystem, follower *repl.Follower, opt Options) *Server {
 	opt.fill()
 	s := &Server{
 		snap:          snap,
 		live:          live,
+		follower:      follower,
 		storeStats:    opt.StoreStats,
 		mux:           http.NewServeMux(),
 		QueryTimeout:  opt.QueryTimeout,
@@ -246,6 +286,11 @@ func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSyst
 	}
 	if opt.TraceRing > 0 {
 		s.tracer = obs.NewTracer(opt.TraceRing, opt.SlowQuery, opt.Logger)
+	}
+	if live != nil && live.Store() != nil {
+		if src, err := repl.NewSource(live); err == nil {
+			s.replSrc = src
+		}
 	}
 	s.registry = s.newRegistry()
 	if s.watchdog != nil {
@@ -278,6 +323,18 @@ func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSyst
 	s.mux.HandleFunc("/api/ingest/actions", s.instrument("ingest/actions", allow(http.MethodPost, s.handleIngestActions)))
 	s.mux.HandleFunc("/api/ingest/edges", s.instrument("ingest/edges", allow(http.MethodPost, s.handleIngestEdges)))
 	s.mux.HandleFunc("/api/ingest/stats", s.instrument("ingest/stats", allow(http.MethodGet, s.handleIngestStats)))
+	// /api/replicate bypasses instrument: tail requests long-poll for
+	// seconds by design, which would poison the latency SLO, the trace
+	// ring and the per-endpoint quantiles. The Source keeps its own
+	// counters (octopus_repl_* on /metrics).
+	if s.replSrc != nil {
+		s.mux.Handle(repl.ReplicatePath, s.replSrc)
+	} else {
+		s.mux.HandleFunc(repl.ReplicatePath, func(w http.ResponseWriter, r *http.Request) {
+			writeErr(w, http.StatusNotFound,
+				errors.New("replication not enabled: this server has no durable store to ship"))
+		})
+	}
 	s.mux.HandleFunc("/metrics", s.instrument("prom", allow(http.MethodGet, s.handlePromMetrics)))
 	s.mux.HandleFunc("/api/health", s.instrument("health", allow(http.MethodGet, s.handleHealth)))
 	s.mux.HandleFunc("/api/debug/traces", s.instrument("debug/traces", allow(http.MethodGet, s.handleTraces)))
@@ -645,8 +702,15 @@ type ingestResponse struct {
 	Version  uint64 `json:"version"`
 }
 
-// requireLive rejects ingestion on a static server.
+// requireLive rejects ingestion on a server that cannot accept writes:
+// a replica refuses them outright (403 — the leader owns the write
+// path), a static server has no ingest pipeline at all (404).
 func (s *Server) requireLive(w http.ResponseWriter) bool {
+	if s.follower != nil {
+		writeErr(w, http.StatusForbidden,
+			fmt.Errorf("read-only replica: send writes to the leader at %s", s.follower.Leader()))
+		return false
+	}
 	if s.live == nil {
 		writeErr(w, http.StatusNotFound, errors.New("streaming ingestion not enabled on this server"))
 		return false
@@ -726,7 +790,8 @@ func (s *Server) handleIngestEdges(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
 	// A static server with a mapped snapshot still has mapping stats to
 	// report — only the pure static case (nothing to say) stays a 404.
-	if s.live == nil {
+	ls := s.liveSys()
+	if ls == nil {
 		if s.storeStats == nil {
 			s.requireLive(w)
 			return
@@ -737,15 +802,42 @@ func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
 		}{false, s.storeStats()})
 		return
 	}
-	st := s.live.Stats()
-	if s.storeStats == nil {
-		writeJSON(w, http.StatusOK, st)
-		return
+	var ms *store.MapStats
+	if s.storeStats != nil {
+		v := s.storeStats()
+		ms = &v
 	}
 	writeJSON(w, http.StatusOK, struct {
 		stream.Stats
-		Store store.MapStats `json:"store"`
-	}{st, s.storeStats()})
+		Store *store.MapStats `json:"store,omitempty"`
+		Repl  any             `json:"repl,omitempty"`
+	}{ls.Stats(), ms, s.replStats()})
+}
+
+// liveSys resolves the stream system behind this server: the leader's
+// own on a live server, the follower's current one on a replica (per
+// call — its identity changes across re-bootstraps), nil on a static
+// server.
+func (s *Server) liveSys() *stream.LiveSystem {
+	if s.live != nil {
+		return s.live
+	}
+	if s.follower != nil {
+		return s.follower.Live()
+	}
+	return nil
+}
+
+// replStats is the replication section of /api/ingest/stats: the
+// leader's source counters, or the replica's pipeline state.
+func (s *Server) replStats() any {
+	switch {
+	case s.follower != nil:
+		return s.follower.Stats()
+	case s.replSrc != nil:
+		return s.replSrc.Stats()
+	}
+	return nil
 }
 
 type missingParamError string

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -19,10 +21,15 @@ import (
 //
 //	<dir>/snapshot.oct   latest checkpoint (atomically replaced)
 //	<dir>/wal.log        events accepted since that checkpoint
+//	<dir>/wal.<E>.log    sealed epochs kept for replica tailing
 
 const (
 	snapshotFile = "snapshot.oct"
 	walFile      = "wal.log"
+	// walKeepEpochs bounds how many sealed epoch files checkpoints
+	// retain for replication tailing. A follower further behind than
+	// this re-bootstraps from the snapshot instead.
+	walKeepEpochs = 8
 )
 
 // Dir is an open durability directory: the latest checkpoint snapshot
@@ -35,6 +42,17 @@ type Dir struct {
 	wal         *WAL
 	checkpoints atomic.Uint64
 	lastVersion atomic.Uint64
+	// epoch is the checkpoint version the live WAL tail follows: every
+	// record in wal.log was accepted on top of snapshot `epoch`. Stored
+	// only after the rotation that starts the new tail, so concurrent
+	// tail readers can detect a rotation that raced their read.
+	epoch atomic.Uint64
+
+	// testHookAfterSnapshot (tests only) runs between the snapshot write
+	// and the WAL rotation — the crash window the checkpoint fence
+	// closes. Returning an error aborts the checkpoint exactly where a
+	// kill there would.
+	testHookAfterSnapshot func() error
 
 	// Observability: checkpoint cost and size, plus the WAL's latency
 	// instruments surfaced through accessors.
@@ -68,6 +86,7 @@ func Open(dirPath string) (*Dir, *RecoverResult, error) {
 	d := &Dir{path: dirPath, wal: wal}
 	if res != nil {
 		d.lastVersion.Store(res.SnapshotVersion)
+		d.epoch.Store(res.SnapshotVersion)
 		if res.Replayed > 0 {
 			// Compact: fold the replayed tail into a fresh checkpoint so the
 			// next recovery starts from the merged state. The merged state is
@@ -78,16 +97,74 @@ func Open(dirPath string) (*Dir, *RecoverResult, error) {
 				wal.Close()
 				return nil, nil, err
 			}
+		} else if wal.Records() > 0 {
+			// The tail held only records the snapshot already covers (a
+			// checkpoint fence whose rotation never ran, or invalid
+			// records recovery would skip again): drop it so the log once
+			// more starts exactly at the snapshot.
+			if err := wal.Rotate(""); err != nil {
+				wal.Close()
+				return nil, nil, err
+			}
 		}
 	}
+	// Sealed epoch files from a previous process are not resumable: a
+	// recovery rebuild is not byte-for-byte the fold a replica tailing
+	// those epochs would perform, so followers must re-bootstrap from
+	// the fresh snapshot. Dropping the archives is what signals that.
+	d.dropSealedEpochs()
 	return d, res, nil
+}
+
+// OpenRaw opens a durability directory without recovering or
+// compacting: the snapshot (if any) is left exactly as found, its
+// version becomes the directory's checkpoint version and WAL epoch,
+// and any stale WAL tail is dropped rather than replayed. This is the
+// follower-side open: a replica's state is defined by its snapshot
+// plus the records it re-fetches from the leader's matching epoch, so
+// replaying (and compacting) a local tail would advance the version
+// counter past the leader's and break the fold-for-fold alignment
+// replication depends on.
+func OpenRaw(dirPath string) (*Dir, error) {
+	if err := os.MkdirAll(dirPath, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open dir: %w", err)
+	}
+	var version uint64
+	if _, err := os.Stat(filepath.Join(dirPath, snapshotFile)); err == nil {
+		version, err = PeekVersion(filepath.Join(dirPath, snapshotFile))
+		if err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: open dir: %w", err)
+	}
+	wal, err := OpenWAL(filepath.Join(dirPath, walFile))
+	if err != nil {
+		return nil, err
+	}
+	if wal.Records() > 0 {
+		if err := wal.Rotate(""); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	d := &Dir{path: dirPath, wal: wal}
+	d.lastVersion.Store(version)
+	d.epoch.Store(version)
+	return d, nil
 }
 
 // Path returns the directory path.
 func (d *Dir) Path() string { return d.path }
 
 // SnapshotPath returns the checkpoint snapshot path.
-func (d *Dir) SnapshotPath() string { return filepath.Join(d.path, snapshotFile) }
+func (d *Dir) SnapshotPath() string { return SnapshotPathIn(d.path) }
+
+// SnapshotPathIn returns the checkpoint snapshot path inside dirPath
+// without opening the directory. Replication bootstrap decides whether
+// a local snapshot is reusable — and fetches the leader's if not —
+// before any Dir handle exists.
+func SnapshotPathIn(dirPath string) string { return filepath.Join(dirPath, snapshotFile) }
 
 // HasSnapshot reports whether a checkpoint snapshot exists.
 func (d *Dir) HasSnapshot() bool {
@@ -101,17 +178,41 @@ func (d *Dir) Append(recs []Record) error { return d.wal.Append(recs) }
 // Sync fsyncs appended records (one group commit).
 func (d *Dir) Sync() error { return d.wal.Sync() }
 
-// Checkpoint atomically writes sys as the new snapshot, then rotates
-// the WAL. A crash between the two steps is safe: recovery replays the
-// stale WAL records over the new snapshot and deduplicates them.
+// Checkpoint persists sys as the new snapshot and rotates the WAL,
+// crash-safe at every step:
+//
+//  1. A fence record naming the new version is appended and fsynced.
+//  2. The snapshot is written atomically (temp + rename).
+//  3. The WAL is sealed under its epoch name (kept for replica
+//     tailing) and a fresh, empty log takes its place.
+//
+// A crash between (2) and (3) used to double-apply the stale tail on
+// recovery — edges and items deduplicate against snapshot state, but
+// actions carry no identity to deduplicate on. The fence closes that
+// window: once the snapshot of step (2) is on disk, recovery cuts the
+// log at the fence naming its version and replays nothing before it.
 func (d *Dir) Checkpoint(sys *core.System, version uint64) error {
 	start := time.Now()
+	if err := d.wal.Append([]Record{{Kind: RecFence, Version: version}}); err != nil {
+		return err
+	}
+	if err := d.wal.Sync(); err != nil {
+		return err
+	}
 	if err := saveVersion(d.SnapshotPath(), sys, version); err != nil {
 		return err
 	}
-	if err := d.wal.Rotate(); err != nil {
+	if h := d.testHookAfterSnapshot; h != nil {
+		if err := h(); err != nil {
+			return err
+		}
+	}
+	sealed := d.epoch.Load()
+	if err := d.wal.Rotate(d.SealedEpochPath(sealed)); err != nil {
 		return err
 	}
+	d.epoch.Store(version)
+	d.pruneSealedEpochs(version)
 	d.checkpointLat.ObserveSince(start)
 	if st, err := os.Stat(d.SnapshotPath()); err == nil {
 		d.lastCheckpoint.Store(st.Size())
@@ -119,6 +220,74 @@ func (d *Dir) Checkpoint(sys *core.System, version uint64) error {
 	d.checkpoints.Add(1)
 	d.lastVersion.Store(version)
 	return nil
+}
+
+// WALEpoch returns the checkpoint version the live WAL tail follows:
+// every record currently in wal.log was accepted on top of snapshot
+// WALEpoch(). It is stored after the rotation that starts the tail, so
+// a tail reader that re-checks the epoch after reading can detect a
+// rotation racing its read.
+func (d *Dir) WALEpoch() uint64 { return d.epoch.Load() }
+
+// WALDurable returns the fsync'd prefix length of the live WAL file —
+// the offset a concurrent tail reader must stop at.
+func (d *Dir) WALDurable() int64 { return d.wal.Durable() }
+
+// WALPath returns the live WAL file path.
+func (d *Dir) WALPath() string { return d.wal.Path() }
+
+// SealedEpochPath returns the file that holds epoch's sealed WAL: the
+// records accepted on top of snapshot version epoch, ending with the
+// fence of the checkpoint that sealed it. Sealed epochs are retained
+// for walKeepEpochs checkpoints so replicas can tail across
+// rotations without re-downloading the snapshot.
+func (d *Dir) SealedEpochPath(epoch uint64) string {
+	return filepath.Join(d.path, fmt.Sprintf("wal.%d.log", epoch))
+}
+
+// sealedEpoch parses a sealed-epoch filename, returning ok=false for
+// anything else (including the live wal.log).
+func sealedEpoch(name string) (uint64, bool) {
+	if name == walFile || !strings.HasPrefix(name, "wal.") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "wal."), ".log")
+	e, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// pruneSealedEpochs removes sealed epochs too old for any follower to
+// resume from (best-effort; a vanished file is the restart signal).
+func (d *Dir) pruneSealedEpochs(version uint64) {
+	if version <= walKeepEpochs {
+		return
+	}
+	cut := version - walKeepEpochs
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if e, ok := sealedEpoch(ent.Name()); ok && e < cut {
+			os.Remove(filepath.Join(d.path, ent.Name()))
+		}
+	}
+}
+
+// dropSealedEpochs removes every sealed epoch file (best-effort).
+func (d *Dir) dropSealedEpochs() {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if _, ok := sealedEpoch(ent.Name()); ok {
+			os.Remove(filepath.Join(d.path, ent.Name()))
+		}
+	}
 }
 
 // Checkpoints returns the number of checkpoints taken through this Dir.
@@ -196,6 +365,28 @@ func Recover(dirPath string) (*RecoverResult, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// Cut the log at the last checkpoint fence naming the snapshot's
+	// version: the fence is appended and fsynced before the snapshot is
+	// written, so everything at or before it is already folded into the
+	// snapshot on disk. Without the cut, a crash between snapshot write
+	// and WAL rotation would double-apply that tail — edges and items
+	// deduplicate against snapshot state below, but actions carry no
+	// identity to deduplicate on. Fences past the cut belong to
+	// checkpoints whose snapshot never landed; they carry no state and
+	// are dropped (neither replayed nor skipped).
+	cut := -1
+	for i, rec := range recs {
+		if rec.Kind == RecFence && rec.Version == parts.Version {
+			cut = i
+		}
+	}
+	var live []*Record
+	for _, rec := range recs[cut+1:] {
+		if rec.Kind != RecFence {
+			live = append(live, rec)
+		}
+	}
+	recs = live
 	res := &RecoverResult{SnapshotVersion: parts.Version}
 	if len(recs) == 0 {
 		if res.Sys, err = parts.Build(); err != nil {

@@ -521,6 +521,41 @@ func Save(path string, sys *core.System) error {
 	return saveVersion(path, sys, 1)
 }
 
+// PeekVersion reads just the checkpoint version of the snapshot at
+// path — the magic and the META section — without decoding the rest.
+// Replication uses it to label a snapshot before (or instead of)
+// loading it.
+func PeekVersion(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: peek version: %w", err)
+	}
+	defer f.Close()
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return 0, fmt.Errorf("store: peek version: %w", err)
+	}
+	var legacy bool
+	switch string(magic) {
+	case snapshotMagic:
+	case legacyMagic:
+		legacy = true
+	default:
+		return 0, fmt.Errorf("store: bad snapshot magic %q", magic)
+	}
+	meta, err := readSection(f, tagMeta, -1, legacy)
+	if err != nil {
+		return 0, err
+	}
+	mr := binio.NewReader(bytes.NewReader(meta))
+	mr.U32() // format version, validated by full reads
+	version := mr.U64()
+	if err := mr.Err(); err != nil {
+		return 0, fmt.Errorf("store: peek version: %w", err)
+	}
+	return version, nil
+}
+
 func saveVersion(path string, sys *core.System, version uint64) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")

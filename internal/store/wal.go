@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +31,11 @@ import (
 // that tail so later appends stay readable.
 const walMagic = "OCTWAL01"
 
+// WALHeaderLen is the byte offset of the first record frame in a WAL
+// file — the length of the magic header. Replication offsets are file
+// offsets, so a tail at the start of an epoch begins here.
+const WALHeaderLen = int64(len(walMagic))
+
 // maxWALRecordLen bounds a declared record body length (64 MiB).
 const maxWALRecordLen = 64 << 20
 
@@ -42,6 +48,13 @@ const (
 	RecItem uint8 = 2
 	// RecAction is a user acting on an item.
 	RecAction uint8 = 3
+	// RecFence marks a checkpoint boundary: every record before the
+	// fence is folded into the snapshot whose version the fence names.
+	// Dir.Checkpoint appends (and fsyncs) the fence before writing the
+	// snapshot, so recovery can cut the log at the fence matching the
+	// snapshot on disk instead of replaying a stale tail, and replicas
+	// tailing the log fold exactly where the leader did.
+	RecFence uint8 = 4
 )
 
 // Record is one durably logged ingest event. Kind selects which field
@@ -62,6 +75,9 @@ type Record struct {
 	User graph.NodeID
 	Item int32
 	Time int64
+
+	// RecFence field: the checkpoint version this fence belongs to.
+	Version uint64
 }
 
 func encodeRecord(buf *bytes.Buffer, rec *Record) error {
@@ -81,6 +97,8 @@ func encodeRecord(buf *bytes.Buffer, rec *Record) error {
 		bw.I32(rec.User)
 		bw.I32(rec.Item)
 		bw.I64(rec.Time)
+	case RecFence:
+		bw.U64(rec.Version)
 	default:
 		return fmt.Errorf("store: unknown WAL record kind %d", rec.Kind)
 	}
@@ -104,6 +122,8 @@ func decodeRecord(body []byte) (*Record, error) {
 		rec.User = br.I32()
 		rec.Item = br.I32()
 		rec.Time = br.I64()
+	case RecFence:
+		rec.Version = br.U64()
 	default:
 		return nil, fmt.Errorf("store: unknown WAL record kind %d", rec.Kind)
 	}
@@ -127,6 +147,11 @@ type WAL struct {
 	records atomic.Uint64
 	syncs   atomic.Uint64
 	size    atomic.Int64
+	// durable is the fsync'd prefix length: every byte below it is on
+	// disk and frame-complete. Concurrent readers (the replication tail
+	// handler) must stop here — bytes in [durable, size) may still be
+	// torn by a crash or mid-write.
+	durable atomic.Int64
 	// Cumulative across rotations (observability only).
 	totalRecords atomic.Uint64
 	totalBytes   atomic.Int64
@@ -159,7 +184,8 @@ func OpenWAL(path string) (*WAL, error) {
 			f.Close()
 			return nil, fmt.Errorf("store: init WAL: %w", err)
 		}
-		w.size.Store(int64(len(walMagic)))
+		w.size.Store(WALHeaderLen)
+		w.durable.Store(WALHeaderLen)
 		return w, nil
 	}
 	// Scan the existing log to find the valid prefix.
@@ -180,8 +206,12 @@ func OpenWAL(path string) (*WAL, error) {
 	}
 	w.records.Store(uint64(n))
 	w.size.Store(end)
+	w.durable.Store(end)
 	return w, nil
 }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
 
 // Records returns the number of records in the log (existing plus
 // appended this session).
@@ -192,6 +222,12 @@ func (w *WAL) Syncs() uint64 { return w.syncs.Load() }
 
 // Size returns the current log size in bytes.
 func (w *WAL) Size() int64 { return w.size.Load() }
+
+// Durable returns the fsync'd prefix length: the byte offset up to
+// which the log is both on disk and frame-complete. A concurrent
+// reader of the log file (the replication tail) must never read past
+// it — appended-but-unsynced bytes may be torn.
+func (w *WAL) Durable() int64 { return w.durable.Load() }
 
 // TotalRecords returns the records appended across all rotations.
 func (w *WAL) TotalRecords() uint64 { return w.totalRecords.Load() }
@@ -255,25 +291,58 @@ func (w *WAL) Sync() error {
 	}
 	w.syncLat.ObserveSince(start)
 	w.syncs.Add(1)
+	w.durable.Store(w.size.Load())
 	return nil
 }
 
-// Rotate truncates the log back to its header — called right after a
+// Rotate resets the log to an empty header — called right after a
 // checkpoint snapshot lands, so the log only carries events newer than
-// the snapshot. (If a crash lands between snapshot and rotation, replay
-// of the stale records is harmless: recovery deduplicates.)
-func (w *WAL) Rotate() error {
-	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
-		return fmt.Errorf("store: WAL rotate: %w", err)
-	}
-	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
-		return fmt.Errorf("store: WAL rotate: %w", err)
-	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("store: WAL rotate: %w", err)
+// the snapshot. With archive == "" the file is truncated in place; a
+// non-empty archive path instead seals the current file under that
+// name (atomic rename) and starts a fresh log, preserving the sealed
+// epoch's bytes for replication tailing. (If a crash lands between
+// snapshot and rotation, the stale records are cut at the checkpoint
+// fence during recovery — see Dir.Checkpoint.)
+func (w *WAL) Rotate(archive string) error {
+	if archive == "" {
+		if err := w.f.Truncate(WALHeaderLen); err != nil {
+			return fmt.Errorf("store: WAL rotate: %w", err)
+		}
+		if _, err := w.f.Seek(WALHeaderLen, io.SeekStart); err != nil {
+			return fmt.Errorf("store: WAL rotate: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: WAL rotate: %w", err)
+		}
+	} else {
+		if err := os.Rename(w.path, archive); err != nil {
+			return fmt.Errorf("store: WAL rotate: %w", err)
+		}
+		nf, err := os.OpenFile(w.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			// The old fd now points at the archived file: appending through
+			// it would corrupt a sealed epoch, so refuse further appends.
+			w.broken = true
+			return fmt.Errorf("store: WAL rotate: %w", err)
+		}
+		if _, err := nf.WriteString(walMagic); err != nil {
+			nf.Close()
+			w.broken = true
+			return fmt.Errorf("store: WAL rotate: %w", err)
+		}
+		if err := nf.Sync(); err != nil {
+			nf.Close()
+			w.broken = true
+			return fmt.Errorf("store: WAL rotate: %w", err)
+		}
+		old := w.f
+		w.f = nf
+		old.Close()
+		syncDir(filepath.Dir(w.path))
 	}
 	w.records.Store(0)
-	w.size.Store(int64(len(walMagic)))
+	w.size.Store(WALHeaderLen)
+	w.durable.Store(WALHeaderLen)
 	return nil
 }
 
@@ -350,6 +419,43 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
+}
+
+// ParseWALRecords decodes frame-aligned records from data — a byte run
+// cut from a WAL file past its header, e.g. a replication tail
+// response. It returns the decoded records and the number of bytes the
+// complete frames consumed. A trailing partial frame is left
+// unconsumed without error (the next read continues there); a complete
+// frame that fails its CRC or decode returns an error, because the
+// sender only ships fsync'd frame-complete bytes — mid-stream
+// corruption means the transfer, not the log, is damaged.
+func ParseWALRecords(data []byte) ([]*Record, int64, error) {
+	var recs []*Record
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < 4 {
+			return recs, off, nil
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if n > maxWALRecordLen {
+			return recs, off, fmt.Errorf("store: WAL frame declares %d bytes (limit %d)", n, maxWALRecordLen)
+		}
+		if uint64(len(rest)) < 4+uint64(n)+4 {
+			return recs, off, nil
+		}
+		body := rest[4 : 4+n]
+		sum := binary.LittleEndian.Uint32(rest[4+n : 4+n+4])
+		if crc32.Checksum(body, crcTable) != sum {
+			return recs, off, fmt.Errorf("store: WAL frame checksum mismatch at offset %d", off)
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += 4 + int64(n) + 4
+	}
 }
 
 // ReplayWAL reads the log at path and calls fn for every valid record

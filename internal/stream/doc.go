@@ -91,4 +91,21 @@
 // Kill stops dead to mimic a crash. store.Recover replays the WAL tail
 // over the latest checkpoint and reproduces the exact live state; see
 // the store package for the guarantees.
+//
+// # Follower lag
+//
+// A read replica (internal/repl) extends the staleness model by one
+// hop: the follower's LiveSystem ingests the leader's WAL records
+// instead of client events, so an event becomes visible on a follower
+// after (a) the leader's own overlay latency, (b) one WAL group-commit
+// fsync, (c) the tail poll interval, and (d) the follower's apply
+// latency — overlay peeks on the follower then see it, just as on the
+// leader. Snapshot visibility is pinned, not merely bounded: followers
+// fold exactly at the leader's checkpoint fences with the same version
+// numbers and the same FoldConfig, so at equal versions the two serve
+// query-for-query identical answers, and a follower's extra staleness
+// is only the replication lag (surfaced in repl.Stats and the
+// follower's /api/health via the SLO staleness objective — a follower
+// that falls behind degrades exactly like a leader whose overlay
+// outruns its folds).
 package stream

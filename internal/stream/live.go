@@ -594,6 +594,32 @@ func (ls *LiveSystem) Stats() Stats {
 // checkpoint instruments from.
 func (ls *LiveSystem) Store() *store.Dir { return ls.cfg.Store }
 
+// FoldConfig is the effective (post-default) subset of Config that
+// determines what a fold produces. A replica must mirror its leader's
+// FoldConfig — with the same base snapshot, the same events in the
+// same order, and the same fold boundaries, equal settings here make
+// the folded snapshots query-for-query identical. Workers is excluded
+// deliberately: build parallelism is bit-identical at any worker
+// count, so each side may pick its own.
+type FoldConfig struct {
+	MaxNodes         int     `json:"maxNodes"`
+	IncrementalFold  bool    `json:"incrementalFold"`
+	RelearnEM        bool    `json:"relearnEM"`
+	Topics           int     `json:"topics"`
+	FoldMaxDirtyFrac float64 `json:"foldMaxDirtyFrac"`
+}
+
+// FoldConfig reports the settings a replica of this system must mirror.
+func (ls *LiveSystem) FoldConfig() FoldConfig {
+	return FoldConfig{
+		MaxNodes:         ls.cfg.MaxNodes,
+		IncrementalFold:  ls.cfg.IncrementalFold,
+		RelearnEM:        ls.cfg.RelearnEM,
+		Topics:           ls.cfg.Topics,
+		FoldMaxDirtyFrac: ls.cfg.FoldMaxDirtyFrac,
+	}
+}
+
 // LastFoldError returns the most recent fold failure (nil if none).
 func (ls *LiveSystem) LastFoldError() error {
 	ls.mu.RLock()
@@ -864,7 +890,10 @@ func (ls *LiveSystem) applyEdge(base *core.System, ev EdgeEvent) (store.Record, 
 		return store.Record{}, false
 	}
 	ls.noteFirstEvent()
-	prior := ls.cfg.Prior(base, ev.Src, ev.Dst)
+	prior := ev.Probs
+	if prior == nil {
+		prior = ls.cfg.Prior(base, ev.Src, ev.Dst)
+	}
 	ls.ov.addEdge(ev, prior)
 	ls.applied.Add(1)
 	return store.Record{

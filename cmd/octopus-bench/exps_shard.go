@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"octopus/internal/bench"
+	"octopus/internal/core"
+	"octopus/internal/datagen"
+	"octopus/internal/otim"
+	"octopus/internal/server"
+	"octopus/internal/shard"
+	"octopus/internal/store"
+)
+
+// E20 — sharded scatter-gather serving: the same corpus is split into
+// 1/2/4-shard fleets (hash partitioner, fixed seed), every shard served
+// from its snapshot file (the exchange format is exercised end to end:
+// split → save → load → serve), and a coordinator fans queries out and
+// merges. Three claims are measured per fleet size:
+//
+//  1. query latency — coordinator p50/p99 over a fixed query mix with
+//     caching disabled at both tiers, so every request runs the full
+//     fan-out/merge path;
+//  2. merge overhead — per request, the coordinator's wall time minus
+//     the slowest direct shard answer for the same query (the price of
+//     the extra hop plus decode/merge/encode), reported as a median;
+//  3. corpus density — the largest per-shard snapshot, expressed as how
+//     many such shards fit in a GB: the packing bound a placement layer
+//     would use.
+//
+// Correctness gate: the 1-shard coordinator must answer a query table
+// byte-identically to a single-process server built from the same
+// system — scatter-gather over one shard is the identity function.
+func runE20(e *env) error {
+	dir, err := os.MkdirTemp("", "octopus-e20-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ds, err := datagen.Citation(datagen.CitationConfig{
+		Authors: e.sizes.shardAuthors, Topics: 6, Seed: e.seed ^ 0xe20,
+	})
+	if err != nil {
+		return err
+	}
+	full, err := core.Build(ds.Graph, ds.Log, core.Config{
+		GroundTruth:      ds.Truth,
+		GroundTruthWords: ds.TruthWords,
+		TopicNames:       ds.TopicNames,
+		OTIM:             otim.BuildOptions{Samples: 12},
+		Seed:             e.seed ^ 0x02e,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Caching is disabled at every tier: a warm cache would answer the
+	// repeated mix from memory and hide the fan-out entirely.
+	sopt := server.Options{CacheEntries: -1}
+	single := server.NewWith(full, sopt)
+	defer single.Close()
+	singleTS := httptest.NewServer(single)
+	defer singleTS.Close()
+
+	mix := []string{
+		"/api/im?q=mining+data&k=10&samples=1",
+		"/api/im?q=learning&k=8&samples=1",
+		"/api/complete?prefix=A&k=10",
+		"/api/radar?keyword=mining",
+		"/api/status",
+	}
+
+	tab := bench.NewTable(
+		"E20: scatter-gather fleets — coordinator latency, merge overhead, corpus density",
+		"shards", "coord p50", "coord p99", "slowest-shard p50", "merge overhead p50",
+		"max shard snapshot", "shards/GB")
+	for _, n := range e.sizes.shardFleets {
+		fdir := fmt.Sprintf("%s/fleet-%d", dir, n)
+		if err := os.MkdirAll(fdir, 0o755); err != nil {
+			return err
+		}
+		paths, err := shard.WriteFleet(fdir, full, shard.Hash{Seed: e.seed ^ 0xe20}, n)
+		if err != nil {
+			return err
+		}
+		var maxBytes int64
+		shardTS := make([]*httptest.Server, n)
+		addrs := make([]string, n)
+		for k, p := range paths {
+			fi, err := os.Stat(p)
+			if err != nil {
+				return err
+			}
+			if fi.Size() > maxBytes {
+				maxBytes = fi.Size()
+			}
+			sys, err := store.Load(p)
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", p, err)
+			}
+			ss := server.NewWith(sys, sopt)
+			ts := httptest.NewServer(ss)
+			defer ss.Close()
+			defer ts.Close()
+			shardTS[k] = ts
+			addrs[k] = ts.URL
+		}
+		coord, err := server.NewCoordinator(addrs, sopt, server.CoordinatorOptions{})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		coordTS := httptest.NewServer(coord)
+		defer coordTS.Close()
+
+		if n == 1 {
+			if err := e20Identity(coordTS.URL, singleTS.URL, mix); err != nil {
+				return fmt.Errorf("1-shard identity: %w", err)
+			}
+		}
+
+		coordLat := make([]time.Duration, 0, e.sizes.shardQueries)
+		overhead := make([]time.Duration, 0, e.sizes.shardQueries)
+		shardMax := make([]time.Duration, 0, e.sizes.shardQueries)
+		for i := 0; i < e.sizes.shardQueries+5; i++ {
+			path := mix[i%len(mix)]
+			tc, err := e20Time(coordTS.URL + path)
+			if err != nil {
+				return err
+			}
+			// Slowest direct shard answer for the same query: the floor a
+			// sequential proxy could not beat; the coordinator's excess over
+			// it is the merge tax.
+			var worst time.Duration
+			for _, ts := range shardTS {
+				td, err := e20Time(ts.URL + path)
+				if err != nil {
+					return err
+				}
+				if td > worst {
+					worst = td
+				}
+			}
+			if i < 5 { // warmup
+				continue
+			}
+			coordLat = append(coordLat, tc)
+			shardMax = append(shardMax, worst)
+			overhead = append(overhead, tc-worst)
+		}
+		p50 := quantile(coordLat, 0.50)
+		p99 := quantile(coordLat, 0.99)
+		shardP50 := quantile(shardMax, 0.50)
+		overP50 := quantile(overhead, 0.50)
+		perGB := float64(1<<30) / float64(maxBytes)
+		tab.Row(n, p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+			shardP50.Round(time.Microsecond), overP50.Round(time.Microsecond),
+			fmt.Sprintf("%.2f MiB", float64(maxBytes)/(1<<20)),
+			fmt.Sprintf("%.0f", perGB))
+		e.record(fmt.Sprintf("n%d_coord_p50_ms", n), float64(p50)/1e6)
+		e.record(fmt.Sprintf("n%d_coord_p99_ms", n), float64(p99)/1e6)
+		e.record(fmt.Sprintf("n%d_merge_overhead_p50_ms", n), float64(overP50)/1e6)
+		e.record(fmt.Sprintf("n%d_max_shard_bytes", n), maxBytes)
+		e.record(fmt.Sprintf("n%d_shards_per_gb", n), perGB)
+	}
+	tab.Render(e.out)
+	fmt.Fprintln(e.out, "1-shard coordinator verified byte-identical to single-process over the query mix")
+	return nil
+}
+
+// e20Time issues one GET and returns its wall time, erroring on any
+// non-200 or partial (shards-missing) answer — the bench must measure
+// complete fan-outs only.
+func e20Time(url string) (time.Duration, error) {
+	t := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if m := resp.Header.Get("X-Octopus-Shards-Missing"); m != "" {
+		return 0, fmt.Errorf("GET %s: partial answer, shards %s missing", url, m)
+	}
+	return time.Since(t), nil
+}
+
+// e20Identity asserts the 1-shard coordinator and the single-process
+// server answer each query in the mix (plus an explain variant) with
+// byte-identical bodies and equal statuses.
+func e20Identity(coordURL, singleURL string, mix []string) error {
+	table := append(append([]string{}, mix...),
+		"/api/im?q=mining+data&k=10&samples=1&explain=1")
+	fetch := func(url string) (int, []byte, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+	for _, path := range table {
+		cs, cb, err := fetch(coordURL + path)
+		if err != nil {
+			return err
+		}
+		ss, sb, err := fetch(singleURL + path)
+		if err != nil {
+			return err
+		}
+		if cs != ss {
+			return fmt.Errorf("%s: coordinator status %d, single-process %d", path, cs, ss)
+		}
+		if !bytes.Equal(cb, sb) {
+			return fmt.Errorf("%s: bodies differ (%d vs %d bytes)", path, len(cb), len(sb))
+		}
+	}
+	return nil
+}
+
+// quantile returns the q-quantile of the (unsorted) samples.
+func quantile(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,4 +1,4 @@
-// Command octopus-bench runs the experiment suite E1–E19 defined in
+// Command octopus-bench runs the experiment suite E1–E20 defined in
 // DESIGN.md §4 and prints one table per experiment — the reproduction of
 // every figure/scenario of the OCTOPUS demo paper plus the engine claims
 // it builds on (E13: streaming ingestion; E14: persistence and
@@ -10,8 +10,10 @@
 // serving — cold-start-to-first-query, memory deltas and a mapped-vs-
 // heap query identity check; E19: read-replica fleet — follower
 // catch-up throughput, steady-state replication lag and leader query
-// overhead with followers attached). EXPERIMENTS.md records a
-// reference run.
+// overhead with followers attached; E20: sharded scatter-gather
+// serving — coordinator latency, merge overhead and per-shard corpus
+// density across 1/2/4-shard fleets, with a 1-shard byte-identity
+// gate). EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
@@ -59,6 +61,9 @@ type sizes struct {
 	replBacklog     int   // feed units (3 WAL records each) in the catch-up backlog
 	replRounds      int   // steady-state lag measurement rounds
 	replQueries     int   // leader queries per overhead window
+	shardAuthors    int   // scatter-gather experiment dataset size
+	shardFleets     []int // fleet sizes to compare (shard counts)
+	shardQueries    int   // measured requests per fleet configuration
 }
 
 func defaultSizes(quick bool) sizes {
@@ -85,6 +90,9 @@ func defaultSizes(quick bool) sizes {
 			replBacklog:     500,
 			replRounds:      8,
 			replQueries:     40,
+			shardAuthors:    800,
+			shardFleets:     []int{1, 2, 4},
+			shardQueries:    40,
 		}
 	}
 	return sizes{
@@ -109,6 +117,9 @@ func defaultSizes(quick bool) sizes {
 		replBacklog:     2000,
 		replRounds:      15,
 		replQueries:     120,
+		shardAuthors:    2500,
+		shardFleets:     []int{1, 2, 4},
+		shardQueries:    100,
 	}
 }
 
@@ -152,6 +163,7 @@ func main() {
 		{"E17", "Incremental snapshot folds: swap latency vs delta size, identity vs full rebuild", runE17},
 		{"E18", "Zero-copy snapshot serving: mapped vs heap cold-start-to-first-query, memory, identity", runE18},
 		{"E19", "Read-replica fleet: snapshot shipping + WAL tailing — catch-up, lag, leader overhead", runE19},
+		{"E20", "Sharded scatter-gather: coordinator latency, merge overhead, corpus density vs fleet size", runE20},
 	}
 
 	want := map[string]bool{}

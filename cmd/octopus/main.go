@@ -7,8 +7,10 @@
 // Usage:
 //
 //	octopus demo  [-dataset citation|social] [-n N] [-topics Z] [-seed S] [-em] [-workers W]
-//	octopus serve [-addr :8080] [-load model.oct] [-mmap] [-ingest] [-wal DIR]
+//	octopus serve [-addr :8080] [-load model.oct] [-mmap] [-mmap-warmup] [-ingest] [-wal DIR]
 //	              [-follow http://leader:8080]
+//	              [-shard k/N] [-strategy hash|community]
+//	              [-coordinator -shard-addrs URL,URL,...] [-shard-timeout D] [-probe-interval D]
 //	              [-rebuild-events N] [-rebuild-interval D] [-incremental-fold]
 //	              [-cache-entries N] [-max-inflight N] [-admin-addr 127.0.0.1:6060]
 //	              [-slow-query D] [-trace-ring N] [-log-format text|json]
@@ -18,6 +20,8 @@
 //	octopus query [-q "data mining"] [-k 10] [-load model.oct] [-mmap] [same dataset flags]
 //	octopus train [-out models/] [same dataset flags]   # EM + persist text models
 //	octopus build [-o model.oct] [same dataset flags]   # build + binary snapshot
+//	octopus split [-shards N] [-strategy hash|community] [-shard-dir shards/]
+//	              [-load model.oct | same dataset flags] # partition into shard snapshots
 //
 // build serializes the complete built system (graph, action log,
 // learned models, config) into one checksummed binary snapshot; serve
@@ -28,7 +32,29 @@
 // and the action log decodes lazily on first use — cold start is
 // bounded by validation, and memory is shared page cache other
 // processes mapping the same file reuse. Query results are identical
-// either way. OCTOPUS_MMAP=off forces the copying path.
+// either way. OCTOPUS_MMAP=off forces the copying path. Adding
+// -mmap-warmup prefaults the mapping at open (madvise + one touch per
+// page), moving the page-fault cost off the first queries; -mmap-warmup
+// without -mmap is an error.
+//
+// # Sharded serving
+//
+// split partitions a corpus into N shard snapshots (internal/shard:
+// global node-id space, edges owned by their source, actions by their
+// acting user) under -shard-dir. Each shard file is an ordinary
+// snapshot: `octopus serve -load shards/shard-0-of-2.oct -mmap` serves
+// one shard. serve -shard k/N is the one-step equivalent — build or
+// load the full corpus, cut shard k of N in memory, and serve it.
+//
+// serve -coordinator -shard-addrs=http://h1:8081,http://h2:8082 runs
+// the scatter-gather tier instead of a local engine: every query fans
+// out to the live shards (bounded by -shard-timeout per shard) and the
+// answers are merged — spreads additively, completions by max weight,
+// status by summing — through the same cache/coalesce/admission shell,
+// so a 1-shard coordinator answers byte-identically to the process
+// behind it. A background prober (-probe-interval) detects dead and
+// recovered shards; missing shards degrade /api/health and stamp
+// partial answers with X-Octopus-Shards-Missing (never cached).
 //
 // -workers bounds the parallelism of the offline build pipeline (EM +
 // index precomputation) and of streaming fold rebuilds; for a fixed
@@ -109,6 +135,7 @@ import (
 	"octopus/internal/otim"
 	"octopus/internal/repl"
 	"octopus/internal/server"
+	"octopus/internal/shard"
 	"octopus/internal/store"
 	"octopus/internal/stream"
 	"octopus/internal/tags"
@@ -129,7 +156,17 @@ type options struct {
 	out     string
 	load    string
 	mmap    bool
+	warmup  bool
 	snapOut string
+
+	shards        int
+	strategy      string
+	shardDir      string
+	shardSpec     string
+	coordinator   bool
+	shardAddrs    string
+	shardTimeout  time.Duration
+	probeInterval time.Duration
 
 	ingest          bool
 	walDir          string
@@ -173,7 +210,16 @@ func main() {
 	fs.StringVar(&opt.out, "out", "models", "output directory (train)")
 	fs.StringVar(&opt.load, "load", "", "load a binary system snapshot instead of generating + building")
 	fs.BoolVar(&opt.mmap, "mmap", false, "with -load: serve the snapshot zero-copy via mmap instead of decoding it onto the heap (OCTOPUS_MMAP=off forces the copying path)")
+	fs.BoolVar(&opt.warmup, "mmap-warmup", false, "with -load -mmap: prefault the mapping at open (madvise + touch every page), moving page-fault latency off the first queries")
 	fs.StringVar(&opt.snapOut, "o", "model.oct", "snapshot output path (build)")
+	fs.IntVar(&opt.shards, "shards", 2, "number of shards to partition into (split)")
+	fs.StringVar(&opt.strategy, "strategy", "hash", "partition strategy: "+strings.Join(shard.Strategies(), " or ")+" (split, serve -shard)")
+	fs.StringVar(&opt.shardDir, "shard-dir", "shards", "output directory for shard snapshots (split)")
+	fs.StringVar(&opt.shardSpec, "shard", "", "serve shard k of N (format k/N, 0-based): build or load the full corpus, cut shard k, serve it (serve)")
+	fs.BoolVar(&opt.coordinator, "coordinator", false, "serve as a scatter-gather coordinator over -shard-addrs instead of a local engine (serve)")
+	fs.StringVar(&opt.shardAddrs, "shard-addrs", "", "comma-separated shard base URLs for -coordinator, in shard order (serve)")
+	fs.DurationVar(&opt.shardTimeout, "shard-timeout", 5*time.Second, "per-shard fan-out bound; a slower shard is treated as missing for that request (serve -coordinator)")
+	fs.DurationVar(&opt.probeInterval, "probe-interval", 2*time.Second, "background shard health-probe cadence (serve -coordinator)")
 	fs.BoolVar(&opt.ingest, "ingest", false, "enable streaming ingestion endpoints (serve)")
 	fs.StringVar(&opt.walDir, "wal", "", "durability directory for serve -ingest: WAL + checkpoint snapshots, with crash recovery on start (with -follow: the replica's local state)")
 	fs.StringVar(&opt.follow, "follow", "", "serve as a read replica of the leader at this base URL; requires -wal DIR, conflicts with -ingest and -load (serve)")
@@ -205,6 +251,8 @@ func main() {
 		run(opt, train)
 	case "build":
 		run(opt, buildSnapshot)
+	case "split":
+		run(opt, splitFleet)
 	default:
 		usage()
 		os.Exit(2)
@@ -212,7 +260,33 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: octopus <demo|serve|query|train|build> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: octopus <demo|serve|query|train|build|split> [flags]")
+}
+
+// splitFleet partitions the full system into shard snapshots — the
+// exchange format a shard server boots from with serve -load.
+func splitFleet(opt options, sys *core.System, _ *datagen.Dataset) error {
+	strat, err := shard.ParseStrategy(opt.strategy, opt.seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	paths, err := shard.WriteFleet(opt.shardDir, sys, strat, opt.shards)
+	if err != nil {
+		return err
+	}
+	for k, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shard %d/%d: %s (%.1f MiB)\n", k, opt.shards, p, float64(fi.Size())/(1<<20))
+	}
+	fmt.Printf("split %d shards (%s strategy) in %s\n",
+		opt.shards, strat.Name(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("serve one with:  octopus serve -load %s -mmap\n", paths[0])
+	fmt.Println("then coordinate: octopus serve -coordinator -shard-addrs=http://h0:8081,...")
+	return nil
 }
 
 // buildSnapshot persists the complete built system as one binary
@@ -286,10 +360,13 @@ func run(opt options, fn func(options, *core.System, *datagen.Dataset) error) {
 }
 
 func buildSystem(opt options) (*core.System, *store.Mapped, *datagen.Dataset, error) {
+	if opt.warmup && !opt.mmap {
+		return nil, nil, nil, errors.New("-mmap-warmup prefaults a mapping; it requires -mmap")
+	}
 	if opt.load != "" {
 		start := time.Now()
 		if opt.mmap {
-			sys, mapped, err := store.Map(opt.load, store.MapOptions{})
+			sys, mapped, err := store.Map(opt.load, store.MapOptions{Warmup: opt.warmup})
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -297,9 +374,10 @@ func buildSystem(opt options) (*core.System, *store.Mapped, *datagen.Dataset, er
 			// action log and forfeit the lazy cold start. Graph dimensions
 			// are already materialized.
 			ms := mapped.Stats()
-			fmt.Fprintf(os.Stderr, "mapped snapshot %s in %s: %s, %.1f MiB, %d nodes, %d edges, %d copy fallbacks\n",
+			fmt.Fprintf(os.Stderr, "mapped snapshot %s in %s: %s, %.1f MiB (%.1f MiB prefaulted), %d nodes, %d edges, %d copy fallbacks\n",
 				opt.load, time.Since(start).Round(time.Millisecond), ms.Backing,
-				float64(ms.FileSize)/(1<<20), sys.Graph().NumNodes(), sys.Graph().NumEdges(), ms.CopyFallbacks)
+				float64(ms.FileSize)/(1<<20), float64(ms.WarmedBytes)/(1<<20),
+				sys.Graph().NumNodes(), sys.Graph().NumEdges(), ms.CopyFallbacks)
 			return sys, mapped, nil, nil
 		}
 		sys, err := store.Load(opt.load)
@@ -359,6 +437,18 @@ func buildSystem(opt options) (*core.System, *store.Mapped, *datagen.Dataset, er
 // with -wal, a durability directory that already holds state wins over
 // both -load and dataset generation.
 func serveMain(opt options) {
+	if opt.coordinator {
+		if err := serveCoordinator(opt); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if opt.shardSpec != "" {
+		if err := serveShard(opt); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if opt.follow != "" {
 		if err := serveFollower(opt); err != nil {
 			log.Fatal(err)
@@ -393,6 +483,84 @@ func serveMain(opt options) {
 	if err := serve(opt, sys, mapped, dir); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// serveCoordinator runs serve -coordinator: no local engine at all —
+// queries fan out to the shard fleet and merge. The coordinator is
+// read-only (ingest endpoints answer 404); writes go to whatever feeds
+// the shard corpora.
+func serveCoordinator(opt options) error {
+	if opt.shardAddrs == "" {
+		return errors.New("serve -coordinator requires -shard-addrs=URL,URL,...")
+	}
+	if opt.ingest || opt.walDir != "" || opt.follow != "" || opt.load != "" || opt.shardSpec != "" {
+		return errors.New("serve -coordinator has no local corpus; drop -ingest/-wal/-follow/-load/-shard")
+	}
+	var addrs []string
+	for _, a := range strings.Split(opt.shardAddrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	logger := newLogger(opt)
+	srv, err := server.NewCoordinator(addrs, serverOptions(opt, logger), server.CoordinatorOptions{
+		ShardTimeout:  opt.shardTimeout,
+		ProbeInterval: opt.probeInterval,
+	})
+	if err != nil {
+		return err
+	}
+	logger.Info("listening", slog.String("addr", opt.addr),
+		slog.String("mode", "coordinator"), slog.Int("shards", len(addrs)),
+		slog.Duration("shardTimeout", opt.shardTimeout))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runHTTP(ctx, opt, logger, srv, func() error { return nil })
+}
+
+// serveShard runs serve -shard k/N: build or load the FULL corpus, cut
+// shard k of N in memory (same strategy and seed as octopus split, so
+// a mixed fleet of pre-split and on-the-fly shards agrees), and serve
+// that shard as a static read-only server.
+func serveShard(opt options) error {
+	if opt.ingest || opt.walDir != "" || opt.follow != "" {
+		return errors.New("serve -shard is a static read-only shard; drop -ingest/-wal/-follow")
+	}
+	k, n, err := parseShardSpec(opt.shardSpec)
+	if err != nil {
+		return err
+	}
+	strat, err := shard.ParseStrategy(opt.strategy, opt.seed)
+	if err != nil {
+		return err
+	}
+	full, mapped, _, err := buildSystem(opt)
+	if err != nil {
+		return err
+	}
+	corpora, err := shard.SplitSystem(full, strat, n)
+	if err != nil {
+		return err
+	}
+	sys, err := shard.BuildSystem(full, corpora[k])
+	if err != nil {
+		return err
+	}
+	st := sys.Stats()
+	fmt.Fprintf(os.Stderr, "shard %d/%d (%s strategy): %d edges, %d episodes, %d actions of the full corpus\n",
+		k, n, strat.Name(), st.Edges, st.Episodes, st.Actions)
+	return serve(opt, sys, mapped, nil)
+}
+
+// parseShardSpec parses the -shard k/N argument (0-based).
+func parseShardSpec(spec string) (k, n int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &k, &n); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want k/N (e.g. 0/2)", spec)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("-shard %q: need 0 <= k < N", spec)
+	}
+	return k, n, nil
 }
 
 // newLogger builds the serve path's structured logger.

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package arena
+
+// Warmup is a no-op on platforms without mmap support: MapFile never
+// returns a mapped Mapping here, so there is nothing to prefault.
+func (m *Mapping) Warmup() int64 { return 0 }

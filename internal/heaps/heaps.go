@@ -18,6 +18,19 @@ type Max struct {
 	items []Item
 }
 
+// outranks reports whether (aKey, aID) should sit above (bKey, bID) in
+// a max-heap: larger key first, equal keys broken by smaller id. The
+// tie-break makes heap order — and therefore every ranked result built
+// by popping one — a pure function of the item set, independent of
+// insertion order, so single-process and merged-shard rankings stay
+// comparable.
+func outranks(aKey float64, aID int32, bKey float64, bID int32) bool {
+	if aKey != bKey {
+		return aKey > bKey
+	}
+	return aID < bID
+}
+
 // NewMax returns a heap with capacity hint n.
 func NewMax(n int) *Max { return &Max{items: make([]Item, 0, n)} }
 
@@ -51,7 +64,7 @@ func (h *Max) Reset() { h.items = h.items[:0] }
 func (h *Max) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.items[p].Key >= h.items[i].Key {
+		if !outranks(h.items[i].Key, h.items[i].ID, h.items[p].Key, h.items[p].ID) {
 			break
 		}
 		h.items[p], h.items[i] = h.items[i], h.items[p]
@@ -64,10 +77,10 @@ func (h *Max) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.items[l].Key > h.items[largest].Key {
+		if l < n && outranks(h.items[l].Key, h.items[l].ID, h.items[largest].Key, h.items[largest].ID) {
 			largest = l
 		}
-		if r < n && h.items[r].Key > h.items[largest].Key {
+		if r < n && outranks(h.items[r].Key, h.items[r].ID, h.items[largest].Key, h.items[largest].ID) {
 			largest = r
 		}
 		if largest == i {
@@ -189,7 +202,7 @@ func (h *Indexed) swap(i, j int) {
 func (h *Indexed) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.keys[p] >= h.keys[i] {
+		if !outranks(h.keys[i], h.ids[i], h.keys[p], h.ids[p]) {
 			break
 		}
 		h.swap(p, i)
@@ -202,10 +215,10 @@ func (h *Indexed) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.keys[l] > h.keys[largest] {
+		if l < n && outranks(h.keys[l], h.ids[l], h.keys[largest], h.ids[largest]) {
 			largest = l
 		}
-		if r < n && h.keys[r] > h.keys[largest] {
+		if r < n && outranks(h.keys[r], h.ids[r], h.keys[largest], h.ids[largest]) {
 			largest = r
 		}
 		if largest == i {

@@ -69,6 +69,42 @@ func TestMaxQuickSortedOutput(t *testing.T) {
 	}
 }
 
+func TestMaxEqualKeysPopByID(t *testing.T) {
+	// Equal keys must pop in ascending id order regardless of insertion
+	// order — ranked endpoints rely on this for stable tie-breaks.
+	perms := [][]int32{{4, 2, 9, 1}, {1, 2, 4, 9}, {9, 4, 2, 1}, {2, 9, 1, 4}}
+	for _, perm := range perms {
+		h := NewMax(len(perm))
+		for _, id := range perm {
+			h.Push(Item{ID: id, Key: 7.5})
+		}
+		h.Push(Item{ID: 100, Key: 9}) // strictly larger key still wins
+		h.Push(Item{ID: 0, Key: 1})   // strictly smaller key still loses
+		want := []int32{100, 1, 2, 4, 9, 0}
+		for i, w := range want {
+			if got := h.Pop().ID; got != w {
+				t.Fatalf("insertion %v: pop %d = id %d, want %d", perm, i, got, w)
+			}
+		}
+	}
+}
+
+func TestIndexedEqualKeysPopByID(t *testing.T) {
+	perms := [][]int32{{4, 2, 9, 1}, {1, 2, 4, 9}, {9, 4, 2, 1}, {2, 9, 1, 4}}
+	for _, perm := range perms {
+		h := NewIndexed(16)
+		for _, id := range perm {
+			h.Push(id, 3.25)
+		}
+		want := []int32{1, 2, 4, 9}
+		for i, w := range want {
+			if got, _ := h.PopMax(); got != w {
+				t.Fatalf("insertion %v: pop %d = id %d, want %d", perm, i, got, w)
+			}
+		}
+	}
+}
+
 func TestIndexedBasics(t *testing.T) {
 	h := NewIndexed(10)
 	h.Push(3, 1.0)

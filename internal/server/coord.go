@@ -1,0 +1,670 @@
+// coord.go is the scatter-gather half of the sharded serving tier: a
+// coordinator Server answers the same HTTP API as a single-process
+// server, but its engine is a fleet of shard servers (internal/shard
+// corpora served by ordinary octopus processes). Every query pins the
+// fleet roster, fans out to the live shards in parallel, and merges:
+//
+//   - im / im/targeted: spread estimates are additive across shards
+//     (each shard owns a disjoint edge set), seeds re-ranked by merged
+//     spread with node-id tie-breaks;
+//   - complete: candidates merged by key keeping the max weight;
+//   - status: corpus counts summed (node/topic/vocabulary maxima — the
+//     id space and models are global);
+//   - suggest / keywords / radar / paths: single-owner endpoints — the
+//     shard owning the user has the data, the rest answer empty or an
+//     error, so the best (longest) success wins verbatim.
+//
+// When every reachable shard but one is down — or the fleet has one
+// shard — the coordinator replays the single success byte-for-byte,
+// which is what makes a 1-shard coordinator indistinguishable from the
+// process behind it. Partial answers (some shards unreachable) carry
+// the X-Octopus-Shards-Missing header, a shards_missing payload field
+// on merged object payloads, and are never cached; see
+// internal/shard's package documentation for the contract.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"octopus/internal/core"
+	"octopus/internal/obs"
+	"octopus/internal/par"
+	"octopus/internal/trie"
+)
+
+// shardsMissingHeader lists the comma-separated indexes of shards that
+// did not contribute to a response. Its presence marks a partial
+// answer, which the serving layer refuses to cache.
+const shardsMissingHeader = "X-Octopus-Shards-Missing"
+
+// maxShardResponse bounds one shard's response body on the coordinator
+// side.
+const maxShardResponse = 64 << 20
+
+// errShardDown marks a shard that was already down when the request
+// pinned the roster — no call is attempted.
+var errShardDown = errors.New("shard marked down")
+
+// CoordinatorOptions tunes the fan-out layer of a coordinator Server.
+type CoordinatorOptions struct {
+	// ShardTimeout bounds each per-shard call during a fan-out; a shard
+	// exceeding it is treated as missing for this request and marked
+	// down (default 5s).
+	ShardTimeout time.Duration
+	// ProbeInterval is the background health-probe cadence that detects
+	// recovered shards and generation changes (default 2s).
+	ProbeInterval time.Duration
+	// Client issues the shard requests. nil uses a plain http.Client
+	// (per-request contexts carry the timeout).
+	Client *http.Client
+}
+
+func (o *CoordinatorOptions) fill() {
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 5 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+}
+
+// NewCoordinator creates a coordinator Server fanning out over the
+// shard servers at the given base URLs (e.g. "http://127.0.0.1:9101").
+// The coordinator is read-only: ingest endpoints answer 404 as on a
+// static server. It runs the full serving shell — cache, coalescing,
+// admission, metrics, tracing, SLO — over the remote engine, so cached
+// merged responses replay byte-identically like local ones. One
+// synchronous probe round runs before returning, so the first request
+// sees the fleet's actual state; Close stops the background prober.
+func NewCoordinator(addrs []string, opt Options, copt CoordinatorOptions) (*Server, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("coordinator needs at least one shard address")
+	}
+	copt.fill()
+	f := newFleet(addrs, copt)
+	s := newServerWith(func(s *Server) engine {
+		s.coord = f
+		return &remoteEngine{s: s, f: f}
+	}, nil, nil, opt)
+	f.probeOnce()
+	go f.probeLoop(s.done, copt.ProbeInterval)
+	return s, nil
+}
+
+// shardHealth is one shard's row in /api/health and /api/metrics.
+type shardHealth struct {
+	Index      int    `json:"index"`
+	Addr       string `json:"addr"`
+	Up         bool   `json:"up"`
+	Generation uint64 `json:"generation"`
+}
+
+// fleet is the coordinator's view of its shards: the fixed address
+// roster plus per-shard liveness and last-seen generation. Any change
+// to that vector bumps the fleet generation, which is the generation
+// coordinator responses are tagged and cached under — so a shard
+// going down, coming back, or folding a new snapshot implicitly
+// invalidates every cached merged answer, exactly like a snapshot swap
+// does on a single process.
+type fleet struct {
+	addrs   []string
+	client  *http.Client
+	timeout time.Duration
+
+	mu   sync.Mutex
+	up   []bool
+	gens []uint64
+	fgen uint64
+}
+
+func newFleet(addrs []string, copt CoordinatorOptions) *fleet {
+	clean := make([]string, len(addrs))
+	for i, a := range addrs {
+		clean[i] = strings.TrimRight(a, "/")
+	}
+	f := &fleet{
+		addrs:   clean,
+		client:  copt.Client,
+		timeout: copt.ShardTimeout,
+		up:      make([]bool, len(addrs)),
+		gens:    make([]uint64, len(addrs)),
+		fgen:    1,
+	}
+	// Optimistic start: shards are presumed up until a probe or call
+	// says otherwise, so a coordinator started moments before its fleet
+	// converges rather than starving.
+	for i := range f.up {
+		f.up[i] = true
+	}
+	return f
+}
+
+// roster pins the live-shard vector and the fleet generation for one
+// request.
+func (f *fleet) roster() ([]bool, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	up := make([]bool, len(f.up))
+	copy(up, f.up)
+	return up, f.fgen
+}
+
+// markDown records a failed call or probe. Fan-out paths call it
+// synchronously, so one timed-out request stops the next from waiting
+// on the same dead shard.
+func (f *fleet) markDown(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.up[i] {
+		f.up[i] = false
+		f.fgen++
+	}
+}
+
+// markUp records a successful probe and the generation the shard
+// reported.
+func (f *fleet) markUp(i int, gen uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.up[i] || f.gens[i] != gen {
+		f.up[i] = true
+		f.gens[i] = gen
+		f.fgen++
+	}
+}
+
+// health snapshots the per-shard state for /api/health, /api/metrics
+// and the Prometheus gauges.
+func (f *fleet) health() []shardHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]shardHealth, len(f.addrs))
+	for i, a := range f.addrs {
+		out[i] = shardHealth{Index: i, Addr: a, Up: f.up[i], Generation: f.gens[i]}
+	}
+	return out
+}
+
+// probeOnce probes every shard's /api/health in parallel. Any decodable
+// answer counts as up — a degraded shard still serves queries; only a
+// transport failure marks it down.
+func (f *fleet) probeOnce() {
+	par.Each(len(f.addrs), len(f.addrs), func(_, i int) {
+		rep := f.call(http.MethodGet, i, "/api/health", nil)
+		if rep.err != nil {
+			return // call already marked it down
+		}
+		var h struct {
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.Unmarshal(rep.body, &h); err != nil {
+			f.markDown(i)
+			return
+		}
+		f.markUp(i, h.Generation)
+	})
+}
+
+func (f *fleet) probeLoop(done <-chan struct{}, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			f.probeOnce()
+		}
+	}
+}
+
+// shardReply is one shard's contribution to a fan-out: a transport
+// error (the shard is missing for this request), or a status + body.
+type shardReply struct {
+	shard  int
+	status int
+	body   []byte
+	err    error
+}
+
+// call issues one bounded request to shard i. Transport failures mark
+// the shard down immediately.
+func (f *fleet) call(method string, i int, path string, body []byte) shardReply {
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, f.addrs[i]+path, rd)
+	if err != nil {
+		return shardReply{shard: i, err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.markDown(i)
+		return shardReply{shard: i, err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+	if err != nil {
+		f.markDown(i)
+		return shardReply{shard: i, err: err}
+	}
+	return shardReply{shard: i, status: resp.StatusCode, body: b}
+}
+
+// remoteEngine pins fleet rosters as engine views.
+type remoteEngine struct {
+	s *Server
+	f *fleet
+}
+
+func (e *remoteEngine) Acquire() (engineView, uint64, func()) {
+	up, fgen := e.f.roster()
+	return &remoteView{s: e.s, f: e.f, up: up}, fgen, noopRelease
+}
+
+// remoteView answers queries from one pinned roster: only shards up at
+// pin time are consulted, so the response is a pure function of (view,
+// request) — the same property localView gets from its pinned
+// snapshot.
+type remoteView struct {
+	s  *Server
+	f  *fleet
+	up []bool
+}
+
+// fanout sends one request to every shard in the pinned roster in
+// parallel (internal/par), each under its own timeout. Shards down at
+// pin time are reported as errShardDown without a call.
+func (v *remoteView) fanout(method, path string, body []byte) []shardReply {
+	n := len(v.f.addrs)
+	replies := make([]shardReply, n)
+	par.Each(n, n, func(_, i int) {
+		if !v.up[i] {
+			replies[i] = shardReply{shard: i, err: errShardDown}
+			return
+		}
+		replies[i] = v.f.call(method, i, path, body)
+	})
+	return replies
+}
+
+func (v *remoteView) Query(endpoint string, w http.ResponseWriter, r *http.Request) {
+	qc := queryCostFrom(r.Context())
+	q := r.URL.Query()
+	// Shards account cost whenever the coordinator does (explain or
+	// tracing): the wrapped per-shard ledgers are merged into this
+	// request's carrier and stripped from the bodies, so the coordinator
+	// re-wraps exactly like a local engine would. Without a carrier the
+	// flag is dropped (explain=0 is byte-identical to absent).
+	if qc != nil {
+		q.Set("explain", "1")
+	} else {
+		q.Del("explain")
+	}
+	replies := v.fanout(http.MethodGet, "/api/"+endpoint+"?"+q.Encode(), nil)
+	if qc != nil {
+		v.unwrapCosts(replies, qc)
+	}
+	v.merge(endpoint, w, replies)
+}
+
+func (v *remoteView) Status(w http.ResponseWriter, r *http.Request) {
+	v.merge("status", w, v.fanout(http.MethodGet, "/api/status", nil))
+}
+
+func (v *remoteView) Targeted(w http.ResponseWriter, r *http.Request) {
+	qp := params(r)
+	explain := qp.Flag("explain")
+	if qp.bad(w) {
+		return
+	}
+	var qc *queryCost
+	if explain || v.s.tracer != nil {
+		qc = &queryCost{explain: explain}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	path := "/api/im/targeted"
+	if qc != nil {
+		path += "?explain=1"
+	}
+	replies := v.fanout(http.MethodPost, path, body)
+	if qc != nil {
+		v.unwrapCosts(replies, qc)
+	}
+	rec := newRecorder()
+	v.merge("targeted", rec, replies)
+	e := rec.entry()
+	if qc != nil {
+		tr := obs.TraceFrom(r.Context())
+		tr.AttachCost(&qc.cost)
+		v.s.costs.Observe("targeted", &qc.cost)
+		if qc.explain {
+			e = explainEntry(e, &qc.cost)
+		}
+	}
+	for k, vs := range e.Header {
+		for _, hv := range vs {
+			w.Header().Add(k, hv)
+		}
+	}
+	w.WriteHeader(e.Status)
+	_, _ = w.Write(e.Body)
+}
+
+// GammaKey returns "": every shard adopted the same full-corpus topic
+// model, so γ is a pure function of the query words and the raw
+// parameters already determine the merged answer.
+func (v *remoteView) GammaKey([]string) string { return "" }
+
+// unwrapCosts strips the {"result":...,"cost":...} explain envelope
+// from every successful reply, merging the per-shard ledgers into the
+// request's carrier. Shards wrap only 200s, matching explainEntry.
+func (v *remoteView) unwrapCosts(replies []shardReply, qc *queryCost) {
+	for i, rp := range replies {
+		if rp.err != nil || rp.status != http.StatusOK {
+			continue
+		}
+		var env struct {
+			Result json.RawMessage `json:"result"`
+			Cost   *obs.Cost       `json:"cost"`
+		}
+		if err := json.Unmarshal(rp.body, &env); err != nil || env.Result == nil {
+			continue
+		}
+		qc.cost.Merge(env.Cost)
+		replies[i].body = append(env.Result, '\n')
+	}
+}
+
+// merge classifies the fan-out and writes the coordinator's answer.
+func (v *remoteView) merge(endpoint string, w http.ResponseWriter, replies []shardReply) {
+	var successes, failures []shardReply
+	var missing []int
+	for _, rp := range replies {
+		switch {
+		case rp.err != nil:
+			missing = append(missing, rp.shard)
+		case rp.status == http.StatusOK:
+			successes = append(successes, rp)
+		default:
+			failures = append(failures, rp)
+		}
+	}
+	if len(missing) > 0 {
+		ids := make([]string, len(missing))
+		for i, m := range missing {
+			ids[i] = strconv.Itoa(m)
+		}
+		w.Header().Set(shardsMissingHeader, strings.Join(ids, ","))
+	}
+	switch {
+	case len(successes) == 0 && len(failures) == 0:
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("all %d shards unreachable", len(replies)))
+	case len(successes) == 0:
+		// Replay the most authoritative error verbatim: lowest status
+		// (a 400 explains more than a 500), ties to the lowest shard.
+		best := failures[0]
+		for _, rp := range failures[1:] {
+			if rp.status < best.status {
+				best = rp
+			}
+		}
+		replayRaw(w, best.status, best.body)
+	case len(successes) == 1 && len(missing) == 0:
+		// The complete single-success case — a 1-shard fleet, or a
+		// single-owner endpoint where the other shards erred. Verbatim
+		// replay keeps the coordinator byte-identical to the shard.
+		replayRaw(w, http.StatusOK, successes[0].body)
+	default:
+		v.mergeSuccesses(endpoint, w, successes, missing)
+	}
+}
+
+// replayRaw writes a shard's body verbatim. Only the body is copied:
+// shard-side serving headers (generation, cache, trace) describe the
+// shard's pipeline, not the coordinator's, and would collide with the
+// ones this server stamps.
+func replayRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// mergeSuccesses combines ≥1 successful shard answers (typed per
+// endpoint) when a verbatim replay would be wrong: several shards
+// contributed, or some are missing and the payload must say so.
+func (v *remoteView) mergeSuccesses(endpoint string, w http.ResponseWriter, successes []shardReply, missing []int) {
+	switch endpoint {
+	case "im":
+		v.mergeIM(w, successes, missing)
+	case "targeted":
+		v.mergeTargeted(w, successes, missing)
+	case "complete":
+		v.mergeComplete(w, successes)
+	case "status":
+		v.mergeStatus(w, successes, missing)
+	default:
+		// Single-owner endpoints (suggest, keywords, radar, paths): the
+		// owning shard has the data, non-owners answer with defaults over
+		// empty state — the longest success is the authoritative one.
+		best := successes[0]
+		for _, rp := range successes[1:] {
+			if len(rp.body) > len(best.body) {
+				best = rp
+			}
+		}
+		replayRaw(w, http.StatusOK, best.body)
+	}
+}
+
+// decodeAll decodes every success into out (a pointer to a slice
+// element factory is overkill; callers pass a typed closure).
+func decodeAll(successes []shardReply, each func(i int, body []byte) error) error {
+	for i, rp := range successes {
+		if err := each(i, rp.body); err != nil {
+			return fmt.Errorf("shard %d: undecodable response: %w", rp.shard, err)
+		}
+	}
+	return nil
+}
+
+// mergeIM merges keyword-IM answers: spreads are additive across the
+// disjoint per-shard edge sets, so each candidate's merged spread is
+// the sum of its per-shard estimates; the merged ranking orders by
+// spread (descending) with node-id tie-breaks, like every shard does
+// locally. γ, topics and the unknown-word list are fleet-wide
+// constants (shared topic model) and come from the first success.
+func (v *remoteView) mergeIM(w http.ResponseWriter, successes []shardReply, missing []int) {
+	parts := make([]imResponse, len(successes))
+	if err := decodeAll(successes, func(i int, body []byte) error {
+		return json.Unmarshal(body, &parts[i])
+	}); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	out := struct {
+		imResponse
+		ShardsMissing []int `json:"shards_missing,omitempty"`
+	}{imResponse: parts[0], ShardsMissing: missing}
+	spread := make(map[int32]float64)
+	info := make(map[int32]imSeed)
+	k := 0
+	stats := make(map[string]float64)
+	for _, p := range parts {
+		if len(p.Seeds) > k {
+			k = len(p.Seeds)
+		}
+		for _, s := range p.Seeds {
+			spread[s.ID] += s.Spread
+			if _, ok := info[s.ID]; !ok {
+				info[s.ID] = s
+			}
+		}
+		for name, val := range p.Stats {
+			if f, ok := val.(float64); ok {
+				stats[name] += f
+			}
+		}
+	}
+	out.Seeds = rankSeeds(spread, info, k)
+	out.Stats = make(map[string]any, len(stats))
+	for name, f := range stats {
+		out.Stats[name] = f
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (v *remoteView) mergeTargeted(w http.ResponseWriter, successes []shardReply, missing []int) {
+	parts := make([]targetedResponse, len(successes))
+	if err := decodeAll(successes, func(i int, body []byte) error {
+		return json.Unmarshal(body, &parts[i])
+	}); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	out := struct {
+		targetedResponse
+		ShardsMissing []int `json:"shards_missing,omitempty"`
+	}{targetedResponse: parts[0], ShardsMissing: missing}
+	out.AudienceSpread = 0
+	spread := make(map[int32]float64)
+	info := make(map[int32]imSeed)
+	k := 0
+	for _, p := range parts {
+		out.AudienceSpread += p.AudienceSpread
+		if len(p.Seeds) > k {
+			k = len(p.Seeds)
+		}
+		for _, s := range p.Seeds {
+			spread[s.ID] += s.Spread
+			if _, ok := info[s.ID]; !ok {
+				info[s.ID] = s
+			}
+		}
+	}
+	out.Seeds = rankSeeds(spread, info, k)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// rankSeeds renders merged (id → spread) into a ranked seed list:
+// spread descending, node id ascending on ties, truncated to k.
+func rankSeeds(spread map[int32]float64, info map[int32]imSeed, k int) []imSeed {
+	ids := make([]int32, 0, len(spread))
+	for id := range spread {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := spread[ids[a]], spread[ids[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	seeds := make([]imSeed, 0, len(ids))
+	for _, id := range ids {
+		s := info[id]
+		s.Spread = spread[id]
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// mergeComplete merges completion lists by key, keeping the maximum
+// weight (names are replicated, so the owning shard — the one whose
+// actions back the weight — reports the true value and the rest report
+// a lower or equal one), ordered weight descending with lexicographic
+// key tie-breaks like the per-shard tries.
+func (v *remoteView) mergeComplete(w http.ResponseWriter, successes []shardReply) {
+	byKey := make(map[string]trie.Completion)
+	k := 0
+	err := decodeAll(successes, func(i int, body []byte) error {
+		var part []trie.Completion
+		if err := json.Unmarshal(body, &part); err != nil {
+			return err
+		}
+		if len(part) > k {
+			k = len(part)
+		}
+		for _, c := range part {
+			if old, ok := byKey[c.Key]; !ok || c.Weight > old.Weight {
+				byKey[c.Key] = c
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	merged := make([]trie.Completion, 0, len(byKey))
+	for _, c := range byKey {
+		merged = append(merged, c)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Weight != merged[b].Weight {
+			return merged[a].Weight > merged[b].Weight
+		}
+		return merged[a].Key < merged[b].Key
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// mergeStatus sums the partitioned corpus counts; nodes, topics and
+// vocabulary are fleet-wide constants (global id space, shared
+// models), so they merge as maxima.
+func (v *remoteView) mergeStatus(w http.ResponseWriter, successes []shardReply, missing []int) {
+	parts := make([]core.Stats, len(successes))
+	if err := decodeAll(successes, func(i int, body []byte) error {
+		return json.Unmarshal(body, &parts[i])
+	}); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	out := struct {
+		core.Stats
+		ShardsMissing []int `json:"shards_missing,omitempty"`
+	}{Stats: parts[0], ShardsMissing: missing}
+	for _, p := range parts[1:] {
+		out.Nodes = max(out.Nodes, p.Nodes)
+		out.Topics = max(out.Topics, p.Topics)
+		out.Vocabulary = max(out.Vocabulary, p.Vocabulary)
+		out.Edges += p.Edges
+		out.Episodes += p.Episodes
+		out.Actions += p.Actions
+		out.TopicSamples += p.TopicSamples
+		out.InfluencerPolls += p.InfluencerPolls
+		out.IndexEdges += p.IndexEdges
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,90 @@
+// engine.go is the seam between the HTTP serving layer and where
+// answers actually come from. The query path (qserve.go) never touches
+// core.System directly any more: it pins an engineView and dispatches
+// endpoints against it. Two implementations exist — localEngine, the
+// in-process system every single-node server uses, and remoteEngine
+// (coord.go), the shard client a coordinator fans queries out through.
+// Everything above the interface (cache, coalescing, admission,
+// metrics, tracing, explain envelopes) is shared verbatim, which is
+// what keeps a 1-shard coordinator byte-identical to a single-process
+// server.
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"octopus/internal/core"
+)
+
+// engine hands out pinned views: an immutable answer source plus the
+// generation it serves. The release callback must be called when the
+// request is done with the view.
+type engine interface {
+	Acquire() (engineView, uint64, func())
+}
+
+// engineView answers queries entirely from one pinned state — a
+// snapshot locally, a fixed fleet roster remotely. Responses must be a
+// pure function of (view, request): the result cache's byte-identical
+// replay guarantee rests on it.
+type engineView interface {
+	// Query answers one cached read endpoint (im, suggest, keywords,
+	// radar, paths, complete). It writes the complete response,
+	// including error payloads.
+	Query(endpoint string, w http.ResponseWriter, r *http.Request)
+	// Status answers GET /api/status.
+	Status(w http.ResponseWriter, r *http.Request)
+	// Targeted answers POST /api/im/targeted; the caller has already
+	// pinned the view and stamped the generation header.
+	Targeted(w http.ResponseWriter, r *http.Request)
+	// GammaKey renders the inferred-γ cache-key component for an im
+	// query over the given keywords, or "" when the raw parameters
+	// already determine the answer (the remote engine: every shard
+	// shares one topic model, so γ is a function of the words).
+	GammaKey(words []string) string
+}
+
+// localEngine is the in-process implementation: views are pinned
+// (snapshot, generation) pairs from a snap function — a constant on a
+// static server, an atomic load on a live one.
+type localEngine struct {
+	s    *Server
+	snap func() (*core.System, uint64, func())
+}
+
+func (e *localEngine) Acquire() (engineView, uint64, func()) {
+	sys, gen, rel := e.snap()
+	return localView{s: e.s, sys: sys}, gen, rel
+}
+
+// localView answers from one pinned core.System.
+type localView struct {
+	s   *Server
+	sys *core.System
+}
+
+func (v localView) Query(endpoint string, w http.ResponseWriter, r *http.Request) {
+	v.s.queryHandlers[endpoint](v.sys, w, r)
+}
+
+func (v localView) Status(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, v.sys.Stats())
+}
+
+func (v localView) Targeted(w http.ResponseWriter, r *http.Request) {
+	v.s.localTargeted(v.sys, w, r)
+}
+
+func (v localView) GammaKey(words []string) string {
+	// The hex float rendering is exact, so distinct distributions never
+	// collide.
+	gamma, _ := v.sys.InferGamma(words)
+	var b strings.Builder
+	for _, g := range gamma {
+		b.WriteString(strconv.FormatFloat(g, 'x', -1, 64))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -126,12 +126,13 @@ func FuzzCacheKey(f *testing.F) {
 		sys := fuzzSystem(t)
 		s := NewWith(sys, Options{})
 		vals, _ := url.ParseQuery(rawQuery)
-		k1 := s.cacheKey("im", sys, vals)
-		k2 := s.cacheKey("im", sys, vals)
+		v := localView{s: s, sys: sys}
+		k1 := cacheKey("im", v, vals)
+		k2 := cacheKey("im", v, vals)
 		if k1 != k2 {
 			t.Fatalf("cacheKey not deterministic: %q vs %q", k1, k2)
 		}
-		other := s.cacheKey("paths", sys, vals)
+		other := cacheKey("paths", v, vals)
 		if other == k1 {
 			t.Fatalf("im and paths share a cache key: %q", k1)
 		}

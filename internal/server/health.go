@@ -35,6 +35,7 @@ type healthResponse struct {
 	Reasons         []string              `json:"reasons"`
 	Objectives      []obs.ObjectiveReport `json:"objectives"`
 	Replication     *repl.Stats           `json:"replication,omitempty"`
+	Shards          []shardHealth         `json:"shards,omitempty"`
 }
 
 // staleness returns the serving staleness feeding the SLO staleness
@@ -66,8 +67,7 @@ func (s *Server) staleness() time.Duration {
 // 503. A non-ready state also triggers the (rate-limited) diagnostics
 // watchdog, so the first probe that sees a burn captures the evidence.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	_, gen, rel := s.snap()
-	rel()
+	gen := s.generation()
 	stale := s.staleness()
 	rep := s.slo.Report(stale)
 	m := s.metrics.Report()
@@ -93,6 +93,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.Reasons = append(resp.Reasons, fmt.Sprintf(
 				"replication_lag: replica not caught up with %s (%.0fms behind)", fst.Leader, fst.LagMillis))
+		}
+	}
+	// A coordinator folds its fleet view in: a missing shard means
+	// partial answers, which is a degraded state whatever the local burn
+	// windows say, with one machine-readable reason per missing shard.
+	if s.coord != nil {
+		resp.Shards = s.coord.health()
+		for _, sh := range resp.Shards {
+			if !sh.Up {
+				if resp.State == obs.StateReady {
+					resp.State = obs.StateDegraded
+				}
+				resp.Reasons = append(resp.Reasons, fmt.Sprintf(
+					"shards_missing: shard %d (%s) unreachable", sh.Index, sh.Addr))
+			}
 		}
 	}
 	if resp.State != obs.StateReady {

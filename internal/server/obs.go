@@ -108,9 +108,7 @@ func (s *Server) collectSLO(w *obs.MetricWriter) {
 // collectServing emits the serving-layer gauges: pinned generation,
 // cache occupancy, admission gate state.
 func (s *Server) collectServing(w *obs.MetricWriter) {
-	_, gen, rel := s.snap()
-	rel()
-	w.Gauge("octopus_snapshot_generation", "Generation of the snapshot queries pin.", float64(gen))
+	w.Gauge("octopus_snapshot_generation", "Generation of the snapshot queries pin.", float64(s.generation()))
 	if s.storeStats != nil {
 		st := s.storeStats()
 		mapped := 0.0
@@ -132,6 +130,17 @@ func (s *Server) collectServing(w *obs.MetricWriter) {
 	w.Gauge("octopus_inflight_capacity", "Admission gate capacity (0 = unbounded).", float64(s.gate.Capacity()))
 	if s.tracer != nil {
 		w.Gauge("octopus_trace_ring_size", "Capacity of the recent-trace ring.", float64(s.tracer.RingSize()))
+	}
+	if s.coord != nil {
+		for _, sh := range s.coord.health() {
+			up := 0.0
+			if sh.Up {
+				up = 1
+			}
+			l := []string{"shard", strconv.Itoa(sh.Index)}
+			w.Gauge("octopus_shard_up", "1 when the shard answered its last probe or fan-out call.", up, l...)
+			w.Gauge("octopus_shard_generation", "Last snapshot generation the shard reported.", float64(sh.Generation), l...)
+		}
 	}
 }
 

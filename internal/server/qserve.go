@@ -102,19 +102,19 @@ func (sw *statusWriter) status() int {
 	return sw.code
 }
 
-// cachedQuery adapts a snapshot-bound handler to the cached serving
-// path.
-func (s *Server) cachedQuery(endpoint string, h queryHandler) http.HandlerFunc {
+// cachedQuery adapts a read endpoint to the cached serving path.
+func (s *Server) cachedQuery(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.serveQuery(endpoint, h, w, r)
+		s.serveQuery(endpoint, w, r)
 	}
 }
 
 // serveQuery answers one read request through the serving layer: pin
-// the snapshot and its generation, probe the cache, coalesce identical
-// concurrent misses, compute behind the admission gate, store, replay.
-func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWriter, r *http.Request) {
-	sys, gen, rel := s.snap()
+// an engine view and its generation, probe the cache, coalesce
+// identical concurrent misses, compute behind the admission gate,
+// store, replay.
+func (s *Server) serveQuery(endpoint string, w http.ResponseWriter, r *http.Request) {
+	v, gen, rel := s.engine.Acquire()
 	defer rel()
 	tr := obs.TraceFrom(r.Context())
 	tr.SetGeneration(gen)
@@ -132,11 +132,11 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 		r = r.WithContext(withQueryCost(r.Context(), &queryCost{explain: explain}))
 	}
 	if s.cache == nil {
-		replayEntry(w, s.compute(endpoint, h, sys, r), qcache.StateBypass, gen)
+		replayEntry(w, s.compute(endpoint, v, r), qcache.StateBypass, gen)
 		return
 	}
 	endCache := tr.Span("cache")
-	key := s.cacheKey(endpoint, sys, r.URL.Query())
+	key := cacheKey(endpoint, v, r.URL.Query())
 	state := qcache.StateMiss
 	if e, out := s.cache.Get(key, gen); out == qcache.Hit {
 		endCache()
@@ -160,10 +160,12 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 		// signal (one disconnecting client must not poison the answer for
 		// the healthy ones) and let queryCtx's own timeout bound the work.
 		leader := r.WithContext(context.WithoutCancel(r.Context()))
-		e := s.compute(endpoint, h, sys, leader)
+		e := s.compute(endpoint, v, leader)
 		// Only successful answers are worth replaying; errors are cheap to
-		// recompute and may be transient (timeouts, shed).
-		if e.Status == http.StatusOK {
+		// recompute and may be transient (timeouts, shed). A partial
+		// answer (missing shards on a coordinator) is never cached either:
+		// the next query must see a recovered shard immediately.
+		if e.Status == http.StatusOK && e.Header.Get(shardsMissingHeader) == "" {
 			s.cache.Put(key, gen, e)
 		}
 		return e
@@ -191,10 +193,11 @@ func (s *Server) serveQuery(endpoint string, h queryHandler, w http.ResponseWrit
 	replayEntry(w, e, state, gen)
 }
 
-// compute runs the handler behind the admission gate and renders its
-// response. When the gate is full the request is shed immediately —
-// 429 + Retry-After — rather than queued.
-func (s *Server) compute(endpoint string, h queryHandler, sys *core.System, r *http.Request) *qcache.Entry {
+// compute runs the endpoint against the pinned view behind the
+// admission gate and renders its response. When the gate is full the
+// request is shed immediately — 429 + Retry-After — rather than
+// queued.
+func (s *Server) compute(endpoint string, v engineView, r *http.Request) *qcache.Entry {
 	tr := obs.TraceFrom(r.Context())
 	qc := queryCostFrom(r.Context())
 	endGate := tr.Span("gate")
@@ -207,7 +210,7 @@ func (s *Server) compute(endpoint string, h queryHandler, sys *core.System, r *h
 	defer s.gate.Release()
 	endEngine := tr.Span("engine")
 	rec := newRecorder()
-	h(sys, rec, r)
+	v.Query(endpoint, rec, r)
 	endEngine()
 	e := rec.entry()
 	if qc != nil {
@@ -242,15 +245,16 @@ func (s *Server) shedEntry(endpoint string, qc *queryCost) *qcache.Entry {
 }
 
 // cacheKey builds the canonical cache key: endpoint, the normalized
-// request parameters, and — for IM queries — the inferred topic
-// distribution γ, rendered exactly. Two requests with equal keys
-// produce byte-identical responses against the same snapshot. The key
-// mirrors exactly what handlers read: the FIRST value of each
-// parameter (url.Values.Get semantics), with names sorted and both
-// sides percent-escaped so no value can smuggle a separator and
-// collide with a differently shaped request. Free-text q is replaced
-// by its keyword tokens, which is all the handler consumes.
-func (s *Server) cacheKey(endpoint string, sys *core.System, q url.Values) string {
+// request parameters, and — for IM queries — the view's γ key
+// component (locally the inferred topic distribution, rendered
+// exactly). Two requests with equal keys produce byte-identical
+// responses against the same view. The key mirrors exactly what
+// handlers read: the FIRST value of each parameter (url.Values.Get
+// semantics), with names sorted and both sides percent-escaped so no
+// value can smuggle a separator and collide with a differently shaped
+// request. Free-text q is replaced by its keyword tokens, which is all
+// the handler consumes.
+func cacheKey(endpoint string, v engineView, q url.Values) string {
 	var b strings.Builder
 	b.WriteString(endpoint)
 	names := make([]string, 0, len(q))
@@ -288,13 +292,9 @@ func (s *Server) cacheKey(endpoint string, sys *core.System, q url.Values) strin
 		b.WriteString(url.QueryEscape(v))
 	}
 	if len(queryWords) > 0 {
-		// The hex float rendering is exact, so distinct distributions never
-		// collide.
-		gamma, _ := sys.InferGamma(queryWords)
-		b.WriteString("|g=")
-		for _, g := range gamma {
-			b.WriteString(strconv.FormatFloat(g, 'x', -1, 64))
-			b.WriteByte(',')
+		if gk := v.GammaKey(queryWords); gk != "" {
+			b.WriteString("|g=")
+			b.WriteString(gk)
 		}
 	}
 	return b.String()
@@ -415,7 +415,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) batchOne(r *http.Request, bq batchQuery) batchResult {
-	h, ok := s.queryHandlers[bq.Endpoint]
+	_, ok := s.queryHandlers[bq.Endpoint]
 	if !ok {
 		rec := newRecorder()
 		writeErr(rec, http.StatusBadRequest,
@@ -439,7 +439,7 @@ func (s *Server) batchOne(r *http.Request, bq batchQuery) batchResult {
 	// batch traffic shows up in the per-endpoint metrics too.
 	rec := newRecorder()
 	s.instrument(bq.Endpoint, func(w http.ResponseWriter, r *http.Request) {
-		s.serveQuery(bq.Endpoint, h, w, r)
+		s.serveQuery(bq.Endpoint, w, r)
 	})(rec, sub)
 	e := rec.entry()
 	gen, _ := strconv.ParseUint(e.Header.Get("X-Octopus-Generation"), 10, 64)
@@ -456,21 +456,23 @@ func (s *Server) batchOne(r *http.Request, bq batchQuery) batchResult {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	type metricsResponse struct {
 		qcache.Snapshot
-		Generation   uint64 `json:"generation"`
-		CacheEntries int    `json:"cacheEntries"`
-		InFlight     int    `json:"inFlight"`
-		MaxInflight  int    `json:"maxInflight"`
+		Generation   uint64        `json:"generation"`
+		CacheEntries int           `json:"cacheEntries"`
+		InFlight     int           `json:"inFlight"`
+		MaxInflight  int           `json:"maxInflight"`
+		Shards       []shardHealth `json:"shards,omitempty"`
 	}
-	_, gen, rel := s.snap()
-	rel()
 	resp := metricsResponse{
 		Snapshot:    s.metrics.Report(),
-		Generation:  gen,
+		Generation:  s.generation(),
 		InFlight:    s.gate.InFlight(),
 		MaxInflight: s.gate.Capacity(),
 	}
 	if s.cache != nil {
 		resp.CacheEntries = s.cache.Len()
+	}
+	if s.coord != nil {
+		resp.Shards = s.coord.health()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -503,9 +505,17 @@ type targetedResponse struct {
 // the result-cache key space) but the work is admission-controlled like
 // any other engine run.
 func (s *Server) handleTargeted(w http.ResponseWriter, r *http.Request) {
-	sys, gen, rel := s.snap()
+	v, gen, rel := s.engine.Acquire()
 	defer rel()
 	w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
+	v.Targeted(w, r)
+}
+
+// localTargeted is the in-process targeted-IM body, run against one
+// pinned snapshot; the generation header is already stamped by the
+// caller.
+func (s *Server) localTargeted(sys *core.System, w http.ResponseWriter, r *http.Request) {
+	gen, _ := genFromHeader(w.Header())
 	qp := params(r)
 	explain := qp.Flag("explain")
 	if qp.bad(w) {

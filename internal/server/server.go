@@ -165,21 +165,24 @@ func (o *Options) fill() {
 // queryHandler is a read handler bound to a pinned snapshot: it must
 // answer entirely from sys, never re-resolving the live system, so the
 // response is a pure function of (sys, request) — the property the
-// result cache's bit-identical guarantee rests on.
+// result cache's bit-identical guarantee rests on. These handlers are
+// the local engine's endpoint implementations; the serving layer
+// reaches them only through an engineView (see engine.go).
 type queryHandler func(sys *core.System, w http.ResponseWriter, r *http.Request)
 
 // Server exposes the analysis services (and optionally live ingestion)
 // over HTTP.
 type Server struct {
-	// snap pins the (system, generation) pair a request is answered
-	// from — one atomic load on a live server, a constant on a static
-	// one. Handlers must never re-resolve the system mid-request: the
-	// cache's byte-identical guarantee rests on the single pin. The
+	// engine pins the view a request is answered from — a (snapshot,
+	// generation) pair on a local server, a fleet roster on a
+	// coordinator. Handlers must never re-resolve state mid-request:
+	// the cache's byte-identical guarantee rests on the single pin. The
 	// release callback (idempotent, never nil) must be called when the
-	// request is done with the system: on a live server over a mapped
+	// request is done with the view: on a live server over a mapped
 	// snapshot it holds the pin that keeps a swapped-out generation's
 	// mapping from being unmapped mid-query.
-	snap       func() (*core.System, uint64, func())
+	engine     engine
+	coord      *fleet             // non-nil only on a coordinator
 	live       *stream.LiveSystem // nil on a static or replica server
 	follower   *repl.Follower     // non-nil only on a replica server
 	replSrc    *repl.Source       // non-nil only on a durable leader
@@ -265,9 +268,16 @@ func NewReplicaWith(f *repl.Follower, opt Options) *Server {
 }
 
 func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSystem, follower *repl.Follower, opt Options) *Server {
+	return newServerWith(func(s *Server) engine { return &localEngine{s: s, snap: snap} },
+		live, follower, opt)
+}
+
+// newServerWith builds the shared serving shell around any engine. The
+// engine is constructed against the half-built server (it may need the
+// gate, tracer or coordinator state), before any route can run.
+func newServerWith(mkEngine func(*Server) engine, live *stream.LiveSystem, follower *repl.Follower, opt Options) *Server {
 	opt.fill()
 	s := &Server{
-		snap:          snap,
 		live:          live,
 		follower:      follower,
 		storeStats:    opt.StoreStats,
@@ -287,6 +297,7 @@ func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSyst
 	if opt.TraceRing > 0 {
 		s.tracer = obs.NewTracer(opt.TraceRing, opt.SlowQuery, opt.Logger)
 	}
+	s.engine = mkEngine(s)
 	if live != nil && live.Store() != nil {
 		if src, err := repl.NewSource(live); err == nil {
 			s.replSrc = src
@@ -314,9 +325,9 @@ func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSyst
 	} {
 		s.queryHandlers[q.name] = q.h
 		s.mux.HandleFunc("/api/"+q.name,
-			s.instrument(q.name, allow(http.MethodGet, s.cachedQuery(q.name, q.h))))
+			s.instrument(q.name, allow(http.MethodGet, s.cachedQuery(q.name))))
 	}
-	s.mux.HandleFunc("/api/status", s.instrument("status", allow(http.MethodGet, s.pinned(s.handleStatus))))
+	s.mux.HandleFunc("/api/status", s.instrument("status", allow(http.MethodGet, s.pinned(engineView.Status))))
 	s.mux.HandleFunc("/api/metrics", s.instrument("metrics", allow(http.MethodGet, s.handleMetrics)))
 	s.mux.HandleFunc("/api/batch", s.instrument("batch", allow(http.MethodPost, s.handleBatch)))
 	s.mux.HandleFunc("/api/im/targeted", s.instrument("targeted", allow(http.MethodPost, s.handleTargeted)))
@@ -343,15 +354,23 @@ func newServer(snap func() (*core.System, uint64, func()), live *stream.LiveSyst
 	return s
 }
 
-// pinned adapts a snapshot-bound handler to an uncached route: pin once,
+// pinned adapts a view-bound handler to an uncached route: pin once,
 // stamp the generation header, run.
-func (s *Server) pinned(h queryHandler) http.HandlerFunc {
+func (s *Server) pinned(h func(v engineView, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sys, gen, rel := s.snap()
+		v, gen, rel := s.engine.Acquire()
 		defer rel()
 		w.Header().Set("X-Octopus-Generation", strconv.FormatUint(gen, 10))
-		h(sys, w, r)
+		h(v, w, r)
 	}
+}
+
+// generation pins and releases a view just to read the generation —
+// for surfaces (health, metrics) that report it without querying.
+func (s *Server) generation() uint64 {
+	_, gen, rel := s.engine.Acquire()
+	rel()
+	return gen
 }
 
 // allow guards a handler with a single accepted method (GET handlers
@@ -455,10 +474,6 @@ func (q *qparams) bad(w http.ResponseWriter) bool {
 
 func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(r.Context(), s.QueryTimeout)
-}
-
-func (s *Server) handleStatus(sys *core.System, w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, sys.Stats())
 }
 
 type imResponse struct {

@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"octopus/internal/core"
+	"octopus/internal/store"
+	"octopus/internal/tic"
+)
+
+// BuildSystem builds the self-contained serving system for one shard
+// corpus by adopting the full system's models: the topic model is
+// shared verbatim (identical vocabulary and γ inference fleet-wide)
+// and the per-edge propagation model is remapped onto the shard's edge
+// subset — an exact restriction, since shard edges keep their global
+// endpoints. Online indexes are rebuilt over the shard model with the
+// same derived seeds core.Build uses for the full corpus, so a 1-shard
+// fleet reproduces the single-process system bit for bit.
+func BuildSystem(full *core.System, c Corpus) (*core.System, error) {
+	if full == nil || c.Graph == nil {
+		return nil, fmt.Errorf("shard: BuildSystem needs a full system and a corpus")
+	}
+	prop, err := tic.Remap(full.Propagation(), c.Graph, nil)
+	if err != nil {
+		return nil, fmt.Errorf("shard: remap propagation model: %w", err)
+	}
+	cfg := full.BuildConfig()
+	cfg.GroundTruth = prop
+	cfg.GroundTruthWords = full.Keywords()
+	sys, err := core.Build(c.Graph, c.Log, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard: build shard %d/%d: %w", c.Index, c.Shards, err)
+	}
+	return sys, nil
+}
+
+// FileName is the canonical snapshot name of shard k in a fleet of n.
+func FileName(k, n int) string { return fmt.Sprintf("shard-%d-of-%d.oct", k, n) }
+
+// WriteFleet partitions the full system with the given strategy,
+// builds every shard system, and saves each as a snapshot (the shard
+// exchange format) under dir, returning the file paths in shard order.
+// The snapshots are ordinary store snapshots: `octopus serve -load`
+// (with or without -mmap) serves one directly.
+func WriteFleet(dir string, full *core.System, strat Strategy, shards int) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	corpora, err := SplitSystem(full, strat, shards)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, shards)
+	for _, c := range corpora {
+		sys, err := BuildSystem(full, c)
+		if err != nil {
+			return nil, err
+		}
+		p := filepath.Join(dir, FileName(c.Index, shards))
+		if err := store.Save(p, sys); err != nil {
+			return nil, fmt.Errorf("shard: save shard %d/%d: %w", c.Index, shards, err)
+		}
+		paths[c.Index] = p
+	}
+	return paths, nil
+}
+
+// SplitSystem partitions full's graph with the strategy and cuts
+// per-shard corpora from its graph and action log.
+func SplitSystem(full *core.System, strat Strategy, shards int) ([]Corpus, error) {
+	owner, err := strat.Partition(full.Graph(), shards)
+	if err != nil {
+		return nil, err
+	}
+	return Split(full.Graph(), full.ActionLog(), owner, shards)
+}

@@ -1,0 +1,49 @@
+// Package shard is the partition layer of the scatter-gather serving
+// tier: it splits one corpus (CSR graph + action log) into N per-shard
+// corpora, builds a self-contained core.System for each, and uses the
+// internal/store snapshot codec as the shard exchange format — every
+// shard bootstraps from an ordinary (mmap-able) snapshot file, so the
+// whole single-process serving stack applies unchanged to one shard.
+//
+// # Partition semantics
+//
+// Every shard keeps the GLOBAL node-id space: shard graphs have all n
+// node slots and all display names, so node ids, name resolution and
+// completion tries agree fleet-wide without a translation table. What
+// is partitioned is ownership:
+//
+//   - each NODE has exactly one owner shard (the Strategy's assignment);
+//   - each EDGE belongs to the shard owning its source node;
+//   - each ACTION belongs to the shard owning its acting user;
+//   - an item's episode follows its actions, so an item read by users on
+//     several shards is (intentionally) present on each of them, while
+//     an item with no actions at all is assigned by id modulo N.
+//
+// The topic model and the per-edge propagation model are NOT
+// re-learned per shard: the full-corpus models are adopted (the tic
+// model remapped onto the shard's edge subset, exactly — shard edges
+// keep their global endpoints), so γ inference and topic vocabulary
+// are identical on every shard and topic-dependent answers compose.
+//
+// # Partial-results contract
+//
+// The coordinator (internal/server) fans a query out to every live
+// shard and merges. When one or more shards are down or time out, the
+// coordinator still answers with what the remaining shards returned,
+// and marks the response as partial in a machine-readable way:
+//
+//   - the X-Octopus-Shards-Missing response header lists the missing
+//     shard indexes (comma-separated);
+//   - object-shaped payloads carry a "shards_missing" field with the
+//     same list (omitted when complete);
+//   - GET /api/health reports state "degraded" with one
+//     "shards_missing: ..." reason per missing shard.
+//
+// Partial responses are never cached, so a recovered shard is
+// reflected by the very next uncached query. Spread estimates merged
+// from a subset of shards are lower bounds on the full-fleet answer;
+// single-owner endpoints (suggest, keywords, paths) lose exactly the
+// users owned by the missing shards and answer 404/400 for them as if
+// the users had no data. Callers that cannot tolerate partial answers
+// must check the header or field and retry.
+package shard

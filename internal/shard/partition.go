@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/graph"
+)
+
+// Strategy assigns every node of a graph to one of N shards. Both
+// implementations are pure functions of (graph, shards, seed): the same
+// inputs always produce the same assignment, which is what makes shard
+// snapshot files reproducible byte-for-byte.
+type Strategy interface {
+	// Name is the CLI-facing strategy identifier.
+	Name() string
+	// Partition returns the owner shard (in [0,shards)) of every node.
+	Partition(g *graph.Graph, shards int) ([]int32, error)
+}
+
+// Hash partitions nodes by an integer hash of the node id alone — no
+// corpus inspection, so a node keeps its shard across corpus versions
+// and the assignment needs no state beyond the seed. Expected balance
+// is n/shards per shard with binomial fluctuation.
+type Hash struct {
+	Seed uint64
+}
+
+// Name implements Strategy.
+func (Hash) Name() string { return "hash" }
+
+// Partition implements Strategy.
+func (h Hash) Partition(g *graph.Graph, shards int) ([]int32, error) {
+	if err := checkShards(g, shards); err != nil {
+		return nil, err
+	}
+	owner := make([]int32, g.NumNodes())
+	for u := range owner {
+		owner[u] = int32(mix64(h.Seed^uint64(uint32(u))) % uint64(shards))
+	}
+	return owner, nil
+}
+
+// communityRounds is the default number of label-propagation sweeps a
+// Community partition runs; a handful suffices on the small-diameter
+// graphs the datagen models produce.
+const communityRounds = 4
+
+// Community partitions nodes by deterministic label propagation
+// followed by balanced bin-packing of the resulting communities onto
+// shards. Influence cascades mostly stay inside dense regions, so
+// co-locating a community keeps more of a seed's MIA tree on its owner
+// shard than hashing does — at the price of reading the whole edge
+// structure. Balance is best-effort: a community larger than n/shards
+// still lands on a single shard.
+type Community struct {
+	Seed uint64
+	// Rounds overrides the number of propagation sweeps; 0 means the
+	// default.
+	Rounds int
+}
+
+// Name implements Strategy.
+func (Community) Name() string { return "community" }
+
+// Partition implements Strategy.
+func (c Community) Partition(g *graph.Graph, shards int) ([]int32, error) {
+	if err := checkShards(g, shards); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	rounds := c.Rounds
+	if rounds <= 0 {
+		rounds = communityRounds
+	}
+
+	// Asynchronous label propagation in ascending node order: each node
+	// adopts the most frequent label among its out- and in-neighbors,
+	// ties broken by the smallest label. Fixed sweep order makes the
+	// result deterministic.
+	label := make([]int32, n)
+	for u := range label {
+		label[u] = int32(u)
+	}
+	votes := map[int32]int{}
+	for r := 0; r < rounds; r++ {
+		changed := false
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			clear(votes)
+			for _, v := range g.OutNeighbors(u) {
+				votes[label[v]]++
+			}
+			for s, hi := g.InSlots(u); s < hi; s++ {
+				votes[label[g.InSrc(s)]]++
+			}
+			if len(votes) == 0 {
+				continue
+			}
+			best, bestN := label[u], 0
+			for l, nv := range votes {
+				if nv > bestN || (nv == bestN && l < best) {
+					best, bestN = l, nv
+				}
+			}
+			if best != label[u] {
+				label[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pack communities (largest first, label ties ascending) onto the
+	// currently lightest shard. Label propagation happily collapses a
+	// dense graph into one giant community, so communities are first
+	// chunked to the per-shard capacity ceil(n/shards) — chunks keep
+	// ascending node order, and packing stays deterministic; the seed
+	// only rotates the starting shard so distinct fleets don't all load
+	// shard 0 first.
+	members := map[int32][]int32{}
+	for u, l := range label {
+		members[l] = append(members[l], int32(u))
+	}
+	labels := make([]int32, 0, len(members))
+	for l := range members {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		a, b := labels[i], labels[j]
+		if len(members[a]) != len(members[b]) {
+			return len(members[a]) > len(members[b])
+		}
+		return a < b
+	})
+	capPer := (n + shards - 1) / shards
+	var chunks [][]int32
+	for _, l := range labels {
+		m := members[l]
+		for len(m) > capPer {
+			chunks = append(chunks, m[:capPer])
+			m = m[capPer:]
+		}
+		if len(m) > 0 {
+			chunks = append(chunks, m)
+		}
+	}
+	sort.SliceStable(chunks, func(i, j int) bool { return len(chunks[i]) > len(chunks[j]) })
+	owner := make([]int32, n)
+	load := make([]int, shards)
+	start := int(c.Seed % uint64(shards))
+	for _, ch := range chunks {
+		tgt := start
+		for k := 0; k < shards; k++ {
+			s := (start + k) % shards
+			if load[s] < load[tgt] {
+				tgt = s
+			}
+		}
+		for _, u := range ch {
+			owner[u] = int32(tgt)
+		}
+		load[tgt] += len(ch)
+	}
+	return owner, nil
+}
+
+// Strategies lists the CLI-selectable strategy names.
+func Strategies() []string { return []string{"hash", "community"} }
+
+// ParseStrategy resolves a CLI strategy name.
+func ParseStrategy(name string, seed uint64) (Strategy, error) {
+	switch name {
+	case "hash":
+		return Hash{Seed: seed}, nil
+	case "community":
+		return Community{Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("shard: unknown strategy %q (have %v)", name, Strategies())
+}
+
+func checkShards(g *graph.Graph, shards int) error {
+	if g == nil || g.NumNodes() == 0 {
+		return fmt.Errorf("shard: empty graph")
+	}
+	if shards < 1 {
+		return fmt.Errorf("shard: need at least 1 shard, got %d", shards)
+	}
+	return nil
+}
+
+// mix64 is the SplitMix64 finalizer — a full-avalanche integer hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+
+	"octopus/internal/actionlog"
+	"octopus/internal/graph"
+)
+
+// Corpus is the slice of the full dataset one shard serves: a graph
+// over the global node-id space holding only the edges whose source
+// the shard owns, and the action-log episodes of the users it owns.
+type Corpus struct {
+	Index  int
+	Shards int
+	// Owner is the full assignment the corpus was cut with (shared
+	// across the fleet's corpora).
+	Owner []int32
+	Graph *graph.Graph
+	Log   *actionlog.Log
+}
+
+// Split cuts (g, log) into per-shard corpora under the given node
+// assignment. Shard graphs keep every node slot and every display name
+// (global addressing; see the package comment), edges follow their
+// source's owner, actions follow their user's owner, and an item with
+// no actions at all goes to shard id%shards. Splitting into one shard
+// returns the inputs unchanged, so a 1-shard fleet is bit-identical to
+// the single-process system.
+func Split(g *graph.Graph, log *actionlog.Log, owner []int32, shards int) ([]Corpus, error) {
+	if err := checkShards(g, shards); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if len(owner) != n {
+		return nil, fmt.Errorf("shard: assignment covers %d nodes, graph has %d", len(owner), n)
+	}
+	for u, k := range owner {
+		if k < 0 || int(k) >= shards {
+			return nil, fmt.Errorf("shard: node %d assigned to shard %d of %d", u, k, shards)
+		}
+	}
+	if log == nil {
+		log = actionlog.Build(n, nil, nil)
+	}
+	if shards == 1 {
+		return []Corpus{{Index: 0, Shards: 1, Owner: owner, Graph: g, Log: log}}, nil
+	}
+
+	builders := make([]*graph.Builder, shards)
+	for k := range builders {
+		builders[k] = graph.NewBuilder(n)
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			if name := g.Name(u); name != "" {
+				builders[k].SetName(u, name)
+			}
+		}
+	}
+	g.EachEdge(func(_ graph.EdgeID, u, v graph.NodeID) {
+		builders[owner[u]].AddEdge(u, v)
+	})
+
+	items := make([][]actionlog.Item, shards)
+	actions := make([][]actionlog.Action, shards)
+	touched := make([]bool, shards)
+	for _, ep := range log.Episodes {
+		if len(ep.Actions) == 0 {
+			k := int(uint32(ep.Item.ID)) % shards
+			items[k] = append(items[k], ep.Item)
+			continue
+		}
+		for k := range touched {
+			touched[k] = false
+		}
+		for _, a := range ep.Actions {
+			k := owner[a.User]
+			if !touched[k] {
+				touched[k] = true
+				items[k] = append(items[k], ep.Item)
+			}
+			actions[k] = append(actions[k], a)
+		}
+	}
+
+	out := make([]Corpus, shards)
+	for k := range out {
+		out[k] = Corpus{
+			Index:  k,
+			Shards: shards,
+			Owner:  owner,
+			Graph:  builders[k].Build(),
+			Log:    actionlog.Build(n, items[k], actions[k]),
+		}
+	}
+	return out, nil
+}

@@ -51,6 +51,32 @@ func TestMapServesIdenticalResults(t *testing.T) {
 	assertSystemsEquivalent(t, heap, mappedSys)
 }
 
+func TestMapWarmup(t *testing.T) {
+	sys := buildSystem(t, 150, 9)
+	path := filepath.Join(t.TempDir(), "model.oct")
+	if err := Save(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	warmSys, m, err := Map(path, MapOptions{Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := m.Stats()
+	if arena.MapSupported() && arena.LittleEndianHost() && mmapEnabled() {
+		if st.WarmedBytes != st.FileSize {
+			t.Fatalf("warmed %d bytes of a %d-byte file", st.WarmedBytes, st.FileSize)
+		}
+		if st.ResidentBytes >= 0 && st.ResidentBytes < st.FileSize {
+			t.Fatalf("after warmup only %d of %d bytes resident", st.ResidentBytes, st.FileSize)
+		}
+	} else if st.WarmedBytes != 0 {
+		t.Fatalf("copying path reported %d warmed bytes", st.WarmedBytes)
+	}
+	// Warmup must not change answers.
+	assertSystemsEquivalent(t, sys, warmSys)
+}
+
 func TestMapVerifyOption(t *testing.T) {
 	sys := buildSystem(t, 120, 7)
 	path := filepath.Join(t.TempDir(), "model.oct")
